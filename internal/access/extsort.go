@@ -1,0 +1,232 @@
+package access
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// ErrSorterFinished is returned when adding to a sorter after Sort.
+var ErrSorterFinished = errors.New("access: sorter already finished")
+
+// ExternalSorter sorts encoded records under a bounded memory budget:
+// records accumulate in memory until the budget is exceeded, then spill
+// as a sorted run into a temporary heap file; Sort k-way-merges the
+// runs. It backs large ORDER BY and merge-join inputs that exceed RAM
+// ("sorting of record sets", Section 3.1).
+type ExternalSorter struct {
+	fm     *storage.FileManager
+	pool   *buffer.Manager
+	budget int
+	less   func(a, b []byte) bool
+
+	cur      [][]byte
+	curBytes int
+	runs     []string
+	seq      int
+	finished bool
+}
+
+// NewExternalSorter creates a sorter spilling through fm/pool when more
+// than budgetBytes of record data is buffered. less orders records.
+func NewExternalSorter(fm *storage.FileManager, pool *buffer.Manager, budgetBytes int, less func(a, b []byte) bool) *ExternalSorter {
+	if budgetBytes < storage.PageSize {
+		budgetBytes = storage.PageSize
+	}
+	return &ExternalSorter{fm: fm, pool: pool, budget: budgetBytes, less: less}
+}
+
+// Add buffers one record (copied), spilling if the budget is exceeded.
+func (s *ExternalSorter) Add(rec []byte) error {
+	if s.finished {
+		return ErrSorterFinished
+	}
+	cp := append([]byte(nil), rec...)
+	s.cur = append(s.cur, cp)
+	s.curBytes += len(cp)
+	if s.curBytes >= s.budget {
+		return s.spill()
+	}
+	return nil
+}
+
+func (s *ExternalSorter) spill() error {
+	if len(s.cur) == 0 {
+		return nil
+	}
+	sort.SliceStable(s.cur, func(i, j int) bool { return s.less(s.cur[i], s.cur[j]) })
+	name := fmt.Sprintf("__sortrun_%p_%d__", s, s.seq)
+	s.seq++
+	h, err := OpenHeap(name, s.fm, s.pool)
+	if err != nil {
+		return err
+	}
+	for _, rec := range s.cur {
+		if _, err := h.Insert(nil, rec); err != nil {
+			return err
+		}
+	}
+	s.runs = append(s.runs, name)
+	s.cur = s.cur[:0]
+	s.curBytes = 0
+	return nil
+}
+
+// SpilledRuns reports how many runs went to disk (diagnostics/tests).
+func (s *ExternalSorter) SpilledRuns() int { return len(s.runs) }
+
+// SortedIterator yields records in order; Close releases temporary
+// runs.
+type SortedIterator struct {
+	s    *ExternalSorter
+	mem  [][]byte
+	mpos int
+	h    mergeHeap
+}
+
+// run streams one spilled run in stored (sorted) order.
+type runCursor struct {
+	heap *HeapFile
+	rids []RID
+	pos  int
+	head []byte
+}
+
+type mergeHeap struct {
+	cursors []*runCursor
+	less    func(a, b []byte) bool
+}
+
+func (m *mergeHeap) Len() int { return len(m.cursors) }
+func (m *mergeHeap) Less(i, j int) bool {
+	return m.less(m.cursors[i].head, m.cursors[j].head)
+}
+func (m *mergeHeap) Swap(i, j int) { m.cursors[i], m.cursors[j] = m.cursors[j], m.cursors[i] }
+func (m *mergeHeap) Push(x any)    { m.cursors = append(m.cursors, x.(*runCursor)) }
+func (m *mergeHeap) Pop() any {
+	last := m.cursors[len(m.cursors)-1]
+	m.cursors = m.cursors[:len(m.cursors)-1]
+	return last
+}
+
+// Sort finalises the input and returns an iterator over all records in
+// order. The sorter cannot be reused afterwards.
+func (s *ExternalSorter) Sort() (*SortedIterator, error) {
+	if s.finished {
+		return nil, ErrSorterFinished
+	}
+	s.finished = true
+	it := &SortedIterator{s: s}
+	if len(s.runs) == 0 {
+		// Everything fit in memory.
+		sort.SliceStable(s.cur, func(i, j int) bool { return s.less(s.cur[i], s.cur[j]) })
+		it.mem = s.cur
+		return it, nil
+	}
+	// Final partial run spills too, then k-way merge.
+	if err := s.spill(); err != nil {
+		return nil, err
+	}
+	it.h = mergeHeap{less: s.less}
+	for _, name := range s.runs {
+		h, err := OpenHeap(name, s.fm, s.pool)
+		if err != nil {
+			return nil, err
+		}
+		c := &runCursor{heap: h}
+		err = h.Scan(func(rid RID, rec []byte) error {
+			c.rids = append(c.rids, rid)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		if c.head != nil {
+			it.h.cursors = append(it.h.cursors, c)
+		}
+	}
+	heap.Init(&it.h)
+	return it, nil
+}
+
+func (c *runCursor) advance() error {
+	if c.pos >= len(c.rids) {
+		c.head = nil
+		return nil
+	}
+	rec, err := c.heap.Get(c.rids[c.pos])
+	if err != nil {
+		return err
+	}
+	c.pos++
+	c.head = rec
+	return nil
+}
+
+// Next returns the next record in order, or io.EOF.
+func (it *SortedIterator) Next() ([]byte, error) {
+	if it.mem != nil {
+		if it.mpos >= len(it.mem) {
+			return nil, io.EOF
+		}
+		rec := it.mem[it.mpos]
+		it.mpos++
+		return rec, nil
+	}
+	if it.h.Len() == 0 {
+		return nil, io.EOF
+	}
+	top := it.h.cursors[0]
+	rec := top.head
+	if err := top.advance(); err != nil {
+		return nil, err
+	}
+	if top.head == nil {
+		heap.Pop(&it.h)
+	} else {
+		heap.Fix(&it.h, 0)
+	}
+	return rec, nil
+}
+
+// Close drops the temporary run files.
+func (it *SortedIterator) Close() error {
+	var firstErr error
+	for _, name := range it.s.runs {
+		if it.s.fm.Exists(name) {
+			if err := it.s.fm.Drop(name); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	it.s.runs = nil
+	return firstErr
+}
+
+// RowLess builds a record comparator ordering encoded rows by the given
+// column, for use with ExternalSorter over EncodeRow output.
+func RowLess(col int, desc bool) func(a, b []byte) bool {
+	return func(a, b []byte) bool {
+		ra, erra := DecodeRow(a)
+		rb, errb := DecodeRow(b)
+		if erra != nil || errb != nil || col >= len(ra) || col >= len(rb) {
+			return false
+		}
+		c, err := Compare(ra[col], rb[col])
+		if err != nil {
+			return false
+		}
+		if desc {
+			return c > 0
+		}
+		return c < 0
+	}
+}

@@ -1,0 +1,201 @@
+package access
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+func sorterEnv(t *testing.T) (*storage.FileManager, *buffer.Manager, *storage.DiskManager) {
+	t.Helper()
+	d, err := storage.OpenDisk(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(d, 64, buffer.NewLRU())
+	fm, err := storage.OpenFileManager(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fm, pool, d
+}
+
+func bytesLess(a, b []byte) bool { return bytes.Compare(a, b) < 0 }
+
+func drain(t *testing.T, it *SortedIterator) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for {
+		rec, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, append([]byte(nil), rec...))
+	}
+}
+
+func TestExternalSortInMemory(t *testing.T) {
+	fm, pool, _ := sorterEnv(t)
+	s := NewExternalSorter(fm, pool, 1<<20, bytesLess)
+	for _, r := range []string{"delta", "alpha", "charlie", "bravo"} {
+		if err := s.Add([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if s.SpilledRuns() != 0 {
+		t.Fatalf("spilled %d runs, expected pure in-memory", s.SpilledRuns())
+	}
+	got := drain(t, it)
+	want := []string{"alpha", "bravo", "charlie", "delta"}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("order = %q", got)
+		}
+	}
+}
+
+func TestExternalSortSpills(t *testing.T) {
+	fm, pool, d := sorterEnv(t)
+	// A tiny budget forces many runs.
+	s := NewExternalSorter(fm, pool, storage.PageSize, bytesLess)
+	const n = 2000
+	rng := rand.New(rand.NewSource(5))
+	var want []string
+	for i := 0; i < n; i++ {
+		rec := fmt.Sprintf("rec-%06d-%s", rng.Intn(1000000), bytes.Repeat([]byte("x"), 20))
+		want = append(want, rec)
+		if err := s.Add([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SpilledRuns() < 2 {
+		t.Fatalf("spilled runs = %d, expected several", s.SpilledRuns())
+	}
+	got := drain(t, it)
+	if len(got) != n {
+		t.Fatalf("got %d records", len(got))
+	}
+	sort.Strings(want)
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("mismatch at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+	// Close drops the run files and their pages.
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fm.List() {
+		if len(name) > 10 && name[:10] == "__sortrun_" {
+			t.Fatalf("run file %s not cleaned up", name)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	free, err := d.FreePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free == 0 {
+		t.Fatal("run pages not returned to the store")
+	}
+}
+
+func TestExternalSortStability(t *testing.T) {
+	fm, pool, _ := sorterEnv(t)
+	// Sort rows by column 0; rows with equal keys keep insert order
+	// within one run (mem path).
+	s := NewExternalSorter(fm, pool, 1<<20, RowLess(0, false))
+	for i := 0; i < 10; i++ {
+		row := Row{NewInt(int64(i % 3)), NewInt(int64(i))}
+		if err := s.Add(EncodeRow(row)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var prevKey, prevSeq int64 = -1, -1
+	for {
+		rec, err := it.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		row, _ := DecodeRow(rec)
+		if row[0].Int < prevKey {
+			t.Fatal("keys out of order")
+		}
+		if row[0].Int == prevKey && row[1].Int < prevSeq {
+			t.Fatal("stability violated")
+		}
+		prevKey, prevSeq = row[0].Int, row[1].Int
+	}
+}
+
+func TestExternalSortDescending(t *testing.T) {
+	fm, pool, _ := sorterEnv(t)
+	s := NewExternalSorter(fm, pool, 1<<20, RowLess(0, true))
+	for _, v := range []int64{3, 1, 4, 1, 5} {
+		if err := s.Add(EncodeRow(Row{NewInt(v)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, _ := s.Sort()
+	defer it.Close()
+	got := drain(t, it)
+	first, _ := DecodeRow(got[0])
+	last, _ := DecodeRow(got[len(got)-1])
+	if first[0].Int != 5 || last[0].Int != 1 {
+		t.Fatalf("desc order broken: %v .. %v", first, last)
+	}
+}
+
+func TestExternalSortFinishedErrors(t *testing.T) {
+	fm, pool, _ := sorterEnv(t)
+	s := NewExternalSorter(fm, pool, 1<<20, bytesLess)
+	_ = s.Add([]byte("x"))
+	if _, err := s.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add([]byte("y")); !errors.Is(err, ErrSorterFinished) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Sort(); !errors.Is(err, ErrSorterFinished) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExternalSortEmpty(t *testing.T) {
+	fm, pool, _ := sorterEnv(t)
+	s := NewExternalSorter(fm, pool, 1<<20, bytesLess)
+	it, err := s.Sort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, err := it.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,333 @@
+package access
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Heap file errors.
+var (
+	// ErrRecordTooLarge is returned when a record exceeds one page.
+	ErrRecordTooLarge = errors.New("access: record too large for a page")
+)
+
+// RID identifies a record: page plus slot.
+type RID struct {
+	Page storage.PageID
+	Slot uint16
+}
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Less orders RIDs (page, then slot).
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// TxnContext is the minimal transactional hook a heap file needs: the
+// transaction id for log records and a callback to register each update
+// (for undo and LSN chaining). internal/txn provides the real
+// implementation; nil means unlogged operation.
+type TxnContext interface {
+	// ID returns the transaction id.
+	ID() uint64
+	// LastLSN returns the transaction's most recent log record.
+	LastLSN() wal.LSN
+	// Record registers an appended update record with the transaction.
+	Record(rec *wal.Record)
+}
+
+// HeapFile stores variable-length records in a chain of slotted pages
+// managed by the file manager, cached by the buffer manager, and
+// (optionally) logged to the WAL. It is the record-level storage
+// service behind tables.
+type HeapFile struct {
+	name string
+	fm   *storage.FileManager
+	pool *buffer.Manager
+
+	mu       sync.Mutex
+	log      *wal.Log
+	freeHint []storage.PageID // pages with reclaimed space
+}
+
+// OpenHeap opens the named heap file, creating it if absent.
+func OpenHeap(name string, fm *storage.FileManager, pool *buffer.Manager) (*HeapFile, error) {
+	if !fm.Exists(name) {
+		if err := fm.Create(name); err != nil {
+			return nil, err
+		}
+	}
+	return &HeapFile{name: name, fm: fm, pool: pool}, nil
+}
+
+// SetLog attaches a write-ahead log; subsequent mutations through a
+// non-nil TxnContext are logged with physical before/after images.
+func (h *HeapFile) SetLog(l *wal.Log) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.log = l
+}
+
+// Name returns the file name.
+func (h *HeapFile) Name() string { return h.name }
+
+// mutatePage pins a page, runs fn over it, and — when logging applies —
+// appends one update record covering the byte range fn changed.
+func (h *HeapFile) mutatePage(tx TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
+	f, err := h.pool.Pin(pid)
+	if err != nil {
+		return err
+	}
+	page := f.Page()
+	logging := h.log != nil && tx != nil
+	var before []byte
+	if logging {
+		before = append([]byte(nil), page.Data...)
+	}
+	if err := fn(page); err != nil {
+		_ = h.pool.Unpin(pid, false)
+		return err
+	}
+	if logging {
+		lo, hi := diffRange(before, page.Data)
+		if lo < hi {
+			rec := &wal.Record{
+				Txn:     tx.ID(),
+				Type:    wal.RecUpdate,
+				PageID:  pid,
+				Offset:  uint16(lo),
+				Before:  append([]byte(nil), before[lo:hi]...),
+				After:   append([]byte(nil), page.Data[lo:hi]...),
+				PrevLSN: tx.LastLSN(),
+			}
+			lsn, err := h.log.Append(rec)
+			if err != nil {
+				_ = h.pool.Unpin(pid, true)
+				return err
+			}
+			page.SetLSN(uint64(lsn))
+			tx.Record(rec)
+		}
+	}
+	return h.pool.Unpin(pid, true)
+}
+
+// diffRange returns the smallest [lo,hi) range over which a and b
+// differ, skipping the LSN field itself (bytes 8..16 of the header,
+// which mutatePage rewrites afterwards).
+func diffRange(a, b []byte) (int, int) {
+	lo := 0
+	for lo < len(a) && a[lo] == b[lo] {
+		lo++
+	}
+	if lo == len(a) {
+		return 0, 0
+	}
+	hi := len(a)
+	for hi > lo && a[hi-1] == b[hi-1] {
+		hi--
+	}
+	return lo, hi
+}
+
+// Insert stores a record and returns its RID. With a non-nil tx the
+// mutation is WAL-logged under that transaction.
+func (h *HeapFile) Insert(tx TxnContext, rec []byte) (RID, error) {
+	if len(rec) > maxRecordLen {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	try := func(pid storage.PageID) (RID, bool, error) {
+		var rid RID
+		ok := false
+		err := h.mutatePage(tx, pid, func(p *storage.Page) error {
+			sp := Slotted(p)
+			slot, err := sp.Insert(rec)
+			if errors.Is(err, ErrPageFull) {
+				return nil // not an error; just try elsewhere
+			}
+			if err != nil {
+				return err
+			}
+			rid = RID{Page: pid, Slot: uint16(slot)}
+			ok = true
+			return nil
+		})
+		return rid, ok, err
+	}
+
+	// Pages with reclaimed space first, then the chain tail.
+	for i := 0; i < len(h.freeHint); i++ {
+		pid := h.freeHint[i]
+		rid, ok, err := try(pid)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+		// Hint exhausted.
+		h.freeHint = append(h.freeHint[:i], h.freeHint[i+1:]...)
+		i--
+	}
+	if last, err := h.fm.LastPage(h.name); err == nil && last != storage.InvalidPageID {
+		rid, ok, err := try(last)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+	// Grow the file.
+	pid, err := h.fm.AppendPage(h.name, storage.PageTypeHeap)
+	if err != nil {
+		return RID{}, err
+	}
+	var rid RID
+	err = h.mutatePage(tx, pid, func(p *storage.Page) error {
+		sp := InitSlotted(p)
+		slot, err := sp.Insert(rec)
+		if err != nil {
+			return err
+		}
+		rid = RID{Page: pid, Slot: uint16(slot)}
+		return nil
+	})
+	if err != nil {
+		return RID{}, err
+	}
+	// File-manager directory changes are not WAL-logged; make them (and
+	// the freshly chained page) durable now so that recovery can reach
+	// records that redo will replay into this page.
+	if h.log != nil && tx != nil {
+		if err := h.pool.FlushAll(); err != nil {
+			return RID{}, err
+		}
+	}
+	return rid, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	f, err := h.pool.Pin(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(rid.Page, false)
+	sp := Slotted(f.Page())
+	rec, err := sp.Get(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), rec...), nil
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(tx TxnContext, rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	err := h.mutatePage(tx, rid.Page, func(p *storage.Page) error {
+		return Slotted(p).Delete(int(rid.Slot))
+	})
+	if err != nil {
+		return err
+	}
+	h.noteFreeLocked(rid.Page)
+	return nil
+}
+
+func (h *HeapFile) noteFreeLocked(pid storage.PageID) {
+	for _, f := range h.freeHint {
+		if f == pid {
+			return
+		}
+	}
+	h.freeHint = append(h.freeHint, pid)
+}
+
+// Update replaces the record at rid. When the new record no longer fits
+// its page, the record moves: the old slot is deleted and the new
+// location returned.
+func (h *HeapFile) Update(tx TxnContext, rid RID, rec []byte) (RID, error) {
+	if len(rec) > maxRecordLen {
+		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+	}
+	h.mu.Lock()
+	moved := false
+	err := h.mutatePage(tx, rid.Page, func(p *storage.Page) error {
+		err := Slotted(p).Update(int(rid.Slot), rec)
+		if errors.Is(err, ErrPageFull) {
+			moved = true
+			return Slotted(p).Delete(int(rid.Slot))
+		}
+		return err
+	})
+	if err != nil {
+		h.mu.Unlock()
+		return RID{}, err
+	}
+	if !moved {
+		h.mu.Unlock()
+		return rid, nil
+	}
+	h.noteFreeLocked(rid.Page)
+	h.mu.Unlock()
+	return h.Insert(tx, rec)
+}
+
+// Scan iterates all records in chain order. The record slice passed to
+// fn aliases the pinned page; fn must copy it to retain it.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
+	first, err := h.fm.FirstPage(h.name)
+	if err != nil {
+		return err
+	}
+	for pid := first; pid != storage.InvalidPageID; {
+		f, err := h.pool.Pin(pid)
+		if err != nil {
+			return err
+		}
+		page := f.Page()
+		sp := Slotted(page)
+		next := page.Next()
+		err = sp.Records(func(slot int, rec []byte) error {
+			return fn(RID{Page: pid, Slot: uint16(slot)}, rec)
+		})
+		if uerr := h.pool.Unpin(pid, false); uerr != nil && err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return err
+		}
+		pid = next
+	}
+	return nil
+}
+
+// Count returns the number of live records (full scan).
+func (h *HeapFile) Count() (int, error) {
+	n := 0
+	err := h.Scan(func(RID, []byte) error { n++; return nil })
+	return n, err
+}
+
+// Drop removes the heap file and its pages.
+func (h *HeapFile) Drop() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.freeHint = nil
+	return h.fm.Drop(h.name)
+}

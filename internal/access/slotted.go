@@ -1,0 +1,260 @@
+package access
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// Slotted page errors.
+var (
+	// ErrPageFull is returned when a record does not fit in the page.
+	ErrPageFull = errors.New("access: page full")
+	// ErrNoSlot is returned for absent or deleted slots.
+	ErrNoSlot = errors.New("access: no such record")
+)
+
+// Slotted page payload layout:
+//
+//	u16 slotCount | u16 cellStart | slot[0] | slot[1] | ...      (grows up)
+//	... free space ...
+//	                       ... cells ...                          (grow down)
+//
+// Each slot is u16 offset | u16 length, offsets relative to the payload
+// start. A deleted slot has offset == deadSlot.
+const (
+	slotHdrSize  = 4
+	slotSize     = 4
+	deadSlot     = 0xFFFF
+	maxRecordLen = storage.PayloadSize - slotHdrSize - slotSize
+)
+
+// SlottedPage is a record-organised view over a page payload. It
+// mutates the underlying page buffer directly; callers own pinning and
+// latching.
+type SlottedPage struct {
+	p *storage.Page
+}
+
+// Slotted wraps a page as a slotted page (no initialisation).
+func Slotted(p *storage.Page) *SlottedPage { return &SlottedPage{p: p} }
+
+// InitSlotted formats a fresh page as an empty slotted page.
+func InitSlotted(p *storage.Page) *SlottedPage {
+	sp := &SlottedPage{p: p}
+	sp.setSlotCount(0)
+	sp.setCellStart(uint16(storage.PayloadSize))
+	return sp
+}
+
+func (sp *SlottedPage) payload() []byte { return sp.p.Payload() }
+
+func (sp *SlottedPage) slotCount() int {
+	return int(binary.LittleEndian.Uint16(sp.payload()))
+}
+
+func (sp *SlottedPage) setSlotCount(n int) {
+	binary.LittleEndian.PutUint16(sp.payload(), uint16(n))
+}
+
+func (sp *SlottedPage) cellStart() int {
+	return int(binary.LittleEndian.Uint16(sp.payload()[2:]))
+}
+
+func (sp *SlottedPage) setCellStart(off uint16) {
+	binary.LittleEndian.PutUint16(sp.payload()[2:], off)
+}
+
+func (sp *SlottedPage) slot(i int) (off, ln int) {
+	base := slotHdrSize + i*slotSize
+	p := sp.payload()
+	return int(binary.LittleEndian.Uint16(p[base:])), int(binary.LittleEndian.Uint16(p[base+2:]))
+}
+
+func (sp *SlottedPage) setSlot(i, off, ln int) {
+	base := slotHdrSize + i*slotSize
+	p := sp.payload()
+	binary.LittleEndian.PutUint16(p[base:], uint16(off))
+	binary.LittleEndian.PutUint16(p[base+2:], uint16(ln))
+}
+
+// NumSlots returns the number of slots (including deleted ones).
+func (sp *SlottedPage) NumSlots() int { return sp.slotCount() }
+
+// NumRecords returns the number of live records.
+func (sp *SlottedPage) NumRecords() int {
+	n := 0
+	for i := 0; i < sp.slotCount(); i++ {
+		if off, _ := sp.slot(i); off != deadSlot {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeSpace returns the bytes available for one new record (accounting
+// for a possible new slot entry).
+func (sp *SlottedPage) FreeSpace() int {
+	free := sp.cellStart() - (slotHdrSize + sp.slotCount()*slotSize)
+	free -= slotSize // reserve room for the next slot entry
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores a record and returns its slot number.
+func (sp *SlottedPage) Insert(rec []byte) (int, error) {
+	if len(rec) > maxRecordLen {
+		return 0, fmt.Errorf("%w: record %d bytes exceeds max %d", ErrPageFull, len(rec), maxRecordLen)
+	}
+	// Reuse a dead slot when possible (slot entry already paid for).
+	slotIdx := -1
+	for i := 0; i < sp.slotCount(); i++ {
+		if off, _ := sp.slot(i); off == deadSlot {
+			slotIdx = i
+			break
+		}
+	}
+	needSlot := 0
+	if slotIdx < 0 {
+		needSlot = slotSize
+	}
+	free := sp.cellStart() - (slotHdrSize + sp.slotCount()*slotSize) - needSlot
+	if free < len(rec) {
+		// Try compaction before giving up: deleted cells leave holes.
+		sp.Compact()
+		free = sp.cellStart() - (slotHdrSize + sp.slotCount()*slotSize) - needSlot
+		if free < len(rec) {
+			return 0, fmt.Errorf("%w: need %d, have %d", ErrPageFull, len(rec), free)
+		}
+	}
+	newStart := sp.cellStart() - len(rec)
+	copy(sp.payload()[newStart:], rec)
+	sp.setCellStart(uint16(newStart))
+	if slotIdx < 0 {
+		slotIdx = sp.slotCount()
+		sp.setSlotCount(slotIdx + 1)
+	}
+	sp.setSlot(slotIdx, newStart, len(rec))
+	return slotIdx, nil
+}
+
+// Get returns the record bytes in slot i (aliasing the page buffer).
+func (sp *SlottedPage) Get(i int) ([]byte, error) {
+	if i < 0 || i >= sp.slotCount() {
+		return nil, fmt.Errorf("%w: slot %d of %d", ErrNoSlot, i, sp.slotCount())
+	}
+	off, ln := sp.slot(i)
+	if off == deadSlot {
+		return nil, fmt.Errorf("%w: slot %d deleted", ErrNoSlot, i)
+	}
+	return sp.payload()[off : off+ln], nil
+}
+
+// Delete removes the record in slot i. The slot is reusable; cell space
+// is reclaimed on the next compaction.
+func (sp *SlottedPage) Delete(i int) error {
+	if i < 0 || i >= sp.slotCount() {
+		return fmt.Errorf("%w: slot %d of %d", ErrNoSlot, i, sp.slotCount())
+	}
+	if off, _ := sp.slot(i); off == deadSlot {
+		return fmt.Errorf("%w: slot %d already deleted", ErrNoSlot, i)
+	}
+	sp.setSlot(i, deadSlot, 0)
+	return nil
+}
+
+// Update replaces the record in slot i, in place when the new record
+// fits the old cell, otherwise via free space. Returns ErrPageFull when
+// the page cannot hold the new record; the caller then relocates it.
+func (sp *SlottedPage) Update(i int, rec []byte) error {
+	if i < 0 || i >= sp.slotCount() {
+		return fmt.Errorf("%w: slot %d of %d", ErrNoSlot, i, sp.slotCount())
+	}
+	off, ln := sp.slot(i)
+	if off == deadSlot {
+		return fmt.Errorf("%w: slot %d deleted", ErrNoSlot, i)
+	}
+	if len(rec) <= ln {
+		copy(sp.payload()[off:], rec)
+		sp.setSlot(i, off, len(rec))
+		return nil
+	}
+	// Relocate within the page.
+	free := sp.cellStart() - (slotHdrSize + sp.slotCount()*slotSize)
+	if free < len(rec) {
+		// Drop the old cell and compact to reclaim every hole. Keep the
+		// old bytes so the record can be restored if it still does not
+		// fit — Update must not be destructive on failure.
+		old := append([]byte(nil), sp.payload()[off:off+ln]...)
+		sp.setSlot(i, deadSlot, 0)
+		sp.Compact()
+		free = sp.cellStart() - (slotHdrSize + sp.slotCount()*slotSize)
+		if free < len(rec) {
+			restoreStart := sp.cellStart() - len(old)
+			copy(sp.payload()[restoreStart:], old)
+			sp.setCellStart(uint16(restoreStart))
+			sp.setSlot(i, restoreStart, len(old))
+			return fmt.Errorf("%w: update needs %d, have %d", ErrPageFull, len(rec), free)
+		}
+	}
+	newStart := sp.cellStart() - len(rec)
+	copy(sp.payload()[newStart:], rec)
+	sp.setCellStart(uint16(newStart))
+	sp.setSlot(i, newStart, len(rec))
+	return nil
+}
+
+// Compact rewrites live cells contiguously at the end of the payload,
+// reclaiming holes left by deletes and updates.
+func (sp *SlottedPage) Compact() {
+	type cell struct{ idx, off, ln int }
+	var cells []cell
+	for i := 0; i < sp.slotCount(); i++ {
+		off, ln := sp.slot(i)
+		if off != deadSlot {
+			cells = append(cells, cell{i, off, ln})
+		}
+	}
+	// Copy cells out, then lay them back from the end.
+	buf := make([]byte, 0, storage.PayloadSize)
+	offsets := make([]int, len(cells))
+	pos := storage.PayloadSize
+	for k := len(cells) - 1; k >= 0; k-- {
+		c := cells[k]
+		pos -= c.ln
+		offsets[k] = pos
+		buf = append(buf, sp.payload()[c.off:c.off+c.ln]...)
+	}
+	// buf holds cells in reverse order; write them back.
+	w := storage.PayloadSize
+	bp := 0
+	for k := len(cells) - 1; k >= 0; k-- {
+		c := cells[k]
+		w -= c.ln
+		copy(sp.payload()[w:], buf[bp:bp+c.ln])
+		bp += c.ln
+		sp.setSlot(c.idx, w, c.ln)
+	}
+	sp.setCellStart(uint16(pos))
+	if len(cells) == 0 {
+		sp.setCellStart(uint16(storage.PayloadSize))
+	}
+}
+
+// Records iterates live records in slot order.
+func (sp *SlottedPage) Records(fn func(slot int, rec []byte) error) error {
+	for i := 0; i < sp.slotCount(); i++ {
+		off, ln := sp.slot(i)
+		if off == deadSlot {
+			continue
+		}
+		if err := fn(i, sp.payload()[off:off+ln]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package access
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func newSlotted() *SlottedPage {
+	return InitSlotted(storage.NewPage(1, storage.PageTypeHeap))
+}
+
+func TestSlottedInsertGet(t *testing.T) {
+	sp := newSlotted()
+	s0, err := sp.Insert([]byte("alpha"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sp.Insert([]byte("beta"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 == s1 {
+		t.Fatal("slots must differ")
+	}
+	got, err := sp.Get(s0)
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	got, _ = sp.Get(s1)
+	if string(got) != "beta" {
+		t.Fatalf("Get = %q", got)
+	}
+	if sp.NumRecords() != 2 || sp.NumSlots() != 2 {
+		t.Fatalf("counts = %d/%d", sp.NumRecords(), sp.NumSlots())
+	}
+	if _, err := sp.Get(99); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := sp.Get(-1); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSlottedDeleteAndSlotReuse(t *testing.T) {
+	sp := newSlotted()
+	s0, _ := sp.Insert([]byte("one"))
+	s1, _ := sp.Insert([]byte("two"))
+	if err := sp.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Get(s0); !errors.Is(err, ErrNoSlot) {
+		t.Fatal("deleted slot must not read")
+	}
+	if err := sp.Delete(s0); !errors.Is(err, ErrNoSlot) {
+		t.Fatal("double delete must fail")
+	}
+	if sp.NumRecords() != 1 {
+		t.Fatalf("records = %d", sp.NumRecords())
+	}
+	// New insert reuses the dead slot.
+	s2, _ := sp.Insert([]byte("three"))
+	if s2 != s0 {
+		t.Fatalf("slot reuse: got %d want %d", s2, s0)
+	}
+	if got, _ := sp.Get(s1); string(got) != "two" {
+		t.Fatal("unrelated record damaged")
+	}
+}
+
+func TestSlottedUpdateInPlaceAndRelocate(t *testing.T) {
+	sp := newSlotted()
+	s, _ := sp.Insert([]byte("abcdef"))
+	// Shrink in place.
+	if err := sp.Update(s, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sp.Get(s); string(got) != "xyz" {
+		t.Fatalf("Get = %q", got)
+	}
+	// Grow within the page.
+	if err := sp.Update(s, bytes.Repeat([]byte("G"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := sp.Get(s)
+	if len(got) != 100 || got[0] != 'G' {
+		t.Fatalf("grown record = %d bytes", len(got))
+	}
+	if err := sp.Update(99, []byte("x")); !errors.Is(err, ErrNoSlot) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSlottedFullPage(t *testing.T) {
+	sp := newSlotted()
+	rec := bytes.Repeat([]byte("R"), 400)
+	n := 0
+	for {
+		if _, err := sp.Insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+		n++
+	}
+	if n < 9 || n > 10 {
+		t.Fatalf("inserted %d 400-byte records into a 4KB page", n)
+	}
+	// Oversized record fails outright.
+	if _, err := sp.Insert(make([]byte, storage.PayloadSize)); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("err = %v", err)
+	}
+	// Deleting one makes room again (compaction reclaims the hole).
+	if err := sp.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Insert(rec); err != nil {
+		t.Fatalf("insert after delete: %v", err)
+	}
+}
+
+func TestSlottedCompactPreservesRecords(t *testing.T) {
+	sp := newSlotted()
+	var slots []int
+	for i := 0; i < 20; i++ {
+		s, err := sp.Insert([]byte(fmt.Sprintf("record-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	// Delete every third record, compact, verify the rest.
+	deleted := map[int]bool{}
+	for i := 0; i < 20; i += 3 {
+		_ = sp.Delete(slots[i])
+		deleted[i] = true
+	}
+	freeBefore := sp.FreeSpace()
+	sp.Compact()
+	if sp.FreeSpace() < freeBefore {
+		t.Fatal("compaction must not lose space")
+	}
+	for i, s := range slots {
+		got, err := sp.Get(s)
+		if deleted[i] {
+			if !errors.Is(err, ErrNoSlot) {
+				t.Fatalf("slot %d should stay deleted", s)
+			}
+			continue
+		}
+		if err != nil || string(got) != fmt.Sprintf("record-%02d", i) {
+			t.Fatalf("slot %d: %q, %v", s, got, err)
+		}
+	}
+}
+
+func TestSlottedRecordsIteration(t *testing.T) {
+	sp := newSlotted()
+	for i := 0; i < 5; i++ {
+		if _, err := sp.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = sp.Delete(2)
+	var seen []int
+	err := sp.Records(func(slot int, rec []byte) error {
+		seen = append(seen, slot)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("seen = %v", seen)
+	}
+	// Early error propagates.
+	wantErr := errors.New("stop")
+	if err := sp.Records(func(int, []byte) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatal("error must propagate")
+	}
+}
+
+// Property: a random interleaving of inserts, deletes and updates keeps
+// every live record intact.
+func TestSlottedFuzzQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		sp := newSlotted()
+		live := map[int][]byte{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // insert
+				rec := bytes.Repeat([]byte{byte(op)}, int(op%64)+1)
+				s, err := sp.Insert(rec)
+				if errors.Is(err, ErrPageFull) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				live[s] = rec
+			case 1: // delete a random live slot
+				for s := range live {
+					if err := sp.Delete(s); err != nil {
+						return false
+					}
+					delete(live, s)
+					break
+				}
+			case 2: // update a random live slot
+				for s := range live {
+					rec := bytes.Repeat([]byte{byte(op >> 8)}, int(op%96)+1)
+					err := sp.Update(s, rec)
+					if errors.Is(err, ErrPageFull) {
+						break
+					}
+					if err != nil {
+						return false
+					}
+					live[s] = rec
+					break
+				}
+			}
+		}
+		if sp.NumRecords() != len(live) {
+			return false
+		}
+		for s, want := range live {
+			got, err := sp.Get(s)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,397 @@
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// Buffer manager errors.
+var (
+	// ErrPoolExhausted is returned when every frame is pinned and a new
+	// page must be brought in.
+	ErrPoolExhausted = errors.New("buffer: all frames pinned")
+	// ErrNotPinned is returned by Unpin on a page that has no pins.
+	ErrNotPinned = errors.New("buffer: page not pinned")
+	// ErrPinned is returned when freeing a page that is still pinned.
+	ErrPinned = errors.New("buffer: page still pinned")
+)
+
+// Frame is a pinned page in the buffer pool. The Data slice aliases the
+// pool frame; it is valid until Unpin. Callers that modify Data must
+// pass dirty=true to Unpin.
+type Frame struct {
+	ID   storage.PageID
+	Data []byte
+}
+
+// Page returns a typed page view over the frame.
+func (f *Frame) Page() *storage.Page { return storage.WrapPage(f.ID, f.Data) }
+
+// Stats are cumulative buffer pool counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// HitRate returns hits / (hits+misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	id    storage.PageID
+	data  []byte
+	pins  int
+	dirty bool
+	valid bool
+}
+
+// Manager is the buffer manager service: a bounded cache of page
+// frames over a storage.PageStore. It itself implements
+// storage.PageStore so that file managers and access methods can be
+// stacked over it transparently (services composed over services).
+type Manager struct {
+	mu     sync.Mutex
+	store  storage.PageStore
+	frames []frame
+	table  map[storage.PageID]int
+	free   []int
+	policy Policy
+	stats  Stats
+
+	// beforeEvict, when set, is called with (pageID, pageLSN) before a
+	// dirty page is written back; the WAL uses it to enforce
+	// write-ahead ordering.
+	beforeEvict func(storage.PageID, uint64) error
+}
+
+// New creates a buffer manager with nframes frames over store.
+func New(store storage.PageStore, nframes int, policy Policy) *Manager {
+	if nframes < 1 {
+		nframes = 1
+	}
+	if policy == nil {
+		policy = NewLRU()
+	}
+	m := &Manager{
+		store:  store,
+		frames: make([]frame, nframes),
+		table:  make(map[storage.PageID]int, nframes),
+		policy: policy,
+	}
+	for i := range m.frames {
+		m.frames[i].data = make([]byte, storage.PageSize)
+		m.free = append(m.free, i)
+	}
+	return m
+}
+
+// SetBeforeEvict installs the write-ahead hook invoked before dirty
+// write-back.
+func (m *Manager) SetBeforeEvict(f func(storage.PageID, uint64) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.beforeEvict = f
+}
+
+// PolicyName reports the active replacement policy.
+func (m *Manager) PolicyName() string { return m.policy.Name() }
+
+// PoolSize returns the number of frames.
+func (m *Manager) PoolSize() int { return len(m.frames) }
+
+// Stats returns a snapshot of the pool counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Pin brings the page into the pool (loading it if absent), increments
+// its pin count and returns a frame handle.
+func (m *Manager) Pin(id storage.PageID) (*Frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fi, ok := m.table[id]; ok {
+		f := &m.frames[fi]
+		f.pins++
+		m.stats.Hits++
+		m.policy.Touched(fi)
+		return &Frame{ID: id, Data: f.data}, nil
+	}
+	m.stats.Misses++
+	fi, err := m.obtainFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &m.frames[fi]
+	if err := m.store.ReadPage(id, f.data); err != nil {
+		m.free = append(m.free, fi)
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.valid = true
+	m.table[id] = fi
+	m.policy.Inserted(fi)
+	return &Frame{ID: id, Data: f.data}, nil
+}
+
+// NewPage allocates a page in the store and returns it pinned, typed t.
+func (m *Manager) NewPage(t storage.PageType) (*Frame, error) {
+	id, err := m.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi, err := m.obtainFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &m.frames[fi]
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	storage.WrapPage(id, f.data).SetType(t)
+	f.id = id
+	f.pins = 1
+	f.dirty = true
+	f.valid = true
+	m.table[id] = fi
+	m.policy.Inserted(fi)
+	return &Frame{ID: id, Data: f.data}, nil
+}
+
+// obtainFrameLocked returns a free frame index, evicting if necessary.
+func (m *Manager) obtainFrameLocked() (int, error) {
+	if n := len(m.free); n > 0 {
+		fi := m.free[n-1]
+		m.free = m.free[:n-1]
+		return fi, nil
+	}
+	fi := m.policy.Victim(func(i int) bool {
+		return m.frames[i].valid && m.frames[i].pins == 0
+	})
+	if fi < 0 {
+		return 0, fmt.Errorf("%w (%d frames)", ErrPoolExhausted, len(m.frames))
+	}
+	f := &m.frames[fi]
+	if f.dirty {
+		if err := m.flushFrameLocked(fi); err != nil {
+			return 0, err
+		}
+	}
+	delete(m.table, f.id)
+	m.policy.Removed(fi)
+	f.valid = false
+	m.stats.Evictions++
+	return fi, nil
+}
+
+func (m *Manager) flushFrameLocked(fi int) error {
+	f := &m.frames[fi]
+	if m.beforeEvict != nil {
+		lsn := storage.WrapPage(f.id, f.data).LSN()
+		if err := m.beforeEvict(f.id, lsn); err != nil {
+			return fmt.Errorf("buffer: write-ahead hook for page %d: %w", f.id, err)
+		}
+	}
+	if err := m.store.WritePage(f.id, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	m.stats.Flushes++
+	return nil
+}
+
+// Unpin decrements the pin count, recording whether the caller dirtied
+// the page.
+func (m *Manager) Unpin(id storage.PageID, dirty bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi, ok := m.table[id]
+	if !ok || m.frames[fi].pins == 0 {
+		return fmt.Errorf("%w: page %d", ErrNotPinned, id)
+	}
+	f := &m.frames[fi]
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	return nil
+}
+
+// FlushPage writes the page back if it is resident and dirty.
+func (m *Manager) FlushPage(id storage.PageID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fi, ok := m.table[id]
+	if !ok {
+		return nil
+	}
+	if m.frames[fi].dirty {
+		return m.flushFrameLocked(fi)
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty resident page and syncs the store.
+func (m *Manager) FlushAll() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for fi := range m.frames {
+		if m.frames[fi].valid && m.frames[fi].dirty {
+			if err := m.flushFrameLocked(fi); err != nil {
+				return err
+			}
+		}
+	}
+	return m.store.Sync()
+}
+
+// Resident reports whether a page currently occupies a frame.
+func (m *Manager) Resident(id storage.PageID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.table[id]
+	return ok
+}
+
+// PinCount returns the pin count of a resident page (0 if absent).
+func (m *Manager) PinCount(id storage.PageID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fi, ok := m.table[id]; ok {
+		return m.frames[fi].pins
+	}
+	return 0
+}
+
+// Resize changes the pool size at runtime. Shrinking flushes and drops
+// unpinned frames; it fails with ErrPinned when more than n frames are
+// pinned. This is how the coordinator honours low-memory alerts
+// (Section 3.7: component properties adjusted "according to the current
+// architecture constraints").
+func (m *Manager) Resize(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n >= len(m.frames) {
+		for i := len(m.frames); i < n; i++ {
+			m.frames = append(m.frames, frame{data: make([]byte, storage.PageSize)})
+			m.free = append(m.free, i)
+		}
+		return nil
+	}
+	pinned := 0
+	for i := range m.frames {
+		if m.frames[i].valid && m.frames[i].pins > 0 {
+			pinned++
+		}
+	}
+	if pinned > n {
+		return fmt.Errorf("%w: %d pinned > %d frames", ErrPinned, pinned, n)
+	}
+	// Evict from the tail down to n frames, compacting pinned/valid
+	// frames to the front.
+	for fi := range m.frames {
+		if m.frames[fi].valid && m.frames[fi].pins == 0 {
+			if m.frames[fi].dirty {
+				if err := m.flushFrameLocked(fi); err != nil {
+					return err
+				}
+			}
+			delete(m.table, m.frames[fi].id)
+			m.policy.Removed(fi)
+			m.frames[fi].valid = false
+			m.stats.Evictions++
+		}
+	}
+	// Rebuild the pool keeping resident (pinned) frames.
+	old := m.frames
+	m.frames = make([]frame, n)
+	m.free = m.free[:0]
+	m.table = make(map[storage.PageID]int, n)
+	next := 0
+	for i := range old {
+		if old[i].valid {
+			m.frames[next] = old[i]
+			m.table[old[i].id] = next
+			next++
+		}
+	}
+	for i := next; i < n; i++ {
+		m.frames[i].data = make([]byte, storage.PageSize)
+		m.free = append(m.free, i)
+	}
+	// Replacement policy state refers to old frame indices; reset it.
+	m.policy = NewPolicy(m.policy.Name())
+	for i := 0; i < next; i++ {
+		m.policy.Inserted(i)
+	}
+	return nil
+}
+
+// --- storage.PageStore implementation over the pool ---
+
+// Allocate implements storage.PageStore.
+func (m *Manager) Allocate() (storage.PageID, error) { return m.store.Allocate() }
+
+// Deallocate implements storage.PageStore: the page is dropped from the
+// pool (it must be unpinned) and freed in the store.
+func (m *Manager) Deallocate(id storage.PageID) error {
+	m.mu.Lock()
+	if fi, ok := m.table[id]; ok {
+		if m.frames[fi].pins > 0 {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: page %d", ErrPinned, id)
+		}
+		delete(m.table, id)
+		m.policy.Removed(fi)
+		m.frames[fi].valid = false
+		m.frames[fi].dirty = false
+		m.free = append(m.free, fi)
+	}
+	m.mu.Unlock()
+	return m.store.Deallocate(id)
+}
+
+// ReadPage implements storage.PageStore via the pool.
+func (m *Manager) ReadPage(id storage.PageID, buf []byte) error {
+	f, err := m.Pin(id)
+	if err != nil {
+		return err
+	}
+	copy(buf, f.Data)
+	return m.Unpin(id, false)
+}
+
+// WritePage implements storage.PageStore via the pool (write-back, not
+// write-through; call FlushAll for durability).
+func (m *Manager) WritePage(id storage.PageID, data []byte) error {
+	f, err := m.Pin(id)
+	if err != nil {
+		return err
+	}
+	copy(f.Data, data)
+	return m.Unpin(id, true)
+}
+
+// NumPages implements storage.PageStore.
+func (m *Manager) NumPages() uint64 { return m.store.NumPages() }
+
+// Sync implements storage.PageStore by flushing all dirty frames.
+func (m *Manager) Sync() error { return m.FlushAll() }

@@ -1,0 +1,356 @@
+// Package catalog implements the Data Services metadata of SBDMS:
+// persistent table, column, index and view definitions, stored in a
+// dedicated heap file so the catalog survives restarts through the same
+// storage services as user data ("Data Services present the data in
+// logical structures like tables or views", Section 3.1).
+package catalog
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// Catalog errors.
+var (
+	// ErrTableExists is returned when creating an existing table.
+	ErrTableExists = errors.New("catalog: table exists")
+	// ErrNoTable is returned for unknown tables.
+	ErrNoTable = errors.New("catalog: no such table")
+	// ErrNoColumn is returned for unknown columns.
+	ErrNoColumn = errors.New("catalog: no such column")
+	// ErrViewExists is returned when creating an existing view.
+	ErrViewExists = errors.New("catalog: view exists")
+	// ErrNoView is returned for unknown views.
+	ErrNoView = errors.New("catalog: no such view")
+	// ErrIndexExists is returned when creating an existing index.
+	ErrIndexExists = errors.New("catalog: index exists")
+	// ErrNoIndex is returned for unknown indexes.
+	ErrNoIndex = errors.New("catalog: no such index")
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string      `json:"name"`
+	Type    access.Type `json:"type"`
+	NotNull bool        `json:"notNull,omitempty"`
+}
+
+// IndexDef describes a secondary (or primary) index on one column.
+type IndexDef struct {
+	Name     string         `json:"name"`
+	Column   string         `json:"column"`
+	MetaPage storage.PageID `json:"metaPage"`
+	Unique   bool           `json:"unique,omitempty"`
+}
+
+// Table is a table definition.
+type Table struct {
+	Name     string     `json:"name"`
+	Columns  []Column   `json:"columns"`
+	HeapFile string     `json:"heapFile"`
+	Indexes  []IndexDef `json:"indexes,omitempty"`
+}
+
+// ColumnIndex returns the ordinal of a column.
+func (t *Table) ColumnIndex(name string) (int, error) {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("%w: %s.%s", ErrNoColumn, t.Name, name)
+}
+
+// Index returns the index definition on the given column, if any.
+func (t *Table) Index(column string) (IndexDef, bool) {
+	for _, ix := range t.Indexes {
+		if strings.EqualFold(ix.Column, column) {
+			return ix, true
+		}
+	}
+	return IndexDef{}, false
+}
+
+// View is a named stored query.
+type View struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+// CatalogFile is the reserved heap file name holding catalog rows.
+const CatalogFile = "__catalog__"
+
+type entryKind string
+
+const (
+	kindTable entryKind = "table"
+	kindView  entryKind = "view"
+)
+
+// Catalog stores and serves schema metadata. All mutations are
+// persisted immediately to the catalog heap file and flushed, so DDL
+// survives crashes without WAL involvement.
+type Catalog struct {
+	mu     sync.RWMutex
+	pool   *buffer.Manager
+	heap   *access.HeapFile
+	tables map[string]*Table
+	views  map[string]*View
+	rids   map[string]access.RID // "kind/name" -> row
+}
+
+// Open loads (or initialises) the catalog from its heap file.
+func Open(fm *storage.FileManager, pool *buffer.Manager) (*Catalog, error) {
+	heap, err := access.OpenHeap(CatalogFile, fm, pool)
+	if err != nil {
+		return nil, err
+	}
+	c := &Catalog{
+		pool:   pool,
+		heap:   heap,
+		tables: make(map[string]*Table),
+		views:  make(map[string]*View),
+		rids:   make(map[string]access.RID),
+	}
+	err = heap.Scan(func(rid access.RID, rec []byte) error {
+		row, err := access.DecodeRow(rec)
+		if err != nil {
+			return err
+		}
+		if len(row) != 3 {
+			return fmt.Errorf("catalog: malformed entry at %v", rid)
+		}
+		kind, name, blob := entryKind(row[0].Str), row[1].Str, row[2].Bytes
+		switch kind {
+		case kindTable:
+			var t Table
+			if err := json.Unmarshal(blob, &t); err != nil {
+				return fmt.Errorf("catalog: decoding table %s: %w", name, err)
+			}
+			c.tables[strings.ToLower(name)] = &t
+		case kindView:
+			var v View
+			if err := json.Unmarshal(blob, &v); err != nil {
+				return fmt.Errorf("catalog: decoding view %s: %w", name, err)
+			}
+			c.views[strings.ToLower(name)] = &v
+		default:
+			return fmt.Errorf("catalog: unknown entry kind %q", kind)
+		}
+		c.rids[string(kind)+"/"+strings.ToLower(name)] = rid
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Catalog) persistLocked(kind entryKind, name string, def any) error {
+	blob, err := json.Marshal(def)
+	if err != nil {
+		return err
+	}
+	row := access.Row{
+		access.NewString(string(kind)),
+		access.NewString(name),
+		access.NewBytes(blob),
+	}
+	key := string(kind) + "/" + strings.ToLower(name)
+	rec := access.EncodeRow(row)
+	if rid, ok := c.rids[key]; ok {
+		nrid, err := c.heap.Update(nil, rid, rec)
+		if err != nil {
+			return err
+		}
+		c.rids[key] = nrid
+	} else {
+		rid, err := c.heap.Insert(nil, rec)
+		if err != nil {
+			return err
+		}
+		c.rids[key] = rid
+	}
+	return c.pool.FlushAll()
+}
+
+func (c *Catalog) removeLocked(kind entryKind, name string) error {
+	key := string(kind) + "/" + strings.ToLower(name)
+	rid, ok := c.rids[key]
+	if !ok {
+		return nil
+	}
+	if err := c.heap.Delete(nil, rid); err != nil {
+		return err
+	}
+	delete(c.rids, key)
+	return c.pool.FlushAll()
+}
+
+// CreateTable registers a new table definition.
+func (c *Catalog) CreateTable(t *Table) error {
+	if t.Name == "" || len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table needs a name and columns")
+	}
+	seen := map[string]bool{}
+	for _, col := range t.Columns {
+		lc := strings.ToLower(col.Name)
+		if seen[lc] {
+			return fmt.Errorf("catalog: duplicate column %s", col.Name)
+		}
+		seen[lc] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lname := strings.ToLower(t.Name)
+	if _, ok := c.tables[lname]; ok {
+		return fmt.Errorf("%w: %s", ErrTableExists, t.Name)
+	}
+	if t.HeapFile == "" {
+		t.HeapFile = "tbl_" + lname
+	}
+	c.tables[lname] = t
+	if err := c.persistLocked(kindTable, t.Name, t); err != nil {
+		delete(c.tables, lname)
+		return err
+	}
+	return nil
+}
+
+// DropTable removes a table definition, returning it so the engine can
+// drop the underlying heap and indexes.
+func (c *Catalog) DropTable(name string) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lname := strings.ToLower(name)
+	t, ok := c.tables[lname]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	delete(c.tables, lname)
+	if err := c.removeLocked(kindTable, name); err != nil {
+		c.tables[lname] = t
+		return nil, err
+	}
+	return t, nil
+}
+
+// GetTable looks up a table definition.
+func (c *Catalog) GetTable(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns the sorted table names.
+func (c *Catalog) Tables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddIndex attaches an index definition to a table.
+func (c *Catalog) AddIndex(table string, def IndexDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[strings.ToLower(table)]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoTable, table)
+	}
+	for _, ix := range t.Indexes {
+		if strings.EqualFold(ix.Name, def.Name) {
+			return fmt.Errorf("%w: %s", ErrIndexExists, def.Name)
+		}
+	}
+	if _, err := t.ColumnIndex(def.Column); err != nil {
+		return err
+	}
+	t.Indexes = append(t.Indexes, def)
+	return c.persistLocked(kindTable, t.Name, t)
+}
+
+// DropIndex removes an index definition by name, returning it.
+func (c *Catalog) DropIndex(name string) (IndexDef, string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range c.tables {
+		for i, ix := range t.Indexes {
+			if strings.EqualFold(ix.Name, name) {
+				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				if err := c.persistLocked(kindTable, t.Name, t); err != nil {
+					return IndexDef{}, "", err
+				}
+				return ix, t.Name, nil
+			}
+		}
+	}
+	return IndexDef{}, "", fmt.Errorf("%w: %s", ErrNoIndex, name)
+}
+
+// CreateView registers a named query.
+func (c *Catalog) CreateView(v *View) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lname := strings.ToLower(v.Name)
+	if _, ok := c.views[lname]; ok {
+		return fmt.Errorf("%w: %s", ErrViewExists, v.Name)
+	}
+	c.views[lname] = v
+	if err := c.persistLocked(kindView, v.Name, v); err != nil {
+		delete(c.views, lname)
+		return err
+	}
+	return nil
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lname := strings.ToLower(name)
+	if _, ok := c.views[lname]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoView, name)
+	}
+	delete(c.views, lname)
+	return c.removeLocked(kindView, name)
+}
+
+// GetView looks up a view.
+func (c *Catalog) GetView(name string) (*View, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoView, name)
+	}
+	return v, nil
+}
+
+// Views returns the sorted view names.
+func (c *Catalog) Views() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.views))
+	for _, v := range c.views {
+		out = append(out, v.Name)
+	}
+	sort.Strings(out)
+	return out
+}

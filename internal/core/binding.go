@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// Binding separates how a service is reached from what it does
+// (Section 3.6: "a binding separates the communication from the
+// functionality"). A binding wraps an Invoker with a communication
+// mechanism; LocalBinding is the in-process mechanism, and
+// internal/netbind provides a TCP/gob mechanism. Custom protocols plug
+// in by implementing this interface.
+type Binding interface {
+	// Bind wraps target with the binding's communication mechanism.
+	Bind(target Invoker) Invoker
+	// Protocol names the communication protocol, e.g. "local", "tcp+gob".
+	Protocol() string
+}
+
+// LocalBinding is the zero-overhead in-process binding.
+type LocalBinding struct{}
+
+// Bind implements Binding: local bindings are pass-through.
+func (LocalBinding) Bind(target Invoker) Invoker { return target }
+
+// Protocol implements Binding.
+func (LocalBinding) Protocol() string { return "local" }
+
+// DelayBinding injects a fixed per-call latency; the experiment harness
+// uses it to simulate network round-trips deterministically (e.g. the
+// client-proximity study G3) without real sockets.
+type DelayBinding struct {
+	// Delay is added to every invocation.
+	Delay time.Duration
+}
+
+// Bind implements Binding.
+func (b DelayBinding) Bind(target Invoker) Invoker {
+	return InvokerFunc(func(ctx context.Context, op string, req any) (any, error) {
+		if b.Delay > 0 {
+			t := time.NewTimer(b.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			}
+		}
+		return target.Invoke(ctx, op, req)
+	})
+}
+
+// Protocol implements Binding.
+func (b DelayBinding) Protocol() string { return "delay" }
+
+// BoundService wraps a service so that its Invoke path goes through a
+// binding while lifecycle methods pass through. Registering a bound
+// service makes every caller pay the binding's communication cost —
+// how the granularity benchmarks model remote service deployment.
+type BoundService struct {
+	Service
+	invoker Invoker
+}
+
+// BindService applies a binding to a service.
+func BindService(s Service, b Binding) *BoundService {
+	return &BoundService{Service: s, invoker: b.Bind(s)}
+}
+
+// Invoke implements Invoker through the binding.
+func (bs *BoundService) Invoke(ctx context.Context, op string, req any) (any, error) {
+	return bs.invoker.Invoke(ctx, op, req)
+}

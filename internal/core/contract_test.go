@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContractOpLookup(t *testing.T) {
+	c := echoContract("test.Echo")
+	if op, ok := c.Op("echo"); !ok || op.In != "string" {
+		t.Fatalf("Op(echo) = %+v, %v", op, ok)
+	}
+	if _, ok := c.Op("nosuch"); ok {
+		t.Fatal("Op(nosuch) should be absent")
+	}
+	if op, ok := c.OpBySemantic("test.fail"); !ok || op.Name != "fail" {
+		t.Fatalf("OpBySemantic = %+v, %v", op, ok)
+	}
+	if _, ok := c.OpBySemantic(""); ok {
+		t.Fatal("empty semantic tag must not match")
+	}
+}
+
+func TestContractSatisfies(t *testing.T) {
+	provider := echoContract("test.Echo")
+	required := &Contract{
+		Interface:  "test.Echo",
+		Operations: []OpSpec{{Name: "echo", In: "string", Out: "string"}},
+	}
+	if !provider.Satisfies(required) {
+		t.Fatal("provider should satisfy subset contract")
+	}
+	required.Operations[0].In = "int"
+	if provider.Satisfies(required) {
+		t.Fatal("mismatched payload type must not satisfy")
+	}
+	required.Operations[0] = OpSpec{Name: "other", In: "string", Out: "string"}
+	if provider.Satisfies(required) {
+		t.Fatal("missing operation must not satisfy")
+	}
+	if provider.Satisfies(nil) || (*Contract)(nil).Satisfies(required) {
+		t.Fatal("nil contracts never satisfy")
+	}
+}
+
+func TestContractDocumentRoundTrip(t *testing.T) {
+	c := echoContract("test.Echo")
+	c.Version = "1.2"
+	c.Quality = Quality{LatencyClass: "disk", Availability: 0.99, CostFactor: 2}
+	c.Policy = Policy{
+		Dependencies:  []string{"test.Dep"},
+		Preconditions: []Assertion{{Property: "x", Op: ">=", Value: "1"}},
+		MaxConcurrent: 4,
+		Disableable:   true,
+	}
+	c.Description = Description{Summary: "echoes", DataTypes: map[string]string{"string": "utf-8 text"}}
+	doc, err := c.Document()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseContract(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Interface != c.Interface || back.Version != c.Version {
+		t.Fatalf("round trip lost identity: %+v", back)
+	}
+	if len(back.Operations) != len(c.Operations) {
+		t.Fatalf("operations lost: %d != %d", len(back.Operations), len(c.Operations))
+	}
+	if back.Policy.MaxConcurrent != 4 || !back.Policy.Disableable {
+		t.Fatalf("policy lost: %+v", back.Policy)
+	}
+	if back.Quality.CostFactor != 2 {
+		t.Fatalf("quality lost: %+v", back.Quality)
+	}
+}
+
+func TestParseContractErrors(t *testing.T) {
+	if _, err := ParseContract([]byte("not json")); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := ParseContract([]byte(`{"operations":[]}`)); err == nil {
+		t.Fatal("want missing-interface error")
+	}
+}
+
+func TestContractValidate(t *testing.T) {
+	good := echoContract("test.Echo")
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Contract{Interface: ""}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty interface must fail")
+	}
+	dup := &Contract{Interface: "i", Operations: []OpSpec{{Name: "a"}, {Name: "a"}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate op must fail")
+	}
+	unnamed := &Contract{Interface: "i", Operations: []OpSpec{{Name: ""}}}
+	if err := unnamed.Validate(); err == nil {
+		t.Fatal("unnamed op must fail")
+	}
+	badAssert := &Contract{Interface: "i", Policy: Policy{Preconditions: []Assertion{{Property: "p", Op: "~", Value: "1"}}}}
+	if err := badAssert.Validate(); err == nil {
+		t.Fatal("bad comparator must fail")
+	}
+}
+
+func TestContractClone(t *testing.T) {
+	c := echoContract("test.Echo")
+	c.Description.DataTypes = map[string]string{"k": "v"}
+	cp := c.Clone()
+	cp.Operations[0].Name = "mutated"
+	cp.Description.DataTypes["k"] = "changed"
+	if c.Operations[0].Name == "mutated" || c.Description.DataTypes["k"] == "changed" {
+		t.Fatal("clone must be deep")
+	}
+	if (*Contract)(nil).Clone() != nil {
+		t.Fatal("nil clone must be nil")
+	}
+}
+
+func TestLatencyClassRank(t *testing.T) {
+	if !(LatencyClassRank("memory") < LatencyClassRank("disk") &&
+		LatencyClassRank("disk") < LatencyClassRank("network") &&
+		LatencyClassRank("network") < LatencyClassRank("weird")) {
+		t.Fatal("latency class ordering broken")
+	}
+}
+
+// Property: Document/ParseContract round-trips arbitrary well-formed
+// contracts.
+func TestContractDocumentRoundTripQuick(t *testing.T) {
+	f := func(iface, opName, in, out string, maxc uint8) bool {
+		if iface == "" || opName == "" {
+			return true // skip invalid
+		}
+		c := &Contract{
+			Interface:  iface,
+			Operations: []OpSpec{{Name: opName, In: in, Out: out}},
+			Policy:     Policy{MaxConcurrent: int(maxc)},
+		}
+		doc, err := c.Document()
+		if err != nil {
+			return false
+		}
+		back, err := ParseContract(doc)
+		if err != nil {
+			return false
+		}
+		op, ok := back.Op(opName)
+		return back.Interface == iface && ok && op.In == in && op.Out == out &&
+			back.Policy.MaxConcurrent == int(maxc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	if got := TypeName(nil); got != "nil" {
+		t.Fatalf("TypeName(nil) = %q", got)
+	}
+	if got := TypeName("x"); got != "string" {
+		t.Fatalf("TypeName(string) = %q", got)
+	}
+	type local struct{}
+	if got := TypeName(local{}); got != "repro/internal/core.local" {
+		t.Fatalf("TypeName(local) = %q", got)
+	}
+	if got := TypeName(&local{}); got != "repro/internal/core.local" {
+		t.Fatalf("TypeName(*local) = %q (pointers unwrap)", got)
+	}
+}

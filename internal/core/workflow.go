@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Workflow errors.
+var (
+	// ErrNoWorkflow is returned when no runnable workflow exists for a
+	// task.
+	ErrNoWorkflow = errors.New("core: no runnable workflow")
+)
+
+// Step is one service invocation within a workflow: call Op on any
+// provider of Interface, feeding it the previous step's output (or the
+// workflow input for the first step). Transform, when set, reshapes the
+// value before invocation.
+type Step struct {
+	Interface string
+	Op        string
+	Transform TransformFunc
+}
+
+// Workflow is an ordered service composition accomplishing a task
+// (Section 3.3: "services are composed dynamically at run time").
+// Workflows are data, not code: coordinators store alternates and
+// switch between them when the architecture changes.
+type Workflow struct {
+	// Name identifies the workflow variant.
+	Name string
+	// Task is the logical task this workflow accomplishes; several
+	// workflows may share a task (flexibility by selection).
+	Task string
+	// Priority orders alternates; lower runs first when runnable.
+	Priority int
+	Steps    []Step
+}
+
+// Runnable reports whether every step has at least one live provider in
+// the registry.
+func (w *Workflow) Runnable(reg *Registry) bool {
+	for _, s := range w.Steps {
+		if len(reg.Discover(s.Interface)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the workflow against the registry, threading the value
+// through the steps with late-bound per-step resolution.
+func (w *Workflow) Run(ctx context.Context, reg *Registry, sel Selector, input any) (any, error) {
+	if sel == nil {
+		sel = SelectFirst
+	}
+	v := input
+	for i, s := range w.Steps {
+		if s.Transform != nil {
+			var err error
+			v, err = s.Transform(v)
+			if err != nil {
+				return nil, fmt.Errorf("workflow %s step %d: transform: %w", w.Name, i, err)
+			}
+		}
+		cands := reg.Discover(s.Interface)
+		prov := sel(cands)
+		if prov == nil {
+			return nil, fmt.Errorf("workflow %s step %d: %w: interface %s", w.Name, i, ErrNotFound, s.Interface)
+		}
+		out, err := prov.Invoker.Invoke(ctx, s.Op, v)
+		if err != nil {
+			return nil, fmt.Errorf("workflow %s step %d (%s.%s on %s): %w",
+				w.Name, i, s.Interface, s.Op, prov.Name, err)
+		}
+		v = out
+	}
+	return v, nil
+}
+
+// WorkflowSet stores alternate workflows per task and picks the best
+// runnable one. Coordinator services consult it when the architecture
+// changes ("resource management services find alternate workflows to
+// manage the new situation", Section 3.3).
+type WorkflowSet struct {
+	mu    sync.RWMutex
+	byTsk map[string][]*Workflow
+}
+
+// NewWorkflowSet creates an empty workflow set.
+func NewWorkflowSet() *WorkflowSet {
+	return &WorkflowSet{byTsk: make(map[string][]*Workflow)}
+}
+
+// Add registers a workflow under its task, keeping alternates ordered
+// by priority then name.
+func (ws *WorkflowSet) Add(w *Workflow) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	list := append(ws.byTsk[w.Task], w)
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Priority != list[j].Priority {
+			return list[i].Priority < list[j].Priority
+		}
+		return list[i].Name < list[j].Name
+	})
+	ws.byTsk[w.Task] = list
+}
+
+// Alternates returns all workflows registered for a task, in priority
+// order.
+func (ws *WorkflowSet) Alternates(task string) []*Workflow {
+	ws.mu.RLock()
+	defer ws.mu.RUnlock()
+	return append([]*Workflow(nil), ws.byTsk[task]...)
+}
+
+// Pick returns the highest-priority runnable workflow for the task.
+func (ws *WorkflowSet) Pick(task string, reg *Registry) (*Workflow, error) {
+	for _, w := range ws.Alternates(task) {
+		if w.Runnable(reg) {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: task %s", ErrNoWorkflow, task)
+}
+
+// Run picks and executes the best runnable workflow for the task.
+func (ws *WorkflowSet) Run(ctx context.Context, task string, reg *Registry, sel Selector, input any) (any, error) {
+	w, err := ws.Pick(task, reg)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(ctx, reg, sel, input)
+}
+
+// Tasks returns the sorted list of known tasks.
+func (ws *WorkflowSet) Tasks() []string {
+	ws.mu.RLock()
+	defer ws.mu.RUnlock()
+	out := make([]string, 0, len(ws.byTsk))
+	for t := range ws.byTsk {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWorkflowRun(t *testing.T) {
+	ctx := context.Background()
+	r, _ := registryWith(t, map[string]string{
+		"s1": "test.Stage1",
+		"s2": "test.Stage2",
+	})
+	w := &Workflow{
+		Name: "pipe", Task: "echo-twice",
+		Steps: []Step{
+			{Interface: "test.Stage1", Op: "echo"},
+			{Interface: "test.Stage2", Op: "echo"},
+		},
+	}
+	if !w.Runnable(r) {
+		t.Fatal("workflow should be runnable")
+	}
+	out, err := w.Run(ctx, r, nil, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "s2:s1:x" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestWorkflowTransform(t *testing.T) {
+	ctx := context.Background()
+	r, _ := registryWith(t, map[string]string{"s1": "test.Stage1"})
+	w := &Workflow{
+		Name: "up", Task: "upper",
+		Steps: []Step{{
+			Interface: "test.Stage1", Op: "echo",
+			Transform: func(v any) (any, error) { return strings.ToUpper(v.(string)), nil },
+		}},
+	}
+	out, err := w.Run(ctx, r, nil, "x")
+	if err != nil || out != "s1:X" {
+		t.Fatalf("out = %v, %v", out, err)
+	}
+	// Transform errors surface with step context.
+	w.Steps[0].Transform = func(v any) (any, error) { return nil, errors.New("bad input") }
+	if _, err := w.Run(ctx, r, nil, "x"); err == nil || !strings.Contains(err.Error(), "step 0") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkflowMissingProvider(t *testing.T) {
+	ctx := context.Background()
+	r, _ := registryWith(t, map[string]string{"s1": "test.Stage1"})
+	w := &Workflow{
+		Name: "broken", Task: "t",
+		Steps: []Step{
+			{Interface: "test.Stage1", Op: "echo"},
+			{Interface: "test.Gone", Op: "echo"},
+		},
+	}
+	if w.Runnable(r) {
+		t.Fatal("workflow with missing provider must not be runnable")
+	}
+	if _, err := w.Run(ctx, r, nil, "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWorkflowSetPickPriorityAndFallback(t *testing.T) {
+	ctx := context.Background()
+	r, _ := registryWith(t, map[string]string{"s1": "test.Stage1", "alt": "test.Alt"})
+	ws := NewWorkflowSet()
+	ws.Add(&Workflow{
+		Name: "preferred", Task: "t", Priority: 0,
+		Steps: []Step{{Interface: "test.Gone", Op: "echo"}},
+	})
+	ws.Add(&Workflow{
+		Name: "fallback", Task: "t", Priority: 1,
+		Steps: []Step{{Interface: "test.Alt", Op: "echo"}},
+	})
+	w, err := ws.Pick("t", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "fallback" {
+		t.Fatalf("picked %s; preferred is not runnable", w.Name)
+	}
+	out, err := ws.Run(ctx, "t", r, nil, "x")
+	if err != nil || out != "alt:x" {
+		t.Fatalf("Run = %v, %v", out, err)
+	}
+	// Once the preferred interface appears, it wins by priority.
+	gone := newEchoService(t, "gone", "test.Gone")
+	if err := r.RegisterService(gone, nil); err != nil {
+		t.Fatal(err)
+	}
+	w, _ = ws.Pick("t", r)
+	if w.Name != "preferred" {
+		t.Fatalf("picked %s, want preferred", w.Name)
+	}
+	if _, err := ws.Pick("nosuch", r); !errors.Is(err, ErrNoWorkflow) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ws.Tasks(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("Tasks = %v", got)
+	}
+	if got := len(ws.Alternates("t")); got != 2 {
+		t.Fatalf("Alternates = %d", got)
+	}
+}
+
+func TestEventBusPubSub(t *testing.T) {
+	bus := NewEventBus(8)
+	ch, cancel := bus.SubscribeTypes(4, EventReconfigured)
+	defer cancel()
+	bus.Publish(Event{Type: EventServiceFailed, Subject: "ignored"})
+	bus.Publish(Event{Type: EventReconfigured, Subject: "arch"})
+	ev := <-ch
+	if ev.Type != EventReconfigured || ev.Subject != "arch" {
+		t.Fatalf("ev = %+v", ev)
+	}
+	if ev.Time.IsZero() {
+		t.Fatal("publish must stamp time")
+	}
+	hist := bus.History()
+	if len(hist) != 2 {
+		t.Fatalf("history = %d", len(hist))
+	}
+}
+
+func TestEventBusSlowSubscriberDoesNotBlock(t *testing.T) {
+	bus := NewEventBus(0)
+	ch, cancel := bus.Subscribe(2, nil)
+	defer cancel()
+	// Publish more than the buffer; publisher must not block and the
+	// newest events win.
+	for i := 0; i < 10; i++ {
+		bus.Publish(Event{Type: EventReconfigured, Detail: string(rune('0' + i))})
+	}
+	drained := 0
+	for {
+		select {
+		case <-ch:
+			drained++
+			continue
+		default:
+		}
+		break
+	}
+	if drained == 0 || drained > 2 {
+		t.Fatalf("drained = %d, want 1..2", drained)
+	}
+}
+
+func TestEventBusHistoryBound(t *testing.T) {
+	bus := NewEventBus(4)
+	for i := 0; i < 20; i++ {
+		bus.Publish(Event{Type: EventReconfigured})
+	}
+	if got := len(bus.History()); got != 4 {
+		t.Fatalf("history = %d, want 4", got)
+	}
+}
+
+func TestEventBusCancelIdempotent(t *testing.T) {
+	bus := NewEventBus(0)
+	_, cancel := bus.Subscribe(1, nil)
+	cancel()
+	cancel() // must not panic
+}
+
+func TestPropertiesTypedAccess(t *testing.T) {
+	p := NewProperties()
+	p.SetInt("i", 42)
+	p.SetFloat("f", 2.5)
+	p.SetBool("b", true)
+	p.Set("s", "str")
+	if p.Int("i", 0) != 42 || p.Float("f", 0) != 2.5 || !p.Bool("b", false) || p.String("s", "") != "str" {
+		t.Fatal("typed getters broken")
+	}
+	if p.Int("missing", 7) != 7 || p.Float("missing", 1.5) != 1.5 || p.Bool("missing", true) != true {
+		t.Fatal("defaults broken")
+	}
+	p.Set("i", "not-a-number")
+	if p.Int("i", 9) != 9 {
+		t.Fatal("malformed value must fall back to default")
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	p.Delete("s")
+	if _, ok := p.Get("s"); ok {
+		t.Fatal("delete failed")
+	}
+	keys := p.Keys()
+	if len(keys) != 3 || keys[0] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+}
+
+func TestPropertiesSubscribe(t *testing.T) {
+	p := NewProperties()
+	var events []string
+	p.Subscribe(func(k, v string) { events = append(events, k+"="+v) })
+	p.Set("a", "1")
+	p.Delete("a")
+	if len(events) != 2 || events[0] != "a=1" || events[1] != "a=" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestPropertiesAssertions(t *testing.T) {
+	p := PropertiesFrom(map[string]string{"mem": "128", "mode": "embedded"})
+	cases := []struct {
+		a    Assertion
+		want bool
+	}{
+		{Assertion{"mem", ">=", "64"}, true},
+		{Assertion{"mem", "<", "64"}, false},
+		{Assertion{"mem", "==", "128"}, true},
+		{Assertion{"mode", "==", "embedded"}, true},
+		{Assertion{"mode", "!=", "full"}, true},
+		{Assertion{"missing", "==", "1"}, false},
+	}
+	for _, c := range cases {
+		got, err := p.EvalAssertion(c.a)
+		if err != nil {
+			t.Fatalf("%+v: %v", c.a, err)
+		}
+		if got != c.want {
+			t.Errorf("%+v = %v, want %v", c.a, got, c.want)
+		}
+	}
+	if _, err := p.EvalAssertion(Assertion{"mem", "~", "1"}); err == nil {
+		t.Fatal("unknown comparator must error")
+	}
+	if a, ok := p.CheckPreconditions(Policy{Preconditions: []Assertion{
+		{Property: "mem", Op: ">=", Value: "64"},
+		{Property: "mem", Op: ">=", Value: "256"},
+	}}); ok || a.Value != "256" {
+		t.Fatalf("CheckPreconditions = %+v, %v", a, ok)
+	}
+}
+
+func TestPropertiesCloneAndMerge(t *testing.T) {
+	p := PropertiesFrom(map[string]string{"a": "1"})
+	cp := p.Clone()
+	cp.Set("a", "2")
+	if p.String("a", "") != "1" {
+		t.Fatal("clone must be independent")
+	}
+	q := PropertiesFrom(map[string]string{"b": "3"})
+	p.Merge(q)
+	if p.String("b", "") != "3" {
+		t.Fatal("merge failed")
+	}
+	p.Merge(nil) // must not panic
+	var nilP *Properties
+	if nilP.Clone().Len() != 0 {
+		t.Fatal("nil clone must be empty")
+	}
+}
+
+func TestBindings(t *testing.T) {
+	ctx := context.Background()
+	s := newEchoService(t, "svc", "test.Echo")
+	local := BindService(s, LocalBinding{})
+	out, err := local.Invoke(ctx, "echo", "x")
+	if err != nil || out != "svc:x" {
+		t.Fatalf("local binding: %v, %v", out, err)
+	}
+	if (LocalBinding{}).Protocol() != "local" {
+		t.Fatal("protocol name")
+	}
+	delayed := BindService(s, DelayBinding{Delay: 5 * 1e6}) // 5ms
+	start := nowNS()
+	if _, err := delayed.Invoke(ctx, "echo", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if nowNS()-start < 5*1e6 {
+		t.Fatal("delay binding must add latency")
+	}
+	// Context cancellation interrupts the delay.
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := delayed.Invoke(cctx, "echo", "x"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func nowNS() int64 { return time.Now().UnixNano() }

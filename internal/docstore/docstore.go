@@ -1,0 +1,324 @@
+// Package docstore implements the XML Extension Service of Figure 2: a
+// hierarchical document store that parses XML (stdlib encoding/xml),
+// persists documents in a heap file, and answers path queries of the
+// form /a/b[@attr='v']/c over the stored trees.
+package docstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// Docstore errors.
+var (
+	// ErrNoDoc is returned for unknown document names.
+	ErrNoDoc = errors.New("docstore: no such document")
+	// ErrBadPath is returned for malformed path queries.
+	ErrBadPath = errors.New("docstore: malformed path")
+)
+
+// Node is one element of a document tree.
+type Node struct {
+	Name     string            `json:"name"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Text     string            `json:"text,omitempty"`
+	Children []*Node           `json:"children,omitempty"`
+}
+
+// ParseXML builds a Node tree from XML input.
+func ParseXML(r io.Reader) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("docstore: parsing XML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := &Node{Name: t.Name.Local}
+			if len(t.Attr) > 0 {
+				n.Attrs = make(map[string]string, len(t.Attr))
+				for _, a := range t.Attr {
+					n.Attrs[a.Name.Local] = a.Value
+				}
+			}
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1]
+				parent.Children = append(parent.Children, n)
+			} else if root == nil {
+				root = n
+			} else {
+				return nil, fmt.Errorf("docstore: multiple roots")
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("docstore: unbalanced end tag %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				text := strings.TrimSpace(string(t))
+				if text != "" {
+					stack[len(stack)-1].Text += text
+				}
+			}
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("docstore: empty document")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("docstore: unclosed element %s", stack[len(stack)-1].Name)
+	}
+	return root, nil
+}
+
+// XML renders the node tree back to XML.
+func (n *Node) XML() string {
+	var b bytes.Buffer
+	n.writeXML(&b)
+	return b.String()
+}
+
+func (n *Node) writeXML(b *bytes.Buffer) {
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%q", k, n.Attrs[k])
+	}
+	if n.Text == "" && len(n.Children) == 0 {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	if n.Text != "" {
+		_ = xml.EscapeText(b, []byte(n.Text))
+	}
+	for _, c := range n.Children {
+		c.writeXML(b)
+	}
+	fmt.Fprintf(b, "</%s>", n.Name)
+}
+
+// pathStep is one segment of a path query: element name plus optional
+// attribute predicate.
+type pathStep struct {
+	name      string
+	attrKey   string
+	attrValue string
+}
+
+// parsePath parses /a/b[@x='1']/c.
+func parsePath(path string) ([]pathStep, error) {
+	if !strings.HasPrefix(path, "/") {
+		return nil, fmt.Errorf("%w: %q must start with /", ErrBadPath, path)
+	}
+	parts := strings.Split(strings.TrimPrefix(path, "/"), "/")
+	steps := make([]pathStep, 0, len(parts))
+	for _, part := range parts {
+		if part == "" {
+			return nil, fmt.Errorf("%w: empty segment in %q", ErrBadPath, path)
+		}
+		step := pathStep{name: part}
+		if i := strings.IndexByte(part, '['); i >= 0 {
+			if !strings.HasSuffix(part, "]") {
+				return nil, fmt.Errorf("%w: %q", ErrBadPath, part)
+			}
+			pred := part[i+1 : len(part)-1]
+			step.name = part[:i]
+			if !strings.HasPrefix(pred, "@") {
+				return nil, fmt.Errorf("%w: predicate %q", ErrBadPath, pred)
+			}
+			kv := strings.SplitN(strings.TrimPrefix(pred, "@"), "=", 2)
+			if len(kv) != 2 {
+				return nil, fmt.Errorf("%w: predicate %q", ErrBadPath, pred)
+			}
+			step.attrKey = kv[0]
+			step.attrValue = strings.Trim(kv[1], "'\"")
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+// Select returns all nodes matching the path, starting at (and
+// including) the root step.
+func (n *Node) Select(path string) ([]*Node, error) {
+	steps, err := parsePath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := []*Node{}
+	if stepMatches(n, steps[0]) {
+		cur = append(cur, n)
+	}
+	for _, step := range steps[1:] {
+		var next []*Node
+		for _, node := range cur {
+			for _, c := range node.Children {
+				if stepMatches(c, step) {
+					next = append(next, c)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func stepMatches(n *Node, s pathStep) bool {
+	if n.Name != s.name && s.name != "*" {
+		return false
+	}
+	if s.attrKey != "" && n.Attrs[s.attrKey] != s.attrValue {
+		return false
+	}
+	return true
+}
+
+// Store persists named documents in a heap file (JSON-encoded trees)
+// with an in-memory name directory.
+type Store struct {
+	mu   sync.Mutex
+	heap *access.HeapFile
+	rids map[string]access.RID
+}
+
+// DocFile is the heap file name used by the document store.
+const DocFile = "__docs__"
+
+// Open loads (or initialises) a document store.
+func Open(fm *storage.FileManager, pool *buffer.Manager) (*Store, error) {
+	heap, err := access.OpenHeap(DocFile, fm, pool)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{heap: heap, rids: make(map[string]access.RID)}
+	err = heap.Scan(func(rid access.RID, rec []byte) error {
+		row, err := access.DecodeRow(rec)
+		if err != nil {
+			return err
+		}
+		s.rids[row[0].Str] = rid
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Put stores (or replaces) a document under a name.
+func (s *Store) Put(name string, doc *Node) error {
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	rec := access.EncodeRow(access.Row{access.NewString(name), access.NewBytes(blob)})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rid, ok := s.rids[name]; ok {
+		nrid, err := s.heap.Update(nil, rid, rec)
+		if err != nil {
+			return err
+		}
+		s.rids[name] = nrid
+		return nil
+	}
+	rid, err := s.heap.Insert(nil, rec)
+	if err != nil {
+		return err
+	}
+	s.rids[name] = rid
+	return nil
+}
+
+// PutXML parses and stores an XML document.
+func (s *Store) PutXML(name, xmlText string) error {
+	doc, err := ParseXML(strings.NewReader(xmlText))
+	if err != nil {
+		return err
+	}
+	return s.Put(name, doc)
+}
+
+// Get loads a document by name.
+func (s *Store) Get(name string) (*Node, error) {
+	s.mu.Lock()
+	rid, ok := s.rids[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoDoc, name)
+	}
+	rec, err := s.heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	row, err := access.DecodeRow(rec)
+	if err != nil {
+		return nil, err
+	}
+	var doc Node
+	if err := json.Unmarshal(row[1].Bytes, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Delete removes a document.
+func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rid, ok := s.rids[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoDoc, name)
+	}
+	if err := s.heap.Delete(nil, rid); err != nil {
+		return err
+	}
+	delete(s.rids, name)
+	return nil
+}
+
+// List returns the sorted document names.
+func (s *Store) List() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.rids))
+	for n := range s.rids {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query runs a path query against a stored document.
+func (s *Store) Query(name, path string) ([]*Node, error) {
+	doc, err := s.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Select(path)
+}

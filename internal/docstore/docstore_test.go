@@ -1,0 +1,185 @@
+package docstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+const catalogXML = `
+<library city="zurich">
+  <book id="1" genre="db">
+    <title>Component Database Systems</title>
+    <year>2001</year>
+  </book>
+  <book id="2" genre="db">
+    <title>Readings in Database Systems</title>
+    <year>1988</year>
+  </book>
+  <book id="3" genre="se">
+    <title>Software Architecture in Practice</title>
+    <year>1998</year>
+  </book>
+</library>`
+
+func TestParseXML(t *testing.T) {
+	doc, err := ParseXML(strings.NewReader(catalogXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != "library" || doc.Attrs["city"] != "zurich" {
+		t.Fatalf("root = %+v", doc)
+	}
+	if len(doc.Children) != 3 {
+		t.Fatalf("children = %d", len(doc.Children))
+	}
+	title := doc.Children[0].Children[0]
+	if title.Name != "title" || title.Text != "Component Database Systems" {
+		t.Fatalf("title = %+v", title)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<a><b></a></b>",
+		"<a></a><b></b>",
+		"<unclosed>",
+	}
+	for _, s := range bad {
+		if _, err := ParseXML(strings.NewReader(s)); err == nil {
+			t.Errorf("ParseXML(%q) should fail", s)
+		}
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	doc, err := ParseXML(strings.NewReader(catalogXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := doc.XML()
+	back, err := ParseXML(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("re-parsing rendered XML: %v\n%s", err, out)
+	}
+	if len(back.Children) != 3 || back.Attrs["city"] != "zurich" {
+		t.Fatalf("round trip lost structure: %s", out)
+	}
+}
+
+func TestSelectPaths(t *testing.T) {
+	doc, _ := ParseXML(strings.NewReader(catalogXML))
+	books, err := doc.Select("/library/book")
+	if err != nil || len(books) != 3 {
+		t.Fatalf("books = %d, %v", len(books), err)
+	}
+	db, err := doc.Select("/library/book[@genre='db']")
+	if err != nil || len(db) != 2 {
+		t.Fatalf("db books = %d, %v", len(db), err)
+	}
+	titles, err := doc.Select("/library/book[@genre='se']/title")
+	if err != nil || len(titles) != 1 || titles[0].Text != "Software Architecture in Practice" {
+		t.Fatalf("titles = %v, %v", titles, err)
+	}
+	// Wildcard step.
+	all, err := doc.Select("/library/*")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("wildcard = %d, %v", len(all), err)
+	}
+	// Non-matching root.
+	none, err := doc.Select("/nothing/book")
+	if err != nil || len(none) != 0 {
+		t.Fatalf("none = %v", none)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	doc, _ := ParseXML(strings.NewReader(catalogXML))
+	for _, p := range []string{"library", "/", "//x", "/a[genre='db']", "/a[@k]", "/a[@k='v'"} {
+		if _, err := doc.Select(p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Select(%q) err = %v", p, err)
+		}
+	}
+}
+
+func newStore(t *testing.T) (*Store, *storage.FileManager, *buffer.Manager) {
+	t.Helper()
+	d, err := storage.OpenDisk(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(d, 32, buffer.NewLRU())
+	fm, err := storage.OpenFileManager(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(fm, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fm, pool
+}
+
+func TestStorePutGetQuery(t *testing.T) {
+	s, _, _ := newStore(t)
+	if err := s.PutXML("catalog", catalogXML); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := s.Get("catalog")
+	if err != nil || doc.Name != "library" {
+		t.Fatalf("Get = %v, %v", doc, err)
+	}
+	nodes, err := s.Query("catalog", "/library/book[@id='2']/title")
+	if err != nil || len(nodes) != 1 || nodes[0].Text != "Readings in Database Systems" {
+		t.Fatalf("Query = %v, %v", nodes, err)
+	}
+	if _, err := s.Get("zzz"); !errors.Is(err, ErrNoDoc) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := s.List(); len(got) != 1 || got[0] != "catalog" {
+		t.Fatalf("List = %v", got)
+	}
+	// Replace and delete.
+	if err := s.PutXML("catalog", "<library/>"); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ = s.Get("catalog")
+	if len(doc.Children) != 0 {
+		t.Fatal("replace failed")
+	}
+	if err := s.Delete("catalog"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("catalog"); !errors.Is(err, ErrNoDoc) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStorePersistence(t *testing.T) {
+	d, _ := storage.OpenDisk(storage.NewMemDevice())
+	pool := buffer.New(d, 32, buffer.NewLRU())
+	fm, _ := storage.OpenFileManager(pool)
+	s, err := Open(fm, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutXML("doc", catalogXML); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen over the same pool/fm.
+	s2, err := Open(fm, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := s2.Query("doc", "/library/book")
+	if err != nil || len(nodes) != 3 {
+		t.Fatalf("reopened query = %v, %v", nodes, err)
+	}
+}

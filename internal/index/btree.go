@@ -1,0 +1,634 @@
+// Package index implements a disk-resident B+tree over buffer-managed
+// pages: variable-length byte keys with order-preserving composite
+// encoding, duplicate support, range scans over a linked leaf chain,
+// and lazy deletion with root collapse. It is the access-path service
+// of the SBDMS Access layer ("access path structure, such as B-trees",
+// Section 3.1).
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// Index errors.
+var (
+	// ErrDuplicateKey is returned by unique indexes on key collision.
+	ErrDuplicateKey = errors.New("index: duplicate key")
+	// ErrCorrupt is returned when a node fails to decode.
+	ErrCorrupt = errors.New("index: corrupt node")
+)
+
+const indexMagic = 0x5342444d53425431 // "SBDMSBT1"
+
+// BTree is a B+tree keyed by arbitrary byte strings (use
+// access.EncodeKey for order-preserving value encodings), mapping each
+// key to one or more access.RIDs. Deletion is lazy: entries are removed
+// but nodes are not rebalanced, except that an empty internal root
+// collapses. This trades space for simplicity without affecting
+// correctness.
+type BTree struct {
+	pool   *buffer.Manager
+	metaID storage.PageID
+	mu     sync.RWMutex
+	root   storage.PageID
+	count  uint64
+	unique bool
+}
+
+// Create allocates a new empty tree and returns it with its metadata
+// page id (persist that id in the catalog to reopen the tree).
+func Create(pool *buffer.Manager, unique bool) (*BTree, storage.PageID, error) {
+	meta, err := pool.NewPage(storage.PageTypeIndex)
+	if err != nil {
+		return nil, 0, err
+	}
+	rootF, err := pool.NewPage(storage.PageTypeIndex)
+	if err != nil {
+		_ = pool.Unpin(meta.ID, false)
+		return nil, 0, err
+	}
+	root := &node{id: rootF.ID, leaf: true}
+	if err := root.encode(rootF.Page()); err != nil {
+		return nil, 0, err
+	}
+	if err := pool.Unpin(rootF.ID, true); err != nil {
+		return nil, 0, err
+	}
+	t := &BTree{pool: pool, metaID: meta.ID, root: rootF.ID, unique: unique}
+	t.writeMeta(meta.Page())
+	if err := pool.Unpin(meta.ID, true); err != nil {
+		return nil, 0, err
+	}
+	return t, meta.ID, nil
+}
+
+// Open loads an existing tree from its metadata page.
+func Open(pool *buffer.Manager, metaID storage.PageID) (*BTree, error) {
+	f, err := pool.Pin(metaID)
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Unpin(metaID, false)
+	pl := f.Page().Payload()
+	if binary.LittleEndian.Uint64(pl) != indexMagic {
+		return nil, fmt.Errorf("%w: bad meta magic on page %d", ErrCorrupt, metaID)
+	}
+	t := &BTree{
+		pool:   pool,
+		metaID: metaID,
+		root:   storage.PageID(binary.LittleEndian.Uint64(pl[8:])),
+		count:  binary.LittleEndian.Uint64(pl[16:]),
+		unique: pl[24] == 1,
+	}
+	return t, nil
+}
+
+func (t *BTree) writeMeta(p *storage.Page) {
+	pl := p.Payload()
+	binary.LittleEndian.PutUint64(pl, indexMagic)
+	binary.LittleEndian.PutUint64(pl[8:], uint64(t.root))
+	binary.LittleEndian.PutUint64(pl[16:], t.count)
+	if t.unique {
+		pl[24] = 1
+	} else {
+		pl[24] = 0
+	}
+}
+
+func (t *BTree) flushMetaLocked() error {
+	f, err := t.pool.Pin(t.metaID)
+	if err != nil {
+		return err
+	}
+	t.writeMeta(f.Page())
+	return t.pool.Unpin(t.metaID, true)
+}
+
+// MetaID returns the metadata page id used to reopen the tree.
+func (t *BTree) MetaID() storage.PageID { return t.metaID }
+
+// Unique reports whether the tree enforces key uniqueness.
+func (t *BTree) Unique() bool { return t.unique }
+
+// Len returns the number of entries.
+func (t *BTree) Len() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
+
+// --- composite key encoding -------------------------------------------
+
+// compositeKey escapes the user key (0x00 -> 0x00 0xFF), appends the
+// 0x00 0x00 terminator and the big-endian RID, yielding a byte string
+// whose order is (key, rid) with no prefix ambiguity.
+func compositeKey(key []byte, rid access.RID) []byte {
+	out := make([]byte, 0, len(key)+14)
+	for _, b := range key {
+		if b == 0x00 {
+			out = append(out, 0x00, 0xFF)
+		} else {
+			out = append(out, b)
+		}
+	}
+	out = append(out, 0x00, 0x00)
+	var tail [10]byte
+	binary.BigEndian.PutUint64(tail[:8], uint64(rid.Page))
+	binary.BigEndian.PutUint16(tail[8:], rid.Slot)
+	return append(out, tail[:]...)
+}
+
+// splitComposite recovers the user key and RID from a composite key.
+func splitComposite(ck []byte) ([]byte, access.RID, error) {
+	if len(ck) < 12 {
+		return nil, access.RID{}, fmt.Errorf("%w: composite key too short", ErrCorrupt)
+	}
+	ridPart := ck[len(ck)-10:]
+	body := ck[:len(ck)-12] // strip rid and terminator
+	key := make([]byte, 0, len(body))
+	for i := 0; i < len(body); i++ {
+		if body[i] == 0x00 {
+			if i+1 >= len(body) || body[i+1] != 0xFF {
+				return nil, access.RID{}, fmt.Errorf("%w: bad escape", ErrCorrupt)
+			}
+			key = append(key, 0x00)
+			i++
+			continue
+		}
+		key = append(key, body[i])
+	}
+	rid := access.RID{
+		Page: storage.PageID(binary.BigEndian.Uint64(ridPart[:8])),
+		Slot: binary.BigEndian.Uint16(ridPart[8:]),
+	}
+	return key, rid, nil
+}
+
+// keyPrefixBounds returns [lo, hi) composite bounds covering every rid
+// of the exact user key.
+func keyPrefixBounds(key []byte) (lo, hi []byte) {
+	base := make([]byte, 0, len(key)+2)
+	for _, b := range key {
+		if b == 0x00 {
+			base = append(base, 0x00, 0xFF)
+		} else {
+			base = append(base, b)
+		}
+	}
+	lo = append(append([]byte(nil), base...), 0x00, 0x00)
+	hi = append(append([]byte(nil), base...), 0x00, 0x01)
+	return lo, hi
+}
+
+// --- node representation -----------------------------------------------
+
+// node is the decoded form of a tree page.
+//
+// Leaf payload:    u8 1 | u16 n | n * (u16 len | composite key)
+// Internal payload: u8 0 | u16 n | u64 child0 | n * (u16 len | key | u64 child)
+// Leaf sibling links use the page header next/prev fields.
+type node struct {
+	id       storage.PageID
+	leaf     bool
+	keys     [][]byte
+	children []storage.PageID // internal: len(keys)+1
+	next     storage.PageID   // leaf chain
+	prev     storage.PageID
+}
+
+func (n *node) encodedSize() int {
+	sz := 3
+	if n.leaf {
+		for _, k := range n.keys {
+			sz += 2 + len(k)
+		}
+		return sz
+	}
+	sz += 8
+	for _, k := range n.keys {
+		sz += 2 + len(k) + 8
+	}
+	return sz
+}
+
+func (n *node) encode(p *storage.Page) error {
+	if n.encodedSize() > storage.PayloadSize {
+		return fmt.Errorf("%w: node %d overflow (%d bytes)", ErrCorrupt, n.id, n.encodedSize())
+	}
+	p.SetType(storage.PageTypeIndex)
+	p.SetNext(n.next)
+	p.SetPrev(n.prev)
+	pl := p.Payload()
+	if n.leaf {
+		pl[0] = 1
+	} else {
+		pl[0] = 0
+	}
+	binary.LittleEndian.PutUint16(pl[1:], uint16(len(n.keys)))
+	off := 3
+	if !n.leaf {
+		var c0 storage.PageID
+		if len(n.children) > 0 {
+			c0 = n.children[0]
+		}
+		binary.LittleEndian.PutUint64(pl[off:], uint64(c0))
+		off += 8
+	}
+	for i, k := range n.keys {
+		binary.LittleEndian.PutUint16(pl[off:], uint16(len(k)))
+		off += 2
+		copy(pl[off:], k)
+		off += len(k)
+		if !n.leaf {
+			binary.LittleEndian.PutUint64(pl[off:], uint64(n.children[i+1]))
+			off += 8
+		}
+	}
+	return nil
+}
+
+func decodeNode(p *storage.Page) (*node, error) {
+	pl := p.Payload()
+	n := &node{id: p.ID, leaf: pl[0] == 1, next: p.Next(), prev: p.Prev()}
+	cnt := int(binary.LittleEndian.Uint16(pl[1:]))
+	off := 3
+	if !n.leaf {
+		if off+8 > len(pl) {
+			return nil, fmt.Errorf("%w: page %d truncated", ErrCorrupt, p.ID)
+		}
+		n.children = append(n.children, storage.PageID(binary.LittleEndian.Uint64(pl[off:])))
+		off += 8
+	}
+	for i := 0; i < cnt; i++ {
+		if off+2 > len(pl) {
+			return nil, fmt.Errorf("%w: page %d truncated", ErrCorrupt, p.ID)
+		}
+		klen := int(binary.LittleEndian.Uint16(pl[off:]))
+		off += 2
+		if off+klen > len(pl) {
+			return nil, fmt.Errorf("%w: page %d truncated key", ErrCorrupt, p.ID)
+		}
+		n.keys = append(n.keys, append([]byte(nil), pl[off:off+klen]...))
+		off += klen
+		if !n.leaf {
+			if off+8 > len(pl) {
+				return nil, fmt.Errorf("%w: page %d truncated child", ErrCorrupt, p.ID)
+			}
+			n.children = append(n.children, storage.PageID(binary.LittleEndian.Uint64(pl[off:])))
+			off += 8
+		}
+	}
+	return n, nil
+}
+
+func (t *BTree) loadNode(id storage.PageID) (*node, error) {
+	f, err := t.pool.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(f.Page())
+	if uerr := t.pool.Unpin(id, false); uerr != nil && err == nil {
+		err = uerr
+	}
+	return n, err
+}
+
+func (t *BTree) storeNode(n *node) error {
+	f, err := t.pool.Pin(n.id)
+	if err != nil {
+		return err
+	}
+	if err := n.encode(f.Page()); err != nil {
+		_ = t.pool.Unpin(n.id, false)
+		return err
+	}
+	return t.pool.Unpin(n.id, true)
+}
+
+func (t *BTree) newNode(leaf bool) (*node, error) {
+	f, err := t.pool.NewPage(storage.PageTypeIndex)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{id: f.ID, leaf: leaf}
+	if err := n.encode(f.Page()); err != nil {
+		_ = t.pool.Unpin(f.ID, false)
+		return nil, err
+	}
+	return n, t.pool.Unpin(f.ID, true)
+}
+
+// --- operations ---------------------------------------------------------
+
+// Insert adds (key, rid). Unique trees reject an existing key with
+// ErrDuplicateKey.
+func (t *BTree) Insert(key []byte, rid access.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.unique {
+		rids, err := t.searchLocked(key)
+		if err != nil {
+			return err
+		}
+		if len(rids) > 0 {
+			return fmt.Errorf("%w: %q", ErrDuplicateKey, key)
+		}
+	}
+	ck := compositeKey(key, rid)
+	sep, right, split, err := t.insertRec(t.root, ck)
+	if err != nil {
+		return err
+	}
+	if split {
+		newRoot, err := t.newNode(false)
+		if err != nil {
+			return err
+		}
+		newRoot.keys = [][]byte{sep}
+		newRoot.children = []storage.PageID{t.root, right}
+		if err := t.storeNode(newRoot); err != nil {
+			return err
+		}
+		t.root = newRoot.id
+	}
+	t.count++
+	return t.flushMetaLocked()
+}
+
+func (t *BTree) insertRec(id storage.PageID, ck []byte) (sep []byte, right storage.PageID, split bool, err error) {
+	n, err := t.loadNode(id)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if n.leaf {
+		pos := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], ck) >= 0 })
+		if pos < len(n.keys) && bytes.Equal(n.keys[pos], ck) {
+			return nil, 0, false, nil // exact duplicate (same key+rid): no-op
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[pos+1:], n.keys[pos:])
+		n.keys[pos] = ck
+		if n.encodedSize() <= storage.PayloadSize {
+			return nil, 0, false, t.storeNode(n)
+		}
+		return t.splitLeaf(n)
+	}
+	idx := childIndex(n, ck)
+	csep, cright, csplit, err := t.insertRec(n.children[idx], ck)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if !csplit {
+		return nil, 0, false, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[idx+1:], n.keys[idx:])
+	n.keys[idx] = csep
+	n.children = append(n.children, 0)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = cright
+	if n.encodedSize() <= storage.PayloadSize {
+		return nil, 0, false, t.storeNode(n)
+	}
+	return t.splitInternal(n)
+}
+
+func childIndex(n *node, ck []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(ck, n.keys[i]) < 0 })
+}
+
+func (t *BTree) splitLeaf(n *node) ([]byte, storage.PageID, bool, error) {
+	mid := len(n.keys) / 2
+	rightN, err := t.newNode(true)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	rightN.keys = append(rightN.keys, n.keys[mid:]...)
+	n.keys = n.keys[:mid]
+	// Leaf chain: n <-> rightN <-> oldNext.
+	rightN.next = n.next
+	rightN.prev = n.id
+	oldNext := n.next
+	n.next = rightN.id
+	if err := t.storeNode(rightN); err != nil {
+		return nil, 0, false, err
+	}
+	if err := t.storeNode(n); err != nil {
+		return nil, 0, false, err
+	}
+	if oldNext != storage.InvalidPageID {
+		on, err := t.loadNode(oldNext)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		on.prev = rightN.id
+		if err := t.storeNode(on); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	sep := append([]byte(nil), rightN.keys[0]...)
+	return sep, rightN.id, true, nil
+}
+
+func (t *BTree) splitInternal(n *node) ([]byte, storage.PageID, bool, error) {
+	mid := len(n.keys) / 2
+	sep := append([]byte(nil), n.keys[mid]...)
+	rightN, err := t.newNode(false)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	rightN.keys = append(rightN.keys, n.keys[mid+1:]...)
+	rightN.children = append(rightN.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	if err := t.storeNode(rightN); err != nil {
+		return nil, 0, false, err
+	}
+	if err := t.storeNode(n); err != nil {
+		return nil, 0, false, err
+	}
+	return sep, rightN.id, true, nil
+}
+
+// Search returns every RID stored under the exact key.
+func (t *BTree) Search(key []byte) ([]access.RID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.searchLocked(key)
+}
+
+func (t *BTree) searchLocked(key []byte) ([]access.RID, error) {
+	lo, hi := keyPrefixBounds(key)
+	var out []access.RID
+	err := t.rangeLocked(lo, hi, func(ck []byte) error {
+		_, rid, err := splitComposite(ck)
+		if err != nil {
+			return err
+		}
+		out = append(out, rid)
+		return nil
+	})
+	return out, err
+}
+
+// Delete removes (key, rid) and reports whether it was present.
+func (t *BTree) Delete(key []byte, rid access.RID) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ck := compositeKey(key, rid)
+	id := t.root
+	// Descend to the leaf.
+	var path []*node
+	for {
+		n, err := t.loadNode(id)
+		if err != nil {
+			return false, err
+		}
+		path = append(path, n)
+		if n.leaf {
+			break
+		}
+		id = n.children[childIndex(n, ck)]
+	}
+	leaf := path[len(path)-1]
+	pos := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], ck) >= 0 })
+	if pos >= len(leaf.keys) || !bytes.Equal(leaf.keys[pos], ck) {
+		return false, nil
+	}
+	leaf.keys = append(leaf.keys[:pos], leaf.keys[pos+1:]...)
+	if err := t.storeNode(leaf); err != nil {
+		return false, err
+	}
+	t.count--
+	// Root collapse: an internal root with no keys has one child.
+	for {
+		root, err := t.loadNode(t.root)
+		if err != nil {
+			return false, err
+		}
+		if root.leaf || len(root.keys) > 0 {
+			break
+		}
+		old := t.root
+		t.root = root.children[0]
+		if err := t.pool.Deallocate(old); err != nil {
+			return false, err
+		}
+	}
+	return true, t.flushMetaLocked()
+}
+
+// Range iterates entries with lo <= key < hi (nil bounds are
+// unbounded), in key order, calling fn with the user key and RID.
+func (t *BTree) Range(lo, hi []byte, fn func(key []byte, rid access.RID) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var clo, chi []byte
+	if lo != nil {
+		clo, _ = keyPrefixBounds(lo)
+	}
+	if hi != nil {
+		chi, _ = keyPrefixBounds(hi)
+	}
+	return t.rangeLocked(clo, chi, func(ck []byte) error {
+		key, rid, err := splitComposite(ck)
+		if err != nil {
+			return err
+		}
+		return fn(key, rid)
+	})
+}
+
+// rangeLocked walks composite keys in [clo, chi) (nil = unbounded).
+func (t *BTree) rangeLocked(clo, chi []byte, fn func(ck []byte) error) error {
+	// Descend to the leaf containing clo (or the leftmost leaf).
+	id := t.root
+	for {
+		n, err := t.loadNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			break
+		}
+		if clo == nil {
+			id = n.children[0]
+		} else {
+			id = n.children[childIndex(n, clo)]
+		}
+	}
+	for id != storage.InvalidPageID {
+		n, err := t.loadNode(id)
+		if err != nil {
+			return err
+		}
+		start := 0
+		if clo != nil {
+			start = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], clo) >= 0 })
+		}
+		for i := start; i < len(n.keys); i++ {
+			if chi != nil && bytes.Compare(n.keys[i], chi) >= 0 {
+				return nil
+			}
+			if err := fn(n.keys[i]); err != nil {
+				return err
+			}
+		}
+		clo = nil // subsequent leaves start at 0
+		id = n.next
+	}
+	return nil
+}
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *BTree) Height() (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := 1
+	id := t.root
+	for {
+		n, err := t.loadNode(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			return h, nil
+		}
+		h++
+		id = n.children[0]
+	}
+}
+
+// Drop frees every page of the tree including the metadata page.
+func (t *BTree) Drop() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.dropRec(t.root); err != nil {
+		return err
+	}
+	return t.pool.Deallocate(t.metaID)
+}
+
+func (t *BTree) dropRec(id storage.PageID) error {
+	n, err := t.loadNode(id)
+	if err != nil {
+		return err
+	}
+	if !n.leaf {
+		for _, c := range n.children {
+			if err := t.dropRec(c); err != nil {
+				return err
+			}
+		}
+	}
+	return t.pool.Deallocate(id)
+}

@@ -1,0 +1,404 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+func newTree(t *testing.T, unique bool) (*BTree, *buffer.Manager) {
+	t.Helper()
+	d, err := storage.OpenDisk(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(d, 64, buffer.NewLRU())
+	tr, _, err := Create(pool, unique)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, pool
+}
+
+func rid(n int) access.RID {
+	return access.RID{Page: storage.PageID(n/100 + 1), Slot: uint16(n % 100)}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr, _ := newTree(t, false)
+	keys := []string{"delta", "alpha", "charlie", "bravo"}
+	for i, k := range keys {
+		if err := tr.Insert([]byte(k), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got, err := tr.Search([]byte("charlie"))
+	if err != nil || len(got) != 1 || got[0] != rid(2) {
+		t.Fatalf("Search = %v, %v", got, err)
+	}
+	if got, _ := tr.Search([]byte("zulu")); len(got) != 0 {
+		t.Fatalf("missing key search = %v", got)
+	}
+}
+
+func TestInsertManySplits(t *testing.T) {
+	tr, _ := newTree(t, false)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%06d", i*7919%n))
+		if err := tr.Insert(key, rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	h, err := tr.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Fatalf("height = %d, expected splits", h)
+	}
+	// Every key findable.
+	for i := 0; i < n; i += 97 {
+		key := []byte(fmt.Sprintf("key-%06d", i*7919%n))
+		got, err := tr.Search(key)
+		if err != nil || len(got) != 1 {
+			t.Fatalf("Search(%s) = %v, %v", key, got, err)
+		}
+	}
+	// Full range is sorted and complete.
+	var prev []byte
+	count := 0
+	err = tr.Range(nil, nil, func(k []byte, r access.RID) error {
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			return fmt.Errorf("out of order: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return nil
+	})
+	if err != nil || count != n {
+		t.Fatalf("range: %d, %v", count, err)
+	}
+}
+
+func TestDuplicateKeysNonUnique(t *testing.T) {
+	tr, _ := newTree(t, false)
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert([]byte("same"), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tr.Search([]byte("same"))
+	if err != nil || len(got) != 10 {
+		t.Fatalf("Search = %d rids, %v", len(got), err)
+	}
+	// Exact duplicate (key, rid) is a no-op.
+	before := tr.Len()
+	if err := tr.Insert([]byte("same"), rid(3)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != before+1 {
+		// Count incremented even though entry deduplicated; check via search.
+		got, _ = tr.Search([]byte("same"))
+		if len(got) != 10 {
+			t.Fatalf("dedup broken: %d rids", len(got))
+		}
+	}
+}
+
+func TestUniqueIndexRejectsDuplicates(t *testing.T) {
+	tr, _ := newTree(t, true)
+	if err := tr.Insert([]byte("pk"), rid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("pk"), rid(2)); !errors.Is(err, ErrDuplicateKey) {
+		t.Fatalf("err = %v", err)
+	}
+	if !tr.Unique() {
+		t.Fatal("Unique flag")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := newTree(t, false)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%03d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, err := tr.Delete([]byte("k050"), rid(50))
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if got, _ := tr.Search([]byte("k050")); len(got) != 0 {
+		t.Fatal("deleted key still found")
+	}
+	// Deleting a missing entry reports false.
+	ok, err = tr.Delete([]byte("k050"), rid(50))
+	if err != nil || ok {
+		t.Fatalf("second delete = %v, %v", ok, err)
+	}
+	if tr.Len() != 99 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Delete one rid of a duplicate set only.
+	_ = tr.Insert([]byte("dup"), rid(1))
+	_ = tr.Insert([]byte("dup"), rid(2))
+	ok, _ = tr.Delete([]byte("dup"), rid(1))
+	if !ok {
+		t.Fatal("dup delete failed")
+	}
+	got, _ := tr.Search([]byte("dup"))
+	if len(got) != 1 || got[0] != rid(2) {
+		t.Fatalf("remaining = %v", got)
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr, _ := newTree(t, false)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%05d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		ok, err := tr.Delete([]byte(fmt.Sprintf("k%05d", i)), rid(i))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v, %v", i, ok, err)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	count := 0
+	_ = tr.Range(nil, nil, func([]byte, access.RID) error { count++; return nil })
+	if count != 0 {
+		t.Fatalf("range after delete-all = %d", count)
+	}
+	// Tree still usable.
+	if err := tr.Insert([]byte("fresh"), rid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Search([]byte("fresh")); len(got) != 1 {
+		t.Fatal("reuse after delete-all broken")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr, _ := newTree(t, false)
+	for i := 0; i < 50; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%02d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(lo, hi []byte) []string {
+		var out []string
+		_ = tr.Range(lo, hi, func(k []byte, r access.RID) error {
+			out = append(out, string(k))
+			return nil
+		})
+		return out
+	}
+	got := collect([]byte("k10"), []byte("k15"))
+	want := []string{"k10", "k11", "k12", "k13", "k14"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range = %v", got)
+	}
+	if got := collect(nil, []byte("k03")); len(got) != 3 {
+		t.Fatalf("open-lo range = %v", got)
+	}
+	if got := collect([]byte("k47"), nil); len(got) != 3 {
+		t.Fatalf("open-hi range = %v", got)
+	}
+	if got := collect([]byte("k99"), nil); len(got) != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+	// Early stop from callback.
+	n := 0
+	stop := errors.New("stop")
+	err := tr.Range(nil, nil, func([]byte, access.RID) error {
+		n++
+		if n == 5 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || n != 5 {
+		t.Fatalf("early stop: %d, %v", n, err)
+	}
+}
+
+func TestKeysWithZeroBytes(t *testing.T) {
+	tr, _ := newTree(t, false)
+	keys := [][]byte{
+		{0x00}, {0x00, 0x00}, {0x00, 0x01}, {0x01}, {0x01, 0x00}, {},
+	}
+	for i, k := range keys {
+		if err := tr.Insert(k, rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		got, err := tr.Search(k)
+		if err != nil || len(got) != 1 || got[0] != rid(i) {
+			t.Fatalf("Search(%x) = %v, %v", k, got, err)
+		}
+	}
+	// Range order must match bytewise order of original keys.
+	var seen [][]byte
+	_ = tr.Range(nil, nil, func(k []byte, r access.RID) error {
+		seen = append(seen, append([]byte(nil), k...))
+		return nil
+	})
+	sorted := make([][]byte, len(keys))
+	copy(sorted, keys)
+	sort.Slice(sorted, func(i, j int) bool { return bytes.Compare(sorted[i], sorted[j]) < 0 })
+	if len(seen) != len(sorted) {
+		t.Fatalf("seen %d keys", len(seen))
+	}
+	for i := range sorted {
+		if !bytes.Equal(seen[i], sorted[i]) {
+			t.Fatalf("order mismatch at %d: %x vs %x", i, seen[i], sorted[i])
+		}
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	d, _ := storage.OpenDisk(storage.NewMemDevice())
+	pool := buffer.New(d, 64, buffer.NewLRU())
+	tr, metaID, err := Create(pool, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%04d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh pool over the same disk.
+	pool2 := buffer.New(d, 64, buffer.NewLRU())
+	tr2, err := Open(pool2, metaID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 1000 {
+		t.Fatalf("Len = %d", tr2.Len())
+	}
+	got, err := tr2.Search([]byte("k0777"))
+	if err != nil || len(got) != 1 || got[0] != rid(777) {
+		t.Fatalf("Search = %v, %v", got, err)
+	}
+	if tr2.MetaID() != metaID {
+		t.Fatal("MetaID")
+	}
+}
+
+func TestDropFreesPages(t *testing.T) {
+	d, _ := storage.OpenDisk(storage.NewMemDevice())
+	pool := buffer.New(d, 64, buffer.NewLRU())
+	tr, _, err := Create(pool, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("key-%06d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	free, err := d.FreePages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(free) != d.NumPages() {
+		t.Fatalf("free %d of %d pages after drop", free, d.NumPages())
+	}
+}
+
+// Property: the tree agrees with a reference map under random
+// insert/delete/search interleavings.
+func TestBTreeAgainstReferenceQuick(t *testing.T) {
+	tr, _ := newTree(t, false)
+	ref := map[string]map[access.RID]bool{}
+	f := func(ops []uint32) bool {
+		for _, op := range ops {
+			key := fmt.Sprintf("k%03d", op%512)
+			r := rid(int(op>>9) % 1000)
+			switch op % 3 {
+			case 0: // insert
+				if err := tr.Insert([]byte(key), r); err != nil {
+					return false
+				}
+				if ref[key] == nil {
+					ref[key] = map[access.RID]bool{}
+				}
+				ref[key][r] = true
+			case 1: // delete
+				ok, err := tr.Delete([]byte(key), r)
+				if err != nil {
+					return false
+				}
+				if ok != ref[key][r] {
+					return false
+				}
+				delete(ref[key], r)
+			case 2: // search
+				got, err := tr.Search([]byte(key))
+				if err != nil || len(got) != len(ref[key]) {
+					return false
+				}
+				for _, g := range got {
+					if !ref[key][g] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongKeys(t *testing.T) {
+	tr, _ := newTree(t, false)
+	// Keys near the page capacity force early splits.
+	long := bytes.Repeat([]byte("L"), 800)
+	for i := 0; i < 30; i++ {
+		key := append(append([]byte(nil), long...), []byte(fmt.Sprintf("%03d", i))...)
+		if err := tr.Insert(key, rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		key := append(append([]byte(nil), long...), []byte(fmt.Sprintf("%03d", i))...)
+		got, err := tr.Search(key)
+		if err != nil || len(got) != 1 {
+			t.Fatalf("long key %d: %v, %v", i, got, err)
+		}
+	}
+}

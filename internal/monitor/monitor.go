@@ -1,0 +1,258 @@
+// Package monitor implements monitoring services (Section 4:
+// "developers invoke existing coordinator services, or create
+// customised monitoring services that read the properties from the
+// storage service and retrieve data"): latency recording with
+// percentiles, quality reports matched against advertised contracts,
+// and a simulated resource-constrained device (battery/memory/CPU) for
+// the embedded scenario.
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// LatencyRecorder keeps a bounded ring of observed latencies and
+// computes summary statistics.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	full    bool
+	count   uint64
+}
+
+// NewLatencyRecorder creates a recorder retaining up to n samples.
+func NewLatencyRecorder(n int) *LatencyRecorder {
+	if n <= 0 {
+		n = 1024
+	}
+	return &LatencyRecorder{samples: make([]time.Duration, n)}
+}
+
+// Record adds one observation.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples[r.next] = d
+	r.next++
+	r.count++
+	if r.next == len(r.samples) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Observe wraps an invoker so every call is recorded.
+func (r *LatencyRecorder) Observe(inv core.Invoker) core.Invoker {
+	return core.InvokerFunc(func(ctx context.Context, op string, req any) (any, error) {
+		start := time.Now()
+		out, err := inv.Invoke(ctx, op, req)
+		r.Record(time.Since(start))
+		return out, err
+	})
+}
+
+// Summary holds latency statistics.
+type Summary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Summarize computes statistics over the retained window.
+func (r *LatencyRecorder) Summarize() Summary {
+	r.mu.Lock()
+	n := r.next
+	if r.full {
+		n = len(r.samples)
+	}
+	buf := append([]time.Duration(nil), r.samples[:n]...)
+	count := r.count
+	r.mu.Unlock()
+	if len(buf) == 0 {
+		return Summary{}
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	var sum time.Duration
+	for _, d := range buf {
+		sum += d
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(buf)-1))
+		return buf[i]
+	}
+	return Summary{
+		Count: count,
+		Mean:  sum / time.Duration(len(buf)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   buf[len(buf)-1],
+	}
+}
+
+// Device simulates a resource-constrained host (mobile/embedded,
+// Section 4): bounded battery, memory and CPU budgets that drain per
+// operation and alert through a callback when a watermark is crossed.
+type Device struct {
+	Name string
+
+	mu          sync.Mutex
+	battery     float64 // remaining units
+	batteryCap  float64
+	memory      int64 // bytes in use
+	memoryCap   int64
+	opCost      float64 // battery units per operation
+	lowWater    float64 // fraction
+	lowAlerted  bool
+	onLow       func(resource string, remainingFrac float64)
+	ops         uint64
+}
+
+// DeviceConfig configures a simulated device.
+type DeviceConfig struct {
+	Name        string
+	BatteryCap  float64 // units; 0 = unlimited
+	MemoryCap   int64   // bytes; 0 = unlimited
+	OpCost      float64 // battery units per op
+	LowWater    float64 // alert fraction, e.g. 0.2
+	OnLow       func(resource string, remainingFrac float64)
+}
+
+// NewDevice creates a simulated device.
+func NewDevice(cfg DeviceConfig) *Device {
+	if cfg.OpCost == 0 {
+		cfg.OpCost = 1
+	}
+	if cfg.LowWater == 0 {
+		cfg.LowWater = 0.2
+	}
+	return &Device{
+		Name:       cfg.Name,
+		battery:    cfg.BatteryCap,
+		batteryCap: cfg.BatteryCap,
+		memoryCap:  cfg.MemoryCap,
+		opCost:     cfg.OpCost,
+		lowWater:   cfg.LowWater,
+		onLow:      cfg.OnLow,
+	}
+}
+
+// DoOp consumes one operation's worth of battery; it reports false
+// when the battery is exhausted (the device can no longer serve).
+func (d *Device) DoOp() bool {
+	d.mu.Lock()
+	d.ops++
+	alert := false
+	var frac float64
+	if d.batteryCap > 0 {
+		if d.battery < d.opCost {
+			d.mu.Unlock()
+			return false
+		}
+		d.battery -= d.opCost
+		frac = d.battery / d.batteryCap
+		if frac <= d.lowWater && !d.lowAlerted {
+			d.lowAlerted = true
+			alert = true
+		}
+	}
+	cb := d.onLow
+	d.mu.Unlock()
+	if alert && cb != nil {
+		cb("battery", frac)
+	}
+	return true
+}
+
+// AllocMemory reserves bytes, reporting false when over budget.
+func (d *Device) AllocMemory(n int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.memoryCap > 0 && d.memory+n > d.memoryCap {
+		return false
+	}
+	d.memory += n
+	return true
+}
+
+// FreeMemory releases bytes.
+func (d *Device) FreeMemory(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.memory -= n
+	if d.memory < 0 {
+		d.memory = 0
+	}
+}
+
+// Battery returns (remaining, capacity).
+func (d *Device) Battery() (float64, float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.battery, d.batteryCap
+}
+
+// Recharge refills the battery and re-arms the low alert.
+func (d *Device) Recharge() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.battery = d.batteryCap
+	d.lowAlerted = false
+}
+
+// Ops returns the operation count.
+func (d *Device) Ops() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ops
+}
+
+// QualityReport compares observed behaviour of a service with the
+// quality its contract advertises.
+type QualityReport struct {
+	Service       string
+	Advertised    core.Quality
+	ObservedP95   time.Duration
+	ObservedCalls uint64
+	ErrorRate     float64
+	// MeetsAvailability is true when 1-ErrorRate is at least the
+	// advertised availability.
+	MeetsAvailability bool
+}
+
+// Assess builds a quality report from service statistics.
+func Assess(name string, q core.Quality, stats map[string]core.OpStats, lat Summary) QualityReport {
+	var calls, errs uint64
+	for _, st := range stats {
+		calls += st.Calls
+		errs += st.Errors
+	}
+	rate := 0.0
+	if calls > 0 {
+		rate = float64(errs) / float64(calls)
+	}
+	return QualityReport{
+		Service:           name,
+		Advertised:        q,
+		ObservedP95:       lat.P95,
+		ObservedCalls:     calls,
+		ErrorRate:         rate,
+		MeetsAvailability: 1-rate >= q.Availability,
+	}
+}

@@ -1,0 +1,160 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestLatencyRecorderSummary(t *testing.T) {
+	r := NewLatencyRecorder(100)
+	if s := r.Summarize(); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 < 45*time.Millisecond || s.P50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P99 < 95*time.Millisecond {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestLatencyRecorderRingWraps(t *testing.T) {
+	r := NewLatencyRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(time.Duration(i) * time.Second)
+	}
+	s := r.Summarize()
+	if s.Count != 10 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Only the last 4 samples retained: 6,7,8,9s.
+	if s.Max != 9*time.Second || s.P50 < 6*time.Second {
+		t.Fatalf("window = %+v", s)
+	}
+	if NewLatencyRecorder(0) == nil {
+		t.Fatal("default size")
+	}
+}
+
+func TestObserveWrapsInvoker(t *testing.T) {
+	r := NewLatencyRecorder(16)
+	inv := r.Observe(core.InvokerFunc(func(ctx context.Context, op string, req any) (any, error) {
+		time.Sleep(time.Millisecond)
+		return "ok", nil
+	}))
+	out, err := inv.Invoke(context.Background(), "op", nil)
+	if err != nil || out != "ok" {
+		t.Fatal(err)
+	}
+	s := r.Summarize()
+	if s.Count != 1 || s.Max < time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestDeviceBatteryDrainAndAlert(t *testing.T) {
+	var alerts []float64
+	d := NewDevice(DeviceConfig{
+		Name: "dev", BatteryCap: 10, OpCost: 1, LowWater: 0.3,
+		OnLow: func(res string, frac float64) {
+			if res != "battery" {
+				t.Errorf("resource = %s", res)
+			}
+			alerts = append(alerts, frac)
+		},
+	})
+	ok := 0
+	for i := 0; i < 15; i++ {
+		if d.DoOp() {
+			ok++
+		}
+	}
+	if ok != 10 {
+		t.Fatalf("served %d ops on a 10-unit battery", ok)
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v (must fire once)", alerts)
+	}
+	if rem, capn := d.Battery(); rem != 0 || capn != 10 {
+		t.Fatalf("battery = %v/%v", rem, capn)
+	}
+	d.Recharge()
+	if rem, _ := d.Battery(); rem != 10 {
+		t.Fatal("recharge failed")
+	}
+	if !d.DoOp() {
+		t.Fatal("recharged device must serve")
+	}
+	if d.Ops() != 16 {
+		t.Fatalf("ops = %d", d.Ops())
+	}
+}
+
+func TestDeviceUnlimitedBattery(t *testing.T) {
+	d := NewDevice(DeviceConfig{Name: "plugged"})
+	for i := 0; i < 1000; i++ {
+		if !d.DoOp() {
+			t.Fatal("unlimited battery must never exhaust")
+		}
+	}
+}
+
+func TestDeviceMemoryBudget(t *testing.T) {
+	d := NewDevice(DeviceConfig{Name: "dev", MemoryCap: 100})
+	if !d.AllocMemory(60) || !d.AllocMemory(40) {
+		t.Fatal("within budget must succeed")
+	}
+	if d.AllocMemory(1) {
+		t.Fatal("over budget must fail")
+	}
+	d.FreeMemory(50)
+	if !d.AllocMemory(50) {
+		t.Fatal("freed memory must be reusable")
+	}
+	d.FreeMemory(1000)
+	if !d.AllocMemory(100) {
+		t.Fatal("over-free clamps to zero")
+	}
+}
+
+func TestAssessQuality(t *testing.T) {
+	stats := map[string]core.OpStats{
+		"get": {Calls: 90, Errors: 0},
+		"put": {Calls: 10, Errors: 5},
+	}
+	lat := Summary{P95: 2 * time.Millisecond}
+	rep := Assess("svc", core.Quality{Availability: 0.99}, stats, lat)
+	if rep.ObservedCalls != 100 || rep.ErrorRate != 0.05 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.MeetsAvailability {
+		t.Fatal("5% errors cannot meet 99% availability")
+	}
+	rep = Assess("svc", core.Quality{Availability: 0.9}, stats, lat)
+	if !rep.MeetsAvailability {
+		t.Fatal("95% success meets 90% availability")
+	}
+	// No traffic: zero error rate, meets anything <= 1.
+	rep = Assess("svc", core.Quality{Availability: 1}, nil, Summary{})
+	if !rep.MeetsAvailability {
+		t.Fatal("no traffic must not violate availability")
+	}
+	_ = errors.New
+}

@@ -1,0 +1,417 @@
+// Package netbind provides the network communication protocol of the
+// SBDMS architecture (Section 3.2: "service communication is done
+// through well-defined communication protocols"): a TCP binding with a
+// gob wire format exposing kernel-registered services to remote
+// callers, a client implementing core.Invoker, and P2P gossip
+// synchronisation between service registries (Section 4: "P2P style
+// service information updates can be used to transmit information
+// between service repositories").
+package netbind
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/core"
+	"repro/internal/sql"
+)
+
+// Netbind errors.
+var (
+	// ErrRemote wraps an error returned by the remote service.
+	ErrRemote = errors.New("netbind: remote error")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("netbind: closed")
+)
+
+// Protocol name of this binding.
+const Protocol = "tcp+gob"
+
+// request is one wire call.
+type request struct {
+	Service string
+	Op      string
+	Payload payload
+}
+
+// response is one wire reply.
+type response struct {
+	Payload payload
+	Err     string
+}
+
+// payload boxes an arbitrary gob-encodable value.
+type payload struct {
+	V any
+}
+
+// syncRequest is the gossip exchange payload: the sender's snapshot
+// plus its advertised address.
+type syncRequest struct {
+	From    string
+	Entries []*core.Registration
+}
+
+// RegisterType makes a payload type transferable over the binding (gob
+// requires concrete types to be registered on both sides).
+func RegisterType(v any) { gob.Register(v) }
+
+func init() {
+	// Types commonly crossing service boundaries.
+	RegisterType(access.Row{})
+	RegisterType(access.Value{})
+	RegisterType([]access.Row(nil))
+	RegisterType(access.RID{})
+	RegisterType(map[string]string{})
+	RegisterType([]string(nil))
+	RegisterType(core.ReleaseResourcesRequest{})
+	RegisterType(&sql.Result{})
+	RegisterType(core.CoordStatus{})
+	RegisterType(syncRequest{})
+	RegisterType([]*core.Registration(nil))
+	RegisterType([]byte(nil))
+}
+
+// Server exposes every live registration of a registry over TCP.
+type Server struct {
+	registry *core.Registry
+	ln       net.Listener
+	addr     string
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr ("" or ":0" picks a free port).
+func Serve(registry *core.Registry, addr string) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netbind: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		registry: registry,
+		ln:       ln,
+		addr:     ln.Addr().String(),
+		conns:    make(map[net.Conn]bool),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.addr }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// registrySyncService is the reserved service name for gossip.
+const registrySyncService = "_registry"
+
+func (s *Server) dispatch(req *request) *response {
+	if req.Service == registrySyncService {
+		return s.handleSync(req)
+	}
+	reg, err := s.registry.Lookup(req.Service)
+	if err != nil {
+		return &response{Err: err.Error()}
+	}
+	out, err := reg.Invoker.Invoke(context.Background(), req.Op, req.Payload.V)
+	if err != nil {
+		return &response{Err: err.Error()}
+	}
+	return &response{Payload: payload{V: out}}
+}
+
+func (s *Server) handleSync(req *request) *response {
+	sr, ok := req.Payload.V.(syncRequest)
+	if !ok {
+		return &response{Err: "netbind: bad sync payload"}
+	}
+	s.registry.Merge(sr.Entries, func(addr, name string) core.Invoker {
+		return NewClient(addr).InvokerFor(name)
+	})
+	// Reply with our own snapshot, addresses filled in.
+	return &response{Payload: payload{V: syncRequest{
+		From:    s.addr,
+		Entries: s.snapshot(),
+	}}}
+}
+
+// snapshot exports the registry with local entries advertised at this
+// server's address.
+func (s *Server) snapshot() []*core.Registration {
+	entries := s.registry.Snapshot(0)
+	for _, e := range entries {
+		if e.Address == "" {
+			e.Address = s.addr
+		}
+	}
+	return entries
+}
+
+// Close stops the server and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a connection-caching caller for one remote server.
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+}
+
+// NewClient creates a client for addr (lazy dial).
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Addr returns the remote address.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) ensureLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("netbind: dialing %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Call invokes op on the named remote service.
+func (c *Client) Call(ctx context.Context, service, op string, in any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(dl)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+	req := request{Service: service, Op: op, Payload: payload{V: in}}
+	if err := c.enc.Encode(&req); err != nil {
+		c.dropLocked()
+		return nil, fmt.Errorf("netbind: sending to %s: %w", c.addr, err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		c.dropLocked()
+		return nil, fmt.Errorf("netbind: receiving from %s: %w", c.addr, err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp.Err)
+	}
+	return resp.Payload.V, nil
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.enc, c.dec = nil, nil
+	}
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.dropLocked()
+	return nil
+}
+
+// InvokerFor returns a core.Invoker bound to one remote service — the
+// remote counterpart of a local service reference.
+func (c *Client) InvokerFor(service string) core.Invoker {
+	return core.InvokerFunc(func(ctx context.Context, op string, req any) (any, error) {
+		return c.Call(ctx, service, op, req)
+	})
+}
+
+// Sync performs one gossip exchange with a peer server: our snapshot
+// goes out, the peer's snapshot merges back in. Returns how many peer
+// entries were applied locally.
+func Sync(registry *core.Registry, selfAddr string, peer *Client) (int, error) {
+	entries := registry.Snapshot(0)
+	for _, e := range entries {
+		if e.Address == "" {
+			e.Address = selfAddr
+		}
+	}
+	out, err := peer.Call(context.Background(), registrySyncService, "sync", syncRequest{
+		From:    selfAddr,
+		Entries: entries,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sr, ok := out.(syncRequest)
+	if !ok {
+		return 0, fmt.Errorf("netbind: unexpected sync reply %T", out)
+	}
+	applied := registry.Merge(sr.Entries, func(addr, name string) core.Invoker {
+		if addr == selfAddr {
+			return nil // never dial ourselves for our own entries
+		}
+		return NewClient(addr).InvokerFor(name)
+	})
+	return applied, nil
+}
+
+// Gossiper periodically syncs a registry with a set of peers.
+type Gossiper struct {
+	registry *core.Registry
+	self     string
+	peers    []*Client
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewGossiper creates a gossiper for the registry served at selfAddr.
+func NewGossiper(registry *core.Registry, selfAddr string, peerAddrs ...string) *Gossiper {
+	g := &Gossiper{registry: registry, self: selfAddr}
+	for _, a := range peerAddrs {
+		g.peers = append(g.peers, NewClient(a))
+	}
+	return g
+}
+
+// Start begins periodic gossip every interval.
+func (g *Gossiper) Start(interval time.Duration) {
+	if g.stop != nil {
+		return
+	}
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	go func() {
+		defer close(g.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-ticker.C:
+				for _, p := range g.peers {
+					_, _ = Sync(g.registry, g.self, p)
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts gossiping.
+func (g *Gossiper) Stop() {
+	if g.stop == nil {
+		return
+	}
+	close(g.stop)
+	<-g.done
+	g.stop = nil
+	for _, p := range g.peers {
+		_ = p.Close()
+	}
+}
+
+// Binding implements core.Binding by round-tripping local invocations
+// through a real TCP connection to a loopback server — the honest cost
+// model for "remote service" in the granularity experiments.
+type Binding struct {
+	client  *Client
+	service string
+}
+
+// NewBinding wires a binding that reaches the named service via the
+// client.
+func NewBinding(client *Client, service string) *Binding {
+	return &Binding{client: client, service: service}
+}
+
+// Bind implements core.Binding (the target is ignored: calls go over
+// the wire to the service registered remotely under the same name).
+func (b *Binding) Bind(target core.Invoker) core.Invoker {
+	return b.client.InvokerFor(b.service)
+}
+
+// Protocol implements core.Binding.
+func (b *Binding) Protocol() string { return Protocol }

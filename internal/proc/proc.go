@@ -1,0 +1,127 @@
+// Package proc implements the stored-procedure Extension Service of
+// Figure 2: named Go procedures registered at runtime and invoked with
+// typed rows, with per-procedure statistics. Procedures are how
+// "existing application functionality" integrates directly into the
+// data management architecture (Section 1).
+package proc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/access"
+)
+
+// Procedure errors.
+var (
+	// ErrNoProc is returned for unknown procedure names.
+	ErrNoProc = errors.New("proc: no such procedure")
+	// ErrExists is returned when registering a duplicate name.
+	ErrExists = errors.New("proc: procedure exists")
+)
+
+// Procedure is a registered routine: rows in, rows out.
+type Procedure func(ctx context.Context, args access.Row) ([]access.Row, error)
+
+// Stats counts invocations of one procedure.
+type Stats struct {
+	Calls  uint64
+	Errors uint64
+}
+
+type entry struct {
+	fn     Procedure
+	doc    string
+	calls  atomic.Uint64
+	errors atomic.Uint64
+}
+
+// Registry stores and invokes procedures; safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	procs map[string]*entry
+}
+
+// NewRegistry creates an empty procedure registry.
+func NewRegistry() *Registry {
+	return &Registry{procs: make(map[string]*entry)}
+}
+
+// Register adds a procedure under a unique name.
+func (r *Registry) Register(name, doc string, fn Procedure) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("proc: name and function required")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.procs[name]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	r.procs[name] = &entry{fn: fn, doc: doc}
+	return nil
+}
+
+// Unregister removes a procedure.
+func (r *Registry) Unregister(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.procs[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoProc, name)
+	}
+	delete(r.procs, name)
+	return nil
+}
+
+// Call invokes a procedure.
+func (r *Registry) Call(ctx context.Context, name string, args access.Row) ([]access.Row, error) {
+	r.mu.RLock()
+	e, ok := r.procs[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoProc, name)
+	}
+	e.calls.Add(1)
+	out, err := e.fn(ctx, args)
+	if err != nil {
+		e.errors.Add(1)
+	}
+	return out, err
+}
+
+// Doc returns the documentation string of a procedure.
+func (r *Registry) Doc(name string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.procs[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoProc, name)
+	}
+	return e.doc, nil
+}
+
+// List returns the sorted procedure names.
+func (r *Registry) List() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.procs))
+	for n := range r.procs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns invocation counters for a procedure.
+func (r *Registry) Stats(name string) (Stats, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.procs[name]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: %s", ErrNoProc, name)
+	}
+	return Stats{Calls: e.calls.Load(), Errors: e.errors.Load()}, nil
+}

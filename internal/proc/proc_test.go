@@ -1,0 +1,77 @@
+package proc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/access"
+)
+
+func TestRegisterCall(t *testing.T) {
+	r := NewRegistry()
+	err := r.Register("double", "doubles an int", func(ctx context.Context, args access.Row) ([]access.Row, error) {
+		return []access.Row{{access.NewInt(args[0].Int * 2)}}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Call(context.Background(), "double", access.Row{access.NewInt(21)})
+	if err != nil || out[0][0].Int != 42 {
+		t.Fatalf("Call = %v, %v", out, err)
+	}
+	if doc, _ := r.Doc("double"); doc != "doubles an int" {
+		t.Fatalf("doc = %q", doc)
+	}
+	st, err := r.Stats("double")
+	if err != nil || st.Calls != 1 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, %v", st, err)
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	r := NewRegistry()
+	boom := errors.New("boom")
+	_ = r.Register("bad", "", func(ctx context.Context, args access.Row) ([]access.Row, error) {
+		return nil, boom
+	})
+	if _, err := r.Call(context.Background(), "bad", nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	st, _ := r.Stats("bad")
+	if st.Errors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register("", "", nil); err == nil {
+		t.Fatal("empty registration must fail")
+	}
+	_ = r.Register("p", "", func(ctx context.Context, args access.Row) ([]access.Row, error) { return nil, nil })
+	if err := r.Register("p", "", func(ctx context.Context, args access.Row) ([]access.Row, error) { return nil, nil }); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.Call(context.Background(), "zzz", nil); !errors.Is(err, ErrNoProc) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.Doc("zzz"); !errors.Is(err, ErrNoProc) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.Stats("zzz"); !errors.Is(err, ErrNoProc) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := r.Unregister("zzz"); !errors.Is(err, ErrNoProc) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := r.List(); len(got) != 1 || got[0] != "p" {
+		t.Fatalf("List = %v", got)
+	}
+	if err := r.Unregister("p"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.List()) != 0 {
+		t.Fatal("unregister failed")
+	}
+}

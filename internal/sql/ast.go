@@ -1,0 +1,158 @@
+package sql
+
+import (
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/exec"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name     string
+	TypeName string
+	NotNull  bool
+}
+
+// CreateTable is CREATE TABLE name (cols...).
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmt() {}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (column).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// CreateView is CREATE VIEW name AS select.
+type CreateView struct {
+	Name  string
+	Query string // raw SELECT text
+}
+
+func (*CreateView) stmt() {}
+
+// Drop is DROP TABLE/INDEX/VIEW name.
+type Drop struct {
+	Kind string // "TABLE", "INDEX", "VIEW"
+	Name string
+}
+
+func (*Drop) stmt() {}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string
+	Rows    [][]exec.Expr
+}
+
+func (*Insert) stmt() {}
+
+// SetClause is one column assignment of UPDATE.
+type SetClause struct {
+	Column string
+	Value  exec.Expr
+}
+
+// Update is UPDATE table SET col = expr [, ...] [WHERE expr].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where exec.Expr
+}
+
+func (*Update) stmt() {}
+
+// Delete is DELETE FROM table [WHERE expr].
+type Delete struct {
+	Table string
+	Where exec.Expr
+}
+
+func (*Delete) stmt() {}
+
+// SelectItem is one output of SELECT: an expression with optional
+// alias, or star.
+type SelectItem struct {
+	Star  bool
+	Expr  exec.Expr
+	Alias string
+}
+
+// TableRef is one FROM element; entries after the first carry the join
+// condition (nil = cross join).
+type TableRef struct {
+	Table  string
+	Alias  string
+	JoinOn exec.Expr
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr exec.Expr
+	Desc bool
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    exec.Expr
+	GroupBy  []exec.Expr
+	Having   exec.Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = none
+	Offset   int64
+}
+
+func (*Select) stmt() {}
+
+// Begin/Commit/Rollback control explicit transactions.
+type Begin struct{}
+
+func (*Begin) stmt() {}
+
+// Commit commits the current transaction.
+type Commit struct{}
+
+func (*Commit) stmt() {}
+
+// Rollback aborts the current transaction.
+type Rollback struct{}
+
+func (*Rollback) stmt() {}
+
+// AggCall is an aggregate invocation inside a SELECT item. It
+// implements exec.Expr so it can flow through the parser, but direct
+// evaluation is an error — the planner rewrites it into a
+// HashAggregate column.
+type AggCall struct {
+	Func exec.AggFunc
+	Arg  exec.Expr // nil for COUNT(*)
+}
+
+// Eval implements exec.Expr: aggregates cannot be evaluated per row.
+func (a AggCall) Eval(access.Row, []string) (access.Value, error) {
+	return access.Null(), fmt.Errorf("%w: aggregate %s outside GROUP BY context", ErrSyntax, a.Func)
+}
+
+// String implements exec.Expr.
+func (a AggCall) String() string {
+	if a.Arg == nil {
+		return fmt.Sprintf("%s(*)", a.Func)
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Arg)
+}

@@ -1,0 +1,690 @@
+package sql
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Engine errors.
+var (
+	// ErrNoActiveTxn is returned by COMMIT/ROLLBACK without BEGIN.
+	ErrNoActiveTxn = errors.New("sql: no active transaction")
+	// ErrTxnOpen is returned by BEGIN when a transaction is active.
+	ErrTxnOpen = errors.New("sql: transaction already open")
+	// ErrNotNull is returned when a NOT NULL column receives NULL.
+	ErrNotNull = errors.New("sql: NOT NULL constraint violated")
+	// ErrArity is returned when INSERT arity mismatches the table.
+	ErrArity = errors.New("sql: column count mismatch")
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Cols names the result columns (SELECT only).
+	Cols []string
+	// Rows holds the result rows (SELECT only).
+	Rows []access.Row
+	// Affected counts modified rows for DML, 0 otherwise.
+	Affected int
+}
+
+// Engine executes SQL statements against the storage stack: catalog,
+// heap files, B+tree indexes and the transaction manager. It is the
+// implementation behind the Data Services query interface.
+type Engine struct {
+	fm   *storage.FileManager
+	pool *buffer.Manager
+	cat  *catalog.Catalog
+	txns *txn.Manager // may be nil: no locking/durability
+
+	mu      sync.Mutex
+	heaps   map[string]*access.HeapFile
+	trees   map[storage.PageID]*index.BTree
+	current *txn.Txn // session transaction from BEGIN
+	wal     *wal.Log
+}
+
+// NewEngine assembles an engine over an opened storage stack.
+func NewEngine(fm *storage.FileManager, pool *buffer.Manager, cat *catalog.Catalog, txns *txn.Manager) *Engine {
+	return &Engine{
+		fm:    fm,
+		pool:  pool,
+		cat:   cat,
+		txns:  txns,
+		heaps: make(map[string]*access.HeapFile),
+		trees: make(map[storage.PageID]*index.BTree),
+	}
+}
+
+// Catalog exposes the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Pool exposes the engine's buffer manager (monitoring services read
+// its statistics).
+func (e *Engine) Pool() *buffer.Manager { return e.pool }
+
+// SetWAL attaches a write-ahead log applied to every heap the engine
+// opens (call once at startup, before any statement runs).
+func (e *Engine) SetWAL(l *wal.Log) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wal = l
+	for _, h := range e.heaps {
+		h.SetLog(l)
+	}
+}
+
+func (e *Engine) heap(t *catalog.Table) (*access.HeapFile, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.heapLocked(t)
+}
+
+func (e *Engine) heapLocked(t *catalog.Table) (*access.HeapFile, error) {
+	if h, ok := e.heaps[t.HeapFile]; ok {
+		return h, nil
+	}
+	h, err := access.OpenHeap(t.HeapFile, e.fm, e.pool)
+	if err != nil {
+		return nil, err
+	}
+	if e.wal != nil {
+		h.SetLog(e.wal)
+	}
+	e.heaps[t.HeapFile] = h
+	return h, nil
+}
+
+// Execute parses and executes one statement.
+func (e *Engine) Execute(ctx context.Context, src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteStmt(ctx, st)
+}
+
+// MustExec is a test/demo helper: Execute or panic.
+func (e *Engine) MustExec(ctx context.Context, src string) *Result {
+	r, err := e.Execute(ctx, src)
+	if err != nil {
+		panic(fmt.Sprintf("sql: %q: %v", src, err))
+	}
+	return r
+}
+
+// ExecuteStmt executes a parsed statement. DML and SELECT run under the
+// session transaction when one is open, otherwise under a per-statement
+// auto-commit transaction (when a transaction manager is attached).
+func (e *Engine) ExecuteStmt(ctx context.Context, st Statement) (*Result, error) {
+	switch s := st.(type) {
+	case *Begin:
+		return e.begin()
+	case *Commit:
+		return e.commitSession()
+	case *Rollback:
+		return e.rollbackSession()
+	case *CreateTable:
+		return e.createTable(s)
+	case *CreateIndex:
+		return e.createIndex(ctx, s)
+	case *CreateView:
+		return e.createView(s)
+	case *Drop:
+		return e.drop(s)
+	}
+
+	tx, auto, err := e.stmtTxn()
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.runDMLOrQuery(ctx, st, tx)
+	if auto {
+		if err != nil {
+			_ = e.txns.Abort(tx)
+		} else if cerr := e.txns.Commit(tx); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return res, err
+}
+
+func (e *Engine) stmtTxn() (*txn.Txn, bool, error) {
+	e.mu.Lock()
+	cur := e.current
+	e.mu.Unlock()
+	if cur != nil {
+		return cur, false, nil
+	}
+	if e.txns == nil {
+		return nil, false, nil
+	}
+	tx, err := e.txns.Begin()
+	if err != nil {
+		return nil, false, err
+	}
+	return tx, true, nil
+}
+
+func (e *Engine) runDMLOrQuery(ctx context.Context, st Statement, tx *txn.Txn) (*Result, error) {
+	switch s := st.(type) {
+	case *Select:
+		if err := e.lockTables(ctx, tx, selectTables(s), txn.Shared); err != nil {
+			return nil, err
+		}
+		op, err := e.planSelect(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Collect(ctx, op)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cols: op.Columns(), Rows: rows}, nil
+	case *Insert:
+		if err := e.lockTables(ctx, tx, []string{s.Table}, txn.Exclusive); err != nil {
+			return nil, err
+		}
+		return e.runInsert(ctx, s, tx)
+	case *Update:
+		if err := e.lockTables(ctx, tx, []string{s.Table}, txn.Exclusive); err != nil {
+			return nil, err
+		}
+		return e.runUpdate(ctx, s, tx)
+	case *Delete:
+		if err := e.lockTables(ctx, tx, []string{s.Table}, txn.Exclusive); err != nil {
+			return nil, err
+		}
+		return e.runDelete(ctx, s, tx)
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", st)
+}
+
+func selectTables(s *Select) []string {
+	var out []string
+	for _, r := range s.From {
+		out = append(out, r.Table)
+	}
+	return out
+}
+
+func (e *Engine) lockTables(ctx context.Context, tx *txn.Txn, tables []string, mode txn.LockMode) error {
+	if tx == nil {
+		return nil
+	}
+	for _, t := range tables {
+		if err := tx.Lock(ctx, "table:"+strings.ToLower(t), mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- session transactions ---
+
+func (e *Engine) begin() (*Result, error) {
+	if e.txns == nil {
+		return nil, fmt.Errorf("sql: engine has no transaction manager")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.current != nil {
+		return nil, ErrTxnOpen
+	}
+	tx, err := e.txns.Begin()
+	if err != nil {
+		return nil, err
+	}
+	e.current = tx
+	return &Result{}, nil
+}
+
+func (e *Engine) commitSession() (*Result, error) {
+	e.mu.Lock()
+	tx := e.current
+	e.current = nil
+	e.mu.Unlock()
+	if tx == nil {
+		return nil, ErrNoActiveTxn
+	}
+	if err := e.txns.Commit(tx); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) rollbackSession() (*Result, error) {
+	e.mu.Lock()
+	tx := e.current
+	e.current = nil
+	e.mu.Unlock()
+	if tx == nil {
+		return nil, ErrNoActiveTxn
+	}
+	if err := e.txns.Abort(tx); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+// --- DDL ---
+
+func (e *Engine) createTable(s *CreateTable) (*Result, error) {
+	cols := make([]catalog.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		t, err := access.ParseType(c.TypeName)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = catalog.Column{Name: c.Name, Type: t, NotNull: c.NotNull}
+	}
+	tbl := &catalog.Table{Name: s.Name, Columns: cols}
+	if err := e.cat.CreateTable(tbl); err != nil {
+		return nil, err
+	}
+	if _, err := e.heap(tbl); err != nil {
+		return nil, err
+	}
+	return &Result{}, e.pool.FlushAll()
+}
+
+func (e *Engine) createIndex(ctx context.Context, s *CreateIndex) (*Result, error) {
+	tbl, err := e.cat.GetTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	colIdx, err := tbl.ColumnIndex(s.Column)
+	if err != nil {
+		return nil, err
+	}
+	tree, metaID, err := index.Create(e.pool, s.Unique)
+	if err != nil {
+		return nil, err
+	}
+	// Backfill from existing rows.
+	h, err := e.heap(tbl)
+	if err != nil {
+		return nil, err
+	}
+	err = h.Scan(func(rid access.RID, rec []byte) error {
+		row, err := access.DecodeRow(rec)
+		if err != nil {
+			return err
+		}
+		return tree.Insert(access.EncodeKey(row[colIdx]), rid)
+	})
+	if err != nil {
+		_ = tree.Drop()
+		return nil, err
+	}
+	def := catalog.IndexDef{Name: s.Name, Column: s.Column, MetaPage: metaID, Unique: s.Unique}
+	if err := e.cat.AddIndex(tbl.Name, def); err != nil {
+		_ = tree.Drop()
+		return nil, err
+	}
+	e.mu.Lock()
+	e.trees[metaID] = tree
+	e.mu.Unlock()
+	return &Result{}, e.pool.FlushAll()
+}
+
+func (e *Engine) createView(s *CreateView) (*Result, error) {
+	if err := e.cat.CreateView(&catalog.View{Name: s.Name, Query: s.Query}); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (e *Engine) drop(s *Drop) (*Result, error) {
+	switch s.Kind {
+	case "TABLE":
+		tbl, err := e.cat.DropTable(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		for _, ix := range tbl.Indexes {
+			tree, err := e.tree(ix)
+			if err == nil {
+				_ = tree.Drop()
+			}
+			e.mu.Lock()
+			delete(e.trees, ix.MetaPage)
+			e.mu.Unlock()
+		}
+		e.mu.Lock()
+		h := e.heaps[tbl.HeapFile]
+		delete(e.heaps, tbl.HeapFile)
+		e.mu.Unlock()
+		if h == nil {
+			h, err = access.OpenHeap(tbl.HeapFile, e.fm, e.pool)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := h.Drop(); err != nil {
+			return nil, err
+		}
+		return &Result{}, e.pool.FlushAll()
+	case "INDEX":
+		def, _, err := e.cat.DropIndex(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := e.tree(def)
+		if err == nil {
+			_ = tree.Drop()
+		}
+		e.mu.Lock()
+		delete(e.trees, def.MetaPage)
+		e.mu.Unlock()
+		return &Result{}, e.pool.FlushAll()
+	case "VIEW":
+		if err := e.cat.DropView(s.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported DROP %s", s.Kind)
+}
+
+func (e *Engine) tree(def catalog.IndexDef) (*index.BTree, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t, ok := e.trees[def.MetaPage]; ok {
+		return t, nil
+	}
+	t, err := index.Open(e.pool, def.MetaPage)
+	if err != nil {
+		return nil, err
+	}
+	e.trees[def.MetaPage] = t
+	return t, nil
+}
+
+// --- DML ---
+
+type openIndex struct {
+	def    catalog.IndexDef
+	tree   *index.BTree
+	colIdx int
+}
+
+func (e *Engine) openIndexes(tbl *catalog.Table) ([]openIndex, error) {
+	var out []openIndex
+	for _, def := range tbl.Indexes {
+		tree, err := e.tree(def)
+		if err != nil {
+			return nil, err
+		}
+		ci, err := tbl.ColumnIndex(def.Column)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, openIndex{def: def, tree: tree, colIdx: ci})
+	}
+	return out, nil
+}
+
+func (e *Engine) runInsert(ctx context.Context, s *Insert, tx *txn.Txn) (*Result, error) {
+	tbl, err := e.cat.GetTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := e.heap(tbl)
+	if err != nil {
+		return nil, err
+	}
+	indexes, err := e.openIndexes(tbl)
+	if err != nil {
+		return nil, err
+	}
+	// Column mapping.
+	targets := make([]int, 0, len(tbl.Columns))
+	if len(s.Columns) == 0 {
+		for i := range tbl.Columns {
+			targets = append(targets, i)
+		}
+	} else {
+		for _, c := range s.Columns {
+			i, err := tbl.ColumnIndex(c)
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, i)
+		}
+	}
+	affected := 0
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(targets) {
+			return nil, fmt.Errorf("%w: %d values for %d columns", ErrArity, len(exprRow), len(targets))
+		}
+		row := make(access.Row, len(tbl.Columns))
+		for i := range row {
+			row[i] = access.Null()
+		}
+		for i, ex := range exprRow {
+			v, err := ex.Eval(nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, tbl.Columns[targets[i]].Type)
+			if err != nil {
+				return nil, fmt.Errorf("%s.%s: %w", tbl.Name, tbl.Columns[targets[i]].Name, err)
+			}
+			row[targets[i]] = cv
+		}
+		for i, col := range tbl.Columns {
+			if col.NotNull && row[i].IsNull() {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNotNull, tbl.Name, col.Name)
+			}
+		}
+		if err := e.insertRow(h, indexes, tx, row); err != nil {
+			return nil, err
+		}
+		affected++
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// insertRow writes the row and maintains every index, undoing the heap
+// insert on index failure (e.g. unique violation).
+func (e *Engine) insertRow(h *access.HeapFile, indexes []openIndex, tx *txn.Txn, row access.Row) error {
+	rid, err := h.Insert(tx, access.EncodeRow(row))
+	if err != nil {
+		return err
+	}
+	for k, ix := range indexes {
+		key := access.EncodeKey(row[ix.colIdx])
+		if err := ix.tree.Insert(key, rid); err != nil {
+			// Roll back the partial work of this row.
+			for j := 0; j < k; j++ {
+				_, _ = indexes[j].tree.Delete(access.EncodeKey(row[indexes[j].colIdx]), rid)
+			}
+			_ = h.Delete(tx, rid)
+			return err
+		}
+		if tx != nil {
+			tree := ix.tree
+			tx.Compensate(func() error {
+				_, err := tree.Delete(key, rid)
+				return err
+			})
+		}
+	}
+	return nil
+}
+
+// coerce adapts a value to a column type (int <-> float, NULL passes).
+func coerce(v access.Value, t access.Type) (access.Value, error) {
+	if v.IsNull() || v.Type == t {
+		return v, nil
+	}
+	switch {
+	case t == access.TypeFloat && v.Type == access.TypeInt:
+		return access.NewFloat(float64(v.Int)), nil
+	case t == access.TypeInt && v.Type == access.TypeFloat && v.Float == float64(int64(v.Float)):
+		return access.NewInt(int64(v.Float)), nil
+	}
+	return access.Null(), fmt.Errorf("sql: cannot store %s into %s column", v.Type, t)
+}
+
+// matchTarget finds rows matching a WHERE predicate in a table.
+func (e *Engine) matchTarget(ctx context.Context, tbl *catalog.Table, where exec.Expr) ([]access.RID, []access.Row, error) {
+	h, err := e.heap(tbl)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]string, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		cols[i] = tbl.Name + "." + c.Name
+	}
+	var rids []access.RID
+	var rows []access.Row
+	err = h.Scan(func(rid access.RID, rec []byte) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		row, err := access.DecodeRow(rec)
+		if err != nil {
+			return err
+		}
+		if where != nil {
+			ok, err := exec.Truthy(where, row, cols)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		rids = append(rids, rid)
+		rows = append(rows, row.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rids, rows, nil
+}
+
+func (e *Engine) runUpdate(ctx context.Context, s *Update, tx *txn.Txn) (*Result, error) {
+	tbl, err := e.cat.GetTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := e.heap(tbl)
+	if err != nil {
+		return nil, err
+	}
+	indexes, err := e.openIndexes(tbl)
+	if err != nil {
+		return nil, err
+	}
+	rids, rows, err := e.matchTarget(ctx, tbl, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(tbl.Columns))
+	for i, c := range tbl.Columns {
+		cols[i] = tbl.Name + "." + c.Name
+	}
+	setIdx := make([]int, len(s.Sets))
+	for i, set := range s.Sets {
+		ci, err := tbl.ColumnIndex(set.Column)
+		if err != nil {
+			return nil, err
+		}
+		setIdx[i] = ci
+	}
+	for k, rid := range rids {
+		oldRow := rows[k]
+		newRow := oldRow.Clone()
+		for i, set := range s.Sets {
+			v, err := set.Value.Eval(oldRow, cols)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerce(v, tbl.Columns[setIdx[i]].Type)
+			if err != nil {
+				return nil, err
+			}
+			if tbl.Columns[setIdx[i]].NotNull && cv.IsNull() {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNotNull, tbl.Name, tbl.Columns[setIdx[i]].Name)
+			}
+			newRow[setIdx[i]] = cv
+		}
+		nrid, err := h.Update(tx, rid, access.EncodeRow(newRow))
+		if err != nil {
+			return nil, err
+		}
+		for _, ix := range indexes {
+			oldKey := access.EncodeKey(oldRow[ix.colIdx])
+			newKey := access.EncodeKey(newRow[ix.colIdx])
+			if string(oldKey) == string(newKey) && nrid == rid {
+				continue
+			}
+			if _, err := ix.tree.Delete(oldKey, rid); err != nil {
+				return nil, err
+			}
+			if err := ix.tree.Insert(newKey, nrid); err != nil {
+				return nil, err
+			}
+			if tx != nil {
+				tree, oldRID, newRID := ix.tree, rid, nrid
+				tx.Compensate(func() error {
+					if _, err := tree.Delete(newKey, newRID); err != nil {
+						return err
+					}
+					return tree.Insert(oldKey, oldRID)
+				})
+			}
+		}
+	}
+	return &Result{Affected: len(rids)}, nil
+}
+
+func (e *Engine) runDelete(ctx context.Context, s *Delete, tx *txn.Txn) (*Result, error) {
+	tbl, err := e.cat.GetTable(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	h, err := e.heap(tbl)
+	if err != nil {
+		return nil, err
+	}
+	indexes, err := e.openIndexes(tbl)
+	if err != nil {
+		return nil, err
+	}
+	rids, rows, err := e.matchTarget(ctx, tbl, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	for k, rid := range rids {
+		if err := h.Delete(tx, rid); err != nil {
+			return nil, err
+		}
+		for _, ix := range indexes {
+			key := access.EncodeKey(rows[k][ix.colIdx])
+			if _, err := ix.tree.Delete(key, rid); err != nil {
+				return nil, err
+			}
+			if tx != nil {
+				tree, drid := ix.tree, rid
+				tx.Compensate(func() error { return tree.Insert(key, drid) })
+			}
+		}
+	}
+	return &Result{Affected: len(rids)}, nil
+}

@@ -1,0 +1,162 @@
+// Package sql implements the Data Services query interface of SBDMS: a
+// lexer, recursive-descent parser and planner for a SQL subset
+// (CREATE/DROP TABLE/INDEX/VIEW, INSERT, UPDATE, DELETE, SELECT with
+// joins, aggregation, ORDER BY and LIMIT), plus the Engine that
+// executes statements against the catalog, heap files, indexes and
+// transaction manager.
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse errors.
+var (
+	// ErrSyntax is returned for malformed SQL.
+	ErrSyntax = errors.New("sql: syntax error")
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkPunct // ( ) , . * = != < <= > >= + - / %
+)
+
+type token struct {
+	kind tokenKind
+	text string // uppercased for idents' keyword checks? keep raw; match case-insensitively
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// line comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tkIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tkNumber, text: l.src[start:l.pos], pos: start})
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("%w: unterminated string at %d", ErrSyntax, start)
+}
+
+func (l *lexer) lexPunct() error {
+	start := l.pos
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<>", "<=", ">=":
+		l.pos += 2
+		text := two
+		if text == "<>" {
+			text = "!="
+		}
+		l.toks = append(l.toks, token{kind: tkPunct, text: text, pos: start})
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '.', '*', '=', '<', '>', '+', '-', '/', '%', ';':
+		l.pos++
+		l.toks = append(l.toks, token{kind: tkPunct, text: string(c), pos: start})
+		return nil
+	}
+	return fmt.Errorf("%w: unexpected character %q at %d", ErrSyntax, c, start)
+}

@@ -1,0 +1,747 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/access"
+	"repro/internal/exec"
+)
+
+// Parse parses a single SQL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tkPunct, ";")
+	if !p.at(tkEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	if t.kind != kind {
+		return false
+	}
+	if text == "" {
+		return true
+	}
+	if kind == tkIdent {
+		return strings.EqualFold(t.text, text)
+	}
+	return t.text == text
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, p.errf("expected %s, found %q", want, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s (at offset %d)", ErrSyntax, fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) keyword() string { return strings.ToUpper(p.cur().text) }
+
+func (p *parser) parseStatement() (Statement, error) {
+	if p.cur().kind != tkIdent {
+		return nil, p.errf("expected statement keyword, found %q", p.cur().text)
+	}
+	switch p.keyword() {
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "SELECT":
+		return p.parseSelect()
+	case "BEGIN":
+		p.next()
+		return &Begin{}, nil
+	case "COMMIT":
+		p.next()
+		return &Commit{}, nil
+	case "ROLLBACK":
+		p.next()
+		return &Rollback{}, nil
+	}
+	return nil, p.errf("unknown statement %q", p.cur().text)
+}
+
+func (p *parser) parseIdent() (string, error) {
+	t, err := p.expect(tkIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	unique := false
+	if p.accept(tkIdent, "UNIQUE") {
+		unique = true
+	}
+	switch p.keyword() {
+	case "TABLE":
+		if unique {
+			return nil, p.errf("UNIQUE applies to indexes")
+		}
+		return p.parseCreateTable()
+	case "INDEX":
+		return p.parseCreateIndex(unique)
+	case "VIEW":
+		if unique {
+			return nil, p.errf("UNIQUE applies to indexes")
+		}
+		return p.parseCreateView()
+	}
+	return nil, p.errf("expected TABLE, INDEX or VIEW")
+}
+
+func (p *parser) parseCreateTable() (Statement, error) {
+	p.next() // TABLE
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		cname, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		tname, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		col := ColumnDef{Name: cname, TypeName: tname}
+		if p.accept(tkIdent, "NOT") {
+			if _, err := p.expect(tkIdent, "NULL"); err != nil {
+				return nil, err
+			}
+			col.NotNull = true
+		}
+		cols = append(cols, col)
+		if p.accept(tkPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tkPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Name: name, Columns: cols}, nil
+}
+
+func (p *parser) parseCreateIndex(unique bool) (Statement, error) {
+	p.next() // INDEX
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkIdent, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, "("); err != nil {
+		return nil, err
+	}
+	column, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Name: name, Table: table, Column: column, Unique: unique}, nil
+}
+
+func (p *parser) parseCreateView() (Statement, error) {
+	p.next() // VIEW
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkIdent, "AS"); err != nil {
+		return nil, err
+	}
+	// The view body is the raw remainder; validate it parses as SELECT.
+	start := p.cur().pos
+	if _, err := p.parseSelect(); err != nil {
+		return nil, err
+	}
+	query := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(p.src[start:]), ";"))
+	return &CreateView{Name: name, Query: query}, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	kind := p.keyword()
+	switch kind {
+	case "TABLE", "INDEX", "VIEW":
+		p.next()
+	default:
+		return nil, p.errf("expected TABLE, INDEX or VIEW")
+	}
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &Drop{Kind: kind, Name: name}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tkIdent, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	if p.accept(tkPunct, "(") {
+		for {
+			c, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			cols = append(cols, c)
+			if p.accept(tkPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tkIdent, "VALUES"); err != nil {
+		return nil, err
+	}
+	var rows [][]exec.Expr
+	for {
+		if _, err := p.expect(tkPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []exec.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tkPunct, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tkPunct, ")"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+		if p.accept(tkPunct, ",") {
+			continue
+		}
+		break
+	}
+	return &Insert{Table: table, Columns: cols, Rows: rows}, nil
+}
+
+func (p *parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tkIdent, "SET"); err != nil {
+		return nil, err
+	}
+	var sets []SetClause
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tkPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, SetClause{Column: col, Value: val})
+		if p.accept(tkPunct, ",") {
+			continue
+		}
+		break
+	}
+	var where exec.Expr
+	if p.accept(tkIdent, "WHERE") {
+		if where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return &Update{Table: table, Sets: sets, Where: where}, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect(tkIdent, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	var where exec.Expr
+	if p.accept(tkIdent, "WHERE") {
+		if where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return &Delete{Table: table, Where: where}, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if _, err := p.expect(tkIdent, "SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	if p.accept(tkIdent, "DISTINCT") {
+		sel.Distinct = true
+	}
+	// Select list.
+	for {
+		if p.accept(tkPunct, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tkIdent, "AS") {
+				alias, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			} else if p.cur().kind == tkIdent && !p.atReserved() {
+				item.Alias = p.next().text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if p.accept(tkPunct, ",") {
+			continue
+		}
+		break
+	}
+	// FROM
+	if p.accept(tkIdent, "FROM") {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		for {
+			if p.accept(tkIdent, "JOIN") {
+				r, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tkIdent, "ON"); err != nil {
+					return nil, err
+				}
+				if r.JoinOn, err = p.parseExpr(); err != nil {
+					return nil, err
+				}
+				sel.From = append(sel.From, r)
+				continue
+			}
+			if p.accept(tkPunct, ",") {
+				r, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				sel.From = append(sel.From, r) // cross join
+				continue
+			}
+			break
+		}
+	}
+	var err error
+	if p.accept(tkIdent, "WHERE") {
+		if sel.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tkIdent, "GROUP") {
+		if _, err := p.expect(tkIdent, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.accept(tkPunct, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tkIdent, "HAVING") {
+		if sel.Having, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tkIdent, "ORDER") {
+		if _, err := p.expect(tkIdent, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tkIdent, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tkIdent, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.accept(tkPunct, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tkIdent, "LIMIT") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.accept(tkIdent, "OFFSET") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseInt() (int64, error) {
+	t, err := p.expect(tkNumber, "")
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.accept(tkIdent, "AS") {
+		if ref.Alias, err = p.parseIdent(); err != nil {
+			return TableRef{}, err
+		}
+	} else if p.cur().kind == tkIdent && !p.atReserved() {
+		ref.Alias = p.next().text
+	}
+	return ref, nil
+}
+
+// reserved words that end an implicit alias position.
+var reserved = map[string]bool{
+	"FROM": true, "WHERE": true, "GROUP": true, "HAVING": true, "ORDER": true,
+	"LIMIT": true, "OFFSET": true, "JOIN": true, "ON": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "IS": true, "NULL": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "SELECT": true, "BY": true,
+	"VALUES": true, "SET": true, "INTO": true, "UNION": true,
+}
+
+func (p *parser) atReserved() bool {
+	return p.cur().kind == tkIdent && reserved[strings.ToUpper(p.cur().text)]
+}
+
+// --- expressions, precedence climbing ---
+
+func (p *parser) parseExpr() (exec.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (exec.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkIdent, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = exec.Logic{Op: exec.OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (exec.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tkIdent, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = exec.Logic{Op: exec.OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (exec.Expr, error) {
+	if p.accept(tkIdent, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return exec.Not{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (exec.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// IS [NOT] NULL
+	if p.accept(tkIdent, "IS") {
+		neg := p.accept(tkIdent, "NOT")
+		if _, err := p.expect(tkIdent, "NULL"); err != nil {
+			return nil, err
+		}
+		return exec.IsNull{E: l, Neg: neg}, nil
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(tkPunct, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return exec.Cmp{Op: exec.CmpOp(op), L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (exec.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkPunct, "+"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = exec.Arith{Op: exec.OpAdd, L: l, R: r}
+		case p.accept(tkPunct, "-"):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = exec.Arith{Op: exec.OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (exec.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tkPunct, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = exec.Arith{Op: exec.OpMul, L: l, R: r}
+		case p.accept(tkPunct, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = exec.Arith{Op: exec.OpDiv, L: l, R: r}
+		case p.accept(tkPunct, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = exec.Arith{Op: exec.OpMod, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (exec.Expr, error) {
+	if p.accept(tkPunct, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return exec.Arith{Op: exec.OpSub, L: exec.Lit{V: access.NewInt(0)}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggFuncs = map[string]exec.AggFunc{
+	"COUNT": exec.AggCount, "SUM": exec.AggSum, "AVG": exec.AggAvg,
+	"MIN": exec.AggMin, "MAX": exec.AggMax,
+}
+
+func (p *parser) parsePrimary() (exec.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkNumber:
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return exec.Lit{V: access.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return exec.Lit{V: access.NewInt(n)}, nil
+	case tkString:
+		p.next()
+		return exec.Lit{V: access.NewString(t.text)}, nil
+	case tkPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tkPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tkIdent:
+		upper := strings.ToUpper(t.text)
+		switch upper {
+		case "NULL":
+			p.next()
+			return exec.Lit{V: access.Null()}, nil
+		case "TRUE":
+			p.next()
+			return exec.Lit{V: access.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return exec.Lit{V: access.NewBool(false)}, nil
+		}
+		if fn, ok := aggFuncs[upper]; ok && p.toks[p.pos+1].kind == tkPunct && p.toks[p.pos+1].text == "(" {
+			p.next() // func name
+			p.next() // (
+			var arg exec.Expr
+			if p.accept(tkPunct, "*") {
+				if fn != exec.AggCount {
+					return nil, p.errf("%s(*) is only valid for COUNT", fn)
+				}
+			} else {
+				var err error
+				if arg, err = p.parseExpr(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expect(tkPunct, ")"); err != nil {
+				return nil, err
+			}
+			return AggCall{Func: fn, Arg: arg}, nil
+		}
+		// Column reference, possibly qualified. Reserved words cannot
+		// start an expression.
+		if reserved[upper] {
+			return nil, p.errf("unexpected keyword %q", t.text)
+		}
+		p.next()
+		name := t.text
+		if p.accept(tkPunct, ".") {
+			part, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			name = name + "." + part
+		}
+		return exec.Col{Name: name}, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

@@ -1,0 +1,237 @@
+// Package storage implements the Storage Services layer of the SBDMS
+// architecture (Section 3.1): byte-level non-volatile devices, a
+// page-granular disk manager with persistent free-space management, a
+// typed page abstraction with checksums, and a file manager that
+// organises pages into named chains. Each piece maps onto one of the
+// storage components of Figures 5-7 (Disk Manager, Page Manager, File
+// Manager) and is exposed as a service by the sbdms facade.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Device errors.
+var (
+	// ErrClosed is returned on access to a closed device or manager.
+	ErrClosed = errors.New("storage: closed")
+	// ErrOutOfRange is returned when an access lies beyond the device
+	// or page bounds.
+	ErrOutOfRange = errors.New("storage: out of range")
+)
+
+// Device is a byte-level non-volatile storage device ("Storage Services
+// work at byte level and handle the physical specification of
+// non-volatile devices"). Implementations must be safe for concurrent
+// use.
+type Device interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current device size in bytes.
+	Size() (int64, error)
+	// Truncate grows or shrinks the device.
+	Truncate(size int64) error
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases the device.
+	Close() error
+}
+
+// MemDevice is an in-memory Device used for tests, benchmarks and the
+// small-footprint profiles where no durable medium exists (simulated
+// embedded flash).
+type MemDevice struct {
+	mu     sync.RWMutex
+	data   []byte
+	closed bool
+	// FailWrites makes every write fail; fault-injection hook.
+	failWrites bool
+}
+
+// NewMemDevice creates an empty in-memory device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// ReadAt implements io.ReaderAt.
+func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, ErrOutOfRange
+	}
+	if off >= int64(len(d.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the device as needed.
+func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	if d.failWrites {
+		return 0, fmt.Errorf("storage: injected write failure")
+	}
+	if off < 0 {
+		return 0, ErrOutOfRange
+	}
+	end := off + int64(len(p))
+	if end > int64(len(d.data)) {
+		grown := make([]byte, end)
+		copy(grown, d.data)
+		d.data = grown
+	}
+	copy(d.data[off:end], p)
+	return len(p), nil
+}
+
+// Size implements Device.
+func (d *MemDevice) Size() (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	return int64(len(d.data)), nil
+}
+
+// Truncate implements Device.
+func (d *MemDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if size < 0 {
+		return ErrOutOfRange
+	}
+	if size <= int64(len(d.data)) {
+		d.data = d.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, d.data)
+	d.data = grown
+	return nil
+}
+
+// Sync implements Device (no-op for memory).
+func (d *MemDevice) Sync() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements Device.
+func (d *MemDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.data = nil
+	return nil
+}
+
+// SetFailWrites toggles injected write failures (fault injection for
+// flexibility-by-adaptation tests).
+func (d *MemDevice) SetFailWrites(fail bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failWrites = fail
+}
+
+// FileDevice is a file-backed Device.
+type FileDevice struct {
+	mu     sync.RWMutex
+	f      *os.File
+	closed bool
+}
+
+// OpenFileDevice opens (creating if needed) a file-backed device.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: opening device %s: %w", path, err)
+	}
+	return &FileDevice{f: f}, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	return d.f.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt.
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	return d.f.WriteAt(p, off)
+}
+
+// Size implements Device.
+func (d *FileDevice) Size() (int64, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Truncate implements Device.
+func (d *FileDevice) Truncate(size int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Truncate(size)
+}
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.f.Sync()
+}
+
+// Close implements Device.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.f.Close()
+}

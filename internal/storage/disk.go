@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Disk manager errors.
+var (
+	// ErrBadMeta is returned when the metadata page is corrupt.
+	ErrBadMeta = errors.New("storage: corrupt disk metadata")
+	// ErrPageFree is returned when accessing a page on the free list.
+	ErrPageFree = errors.New("storage: page is free")
+	// ErrChecksum is returned when a page fails checksum verification.
+	ErrChecksum = errors.New("storage: page checksum mismatch")
+)
+
+const diskMagic = 0x5342444d53444b31 // "SBDMSDK1"
+
+// PageStore is the page-granular storage interface shared by the disk
+// manager and the buffer manager, so that higher layers (file manager,
+// heap files, indexes) can be composed over either — the substitution
+// at the heart of the storage service scenario of Section 3.7.
+type PageStore interface {
+	// Allocate returns a fresh zeroed page.
+	Allocate() (PageID, error)
+	// Deallocate returns a page to the free list.
+	Deallocate(id PageID) error
+	// ReadPage fills buf (PageSize bytes) with the page content.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists the page content (PageSize bytes).
+	WritePage(id PageID, data []byte) error
+	// NumPages returns the total number of pages ever allocated
+	// (including freed ones; page ids are dense from 1).
+	NumPages() uint64
+	// Sync flushes to stable storage.
+	Sync() error
+}
+
+// DiskManager implements PageStore directly over a byte Device: fixed
+// size pages, a persistent free list threaded through freed pages, and
+// a checksum on every page. It corresponds to the Disk Manager service
+// of Figures 5-7.
+type DiskManager struct {
+	mu        sync.Mutex
+	dev       Device
+	pageCount uint64 // pages allocated so far, excluding meta page 0
+	freeHead  PageID
+	closed    bool
+	verify    bool
+}
+
+// DiskOption configures a disk manager.
+type DiskOption func(*DiskManager)
+
+// WithChecksumVerify enables checksum verification on every read.
+func WithChecksumVerify(on bool) DiskOption {
+	return func(d *DiskManager) { d.verify = on }
+}
+
+// OpenDisk opens (or initialises) a disk manager on a device.
+func OpenDisk(dev Device, opts ...DiskOption) (*DiskManager, error) {
+	d := &DiskManager{dev: dev, verify: true}
+	for _, o := range opts {
+		o(d)
+	}
+	size, err := dev.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size == 0 {
+		// Fresh device: write the meta page.
+		if err := d.writeMetaLocked(); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	meta := make([]byte, PageSize)
+	if _, err := dev.ReadAt(meta, 0); err != nil {
+		return nil, fmt.Errorf("storage: reading meta page: %w", err)
+	}
+	p := WrapPage(0, meta)
+	payload := p.Payload()
+	if binary.LittleEndian.Uint64(payload) != diskMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadMeta)
+	}
+	if p.Type() != PageTypeMeta || !p.VerifyChecksum() {
+		return nil, fmt.Errorf("%w: bad meta header", ErrBadMeta)
+	}
+	d.pageCount = binary.LittleEndian.Uint64(payload[8:])
+	d.freeHead = PageID(binary.LittleEndian.Uint64(payload[16:]))
+	return d, nil
+}
+
+func (d *DiskManager) writeMetaLocked() error {
+	p := NewPage(0, PageTypeMeta)
+	payload := p.Payload()
+	binary.LittleEndian.PutUint64(payload, diskMagic)
+	binary.LittleEndian.PutUint64(payload[8:], d.pageCount)
+	binary.LittleEndian.PutUint64(payload[16:], uint64(d.freeHead))
+	p.UpdateChecksum()
+	if _, err := d.dev.WriteAt(p.Data, 0); err != nil {
+		return fmt.Errorf("storage: writing meta page: %w", err)
+	}
+	return nil
+}
+
+// Allocate implements PageStore: it pops the free list or extends the
+// device, returning a zeroed page.
+func (d *DiskManager) Allocate() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return InvalidPageID, ErrClosed
+	}
+	var id PageID
+	if d.freeHead != InvalidPageID {
+		id = d.freeHead
+		buf := make([]byte, PageSize)
+		if err := d.readLocked(id, buf, false); err != nil {
+			return InvalidPageID, err
+		}
+		d.freeHead = WrapPage(id, buf).Next()
+	} else {
+		d.pageCount++
+		id = PageID(d.pageCount)
+	}
+	// Hand out a zeroed page of raw type.
+	zero := NewPage(id, PageTypeRaw)
+	zero.UpdateChecksum()
+	if _, err := d.dev.WriteAt(zero.Data, int64(id)*PageSize); err != nil {
+		return InvalidPageID, fmt.Errorf("storage: zeroing page %d: %w", id, err)
+	}
+	if err := d.writeMetaLocked(); err != nil {
+		return InvalidPageID, err
+	}
+	return id, nil
+}
+
+// Deallocate implements PageStore: the page is marked free and pushed
+// onto the free list.
+func (d *DiskManager) Deallocate(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.checkIDLocked(id); err != nil {
+		return err
+	}
+	p := NewPage(id, PageTypeFree)
+	p.SetNext(d.freeHead)
+	p.UpdateChecksum()
+	if _, err := d.dev.WriteAt(p.Data, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: freeing page %d: %w", id, err)
+	}
+	d.freeHead = id
+	return d.writeMetaLocked()
+}
+
+// ReadPage implements PageStore.
+func (d *DiskManager) ReadPage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.checkIDLocked(id); err != nil {
+		return err
+	}
+	return d.readLocked(id, buf, d.verify)
+}
+
+func (d *DiskManager) readLocked(id PageID, buf []byte, verify bool) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: read buffer must be PageSize, got %d", len(buf))
+	}
+	if _, err := d.dev.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: reading page %d: %w", id, err)
+	}
+	if verify && !WrapPage(id, buf).VerifyChecksum() {
+		return fmt.Errorf("%w: page %d", ErrChecksum, id)
+	}
+	return nil
+}
+
+// WritePage implements PageStore. The checksum is refreshed on the way
+// out so callers need not remember to do it.
+func (d *DiskManager) WritePage(id PageID, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.checkIDLocked(id); err != nil {
+		return err
+	}
+	if len(data) != PageSize {
+		return fmt.Errorf("storage: write buffer must be PageSize, got %d", len(data))
+	}
+	WrapPage(id, data).UpdateChecksum()
+	if _, err := d.dev.WriteAt(data, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: writing page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (d *DiskManager) checkIDLocked(id PageID) error {
+	if id == InvalidPageID || uint64(id) > d.pageCount {
+		return fmt.Errorf("%w: page %d (count %d)", ErrOutOfRange, id, d.pageCount)
+	}
+	return nil
+}
+
+// NumPages implements PageStore.
+func (d *DiskManager) NumPages() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pageCount
+}
+
+// FreePages walks the free list and returns its length (diagnostics).
+func (d *DiskManager) FreePages() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	n := 0
+	buf := make([]byte, PageSize)
+	for id := d.freeHead; id != InvalidPageID; {
+		if err := d.readLocked(id, buf, false); err != nil {
+			return n, err
+		}
+		n++
+		id = WrapPage(id, buf).Next()
+		if n > int(d.pageCount) {
+			return n, fmt.Errorf("%w: free list cycle", ErrBadMeta)
+		}
+	}
+	return n, nil
+}
+
+// Sync implements PageStore.
+func (d *DiskManager) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.dev.Sync()
+}
+
+// Close flushes metadata and closes the underlying device.
+func (d *DiskManager) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	if err := d.writeMetaLocked(); err != nil {
+		return err
+	}
+	d.closed = true
+	return d.dev.Close()
+}

@@ -1,0 +1,397 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// File manager errors.
+var (
+	// ErrFileExists is returned when creating a file that already
+	// exists.
+	ErrFileExists = errors.New("storage: file exists")
+	// ErrFileNotFound is returned for operations on unknown files.
+	ErrFileNotFound = errors.New("storage: file not found")
+	// ErrBadDirectory is returned when the on-disk directory is
+	// corrupt.
+	ErrBadDirectory = errors.New("storage: corrupt file directory")
+)
+
+// fileEntry is the directory record of one named file.
+type fileEntry struct {
+	name      string
+	firstPage PageID
+	lastPage  PageID
+	pageCount uint64
+}
+
+// FileManager organises pages of a PageStore into named doubly-linked
+// page chains ("files"), with a directory persisted in a dedicated page
+// chain rooted at the first page of the store. It corresponds to the
+// File Manager service of Figures 5-7 and underlies heap files and the
+// catalog.
+type FileManager struct {
+	mu      sync.Mutex
+	store   PageStore
+	files   map[string]*fileEntry
+	dirRoot PageID
+	dirLen  int // number of directory chain pages currently in use
+}
+
+// DirectoryRootPage is the fixed page id of the directory chain root;
+// it is the first page allocated on a fresh store.
+const DirectoryRootPage PageID = 1
+
+// OpenFileManager opens (or initialises) a file manager over a page
+// store. On a fresh store it claims the first page for its directory.
+func OpenFileManager(store PageStore) (*FileManager, error) {
+	fm := &FileManager{store: store, files: make(map[string]*fileEntry)}
+	if store.NumPages() == 0 {
+		id, err := store.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		if id != DirectoryRootPage {
+			return nil, fmt.Errorf("%w: directory root allocated as page %d", ErrBadDirectory, id)
+		}
+		fm.dirRoot = id
+		fm.dirLen = 1
+		if err := fm.persistLocked(); err != nil {
+			return nil, err
+		}
+		return fm, nil
+	}
+	fm.dirRoot = DirectoryRootPage
+	if err := fm.loadLocked(); err != nil {
+		return nil, err
+	}
+	return fm, nil
+}
+
+// encode layout: u32 blobLen | blob, where blob is
+// u32 fileCount { u16 nameLen | name | u64 first | u64 last | u64 count }*
+func (fm *FileManager) encodeLocked() []byte {
+	names := make([]string, 0, len(fm.files))
+	for n := range fm.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	blob := make([]byte, 4)
+	binary.LittleEndian.PutUint32(blob, uint32(len(names)))
+	for _, n := range names {
+		e := fm.files[n]
+		var rec [2]byte
+		binary.LittleEndian.PutUint16(rec[:], uint16(len(n)))
+		blob = append(blob, rec[:]...)
+		blob = append(blob, n...)
+		var nums [24]byte
+		binary.LittleEndian.PutUint64(nums[0:], uint64(e.firstPage))
+		binary.LittleEndian.PutUint64(nums[8:], uint64(e.lastPage))
+		binary.LittleEndian.PutUint64(nums[16:], e.pageCount)
+		blob = append(blob, nums[:]...)
+	}
+	out := make([]byte, 4+len(blob))
+	binary.LittleEndian.PutUint32(out, uint32(len(blob)))
+	copy(out[4:], blob)
+	return out
+}
+
+func (fm *FileManager) decodeLocked(raw []byte) error {
+	if len(raw) < 4 {
+		return fmt.Errorf("%w: truncated header", ErrBadDirectory)
+	}
+	blobLen := binary.LittleEndian.Uint32(raw)
+	if int(blobLen) > len(raw)-4 {
+		return fmt.Errorf("%w: blob length %d exceeds data", ErrBadDirectory, blobLen)
+	}
+	blob := raw[4 : 4+blobLen]
+	if len(blob) < 4 {
+		return fmt.Errorf("%w: truncated blob", ErrBadDirectory)
+	}
+	count := binary.LittleEndian.Uint32(blob)
+	blob = blob[4:]
+	files := make(map[string]*fileEntry, count)
+	for i := uint32(0); i < count; i++ {
+		if len(blob) < 2 {
+			return fmt.Errorf("%w: truncated entry", ErrBadDirectory)
+		}
+		nameLen := int(binary.LittleEndian.Uint16(blob))
+		blob = blob[2:]
+		if len(blob) < nameLen+24 {
+			return fmt.Errorf("%w: truncated entry body", ErrBadDirectory)
+		}
+		name := string(blob[:nameLen])
+		blob = blob[nameLen:]
+		e := &fileEntry{
+			name:      name,
+			firstPage: PageID(binary.LittleEndian.Uint64(blob[0:])),
+			lastPage:  PageID(binary.LittleEndian.Uint64(blob[8:])),
+			pageCount: binary.LittleEndian.Uint64(blob[16:]),
+		}
+		blob = blob[24:]
+		files[name] = e
+	}
+	fm.files = files
+	return nil
+}
+
+// persistLocked writes the directory blob across the directory chain,
+// growing or shrinking it as needed.
+func (fm *FileManager) persistLocked() error {
+	raw := fm.encodeLocked()
+	needPages := (len(raw) + PayloadSize - 1) / PayloadSize
+	if needPages == 0 {
+		needPages = 1
+	}
+	// Walk existing chain, writing chunks; extend or free as needed.
+	buf := make([]byte, PageSize)
+	cur := fm.dirRoot
+	prev := InvalidPageID
+	written := 0
+	for i := 0; i < needPages; i++ {
+		if cur == InvalidPageID {
+			id, err := fm.store.Allocate()
+			if err != nil {
+				return err
+			}
+			// Link from prev.
+			if err := fm.store.ReadPage(prev, buf); err != nil {
+				return err
+			}
+			WrapPage(prev, buf).SetNext(id)
+			if err := fm.store.WritePage(prev, buf); err != nil {
+				return err
+			}
+			cur = id
+			// Fresh page buffer.
+			for j := range buf {
+				buf[j] = 0
+			}
+			WrapPage(cur, buf).SetPrev(prev)
+		} else if err := fm.store.ReadPage(cur, buf); err != nil {
+			return err
+		}
+		p := WrapPage(cur, buf)
+		p.SetType(PageTypeDirectory)
+		chunk := raw[written:min(written+PayloadSize, len(raw))]
+		payload := p.Payload()
+		copy(payload, chunk)
+		for j := len(chunk); j < PayloadSize; j++ {
+			payload[j] = 0
+		}
+		written += len(chunk)
+		next := p.Next()
+		if i == needPages-1 && next != InvalidPageID {
+			p.SetNext(InvalidPageID)
+			if err := fm.store.WritePage(cur, buf); err != nil {
+				return err
+			}
+			// Free the surplus tail of the chain.
+			if err := fm.freeChainLocked(next); err != nil {
+				return err
+			}
+		} else {
+			if err := fm.store.WritePage(cur, buf); err != nil {
+				return err
+			}
+		}
+		prev = cur
+		cur = next
+	}
+	fm.dirLen = needPages
+	return nil
+}
+
+func (fm *FileManager) freeChainLocked(from PageID) error {
+	buf := make([]byte, PageSize)
+	for id := from; id != InvalidPageID; {
+		if err := fm.store.ReadPage(id, buf); err != nil {
+			return err
+		}
+		next := WrapPage(id, buf).Next()
+		if err := fm.store.Deallocate(id); err != nil {
+			return err
+		}
+		id = next
+	}
+	return nil
+}
+
+// loadLocked reads the directory chain and decodes the blob.
+func (fm *FileManager) loadLocked() error {
+	var raw []byte
+	buf := make([]byte, PageSize)
+	n := 0
+	for id := fm.dirRoot; id != InvalidPageID; {
+		if err := fm.store.ReadPage(id, buf); err != nil {
+			return err
+		}
+		p := WrapPage(id, buf)
+		if p.Type() != PageTypeDirectory {
+			return fmt.Errorf("%w: page %d has type %d", ErrBadDirectory, id, p.Type())
+		}
+		raw = append(raw, p.Payload()...)
+		id = p.Next()
+		n++
+		if n > 1<<20 {
+			return fmt.Errorf("%w: directory chain cycle", ErrBadDirectory)
+		}
+	}
+	fm.dirLen = n
+	return fm.decodeLocked(raw)
+}
+
+// Create registers a new empty file.
+func (fm *FileManager) Create(name string) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty file name")
+	}
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	if _, ok := fm.files[name]; ok {
+		return fmt.Errorf("%w: %s", ErrFileExists, name)
+	}
+	fm.files[name] = &fileEntry{name: name}
+	return fm.persistLocked()
+}
+
+// Drop removes a file and returns all its pages to the store.
+func (fm *FileManager) Drop(name string) error {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	e, ok := fm.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	if e.firstPage != InvalidPageID {
+		if err := fm.freeChainLocked(e.firstPage); err != nil {
+			return err
+		}
+	}
+	delete(fm.files, name)
+	return fm.persistLocked()
+}
+
+// Exists reports whether the file exists.
+func (fm *FileManager) Exists(name string) bool {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	_, ok := fm.files[name]
+	return ok
+}
+
+// List returns the sorted names of all files.
+func (fm *FileManager) List() []string {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	out := make([]string, 0, len(fm.files))
+	for n := range fm.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FirstPage returns the first page of the file's chain
+// (InvalidPageID for an empty file).
+func (fm *FileManager) FirstPage(name string) (PageID, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	e, ok := fm.files[name]
+	if !ok {
+		return InvalidPageID, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	return e.firstPage, nil
+}
+
+// LastPage returns the last page of the file's chain.
+func (fm *FileManager) LastPage(name string) (PageID, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	e, ok := fm.files[name]
+	if !ok {
+		return InvalidPageID, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	return e.lastPage, nil
+}
+
+// PageCount returns the number of pages in the file.
+func (fm *FileManager) PageCount(name string) (uint64, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	e, ok := fm.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	return e.pageCount, nil
+}
+
+// AppendPage allocates a fresh page, links it at the end of the file's
+// chain, and returns its id. The page is typed t.
+func (fm *FileManager) AppendPage(name string, t PageType) (PageID, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	e, ok := fm.files[name]
+	if !ok {
+		return InvalidPageID, fmt.Errorf("%w: %s", ErrFileNotFound, name)
+	}
+	id, err := fm.store.Allocate()
+	if err != nil {
+		return InvalidPageID, err
+	}
+	buf := make([]byte, PageSize)
+	p := WrapPage(id, buf)
+	p.SetType(t)
+	p.SetPrev(e.lastPage)
+	if err := fm.store.WritePage(id, buf); err != nil {
+		return InvalidPageID, err
+	}
+	if e.lastPage != InvalidPageID {
+		last := make([]byte, PageSize)
+		if err := fm.store.ReadPage(e.lastPage, last); err != nil {
+			return InvalidPageID, err
+		}
+		WrapPage(e.lastPage, last).SetNext(id)
+		if err := fm.store.WritePage(e.lastPage, last); err != nil {
+			return InvalidPageID, err
+		}
+	} else {
+		e.firstPage = id
+	}
+	e.lastPage = id
+	e.pageCount++
+	if err := fm.persistLocked(); err != nil {
+		return InvalidPageID, err
+	}
+	return id, nil
+}
+
+// NextPage follows the chain pointer of a page.
+func (fm *FileManager) NextPage(id PageID) (PageID, error) {
+	buf := make([]byte, PageSize)
+	if err := fm.store.ReadPage(id, buf); err != nil {
+		return InvalidPageID, err
+	}
+	return WrapPage(id, buf).Next(), nil
+}
+
+// Pages returns all page ids of a file in chain order.
+func (fm *FileManager) Pages(name string) ([]PageID, error) {
+	first, err := fm.FirstPage(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []PageID
+	buf := make([]byte, PageSize)
+	for id := first; id != InvalidPageID; {
+		out = append(out, id)
+		if err := fm.store.ReadPage(id, buf); err != nil {
+			return nil, err
+		}
+		id = WrapPage(id, buf).Next()
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func newFM(t *testing.T) (*FileManager, *DiskManager) {
+	t.Helper()
+	d, err := OpenDisk(NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := OpenFileManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fm, d
+}
+
+func TestFileManagerCreateDropList(t *testing.T) {
+	fm, _ := newFM(t)
+	if err := fm.Create("users"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Create("users"); !errors.Is(err, ErrFileExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := fm.Create(""); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := fm.Create("orders"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fm.List(); len(got) != 2 || got[0] != "orders" || got[1] != "users" {
+		t.Fatalf("List = %v", got)
+	}
+	if !fm.Exists("users") || fm.Exists("zzz") {
+		t.Fatal("Exists broken")
+	}
+	if err := fm.Drop("users"); err != nil {
+		t.Fatal(err)
+	}
+	if fm.Exists("users") {
+		t.Fatal("dropped file still exists")
+	}
+	if err := fm.Drop("users"); !errors.Is(err, ErrFileNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFileManagerAppendAndChain(t *testing.T) {
+	fm, _ := newFM(t)
+	if err := fm.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	if first, _ := fm.FirstPage("f"); first != InvalidPageID {
+		t.Fatal("empty file must have no first page")
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := fm.AppendPage("f", PageTypeHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if n, _ := fm.PageCount("f"); n != 5 {
+		t.Fatalf("PageCount = %d", n)
+	}
+	first, _ := fm.FirstPage("f")
+	last, _ := fm.LastPage("f")
+	if first != ids[0] || last != ids[4] {
+		t.Fatalf("first/last = %d/%d, want %d/%d", first, last, ids[0], ids[4])
+	}
+	pages, err := fm.Pages("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 5 {
+		t.Fatalf("Pages = %v", pages)
+	}
+	for i, id := range pages {
+		if id != ids[i] {
+			t.Fatalf("chain order %v != append order %v", pages, ids)
+		}
+	}
+	// NextPage follows the chain.
+	next, err := fm.NextPage(ids[0])
+	if err != nil || next != ids[1] {
+		t.Fatalf("NextPage = %d, %v", next, err)
+	}
+	if next, _ := fm.NextPage(ids[4]); next != InvalidPageID {
+		t.Fatal("last page must end the chain")
+	}
+}
+
+func TestFileManagerDropFreesPages(t *testing.T) {
+	fm, d := newFM(t)
+	if err := fm.Create("f"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := fm.AppendPage("f", PageTypeHeap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := d.FreePages()
+	if err := fm.Drop("f"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := d.FreePages()
+	if after-before < 4 {
+		t.Fatalf("free pages %d -> %d, want at least +4", before, after)
+	}
+}
+
+func TestFileManagerPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fm.db")
+	dev, _ := OpenFileDevice(path)
+	d, _ := OpenDisk(dev)
+	fm, err := OpenFileManager(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Create("t1"); err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, err := fm.AppendPage("t1", PageTypeHeap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dev2, _ := OpenFileDevice(path)
+	d2, err := OpenDisk(dev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	fm2, err := OpenFileManager(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fm2.Exists("t1") {
+		t.Fatal("file lost across reopen")
+	}
+	pages, err := fm2.Pages("t1")
+	if err != nil || len(pages) != 3 {
+		t.Fatalf("pages = %v, %v", pages, err)
+	}
+	for i := range pages {
+		if pages[i] != ids[i] {
+			t.Fatalf("chain changed: %v vs %v", pages, ids)
+		}
+	}
+}
+
+func TestFileManagerManyFilesGrowsDirectory(t *testing.T) {
+	fm, _ := newFM(t)
+	// Enough files with long names to spill the directory past one page.
+	n := 200
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("table-with-a-rather-long-name-%04d", i)
+		if err := fm.Create(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(fm.List()); got != n {
+		t.Fatalf("List len = %d", got)
+	}
+	if fm.dirLen < 2 {
+		t.Fatalf("directory should span multiple pages, got %d", fm.dirLen)
+	}
+	// Dropping most files shrinks it again.
+	for i := 0; i < n-1; i++ {
+		name := fmt.Sprintf("table-with-a-rather-long-name-%04d", i)
+		if err := fm.Drop(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fm.dirLen != 1 {
+		t.Fatalf("directory pages after drops = %d, want 1", fm.dirLen)
+	}
+	if got := len(fm.List()); got != 1 {
+		t.Fatalf("List len = %d", got)
+	}
+}
+
+func TestFileManagerUnknownFileOps(t *testing.T) {
+	fm, _ := newFM(t)
+	if _, err := fm.FirstPage("x"); !errors.Is(err, ErrFileNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := fm.LastPage("x"); !errors.Is(err, ErrFileNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := fm.PageCount("x"); !errors.Is(err, ErrFileNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := fm.AppendPage("x", PageTypeHeap); !errors.Is(err, ErrFileNotFound) {
+		t.Fatal(err)
+	}
+	if _, err := fm.Pages("x"); !errors.Is(err, ErrFileNotFound) {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package stream implements the streaming Extension Service named in
+// Figure 2 of the paper ("streaming, XML, procedures, queries,
+// replication ..."): typed tuple streams with publish/subscribe
+// fan-out, count- and time-based sliding windows, and continuous
+// queries (filter/map/aggregate pipelines over windows).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+)
+
+// Stream errors.
+var (
+	// ErrClosed is returned when publishing to a closed stream.
+	ErrClosed = errors.New("stream: closed")
+)
+
+// Tuple is one timestamped element of a stream.
+type Tuple struct {
+	Time time.Time
+	Row  access.Row
+}
+
+// Stream is a named multi-subscriber tuple stream. Publishing never
+// blocks: slow subscribers drop their oldest buffered tuples (streams
+// favour freshness over completeness).
+type Stream struct {
+	name string
+
+	mu     sync.Mutex
+	subs   map[int]chan Tuple
+	nextID int
+	closed bool
+	pubCnt uint64
+	drops  uint64
+}
+
+// New creates a stream.
+func New(name string) *Stream {
+	return &Stream{name: name, subs: make(map[int]chan Tuple)}
+}
+
+// Name returns the stream name.
+func (s *Stream) Name() string { return s.name }
+
+// Publish appends a tuple (stamped now when Time is zero) and fans it
+// out to all subscribers.
+func (s *Stream) Publish(t Tuple) error {
+	if t.Time.IsZero() {
+		t.Time = time.Now()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: %s", ErrClosed, s.name)
+	}
+	s.pubCnt++
+	for _, ch := range s.subs {
+		select {
+		case ch <- t:
+		default:
+			select {
+			case <-ch:
+				s.drops++
+			default:
+			}
+			select {
+			case ch <- t:
+			default:
+				s.drops++
+			}
+		}
+	}
+	return nil
+}
+
+// Subscribe registers a subscriber with the given buffer size and
+// returns its channel plus a cancel function.
+func (s *Stream) Subscribe(buf int) (<-chan Tuple, func()) {
+	if buf <= 0 {
+		buf = 128
+	}
+	ch := make(chan Tuple, buf)
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.subs[id] = ch
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+	}
+}
+
+// Close terminates the stream and all subscriptions.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+}
+
+// Stats returns (published, dropped) counts.
+func (s *Stream) Stats() (uint64, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pubCnt, s.drops
+}
+
+// Window buffers tuples with a retention policy: by count (last N) or
+// by duration (tuples younger than D). Zero values disable the
+// respective bound.
+type Window struct {
+	mu      sync.Mutex
+	maxN    int
+	maxAge  time.Duration
+	tuples  []Tuple
+}
+
+// NewCountWindow retains the last n tuples.
+func NewCountWindow(n int) *Window { return &Window{maxN: n} }
+
+// NewTimeWindow retains tuples younger than d.
+func NewTimeWindow(d time.Duration) *Window { return &Window{maxAge: d} }
+
+// Add inserts a tuple and evicts per policy.
+func (w *Window) Add(t Tuple) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.tuples = append(w.tuples, t)
+	w.evictLocked(time.Now())
+}
+
+func (w *Window) evictLocked(now time.Time) {
+	if w.maxN > 0 && len(w.tuples) > w.maxN {
+		w.tuples = w.tuples[len(w.tuples)-w.maxN:]
+	}
+	if w.maxAge > 0 {
+		cut := 0
+		for cut < len(w.tuples) && now.Sub(w.tuples[cut].Time) > w.maxAge {
+			cut++
+		}
+		w.tuples = w.tuples[cut:]
+	}
+}
+
+// Snapshot returns the current window contents (time-window eviction is
+// applied as of now).
+func (w *Window) Snapshot() []Tuple {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evictLocked(time.Now())
+	return append([]Tuple(nil), w.tuples...)
+}
+
+// Len returns the current tuple count.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evictLocked(time.Now())
+	return len(w.tuples)
+}
+
+// ContinuousQuery consumes a stream, maintains a window, and emits an
+// aggregate row whenever a batch of Every tuples has arrived. It is
+// the streaming analogue of a standing SELECT over a sliding window.
+type ContinuousQuery struct {
+	Name string
+	// Filter drops tuples before they enter the window (nil = accept).
+	Filter func(Tuple) bool
+	// Window retains the working set.
+	Window *Window
+	// Every triggers evaluation after this many accepted tuples.
+	Every int
+	// Aggregate folds the window snapshot into one output row.
+	Aggregate func([]Tuple) access.Row
+
+	mu      sync.Mutex
+	outputs []access.Row
+	seen    int
+	stop    func()
+	done    chan struct{}
+}
+
+// Run subscribes the query to a stream until cancel is called.
+func (q *ContinuousQuery) Run(s *Stream) (cancel func()) {
+	ch, unsub := s.Subscribe(256)
+	q.done = make(chan struct{})
+	go func() {
+		defer close(q.done)
+		for t := range ch {
+			if q.Filter != nil && !q.Filter(t) {
+				continue
+			}
+			q.Window.Add(t)
+			q.mu.Lock()
+			q.seen++
+			fire := q.Every > 0 && q.seen%q.Every == 0
+			q.mu.Unlock()
+			if fire {
+				row := q.Aggregate(q.Window.Snapshot())
+				q.mu.Lock()
+				q.outputs = append(q.outputs, row)
+				q.mu.Unlock()
+			}
+		}
+	}()
+	q.stop = unsub
+	return func() {
+		unsub()
+		<-q.done
+	}
+}
+
+// Results returns the emitted rows so far.
+func (q *ContinuousQuery) Results() []access.Row {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]access.Row(nil), q.outputs...)
+}
+
+// CountAgg returns an aggregate emitting (count) rows.
+func CountAgg() func([]Tuple) access.Row {
+	return func(ts []Tuple) access.Row {
+		return access.Row{access.NewInt(int64(len(ts)))}
+	}
+}
+
+// AvgAgg returns an aggregate emitting (count, avg of column col).
+func AvgAgg(col int) func([]Tuple) access.Row {
+	return func(ts []Tuple) access.Row {
+		var sum float64
+		n := 0
+		for _, t := range ts {
+			if col < len(t.Row) {
+				if f, ok := t.Row[col].AsFloat(); ok {
+					sum += f
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return access.Row{access.NewInt(0), access.Null()}
+		}
+		return access.Row{access.NewInt(int64(n)), access.NewFloat(sum / float64(n))}
+	}
+}

@@ -1,0 +1,161 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/access"
+)
+
+func tup(v float64) Tuple {
+	return Tuple{Row: access.Row{access.NewFloat(v)}}
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	s := New("sensor")
+	if s.Name() != "sensor" {
+		t.Fatal("name")
+	}
+	ch, cancel := s.Subscribe(8)
+	defer cancel()
+	if err := s.Publish(tup(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	got := <-ch
+	if got.Row[0].Float != 1.5 || got.Time.IsZero() {
+		t.Fatalf("tuple = %+v", got)
+	}
+	pub, drops := s.Stats()
+	if pub != 1 || drops != 0 {
+		t.Fatalf("stats = %d/%d", pub, drops)
+	}
+}
+
+func TestSlowSubscriberDrops(t *testing.T) {
+	s := New("x")
+	_, cancel := s.Subscribe(2)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		if err := s.Publish(tup(float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, drops := s.Stats()
+	if drops == 0 {
+		t.Fatal("slow subscriber must drop tuples, not block")
+	}
+}
+
+func TestMultipleSubscribers(t *testing.T) {
+	s := New("x")
+	ch1, c1 := s.Subscribe(4)
+	ch2, c2 := s.Subscribe(4)
+	defer c1()
+	defer c2()
+	_ = s.Publish(tup(7))
+	if (<-ch1).Row[0].Float != 7 || (<-ch2).Row[0].Float != 7 {
+		t.Fatal("fan-out broken")
+	}
+}
+
+func TestCloseStream(t *testing.T) {
+	s := New("x")
+	ch, _ := s.Subscribe(1)
+	s.Close()
+	if _, ok := <-ch; ok {
+		t.Fatal("subscriber channel must close")
+	}
+	if err := s.Publish(tup(1)); err == nil {
+		t.Fatal("publish after close must fail")
+	}
+	s.Close() // idempotent
+}
+
+func TestUnsubscribeIdempotent(t *testing.T) {
+	s := New("x")
+	_, cancel := s.Subscribe(1)
+	cancel()
+	cancel()
+	if err := s.Publish(tup(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountWindow(t *testing.T) {
+	w := NewCountWindow(3)
+	for i := 0; i < 5; i++ {
+		w.Add(Tuple{Time: time.Now(), Row: access.Row{access.NewInt(int64(i))}})
+	}
+	snap := w.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("window len = %d", len(snap))
+	}
+	if snap[0].Row[0].Int != 2 || snap[2].Row[0].Int != 4 {
+		t.Fatalf("window keeps last N: %v", snap)
+	}
+	if w.Len() != 3 {
+		t.Fatal("Len")
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	w := NewTimeWindow(50 * time.Millisecond)
+	old := Tuple{Time: time.Now().Add(-time.Second), Row: access.Row{access.NewInt(1)}}
+	fresh := Tuple{Time: time.Now(), Row: access.Row{access.NewInt(2)}}
+	w.Add(old)
+	w.Add(fresh)
+	snap := w.Snapshot()
+	if len(snap) != 1 || snap[0].Row[0].Int != 2 {
+		t.Fatalf("time eviction: %v", snap)
+	}
+}
+
+func TestContinuousQuery(t *testing.T) {
+	s := New("sensors")
+	q := &ContinuousQuery{
+		Name:      "avg-temp",
+		Filter:    func(t Tuple) bool { return t.Row[0].Float >= 0 }, // drop negatives
+		Window:    NewCountWindow(4),
+		Every:     2,
+		Aggregate: AvgAgg(0),
+	}
+	cancel := q.Run(s)
+	for _, v := range []float64{10, -5, 20, 30, 40} {
+		if err := s.Publish(tup(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the consumer to drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(q.Results()) >= 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	results := q.Results()
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+	// First fire after 2 accepted tuples (10, 20): avg 15.
+	if results[0][0].Int != 2 || results[0][1].Float != 15 {
+		t.Fatalf("first = %v", results[0])
+	}
+	// Second fire after 4 accepted (10,20,30,40): avg 25.
+	if results[1][0].Int != 4 || results[1][1].Float != 25 {
+		t.Fatalf("second = %v", results[1])
+	}
+}
+
+func TestCountAgg(t *testing.T) {
+	agg := CountAgg()
+	row := agg([]Tuple{tup(1), tup(2)})
+	if row[0].Int != 2 {
+		t.Fatalf("count = %v", row)
+	}
+	empty := AvgAgg(0)(nil)
+	if empty[0].Int != 0 || !empty[1].IsNull() {
+		t.Fatalf("empty avg = %v", empty)
+	}
+}

@@ -1,0 +1,215 @@
+// Package txn implements the transactional services of the SBDMS Data
+// layer: a lock manager with shared/exclusive modes and wait-for-graph
+// deadlock detection, and a transaction manager providing 2PL
+// transactions with WAL-backed durability (begin/commit/abort records,
+// undo via before images).
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Lock manager errors.
+var (
+	// ErrDeadlock is returned to the transaction chosen as deadlock
+	// victim; the caller must abort it.
+	ErrDeadlock = errors.New("txn: deadlock detected")
+	// ErrNotHeld is returned when releasing a lock that is not held.
+	ErrNotHeld = errors.New("txn: lock not held")
+)
+
+// LockMode is the requested access mode.
+type LockMode int
+
+// Lock modes.
+const (
+	Shared LockMode = iota
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m LockMode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+type lockState struct {
+	holders map[uint64]LockMode
+}
+
+// LockManager grants S/X locks on named resources to transactions,
+// blocking conflicting requests and aborting a requester whose wait
+// would close a cycle in the wait-for graph.
+type LockManager struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	locks    map[string]*lockState
+	waitsFor map[uint64]map[uint64]bool
+}
+
+// NewLockManager creates an empty lock manager.
+func NewLockManager() *LockManager {
+	lm := &LockManager{
+		locks:    make(map[string]*lockState),
+		waitsFor: make(map[uint64]map[uint64]bool),
+	}
+	lm.cond = sync.NewCond(&lm.mu)
+	return lm
+}
+
+// compatibleLocked reports whether txn may acquire mode on st.
+func compatibleLocked(st *lockState, txn uint64, mode LockMode) bool {
+	for holder, hmode := range st.holders {
+		if holder == txn {
+			continue // upgrades handled by caller
+		}
+		if mode == Exclusive || hmode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// Acquire blocks until txn holds the resource in mode (or stronger).
+// Lock upgrades (S held, X requested) are supported. Returns
+// ErrDeadlock when waiting would deadlock, or the context error when
+// ctx is cancelled.
+func (lm *LockManager) Acquire(ctx context.Context, txn uint64, resource string, mode LockMode) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for {
+		st := lm.locks[resource]
+		if st == nil {
+			st = &lockState{holders: make(map[uint64]LockMode)}
+			lm.locks[resource] = st
+		}
+		if held, ok := st.holders[txn]; ok && (held == Exclusive || held == mode) {
+			return nil // already held strongly enough
+		}
+		if compatibleLocked(st, txn, mode) {
+			st.holders[txn] = mode
+			delete(lm.waitsFor, txn)
+			return nil
+		}
+		// Register wait-for edges to current blockers.
+		edges := lm.waitsFor[txn]
+		if edges == nil {
+			edges = make(map[uint64]bool)
+			lm.waitsFor[txn] = edges
+		}
+		for holder, hmode := range st.holders {
+			if holder == txn {
+				continue
+			}
+			if mode == Exclusive || hmode == Exclusive {
+				edges[holder] = true
+			}
+		}
+		if lm.cycleFromLocked(txn) {
+			delete(lm.waitsFor, txn)
+			return fmt.Errorf("%w: txn %d on %s/%s", ErrDeadlock, txn, resource, mode)
+		}
+		if err := ctx.Err(); err != nil {
+			delete(lm.waitsFor, txn)
+			return err
+		}
+		waitDone := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				lm.mu.Lock()
+				lm.cond.Broadcast()
+				lm.mu.Unlock()
+			case <-waitDone:
+			}
+		}()
+		lm.cond.Wait()
+		close(waitDone)
+	}
+}
+
+// cycleFromLocked detects a cycle in the wait-for graph reachable from
+// start.
+func (lm *LockManager) cycleFromLocked(start uint64) bool {
+	seen := map[uint64]bool{}
+	var dfs func(u uint64) bool
+	dfs = func(u uint64) bool {
+		if u == start && len(seen) > 0 {
+			return true
+		}
+		if seen[u] {
+			return false
+		}
+		seen[u] = true
+		for v := range lm.waitsFor[u] {
+			if dfs(v) {
+				return true
+			}
+		}
+		return false
+	}
+	for v := range lm.waitsFor[start] {
+		if dfs(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Release drops txn's lock on the resource.
+func (lm *LockManager) Release(txn uint64, resource string) error {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	st := lm.locks[resource]
+	if st == nil {
+		return fmt.Errorf("%w: %s", ErrNotHeld, resource)
+	}
+	if _, ok := st.holders[txn]; !ok {
+		return fmt.Errorf("%w: %s by txn %d", ErrNotHeld, resource, txn)
+	}
+	delete(st.holders, txn)
+	if len(st.holders) == 0 {
+		delete(lm.locks, resource)
+	}
+	lm.cond.Broadcast()
+	return nil
+}
+
+// ReleaseAll drops every lock txn holds (end of 2PL).
+func (lm *LockManager) ReleaseAll(txn uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for res, st := range lm.locks {
+		if _, ok := st.holders[txn]; ok {
+			delete(st.holders, txn)
+			if len(st.holders) == 0 {
+				delete(lm.locks, res)
+			}
+		}
+	}
+	delete(lm.waitsFor, txn)
+	lm.cond.Broadcast()
+}
+
+// Held returns the mode txn holds on resource, if any.
+func (lm *LockManager) Held(txn uint64, resource string) (LockMode, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if st := lm.locks[resource]; st != nil {
+		m, ok := st.holders[txn]
+		return m, ok
+	}
+	return Shared, false
+}
+
+// Locked returns the number of currently locked resources.
+func (lm *LockManager) Locked() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.locks)
+}

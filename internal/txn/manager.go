@@ -1,0 +1,257 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Transaction errors.
+var (
+	// ErrTxnDone is returned for operations on a finished transaction.
+	ErrTxnDone = errors.New("txn: transaction already finished")
+	// ErrActiveTxns is returned by Checkpoint while transactions are in
+	// flight (sharp checkpoints require a quiescent system).
+	ErrActiveTxns = errors.New("txn: active transactions")
+	// ErrNoWAL is returned by Checkpoint without an attached log.
+	ErrNoWAL = errors.New("txn: no WAL attached")
+)
+
+// Status is the lifecycle state of a transaction.
+type Status int
+
+// Transaction states.
+const (
+	StatusActive Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "active"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Txn is one transaction. It implements access.TxnContext so heap files
+// log their mutations under it, and collects those records for undo.
+type Txn struct {
+	id  uint64
+	mgr *Manager
+
+	mu      sync.Mutex
+	status  Status
+	lastLSN wal.LSN
+	undo    []*wal.Record
+	comp    []func() error
+}
+
+// ID implements access.TxnContext.
+func (t *Txn) ID() uint64 { return t.id }
+
+// LastLSN implements access.TxnContext.
+func (t *Txn) LastLSN() wal.LSN {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLSN
+}
+
+// Record implements access.TxnContext: it registers an appended update
+// record for undo and LSN chaining.
+func (t *Txn) Record(rec *wal.Record) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastLSN = rec.LSN
+	t.undo = append(t.undo, rec)
+}
+
+// Compensate registers a callback run (in reverse registration order)
+// if the transaction aborts. It reverts auxiliary structures that are
+// not covered by WAL before/after images — the engine uses it to undo
+// B+tree index maintenance.
+func (t *Txn) Compensate(f func() error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.comp = append(t.comp, f)
+}
+
+// Status returns the transaction state.
+func (t *Txn) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// Updates returns how many update records the transaction logged.
+func (t *Txn) Updates() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.undo)
+}
+
+// Lock acquires a lock on behalf of the transaction (2PL growth phase).
+func (t *Txn) Lock(ctx context.Context, resource string, mode LockMode) error {
+	if t.Status() != StatusActive {
+		return ErrTxnDone
+	}
+	return t.mgr.locks.Acquire(ctx, t.id, resource, mode)
+}
+
+// Manager creates and finishes transactions. With a WAL attached,
+// begin/commit/abort are logged and commit forces the log; without one,
+// transactions still provide locking and in-memory undo.
+type Manager struct {
+	log   *wal.Log          // may be nil
+	store storage.PageStore // for undo application; may be nil without log
+	locks *LockManager
+	next  atomic.Uint64
+
+	mu     sync.Mutex
+	active map[uint64]*Txn
+}
+
+// NewManager creates a transaction manager. log and store may be nil
+// for lock-only operation.
+func NewManager(log *wal.Log, store storage.PageStore) *Manager {
+	return &Manager{
+		log:   log,
+		store: store,
+		locks: NewLockManager(),
+		active: make(map[uint64]*Txn),
+	}
+}
+
+// Locks exposes the lock manager.
+func (m *Manager) Locks() *LockManager { return m.locks }
+
+// Begin starts a transaction, logging RecBegin when a WAL is attached.
+func (m *Manager) Begin() (*Txn, error) {
+	id := m.next.Add(1)
+	t := &Txn{id: id, mgr: m}
+	if m.log != nil {
+		lsn, err := m.log.Append(&wal.Record{Txn: id, Type: wal.RecBegin})
+		if err != nil {
+			return nil, err
+		}
+		t.lastLSN = lsn
+	}
+	m.mu.Lock()
+	m.active[id] = t
+	m.mu.Unlock()
+	return t, nil
+}
+
+// Commit finishes the transaction: RecCommit is logged and the log
+// flushed (durability), then all locks are released.
+func (m *Manager) Commit(t *Txn) error {
+	t.mu.Lock()
+	if t.status != StatusActive {
+		t.mu.Unlock()
+		return ErrTxnDone
+	}
+	t.status = StatusCommitted
+	prev := t.lastLSN
+	t.mu.Unlock()
+	if m.log != nil {
+		lsn, err := m.log.Append(&wal.Record{Txn: t.id, Type: wal.RecCommit, PrevLSN: prev})
+		if err != nil {
+			return err
+		}
+		if err := m.log.Flush(lsn + 1); err != nil {
+			return err
+		}
+	}
+	m.finish(t)
+	return nil
+}
+
+// Abort rolls the transaction back: before images are applied in
+// reverse order, RecAbort is logged, and locks released.
+func (m *Manager) Abort(t *Txn) error {
+	t.mu.Lock()
+	if t.status != StatusActive {
+		t.mu.Unlock()
+		return ErrTxnDone
+	}
+	t.status = StatusAborted
+	undo := append([]*wal.Record(nil), t.undo...)
+	comp := append([]func() error(nil), t.comp...)
+	prev := t.lastLSN
+	t.mu.Unlock()
+
+	if m.store != nil {
+		buf := make([]byte, storage.PageSize)
+		for i := len(undo) - 1; i >= 0; i-- {
+			rec := undo[i]
+			if err := m.store.ReadPage(rec.PageID, buf); err != nil {
+				return fmt.Errorf("txn: undo read page %d: %w", rec.PageID, err)
+			}
+			p := storage.WrapPage(rec.PageID, buf)
+			copy(p.Data[rec.Offset:int(rec.Offset)+len(rec.Before)], rec.Before)
+			p.SetLSN(uint64(rec.LSN))
+			if err := m.store.WritePage(rec.PageID, p.Data); err != nil {
+				return fmt.Errorf("txn: undo write page %d: %w", rec.PageID, err)
+			}
+		}
+	}
+	for i := len(comp) - 1; i >= 0; i-- {
+		if err := comp[i](); err != nil {
+			return fmt.Errorf("txn: compensation: %w", err)
+		}
+	}
+	if m.log != nil {
+		if _, err := m.log.Append(&wal.Record{Txn: t.id, Type: wal.RecAbort, PrevLSN: prev}); err != nil {
+			return err
+		}
+	}
+	m.finish(t)
+	return nil
+}
+
+func (m *Manager) finish(t *Txn) {
+	m.locks.ReleaseAll(t.id)
+	m.mu.Lock()
+	delete(m.active, t.id)
+	m.mu.Unlock()
+}
+
+// Checkpoint takes a sharp checkpoint: with no transactions in flight,
+// every dirty page is flushed and a checkpoint record written, so the
+// next recovery scans only the log suffix.
+func (m *Manager) Checkpoint() (wal.LSN, error) {
+	if m.log == nil {
+		return wal.ZeroLSN, ErrNoWAL
+	}
+	m.mu.Lock()
+	active := len(m.active)
+	m.mu.Unlock()
+	if active > 0 {
+		return wal.ZeroLSN, fmt.Errorf("%w: %d in flight", ErrActiveTxns, active)
+	}
+	if m.store != nil {
+		if err := m.store.Sync(); err != nil {
+			return wal.ZeroLSN, err
+		}
+	}
+	return m.log.Checkpoint()
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}

@@ -1,0 +1,411 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+func TestLockSharedCompatible(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(ctx, 2, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := lm.Held(1, "r"); !ok || m != Shared {
+		t.Fatalf("held = %v, %v", m, ok)
+	}
+	if lm.Locked() != 1 {
+		t.Fatalf("Locked = %d", lm.Locked())
+	}
+	lm.ReleaseAll(1)
+	lm.ReleaseAll(2)
+	if lm.Locked() != 0 {
+		t.Fatal("locks remain")
+	}
+}
+
+func TestLockExclusiveBlocksAndWakes(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		acquired <- lm.Acquire(ctx, 2, "r", Exclusive)
+	}()
+	select {
+	case err := <-acquired:
+		t.Fatalf("acquire should block, got %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(1)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestLockReentrantAndIdempotent(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Re-acquiring (same or weaker) succeeds immediately.
+	if err := lm.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockUpgrade(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Upgrade with no other holders succeeds.
+	if err := lm.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := lm.Held(1, "r"); m != Exclusive {
+		t.Fatalf("mode = %v", m)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "a", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(ctx, 2, "b", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs <- lm.Acquire(ctx, 1, "b", Exclusive) // 1 waits for 2
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// 2 -> a closes the cycle; one of the two must get ErrDeadlock.
+	err2 := lm.Acquire(ctx, 2, "a", Exclusive)
+	if errors.Is(err2, ErrDeadlock) {
+		lm.ReleaseAll(2)
+	} else if err2 != nil {
+		t.Fatalf("unexpected: %v", err2)
+	} else {
+		lm.ReleaseAll(2)
+	}
+	lm.ReleaseAll(1)
+	wg.Wait()
+	err1 := <-errs
+	if !errors.Is(err1, ErrDeadlock) && !errors.Is(err2, ErrDeadlock) && err1 != nil {
+		t.Fatalf("no deadlock detected: %v / %v", err1, err2)
+	}
+}
+
+func TestLockContextCancel(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	err := lm.Acquire(cctx, 2, "r", Exclusive)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Release(1, "r"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = lm.Acquire(context.Background(), 1, "r", Shared)
+	if err := lm.Release(2, "r"); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := lm.Release(1, "r"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testEngine builds heap + wal + txn manager over one disk.
+func testEngine(t *testing.T) (*Manager, *access.HeapFile, *buffer.Manager, *wal.Log) {
+	t.Helper()
+	d, err := storage.OpenDisk(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := buffer.New(d, 32, buffer.NewLRU())
+	fm, err := storage.OpenFileManager(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := access.OpenHeap("t", fm, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.Open(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetLog(l)
+	pool.SetBeforeEvict(l.BeforeEvict())
+	return NewManager(l, pool), h, pool, l
+}
+
+func TestTxnCommit(t *testing.T) {
+	m, h, _, l := testEngine(t)
+	tx, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := h.Insert(tx, []byte("committed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Updates() != 1 {
+		t.Fatalf("updates = %d", tx.Updates())
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Status() != StatusCommitted {
+		t.Fatalf("status = %v", tx.Status())
+	}
+	// Commit forces the log: begin, update, commit all durable.
+	n := 0
+	_ = l.Iterate(wal.ZeroLSN, func(r *wal.Record) error { n++; return nil })
+	if n != 3 {
+		t.Fatalf("durable records = %d", n)
+	}
+	if got, err := h.Get(rid); err != nil || string(got) != "committed" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Double commit fails.
+	if err := m.Commit(tx); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatal("txn still active")
+	}
+}
+
+func TestTxnAbortRollsBack(t *testing.T) {
+	m, h, _, _ := testEngine(t)
+	// Committed baseline row.
+	tx0, _ := m.Begin()
+	rid0, err := h.Insert(tx0, []byte("keep"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx0); err != nil {
+		t.Fatal(err)
+	}
+
+	tx, _ := m.Begin()
+	if _, err := h.Insert(tx, []byte("discard-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Insert(tx, []byte("discard-2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Update(tx, rid0, []byte("mutated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Status() != StatusAborted {
+		t.Fatalf("status = %v", tx.Status())
+	}
+	// All effects gone; baseline intact.
+	count, err := h.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	got, err := h.Get(rid0)
+	if err != nil || string(got) != "keep" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := m.Abort(tx); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double abort err = %v", err)
+	}
+}
+
+func TestTxnLockIntegration(t *testing.T) {
+	m, _, _, _ := testEngine(t)
+	ctx := context.Background()
+	tx1, _ := m.Begin()
+	tx2, _ := m.Begin()
+	if err := tx1.Lock(ctx, "table:users", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tx2.Lock(ctx, "table:users", Exclusive) }()
+	select {
+	case <-done:
+		t.Fatal("tx2 should block")
+	case <-time.After(30 * time.Millisecond):
+	}
+	// Commit releases tx1's locks; tx2 proceeds.
+	if err := m.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+	// Locks on finished txns fail.
+	if err := tx1.Lock(ctx, "x", Shared); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTxnWithoutWAL(t *testing.T) {
+	m := NewManager(nil, nil)
+	tx, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := m.Begin()
+	if err := m.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusActive.String() != "active" || StatusCommitted.String() != "committed" ||
+		StatusAborted.String() != "aborted" || Status(9).String() != "status(9)" {
+		t.Fatal("status strings")
+	}
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestConcurrentTransfers(t *testing.T) {
+	// Bank-transfer style workload: concurrent txns move value between
+	// two records under exclusive locks; the sum must be conserved.
+	m, h, _, _ := testEngine(t)
+	ridA, err := h.Insert(nil, access.EncodeRow(access.Row{access.NewInt(500)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridB, err := h.Insert(nil, access.EncodeRow(access.Row{access.NewInt(500)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				tx, err := m.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Lock(ctx, "account", Exclusive); err != nil {
+					_ = m.Abort(tx)
+					continue
+				}
+				get := func(rid access.RID) int64 {
+					raw, _ := h.Get(rid)
+					row, _ := access.DecodeRow(raw)
+					return row[0].Int
+				}
+				a, b := get(ridA), get(ridB)
+				amount := int64(w + 1)
+				if _, err := h.Update(tx, ridA, access.EncodeRow(access.Row{access.NewInt(a - amount)})); err != nil {
+					t.Error(err)
+					_ = m.Abort(tx)
+					return
+				}
+				if _, err := h.Update(tx, ridB, access.EncodeRow(access.Row{access.NewInt(b + amount)})); err != nil {
+					t.Error(err)
+					_ = m.Abort(tx)
+					return
+				}
+				if i%5 == 0 {
+					if err := m.Abort(tx); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if err := m.Commit(tx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	raws, _ := h.Get(ridA)
+	rowA, _ := access.DecodeRow(raws)
+	raws, _ = h.Get(ridB)
+	rowB, _ := access.DecodeRow(raws)
+	if rowA[0].Int+rowB[0].Int != 1000 {
+		t.Fatalf("sum = %d, money created/destroyed", rowA[0].Int+rowB[0].Int)
+	}
+}
+
+func TestCheckpointQuiescesAndBoundsRecovery(t *testing.T) {
+	m, h, _, l := testEngine(t)
+	tx, _ := m.Begin()
+	if _, err := h.Insert(tx, []byte("pre-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint refuses while the transaction is active.
+	if _, err := m.Checkpoint(); !errors.Is(err, ErrActiveTxns) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.LastCheckpoint() != ck {
+		t.Fatalf("checkpoint = %d, want %d", l.LastCheckpoint(), ck)
+	}
+	// Without a WAL, checkpointing fails cleanly.
+	m2 := NewManager(nil, nil)
+	if _, err := m2.Checkpoint(); !errors.Is(err, ErrNoWAL) {
+		t.Fatalf("err = %v", err)
+	}
+}

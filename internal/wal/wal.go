@@ -1,0 +1,365 @@
+// Package wal implements a write-ahead log for the SBDMS storage layer:
+// length-prefixed, checksummed records appended to a byte device, with
+// group-buffered appends, explicit flush, iteration, and redo/undo
+// recovery over a storage.PageStore. The heap file access method logs
+// record-level before/after images through this log, and the buffer
+// manager's before-evict hook enforces the write-ahead rule.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// WAL errors.
+var (
+	// ErrCorrupt is returned when a log record fails its checksum or
+	// framing; iteration stops at the last valid record.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrTornTail indicates a partially written record at the log tail
+	// (normal after a crash; recovery treats it as the end of log).
+	ErrTornTail = errors.New("wal: torn tail")
+)
+
+// LSN is a log sequence number: the byte offset of a record in the log.
+type LSN uint64
+
+// ZeroLSN is the null LSN (no record).
+const ZeroLSN LSN = 0
+
+// RecType classifies log records.
+type RecType uint8
+
+// Log record types.
+const (
+	RecBegin      RecType = 1
+	RecCommit     RecType = 2
+	RecAbort      RecType = 3
+	RecUpdate     RecType = 4
+	RecCheckpoint RecType = 5
+)
+
+// String implements fmt.Stringer.
+func (t RecType) String() string {
+	switch t {
+	case RecBegin:
+		return "begin"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecUpdate:
+		return "update"
+	case RecCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("rectype(%d)", uint8(t))
+	}
+}
+
+// Record is one log record. Update records carry a physical
+// before/after image of a byte range within a page.
+type Record struct {
+	LSN     LSN // assigned by Append
+	Txn     uint64
+	Type    RecType
+	PageID  storage.PageID
+	Offset  uint16 // byte offset within the page
+	Before  []byte
+	After   []byte
+	PrevLSN LSN // previous record of the same transaction
+	// End is the offset one past this record on the device. It is set
+	// when the record is read back via Iterate (not persisted); log
+	// shippers use it as their resume watermark.
+	End LSN
+}
+
+// The log begins with a fixed header (magic, checkpoint LSN, reserved)
+// so that offset 0 is never a valid LSN.
+const logHeaderSize = 24
+
+const logMagic = 0x5342444d53574131 // "SBDMSWA1"
+
+// Log is an append-only write-ahead log over a Device. Appends are
+// buffered in memory; Flush persists them. Safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	dev      storage.Device
+	tailOff  uint64 // durable end of log
+	buf      []byte // pending bytes not yet written
+	bufStart uint64 // device offset of buf[0]
+	flushed  LSN    // highest LSN durably on the device
+	nextLSN  LSN
+	checkpoint LSN // LSN of the last sharp checkpoint record
+}
+
+// Open opens (or initialises) a log on a device, scanning to find the
+// durable tail. Torn tail records are truncated away.
+func Open(dev storage.Device) (*Log, error) {
+	size, err := dev.Size()
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dev: dev}
+	if size == 0 {
+		var hdr [logHeaderSize]byte
+		binary.LittleEndian.PutUint64(hdr[:], logMagic)
+		if _, err := dev.WriteAt(hdr[:], 0); err != nil {
+			return nil, err
+		}
+		l.tailOff = logHeaderSize
+	} else {
+		if size < logHeaderSize {
+			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		}
+		var hdr [logHeaderSize]byte
+		if _, err := dev.ReadAt(hdr[:], 0); err != nil {
+			return nil, fmt.Errorf("wal: reading header: %w", err)
+		}
+		if binary.LittleEndian.Uint64(hdr[:]) != logMagic {
+			return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+		l.checkpoint = LSN(binary.LittleEndian.Uint64(hdr[8:]))
+		// Scan for the durable tail.
+		off := uint64(logHeaderSize)
+		for {
+			rec, next, err := readRecordAt(dev, off, uint64(size))
+			if err != nil {
+				break // torn or corrupt tail: log ends here
+			}
+			_ = rec
+			off = next
+		}
+		l.tailOff = off
+		if err := dev.Truncate(int64(off)); err != nil {
+			return nil, err
+		}
+	}
+	l.bufStart = l.tailOff
+	l.nextLSN = LSN(l.tailOff)
+	l.flushed = LSN(l.tailOff) // nothing pending
+	return l, nil
+}
+
+// encode appends the wire form of rec (excluding LSN assignment) to dst.
+// Layout: u32 len | u32 crc | u64 txn | u8 type | u64 page | u16 off |
+// u32 blen | before | u32 alen | after | u64 prevLSN. len covers
+// everything after the len field itself.
+func encode(dst []byte, rec *Record) []byte {
+	body := make([]byte, 0, 35+len(rec.Before)+len(rec.After))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], rec.Txn)
+	body = append(body, tmp[:]...)
+	body = append(body, byte(rec.Type))
+	binary.LittleEndian.PutUint64(tmp[:], uint64(rec.PageID))
+	body = append(body, tmp[:]...)
+	binary.LittleEndian.PutUint16(tmp[:2], rec.Offset)
+	body = append(body, tmp[:2]...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(rec.Before)))
+	body = append(body, tmp[:4]...)
+	body = append(body, rec.Before...)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(rec.After)))
+	body = append(body, tmp[:4]...)
+	body = append(body, rec.After...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(rec.PrevLSN))
+	body = append(body, tmp[:]...)
+
+	crc := crc32.Checksum(body, crcTable)
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(body))+4) // len includes crc
+	dst = append(dst, tmp[:4]...)
+	binary.LittleEndian.PutUint32(tmp[:4], crc)
+	dst = append(dst, tmp[:4]...)
+	return append(dst, body...)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// readRecordAt decodes the record at off; returns the record and the
+// offset of the next record.
+func readRecordAt(r io.ReaderAt, off, limit uint64) (*Record, uint64, error) {
+	var lenBuf [4]byte
+	if off+4 > limit {
+		return nil, 0, ErrTornTail
+	}
+	if _, err := r.ReadAt(lenBuf[:], int64(off)); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrTornTail, err)
+	}
+	total := binary.LittleEndian.Uint32(lenBuf[:])
+	if total < 4+35 || off+4+uint64(total) > limit {
+		return nil, 0, ErrTornTail
+	}
+	payload := make([]byte, total)
+	if _, err := r.ReadAt(payload, int64(off+4)); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrTornTail, err)
+	}
+	wantCRC := binary.LittleEndian.Uint32(payload)
+	body := payload[4:]
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return nil, 0, ErrCorrupt
+	}
+	rec := &Record{LSN: LSN(off)}
+	rec.Txn = binary.LittleEndian.Uint64(body)
+	rec.Type = RecType(body[8])
+	rec.PageID = storage.PageID(binary.LittleEndian.Uint64(body[9:]))
+	rec.Offset = binary.LittleEndian.Uint16(body[17:])
+	blen := binary.LittleEndian.Uint32(body[19:])
+	p := 23
+	if p+int(blen) > len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	rec.Before = append([]byte(nil), body[p:p+int(blen)]...)
+	p += int(blen)
+	if p+4 > len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	alen := binary.LittleEndian.Uint32(body[p:])
+	p += 4
+	if p+int(alen)+8 > len(body) {
+		return nil, 0, ErrCorrupt
+	}
+	rec.After = append([]byte(nil), body[p:p+int(alen)]...)
+	p += int(alen)
+	rec.PrevLSN = LSN(binary.LittleEndian.Uint64(body[p:]))
+	rec.End = LSN(off + 4 + uint64(total))
+	return rec, off + 4 + uint64(total), nil
+}
+
+// Append buffers a record and returns its assigned LSN. The record is
+// durable only after Flush covers the LSN.
+func (l *Log) Append(rec *Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.nextLSN
+	rec.LSN = lsn
+	l.buf = encode(l.buf, rec)
+	l.nextLSN = LSN(l.bufStart + uint64(len(l.buf)))
+	return lsn, nil
+}
+
+// Flush persists all buffered records at or below upTo (in practice the
+// whole buffer — group commit) and syncs the device.
+func (l *Log) Flush(upTo LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.flushed >= upTo && len(l.buf) == 0 {
+		return nil
+	}
+	if len(l.buf) > 0 {
+		if _, err := l.dev.WriteAt(l.buf, int64(l.bufStart)); err != nil {
+			return fmt.Errorf("wal: flushing: %w", err)
+		}
+		l.bufStart += uint64(len(l.buf))
+		l.buf = l.buf[:0]
+		l.tailOff = l.bufStart
+	}
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	l.flushed = LSN(l.tailOff)
+	return nil
+}
+
+// FlushedLSN returns the first LSN that is NOT yet durable; records
+// with LSN < FlushedLSN are safe on the device.
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Iterate replays durable records with LSN >= from in log order. The
+// callback may return io.EOF to stop early.
+func (l *Log) Iterate(from LSN, fn func(*Record) error) error {
+	l.mu.Lock()
+	limit := l.tailOff
+	l.mu.Unlock()
+	off := uint64(from)
+	if off < logHeaderSize {
+		off = logHeaderSize
+	}
+	for off < limit {
+		rec, next, err := readRecordAt(l.dev, off, limit)
+		if err != nil {
+			if errors.Is(err, ErrTornTail) {
+				return nil
+			}
+			return err
+		}
+		if err := fn(rec); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		off = next
+	}
+	return nil
+}
+
+// Size returns the durable log size in bytes.
+func (l *Log) Size() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tailOff
+}
+
+// Checkpoint appends a sharp checkpoint record, flushes the log, and
+// persists the checkpoint LSN in the log header. A sharp checkpoint is
+// only valid at a quiescent point: no in-flight transactions and all
+// dirty pages flushed (the transaction manager's Checkpoint enforces
+// this). Recovery then scans from the checkpoint instead of the log
+// head.
+func (l *Log) Checkpoint() (LSN, error) {
+	lsn, err := l.Append(&Record{Type: RecCheckpoint})
+	if err != nil {
+		return ZeroLSN, err
+	}
+	if err := l.Flush(lsn + 1); err != nil {
+		return ZeroLSN, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(lsn))
+	if _, err := l.dev.WriteAt(buf[:], 8); err != nil {
+		return ZeroLSN, fmt.Errorf("wal: persisting checkpoint: %w", err)
+	}
+	if err := l.dev.Sync(); err != nil {
+		return ZeroLSN, err
+	}
+	l.checkpoint = lsn
+	return lsn, nil
+}
+
+// LastCheckpoint returns the LSN of the most recent sharp checkpoint
+// (ZeroLSN if none was ever taken).
+func (l *Log) LastCheckpoint() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.checkpoint
+}
+
+// BeforeEvict returns a buffer-manager hook enforcing the write-ahead
+// rule: a dirty page with page LSN >= FlushedLSN forces a log flush
+// before the page may be written back.
+func (l *Log) BeforeEvict() func(storage.PageID, uint64) error {
+	return func(id storage.PageID, pageLSN uint64) error {
+		if LSN(pageLSN) >= l.FlushedLSN() {
+			return l.Flush(LSN(pageLSN) + 1)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,199 @@
+// Package workload generates deterministic synthetic workloads for the
+// experiment harness: YCSB-style key-value mixes with uniform or
+// zipfian key popularity, table rows for SQL/scan/join experiments, and
+// stream tuples. Deterministic seeding makes every experiment in
+// EXPERIMENTS.md regenerable.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/access"
+)
+
+// OpKind is the type of one KV operation.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpScan
+)
+
+// Op is one generated key-value operation.
+type Op struct {
+	Kind OpKind
+	Key  string
+	Val  []byte
+	// ScanLen is the number of keys for OpScan.
+	ScanLen int
+}
+
+// Mix describes a YCSB-like operation mix (fractions must sum to 1).
+type Mix struct {
+	Reads  float64
+	Writes float64
+	Scans  float64
+}
+
+// Standard mixes from the YCSB family.
+var (
+	// MixA is update-heavy: 50/50 read/write.
+	MixA = Mix{Reads: 0.5, Writes: 0.5}
+	// MixB is read-mostly: 95/5.
+	MixB = Mix{Reads: 0.95, Writes: 0.05}
+	// MixC is read-only.
+	MixC = Mix{Reads: 1.0}
+	// MixE is scan-heavy: 95% short scans, 5% writes.
+	MixE = Mix{Scans: 0.95, Writes: 0.05}
+)
+
+// Zipf wraps a zipfian key-popularity distribution over n keys.
+type Zipf struct {
+	z *rand.Zipf
+	n int
+}
+
+// NewZipf creates a zipfian distribution with exponent s (>1) over n
+// keys.
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if s <= 1 {
+		s = 1.1
+	}
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1)), n: n}
+}
+
+// Next draws a key ordinal.
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// KVGen generates key-value operations.
+type KVGen struct {
+	rng     *rand.Rand
+	mix     Mix
+	keys    int
+	valSize int
+	zipf    *Zipf // nil = uniform
+}
+
+// KVConfig configures a key-value workload.
+type KVConfig struct {
+	Seed    int64
+	Keys    int     // key space size
+	ValSize int     // value bytes
+	Mix     Mix     // operation mix
+	Zipfian bool    // zipfian vs uniform popularity
+	Theta   float64 // zipf exponent (default 1.2)
+}
+
+// NewKV creates a deterministic KV workload generator.
+func NewKV(cfg KVConfig) *KVGen {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1000
+	}
+	if cfg.ValSize <= 0 {
+		cfg.ValSize = 100
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = MixB
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &KVGen{rng: rng, mix: cfg.Mix, keys: cfg.Keys, valSize: cfg.ValSize}
+	if cfg.Zipfian {
+		theta := cfg.Theta
+		if theta == 0 {
+			theta = 1.2
+		}
+		g.zipf = NewZipf(rng, theta, cfg.Keys)
+	}
+	return g
+}
+
+// Key renders the canonical key for ordinal i.
+func Key(i int) string { return fmt.Sprintf("user%08d", i) }
+
+func (g *KVGen) nextKey() string {
+	if g.zipf != nil {
+		return Key(g.zipf.Next())
+	}
+	return Key(g.rng.Intn(g.keys))
+}
+
+// Value produces a deterministic value for a key ordinal.
+func (g *KVGen) Value() []byte {
+	v := make([]byte, g.valSize)
+	for i := range v {
+		v[i] = byte('a' + g.rng.Intn(26))
+	}
+	return v
+}
+
+// Next draws the next operation.
+func (g *KVGen) Next() Op {
+	r := g.rng.Float64()
+	switch {
+	case r < g.mix.Reads:
+		return Op{Kind: OpRead, Key: g.nextKey()}
+	case r < g.mix.Reads+g.mix.Writes:
+		return Op{Kind: OpWrite, Key: g.nextKey(), Val: g.Value()}
+	default:
+		return Op{Kind: OpScan, Key: g.nextKey(), ScanLen: 1 + g.rng.Intn(100)}
+	}
+}
+
+// Ops draws n operations.
+func (g *KVGen) Ops(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Keys returns the number of distinct keys in the key space.
+func (g *KVGen) Keys() int { return g.keys }
+
+// UserRows generates n rows for a users(id INT, name TEXT, age INT)
+// table, deterministic in seed.
+func UserRows(seed int64, n int) []access.Row {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]access.Row, n)
+	for i := range out {
+		out[i] = access.Row{
+			access.NewInt(int64(i)),
+			access.NewString(fmt.Sprintf("name-%06d", rng.Intn(n*10))),
+			access.NewInt(int64(18 + rng.Intn(60))),
+		}
+	}
+	return out
+}
+
+// OrderRows generates n rows for an orders(oid INT, user_id INT, total
+// FLOAT) table referencing nUsers users; deterministic in seed.
+func OrderRows(seed int64, n, nUsers int) []access.Row {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]access.Row, n)
+	for i := range out {
+		out[i] = access.Row{
+			access.NewInt(int64(1000000 + i)),
+			access.NewInt(int64(rng.Intn(nUsers))),
+			access.NewFloat(math.Round(rng.Float64()*10000) / 100),
+		}
+	}
+	return out
+}
+
+// SensorRows generates n (sensor_id INT, reading FLOAT) stream rows.
+func SensorRows(seed int64, n, sensors int) []access.Row {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]access.Row, n)
+	for i := range out {
+		out[i] = access.Row{
+			access.NewInt(int64(rng.Intn(sensors))),
+			access.NewFloat(20 + rng.NormFloat64()*5),
+		}
+	}
+	return out
+}

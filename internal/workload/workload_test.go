@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestKVGenDeterministic(t *testing.T) {
+	g1 := NewKV(KVConfig{Seed: 42, Keys: 100, Mix: MixA})
+	g2 := NewKV(KVConfig{Seed: 42, Keys: 100, Mix: MixA})
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a.Kind != b.Kind || a.Key != b.Key {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestKVGenMixProportions(t *testing.T) {
+	g := NewKV(KVConfig{Seed: 7, Keys: 100, Mix: MixB})
+	reads, writes := 0, 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		switch g.Next().Kind {
+		case OpRead:
+			reads++
+		case OpWrite:
+			writes++
+		}
+	}
+	if float64(reads)/n < 0.9 || float64(reads)/n > 0.99 {
+		t.Fatalf("read fraction = %.3f, want ~0.95", float64(reads)/n)
+	}
+	if writes == 0 {
+		t.Fatal("no writes in YCSB-B")
+	}
+}
+
+func TestKVGenScanMix(t *testing.T) {
+	g := NewKV(KVConfig{Seed: 7, Keys: 100, Mix: MixE})
+	scans := 0
+	for i := 0; i < 1000; i++ {
+		op := g.Next()
+		if op.Kind == OpScan {
+			scans++
+			if op.ScanLen < 1 || op.ScanLen > 100 {
+				t.Fatalf("scan len = %d", op.ScanLen)
+			}
+		}
+	}
+	if scans < 900 {
+		t.Fatalf("scans = %d, want ~95%%", scans)
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	g := NewKV(KVConfig{Seed: 3, Keys: 1000, Mix: MixC, Zipfian: true})
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// The hottest key must be far above uniform (20 per key).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 200 {
+		t.Fatalf("hottest key hit %d times; zipfian skew missing", max)
+	}
+	// Uniform, by contrast, stays near 20.
+	u := NewKV(KVConfig{Seed: 3, Keys: 1000, Mix: MixC})
+	counts = map[string]int{}
+	for i := 0; i < n; i++ {
+		counts[u.Next().Key]++
+	}
+	max = 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max > 100 {
+		t.Fatalf("uniform hottest key hit %d times", max)
+	}
+}
+
+func TestKVGenDefaults(t *testing.T) {
+	g := NewKV(KVConfig{})
+	if g.Keys() != 1000 {
+		t.Fatalf("default keys = %d", g.Keys())
+	}
+	op := g.Next()
+	if op.Kind == OpWrite && len(op.Val) != 100 {
+		t.Fatalf("default val size = %d", len(op.Val))
+	}
+	ops := g.Ops(50)
+	if len(ops) != 50 {
+		t.Fatal("Ops length")
+	}
+}
+
+func TestRowGenerators(t *testing.T) {
+	users := UserRows(1, 100)
+	if len(users) != 100 || users[5][0].Int != 5 {
+		t.Fatalf("users = %d rows", len(users))
+	}
+	// Deterministic.
+	again := UserRows(1, 100)
+	for i := range users {
+		if users[i][1].Str != again[i][1].Str {
+			t.Fatal("UserRows not deterministic")
+		}
+	}
+	orders := OrderRows(2, 50, 100)
+	for _, o := range orders {
+		if o[1].Int < 0 || o[1].Int >= 100 {
+			t.Fatalf("order user_id out of range: %v", o)
+		}
+		if o[2].Float < 0 {
+			t.Fatalf("negative total: %v", o)
+		}
+	}
+	sensors := SensorRows(3, 50, 4)
+	for _, s := range sensors {
+		if s[0].Int < 0 || s[0].Int >= 4 {
+			t.Fatalf("sensor id out of range: %v", s)
+		}
+	}
+}
+
+func TestZipfHelper(t *testing.T) {
+	z := NewZipf(rand.New(rand.NewSource(1)), 0.5, 100) // s<=1 clamps
+	for i := 0; i < 100; i++ {
+		if v := z.Next(); v < 0 || v >= 100 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if Key(42) != "user00000042" {
+		t.Fatalf("Key = %s", Key(42))
+	}
+}

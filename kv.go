@@ -1,0 +1,195 @@
+// Package sbdms is the public facade of the Service-Based Data
+// Management System: it composes the storage, access, data and
+// extension services of the paper's Figure 2 into a running database,
+// at a selectable service granularity (monolithic, coarse, layered,
+// fine) and over a selectable binding (in-process or TCP) — the exact
+// experiment matrix the paper proposes as future work ("testing with
+// different levels of service granularity will give us insights into
+// the right tradeoff between service granularity and system
+// performance", Section 5).
+package sbdms
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/index"
+	"repro/internal/storage"
+)
+
+// KV errors.
+var (
+	// ErrKeyNotFound is returned by Get/Delete on absent keys.
+	ErrKeyNotFound = errors.New("sbdms: key not found")
+)
+
+// kvCore is the native key-value engine: a heap file for values plus a
+// unique B+tree index on keys. It is the workhorse behind the KV
+// service at every granularity; what changes between profiles is how
+// many service boundaries a call crosses before reaching it.
+type kvCore struct {
+	mu   sync.Mutex
+	heap *access.HeapFile
+	idx  *index.BTree
+}
+
+func newKVCore(fm *storage.FileManager, pool *buffer.Manager, name string) (*kvCore, error) {
+	heap, err := access.OpenHeap(name, fm, pool)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := openKVIndex(fm, pool, name+".meta")
+	if err != nil {
+		return nil, err
+	}
+	return &kvCore{heap: heap, idx: idx}, nil
+}
+
+// openKVIndex opens the KV B+tree, persisting its metadata page id in a
+// one-page file so the index survives restarts.
+func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, metaFile string) (*index.BTree, error) {
+	if fm.Exists(metaFile) {
+		pid, err := fm.FirstPage(metaFile)
+		if err != nil {
+			return nil, err
+		}
+		f, err := pool.Pin(pid)
+		if err != nil {
+			return nil, err
+		}
+		metaID := storage.PageID(binary.LittleEndian.Uint64(f.Page().Payload()))
+		if err := pool.Unpin(pid, false); err != nil {
+			return nil, err
+		}
+		return index.Open(pool, metaID)
+	}
+	idx, metaID, err := index.Create(pool, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := fm.Create(metaFile); err != nil {
+		return nil, err
+	}
+	pid, err := fm.AppendPage(metaFile, storage.PageTypeRaw)
+	if err != nil {
+		return nil, err
+	}
+	f, err := pool.Pin(pid)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint64(f.Page().Payload(), uint64(metaID))
+	if err := pool.Unpin(pid, true); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+func (kv *kvCore) key(k string) []byte { return access.EncodeKey(access.NewString(k)) }
+
+// Put stores (or replaces) a key.
+func (kv *kvCore) Put(k string, v []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	rec := access.EncodeRow(access.Row{access.NewString(k), access.NewBytes(v)})
+	rids, err := kv.idx.Search(kv.key(k))
+	if err != nil {
+		return err
+	}
+	if len(rids) > 0 {
+		nrid, err := kv.heap.Update(nil, rids[0], rec)
+		if err != nil {
+			return err
+		}
+		if nrid != rids[0] {
+			if _, err := kv.idx.Delete(kv.key(k), rids[0]); err != nil {
+				return err
+			}
+			if err := kv.idx.Insert(kv.key(k), nrid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rid, err := kv.heap.Insert(nil, rec)
+	if err != nil {
+		return err
+	}
+	return kv.idx.Insert(kv.key(k), rid)
+}
+
+// Get fetches a key's value.
+func (kv *kvCore) Get(k string) ([]byte, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	rids, err := kv.idx.Search(kv.key(k))
+	if err != nil {
+		return nil, err
+	}
+	if len(rids) == 0 {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+	}
+	rec, err := kv.heap.Get(rids[0])
+	if err != nil {
+		return nil, err
+	}
+	row, err := access.DecodeRow(rec)
+	if err != nil {
+		return nil, err
+	}
+	return row[1].Bytes, nil
+}
+
+// Delete removes a key.
+func (kv *kvCore) Delete(k string) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	rids, err := kv.idx.Search(kv.key(k))
+	if err != nil {
+		return err
+	}
+	if len(rids) == 0 {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+	}
+	if err := kv.heap.Delete(nil, rids[0]); err != nil {
+		return err
+	}
+	_, err = kv.idx.Delete(kv.key(k), rids[0])
+	return err
+}
+
+// Scan returns up to n keys starting at (inclusive) the given key, in
+// order.
+func (kv *kvCore) Scan(from string, n int) ([]string, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	var out []string
+	err := kv.idx.Range(kv.key(from), nil, func(key []byte, rid access.RID) error {
+		if len(out) >= n {
+			return errStopScan
+		}
+		rec, err := kv.heap.Get(rid)
+		if err != nil {
+			return err
+		}
+		row, err := access.DecodeRow(rec)
+		if err != nil {
+			return err
+		}
+		out = append(out, row[0].Str)
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopScan) {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Len returns the number of keys.
+func (kv *kvCore) Len() uint64 { return kv.idx.Len() }
+
+var errStopScan = errors.New("sbdms: stop scan")

@@ -1,0 +1,306 @@
+package sbdms
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Granularity selects how finely the DBMS is decomposed into services —
+// the paper's central experimental variable.
+type Granularity string
+
+// Granularity profiles.
+const (
+	// Monolithic performs direct native calls: the Figure 1 baseline.
+	Monolithic Granularity = "monolithic"
+	// Coarse exposes one service per request type (KV service, query
+	// service): one service hop per operation.
+	Coarse Granularity = "coarse"
+	// Layered routes operations through the Figure 2 layers: KV service
+	// -> record service -> native storage (two hops per operation).
+	Layered Granularity = "layered"
+	// Fine additionally places the disk manager behind a service, so
+	// buffer misses and flushes cross a service boundary too.
+	Fine Granularity = "fine"
+)
+
+// Granularities lists all profiles, for sweeps.
+var Granularities = []Granularity{Monolithic, Coarse, Layered, Fine}
+
+// Options configures Open.
+type Options struct {
+	// Device is the data device (nil = in-memory).
+	Device storage.Device
+	// LogDevice is the WAL device (nil = in-memory). DisableWAL skips
+	// logging entirely.
+	LogDevice  storage.Device
+	DisableWAL bool
+	// Granularity selects the service decomposition (default Layered).
+	Granularity Granularity
+	// BufferFrames sizes the buffer pool (default 256).
+	BufferFrames int
+	// BufferPolicy selects the replacement policy: lru, clock, 2q.
+	BufferPolicy string
+	// Binding wraps every registered service with a communication
+	// mechanism (nil = in-process). Use a netbind.Binding via
+	// WrapService for remote deployments.
+	Binding core.Binding
+	// Coordinator tunes the kernel coordinator; zero value uses
+	// defaults.
+	Coordinator core.CoordinatorConfig
+	// EventHistory bounds the kernel event history (default 1024).
+	EventHistory int
+}
+
+// DB is a running SBDMS instance: a kernel hosting the composed
+// services, plus direct handles for the monolithic baseline.
+type DB struct {
+	kernel *core.Kernel
+	opts   Options
+
+	disk *storage.DiskManager
+	pool *buffer.Manager
+	fm   *storage.FileManager
+	log  *wal.Log
+	txns *txn.Manager
+
+	engine *sql.Engine
+	kv     *kvCore
+
+	// Service path handles (nil for Monolithic).
+	kvRef    *core.Ref
+	queryRef *core.Ref
+	kvPath   kvBackend
+}
+
+// Open assembles and starts a database with the given options.
+func Open(opts Options) (*DB, error) {
+	if opts.Granularity == "" {
+		opts.Granularity = Layered
+	}
+	if opts.BufferFrames <= 0 {
+		opts.BufferFrames = 256
+	}
+	if opts.Device == nil {
+		opts.Device = storage.NewMemDevice()
+	}
+	if opts.EventHistory <= 0 {
+		opts.EventHistory = 1024
+	}
+	ctx := context.Background()
+
+	db := &DB{opts: opts}
+	coordCfg := opts.Coordinator
+	if coordCfg == (core.CoordinatorConfig{}) {
+		coordCfg = core.DefaultCoordinatorConfig()
+	}
+	db.kernel = core.NewKernel(
+		core.WithCoordinatorConfig(coordCfg),
+		core.WithEventHistory(opts.EventHistory),
+	)
+
+	disk, err := storage.OpenDisk(opts.Device)
+	if err != nil {
+		return nil, err
+	}
+	db.disk = disk
+
+	// WAL + crash recovery before anything reads the disk.
+	if !opts.DisableWAL {
+		if opts.LogDevice == nil {
+			opts.LogDevice = storage.NewMemDevice()
+		}
+		l, err := wal.Open(opts.LogDevice)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := wal.Recover(l, disk); err != nil {
+			return nil, fmt.Errorf("sbdms: recovery: %w", err)
+		}
+		db.log = l
+	}
+
+	// The page store under the buffer pool: native disk, or — in the
+	// fine profile — the disk service reached through the registry.
+	var lower storage.PageStore = disk
+	if opts.Granularity == Fine {
+		if err := db.deploy(ctx, NewDiskService("disk", disk), nil); err != nil {
+			return nil, err
+		}
+		lower = NewPageStoreClient(db.kernel.Ref(IfaceDisk, nil))
+	}
+
+	db.pool = buffer.New(lower, opts.BufferFrames, buffer.NewPolicy(opts.BufferPolicy))
+	if db.log != nil {
+		db.pool.SetBeforeEvict(db.log.BeforeEvict())
+	}
+	fm, err := storage.OpenFileManager(db.pool)
+	if err != nil {
+		return nil, err
+	}
+	db.fm = fm
+	cat, err := catalog.Open(fm, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	db.txns = txn.NewManager(db.log, db.pool)
+	db.engine = sql.NewEngine(fm, db.pool, cat, db.txns)
+	if db.log != nil {
+		db.engine.SetWAL(db.log)
+	}
+	db.kv, err = newKVCore(fm, db.pool, "__kv__")
+	if err != nil {
+		return nil, err
+	}
+
+	if err := db.composeServices(ctx); err != nil {
+		return nil, err
+	}
+	if err := db.kernel.Start(ctx); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// wrap applies the configured binding to a service.
+func (db *DB) wrap(s core.Service) core.Invoker {
+	if db.opts.Binding == nil {
+		return s
+	}
+	return core.BindService(s, db.opts.Binding)
+}
+
+// deploy registers and starts a service, storing its contract in the
+// repository (setup phase of Section 3.3).
+func (db *DB) deploy(ctx context.Context, s core.Service, tags map[string]string) error {
+	if err := s.Start(ctx); err != nil {
+		return err
+	}
+	if err := db.kernel.Repository().PutContract(s.Contract()); err != nil {
+		return err
+	}
+	return db.kernel.Registry().Register(&core.Registration{
+		Name:      s.Name(),
+		Interface: s.Contract().Interface,
+		Contract:  s.Contract(),
+		Invoker:   db.wrap(s),
+		Tags:      tags,
+	})
+}
+
+// composeServices builds the service graph for the selected
+// granularity profile.
+func (db *DB) composeServices(ctx context.Context) error {
+	switch db.opts.Granularity {
+	case Monolithic:
+		db.kvPath = db.kv // direct native calls
+		return nil
+	case Coarse:
+		if err := db.deploy(ctx, NewKVService("kv", db.kv), nil); err != nil {
+			return err
+		}
+	case Layered, Fine:
+		// Record service wraps the native core; KV service wraps a
+		// client of the record service: two boundaries per operation.
+		if err := db.deploy(ctx, NewRecordService("record", db.kv), nil); err != nil {
+			return err
+		}
+		recRef := db.kernel.Ref(IfaceRecord, nil)
+		if err := db.deploy(ctx, NewKVService("kv", NewKVClient(recRef)), nil); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("sbdms: unknown granularity %q", db.opts.Granularity)
+	}
+	if err := db.deploy(ctx, NewQueryService("query", db.engine), nil); err != nil {
+		return err
+	}
+	db.kvRef = db.kernel.Ref(IfaceKV, nil)
+	db.queryRef = db.kernel.Ref(IfaceQuery, nil)
+	db.kvPath = NewKVClient(db.kvRef)
+	return nil
+}
+
+// Kernel exposes the service kernel (registry, repository, coordinator,
+// event bus) for extension, monitoring and reconfiguration.
+func (db *DB) Kernel() *core.Kernel { return db.kernel }
+
+// Engine exposes the native SQL engine (the monolithic baseline path).
+func (db *DB) Engine() *sql.Engine { return db.engine }
+
+// Pool exposes the buffer manager (for monitoring and resizing).
+func (db *DB) Pool() *buffer.Manager { return db.pool }
+
+// Log exposes the write-ahead log (nil when disabled).
+func (db *DB) Log() *wal.Log { return db.log }
+
+// Txns exposes the transaction manager.
+func (db *DB) Txns() *txn.Manager { return db.txns }
+
+// FileManager exposes the file manager (extension services build their
+// own heaps with it).
+func (db *DB) FileManager() *storage.FileManager { return db.fm }
+
+// Granularity reports the active profile.
+func (db *DB) Granularity() Granularity { return db.opts.Granularity }
+
+// Exec runs a SQL statement through the configured service path
+// (direct engine call for Monolithic).
+func (db *DB) Exec(ctx context.Context, query string) (*sql.Result, error) {
+	if db.opts.Granularity == Monolithic || db.queryRef == nil {
+		return db.engine.Execute(ctx, query)
+	}
+	out, err := db.queryRef.Invoke(ctx, "execute", query)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := out.(*sql.Result)
+	if !ok {
+		return nil, fmt.Errorf("sbdms: query service returned %T", out)
+	}
+	return res, nil
+}
+
+// Put stores a key-value pair through the configured service path.
+func (db *DB) Put(key string, val []byte) error { return db.kvPath.Put(key, val) }
+
+// Get fetches a value through the configured service path.
+func (db *DB) Get(key string) ([]byte, error) { return db.kvPath.Get(key) }
+
+// DeleteKey removes a key through the configured service path.
+func (db *DB) DeleteKey(key string) error { return db.kvPath.Delete(key) }
+
+// ScanKeys returns up to n keys from key onward.
+func (db *DB) ScanKeys(key string, n int) ([]string, error) { return db.kvPath.Scan(key, n) }
+
+// KVLen returns the number of stored keys.
+func (db *DB) KVLen() uint64 { return db.kvPath.Len() }
+
+// Flush makes all buffered data durable.
+func (db *DB) Flush() error {
+	if db.log != nil {
+		if err := db.log.Flush(db.log.NextLSN()); err != nil {
+			return err
+		}
+	}
+	return db.pool.FlushAll()
+}
+
+// Close flushes and stops the instance.
+func (db *DB) Close(ctx context.Context) error {
+	if err := db.Flush(); err != nil {
+		return err
+	}
+	if err := db.kernel.Stop(ctx); err != nil {
+		return err
+	}
+	return db.disk.Close()
+}

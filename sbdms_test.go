@@ -1,0 +1,290 @@
+package sbdms
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func openDB(t *testing.T, g Granularity) *DB {
+	t.Helper()
+	db, err := Open(Options{
+		Granularity:  g,
+		BufferFrames: 64,
+		Coordinator: core.CoordinatorConfig{
+			ProbePeriod:  0, // probe explicitly in tests
+			ProbeTimeout: 100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close(context.Background()) })
+	return db
+}
+
+func TestKVAcrossGranularities(t *testing.T) {
+	for _, g := range Granularities {
+		t.Run(string(g), func(t *testing.T) {
+			db := openDB(t, g)
+			if db.Granularity() != g {
+				t.Fatal("granularity")
+			}
+			for i := 0; i < 200; i++ {
+				if err := db.Put(fmt.Sprintf("k%04d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			v, err := db.Get("k0042")
+			if err != nil || string(v) != "v42" {
+				t.Fatalf("Get = %q, %v", v, err)
+			}
+			if _, err := db.Get("missing"); err == nil {
+				t.Fatal("missing key must fail")
+			}
+			if err := db.DeleteKey("k0042"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Get("k0042"); err == nil {
+				t.Fatal("deleted key must fail")
+			}
+			keys, err := db.ScanKeys("k0100", 5)
+			if err != nil || len(keys) != 5 || keys[0] != "k0100" {
+				t.Fatalf("Scan = %v, %v", keys, err)
+			}
+			if db.KVLen() != 199 {
+				t.Fatalf("KVLen = %d", db.KVLen())
+			}
+			// Overwrite.
+			if err := db.Put("k0001", []byte("replaced")); err != nil {
+				t.Fatal(err)
+			}
+			v, _ = db.Get("k0001")
+			if string(v) != "replaced" {
+				t.Fatalf("overwrite = %q", v)
+			}
+		})
+	}
+}
+
+func TestSQLAcrossGranularities(t *testing.T) {
+	ctx := context.Background()
+	for _, g := range Granularities {
+		t.Run(string(g), func(t *testing.T) {
+			db := openDB(t, g)
+			if _, err := db.Exec(ctx, "CREATE TABLE t (a INT, b TEXT)"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Exec(ctx, "INSERT INTO t VALUES (1, 'one'), (2, 'two')"); err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Exec(ctx, "SELECT b FROM t WHERE a = 2")
+			if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Str != "two" {
+				t.Fatalf("rows = %v, %v", res, err)
+			}
+		})
+	}
+}
+
+func TestServiceRegistrations(t *testing.T) {
+	db := openDB(t, Layered)
+	reg := db.Kernel().Registry()
+	for _, iface := range []string{IfaceKV, IfaceRecord, IfaceQuery} {
+		if len(reg.Discover(iface)) == 0 {
+			t.Errorf("no provider for %s", iface)
+		}
+	}
+	// Contracts stored in the repository for adaptation.
+	for _, iface := range []string{IfaceKV, IfaceRecord, IfaceQuery} {
+		if _, err := db.Kernel().Repository().GetContract(iface); err != nil {
+			t.Errorf("no schema for %s", iface)
+		}
+	}
+	// Fine adds the disk service.
+	fine := openDB(t, Fine)
+	if len(fine.Kernel().Registry().Discover(IfaceDisk)) == 0 {
+		t.Error("fine profile must register the disk service")
+	}
+	if len(db.Kernel().Registry().Discover(IfaceDisk)) != 0 {
+		t.Error("layered profile must not register the disk service")
+	}
+}
+
+func TestDurabilityAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	openDev := func(name string) storage.Device {
+		d, err := storage.OpenFileDevice(dir + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	ctx := context.Background()
+	db, err := Open(Options{Device: openDev("data.db"), LogDevice: openDev("wal.db"), Granularity: Coarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, "CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(ctx, "INSERT INTO t VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("key", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Device: openDev("data.db"), LogDevice: openDev("wal.db"), Granularity: Coarse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close(ctx)
+	res, err := db2.Exec(ctx, "SELECT a FROM t")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].Int != 7 {
+		t.Fatalf("rows = %v, %v", res, err)
+	}
+	// KV data and its index survive the reopen.
+	if db2.KVLen() != 1 {
+		t.Fatalf("KVLen = %d", db2.KVLen())
+	}
+	v, err := db2.Get("key")
+	if err != nil || string(v) != "value" {
+		t.Fatalf("Get after reopen = %q, %v", v, err)
+	}
+}
+
+func TestScenarioExtension(t *testing.T) {
+	ctx := context.Background()
+	db := openDB(t, Coarse)
+	res, err := ScenarioExtension(ctx, db, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	if res.OpsBefore != 300 || res.OpsDuring != 300 || res.OpsAfter != 300 {
+		t.Fatalf("ops = %+v", res)
+	}
+	if !strings.Contains(res.ServedBy, "page-coordinator") {
+		t.Fatalf("ServedBy = %q", res.ServedBy)
+	}
+	if res.Events[core.EventComponentDeployed] == 0 {
+		t.Fatalf("events = %v", res.Events)
+	}
+	if res.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestScenarioSelection(t *testing.T) {
+	ctx := context.Background()
+	for _, g := range []Granularity{Coarse, Layered} {
+		t.Run(string(g), func(t *testing.T) {
+			db := openDB(t, g)
+			res, err := ScenarioSelection(ctx, db, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Failures != 0 {
+				t.Fatalf("failures = %d", res.Failures)
+			}
+			if res.ServedBy != "kv-standby" {
+				t.Fatalf("ServedBy = %q, want kv-standby during release", res.ServedBy)
+			}
+			if res.Events[core.EventWorkflowSwitched] == 0 {
+				t.Fatalf("events = %v", res.Events)
+			}
+		})
+	}
+	// Monolithic cannot run the scenario.
+	db := openDB(t, Monolithic)
+	if _, err := ScenarioSelection(ctx, db, 10); err == nil {
+		t.Fatal("monolithic selection scenario must fail")
+	}
+}
+
+func TestScenarioAdaptation(t *testing.T) {
+	ctx := context.Background()
+	for _, g := range []Granularity{Coarse, Layered} {
+		t.Run(string(g), func(t *testing.T) {
+			db := openDB(t, g)
+			res, err := ScenarioAdaptation(ctx, db, 200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The system continues to operate (Figure 7), served
+			// through a generated adaptor.
+			if res.OpsDuring == 0 || res.OpsAfter == 0 {
+				t.Fatalf("ops = %+v", res)
+			}
+			if !strings.HasPrefix(res.ServedBy, "adaptor:") {
+				t.Fatalf("ServedBy = %q, want an adaptor", res.ServedBy)
+			}
+			if res.Events[core.EventAdaptorCreated] == 0 {
+				t.Fatalf("events = %v", res.Events)
+			}
+		})
+	}
+}
+
+func TestOpenBadGranularity(t *testing.T) {
+	if _, err := Open(Options{Granularity: "weird"}); err == nil {
+		t.Fatal("unknown granularity must fail")
+	}
+}
+
+func TestKeyNotFoundError(t *testing.T) {
+	db := openDB(t, Monolithic)
+	_, err := db.Get("zzz")
+	if !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBufferPolicyOption(t *testing.T) {
+	db, err := Open(Options{Granularity: Monolithic, BufferPolicy: "clock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close(context.Background())
+	if db.Pool().PolicyName() != "clock" {
+		t.Fatalf("policy = %s", db.Pool().PolicyName())
+	}
+}
+
+func TestDelayBindingProfile(t *testing.T) {
+	// A binding applied to every service adds per-hop latency:
+	// layered (2 hops) must be slower than coarse (1 hop).
+	mk := func(g Granularity) time.Duration {
+		db, err := Open(Options{
+			Granularity: g,
+			Binding:     core.DelayBinding{Delay: 2 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close(context.Background())
+		start := time.Now()
+		for i := 0; i < 5; i++ {
+			if err := db.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	coarse := mk(Coarse)
+	layered := mk(Layered)
+	if layered <= coarse {
+		t.Fatalf("layered (%v) must pay more hops than coarse (%v)", layered, coarse)
+	}
+}
