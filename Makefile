@@ -1,0 +1,23 @@
+GO ?= go
+
+# Concurrency-heavy packages that must stay clean under the race detector.
+RACE_PKGS = ./internal/buffer/... ./internal/core/... ./internal/txn/... ./internal/wal/...
+
+.PHONY: build test race bench vet all
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run xxx -bench 'BufferContention|WALCommit' -benchtime 0.5s .
+
+vet:
+	$(GO) vet ./...

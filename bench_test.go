@@ -3,10 +3,17 @@ package sbdms
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -415,3 +422,102 @@ func benchPolicy(b *testing.B, policy string) {
 func BenchmarkAblation_BufferPolicy_LRU(b *testing.B)   { benchPolicy(b, "lru") }
 func BenchmarkAblation_BufferPolicy_Clock(b *testing.B) { benchPolicy(b, "clock") }
 func BenchmarkAblation_BufferPolicy_TwoQ(b *testing.B)  { benchPolicy(b, "2q") }
+
+// --- contended buffer pool: sharded vs single-mutex baseline -----------
+// Parallel Pin/Unpin from a fixed number of goroutines over a page set
+// larger than the pool, so the pool mutex (or shard mutexes) sit on the
+// hot path of both hits and miss-driven evictions.
+
+func benchBufferContention(b *testing.B, nshards, workers int) {
+	disk, err := storage.OpenDisk(storage.NewMemDevice())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := buffer.NewSharded(disk, 512, nshards, "lru")
+	const npages = 2048
+	ids := make([]storage.PageID, npages)
+	for i := range ids {
+		if ids[i], err = disk.Allocate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	per := b.N/workers + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				id := ids[rng.Intn(npages)]
+				if _, err := pool.Pin(id); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := pool.Unpin(id, false); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}
+
+func BenchmarkBufferContention_SingleLock_G1(b *testing.B)  { benchBufferContention(b, 1, 1) }
+func BenchmarkBufferContention_SingleLock_G4(b *testing.B)  { benchBufferContention(b, 1, 4) }
+func BenchmarkBufferContention_SingleLock_G16(b *testing.B) { benchBufferContention(b, 1, 16) }
+func BenchmarkBufferContention_Sharded_G1(b *testing.B)     { benchBufferContention(b, 8, 1) }
+func BenchmarkBufferContention_Sharded_G4(b *testing.B)     { benchBufferContention(b, 8, 4) }
+func BenchmarkBufferContention_Sharded_G16(b *testing.B)    { benchBufferContention(b, 8, 16) }
+
+// --- contended WAL commit: group commit vs fsync-per-commit ------------
+// N committers run begin/commit transactions against a file-backed log
+// (real fsync). Group commit lets concurrent committers share one sync;
+// the baseline issues one sync per flush.
+
+func benchWALCommit(b *testing.B, syncEveryFlush bool, committers int) {
+	dev, err := storage.OpenFileDevice(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dev.Close()
+	l, err := wal.Open(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l.SetSyncEveryFlush(syncEveryFlush)
+	mgr := txn.NewManager(l, nil)
+	per := b.N/committers + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				t, err := mgr.Begin()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if err := mgr.Commit(t); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	commits := float64(per * committers)
+	b.ReportMetric(float64(l.Syncs())/commits, "syncs/commit")
+}
+
+func BenchmarkWALCommit_FsyncPerCommit_C1(b *testing.B)  { benchWALCommit(b, true, 1) }
+func BenchmarkWALCommit_FsyncPerCommit_C4(b *testing.B)  { benchWALCommit(b, true, 4) }
+func BenchmarkWALCommit_FsyncPerCommit_C16(b *testing.B) { benchWALCommit(b, true, 16) }
+func BenchmarkWALCommit_GroupCommit_C1(b *testing.B)     { benchWALCommit(b, false, 1) }
+func BenchmarkWALCommit_GroupCommit_C4(b *testing.B)     { benchWALCommit(b, false, 4) }
+func BenchmarkWALCommit_GroupCommit_C16(b *testing.B)    { benchWALCommit(b, false, 16) }

@@ -31,24 +31,32 @@ func main() {
 	granularity := flag.String("granularity", "layered", "service granularity: monolithic|coarse|layered|fine")
 	frames := flag.Int("frames", 256, "buffer pool frames")
 	policy := flag.String("policy", "lru", "buffer replacement policy: lru|clock|2q")
+	shards := flag.Int("shards", 0, "buffer pool lock-stripe count (0 = auto, 1 = single mutex)")
+	groupWindow := flag.Duration("wal-group-window", 0, "WAL group-commit window (0 = coalesce without waiting)")
+	groupBytes := flag.Int("wal-group-bytes", 0, "end the WAL group window early past this many pending bytes")
+	syncEvery := flag.Bool("wal-sync-every-flush", false, "disable WAL group commit (sync on every flush)")
 	peers := flag.String("peers", "", "comma-separated peer addresses for registry gossip")
 	gossipEvery := flag.Duration("gossip", 2*time.Second, "gossip interval")
 	node := flag.String("node", "", "node tag for proximity selection")
 	flag.Parse()
 
-	if err := run(*addr, *dataPath, *walPath, *granularity, *policy, *frames, *peers, *gossipEvery, *node); err != nil {
+	opts := sbdms.Options{
+		Granularity:       sbdms.Granularity(*granularity),
+		BufferFrames:      *frames,
+		BufferPolicy:      *policy,
+		BufferShards:      *shards,
+		WALGroupWindow:    *groupWindow,
+		WALGroupBytes:     *groupBytes,
+		WALSyncEveryFlush: *syncEvery,
+	}
+	if err := run(*addr, *dataPath, *walPath, opts, *peers, *gossipEvery, *node); err != nil {
 		fmt.Fprintln(os.Stderr, "sbdms:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath, walPath, granularity, policy string, frames int, peers string, gossipEvery time.Duration, node string) error {
+func run(addr, dataPath, walPath string, opts sbdms.Options, peers string, gossipEvery time.Duration, node string) error {
 	ctx := context.Background()
-	opts := sbdms.Options{
-		Granularity:  sbdms.Granularity(granularity),
-		BufferFrames: frames,
-		BufferPolicy: policy,
-	}
 	if dataPath != "" {
 		dev, err := storage.OpenFileDevice(dataPath)
 		if err != nil {
@@ -75,8 +83,8 @@ func run(addr, dataPath, walPath, granularity, policy string, frames int, peers 
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("sbdms: serving %d services at %s (granularity=%s, policy=%s)\n",
-		db.Kernel().Registry().Len(), srv.Addr(), granularity, db.Pool().PolicyName())
+	fmt.Printf("sbdms: serving %d services at %s (granularity=%s, policy=%s, shards=%d)\n",
+		db.Kernel().Registry().Len(), srv.Addr(), db.Granularity(), db.Pool().PolicyName(), db.Pool().NumShards())
 	for _, reg := range db.Kernel().Registry().All() {
 		fmt.Printf("  service %-24s interface %s\n", reg.Name, reg.Interface)
 	}

@@ -1,32 +1,45 @@
 // Command sbench regenerates every experiment of EXPERIMENTS.md and
 // prints the result tables. Run all experiments with no arguments, or
-// select one with -exp (f1, f2, f5, f6, f7, g1, g2, g3, g4).
+// select one with -exp (f1, f2, f5, f6, f7, g1, g2, g3, g4, g5).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	sbdms "repro"
+	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
+var (
+	flagGroupWindow = flag.Duration("wal-group-window", 0, "WAL group-commit window for g5 (0 = coalesce without waiting)")
+	flagGroupBytes  = flag.Int("wal-group-bytes", 0, "end the WAL group window early past this many pending bytes")
+	flagShards      = flag.Int("shards", 0, "buffer pool shard count for g5 (0 = auto)")
+)
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|all")
+	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|all")
 	ops := flag.Int("ops", 20000, "operations per measurement")
 	keys := flag.Int("keys", 2000, "key space size")
 	flag.Parse()
 
 	runners := map[string]func(int, int) error{
 		"f1": runF1, "f2": runF2, "f5": runF5, "f6": runF6, "f7": runF7,
-		"g1": runG1, "g2": runG2, "g3": runG3, "g4": runG4,
+		"g1": runG1, "g2": runG2, "g3": runG3, "g4": runG4, "g5": runG5,
 	}
-	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4"}
+	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5"}
 	sel := strings.ToLower(*exp)
 	if sel == "all" {
 		for _, id := range order {
@@ -317,6 +330,137 @@ func runG4(ops, keys int) error {
 		}
 		el := time.Since(start)
 		fmt.Printf("%s %8d calls  %7.1f ns/call\n", p.label, n, float64(el.Nanoseconds())/float64(n))
+	}
+	return nil
+}
+
+// runG5 measures the storage engine's internal scalability: contended
+// Pin/Unpin on the sharded buffer pool vs the single-mutex baseline,
+// and concurrent transaction commits with WAL group commit vs
+// fsync-per-flush. Tune with -shards, -wal-group-window and
+// -wal-group-bytes.
+func runG5(ops, keys int) error {
+	header("G5 — storage concurrency: sharded buffer pool + WAL group commit")
+
+	// Part 1: parallel Pin/Unpin over a hot page set.
+	const frames = 512
+	const npages = 2048
+	fmt.Printf("-- buffer pool: %d frames, %d pages, zipf-free uniform touches --\n", frames, npages)
+	for _, sh := range []int{1, *flagShards} {
+		disk, err := storage.OpenDisk(storage.NewMemDevice())
+		if err != nil {
+			return err
+		}
+		var pool *buffer.Manager
+		if sh == 1 {
+			pool = buffer.NewSharded(disk, frames, 1, "lru")
+		} else if sh > 1 {
+			pool = buffer.NewSharded(disk, frames, sh, "lru")
+		} else {
+			pool = buffer.New(disk, frames, buffer.NewLRU())
+		}
+		ids := make([]storage.PageID, npages)
+		for i := range ids {
+			if ids[i], err = disk.Allocate(); err != nil {
+				return err
+			}
+		}
+		for _, g := range []int{1, 4, 16} {
+			per := ops / g
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, g)
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < per; i++ {
+						id := ids[rng.Intn(npages)]
+						if _, err := pool.Pin(id); err != nil {
+							errs <- err
+							return
+						}
+						if err := pool.Unpin(id, false); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(int64(w + 1))
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				return err
+			}
+			el := time.Since(start)
+			fmt.Printf("shards=%-2d goroutines=%-2d %8d pin/unpin  %12.0f op/s\n",
+				pool.NumShards(), g, per*g, float64(per*g)/el.Seconds())
+		}
+	}
+
+	// Part 2: concurrent committers against a file-backed WAL.
+	fmt.Printf("-- WAL commit: file-backed log, group window=%v bytes=%d --\n", *flagGroupWindow, *flagGroupBytes)
+	dir, err := os.MkdirTemp("", "sbench-g5")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	for _, mode := range []struct {
+		label     string
+		syncEvery bool
+	}{
+		{"fsync-per-commit", true},
+		{"group commit    ", false},
+	} {
+		for _, g := range []int{1, 4, 16} {
+			dev, err := storage.OpenFileDevice(filepath.Join(dir, fmt.Sprintf("%t-%d.wal", mode.syncEvery, g)))
+			if err != nil {
+				return err
+			}
+			l, err := wal.Open(dev)
+			if err != nil {
+				return err
+			}
+			l.SetSyncEveryFlush(mode.syncEvery)
+			l.SetGroupWindow(*flagGroupWindow, *flagGroupBytes)
+			mgr := txn.NewManager(l, nil)
+			per := ops / 10 / g
+			if per < 1 {
+				per = 1
+			}
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, g)
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						t, err := mgr.Begin()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if err := mgr.Commit(t); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				return err
+			}
+			el := time.Since(start)
+			commits := per * g
+			fmt.Printf("%s committers=%-2d %7d commits  %10.0f commit/s  %6d syncs (%.1f commits/sync)\n",
+				mode.label, g, commits, float64(commits)/el.Seconds(), l.Syncs(),
+				float64(commits)/float64(l.Syncs()))
+			_ = dev.Close()
+		}
 	}
 	return nil
 }

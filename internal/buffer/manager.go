@@ -47,6 +47,13 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Flushes += o.Flushes
+}
+
 type frame struct {
 	id    storage.PageID
 	data  []byte
@@ -55,11 +62,11 @@ type frame struct {
 	valid bool
 }
 
-// Manager is the buffer manager service: a bounded cache of page
-// frames over a storage.PageStore. It itself implements
-// storage.PageStore so that file managers and access methods can be
-// stacked over it transparently (services composed over services).
-type Manager struct {
+// shard is one lock stripe of the pool: its own mutex, frames, page
+// table, free list, replacement-policy instance and counters. Pages map
+// to shards by a fixed hash of their PageID, so two operations contend
+// only when they touch pages of the same stripe.
+type shard struct {
 	mu     sync.Mutex
 	store  storage.PageStore
 	frames []frame
@@ -74,76 +81,206 @@ type Manager struct {
 	beforeEvict func(storage.PageID, uint64) error
 }
 
-// New creates a buffer manager with nframes frames over store.
-func New(store storage.PageStore, nframes int, policy Policy) *Manager {
-	if nframes < 1 {
-		nframes = 1
+// Manager is the buffer manager service: a bounded cache of page
+// frames over a storage.PageStore, partitioned into lock-striped
+// shards so that independent pages can be pinned and unpinned without
+// contending on one global mutex. It itself implements
+// storage.PageStore so that file managers and access methods can be
+// stacked over it transparently (services composed over services).
+type Manager struct {
+	store      storage.PageStore
+	policyName string
+	shards     []*shard
+	mask       uint64 // len(shards)-1; shard count is a power of two
+}
+
+// Shard-count defaults: one stripe per minFramesPerShard frames, so
+// tiny pools (embedded profile, unit tests) keep the exact semantics
+// of a single-lock pool while server-scale pools stripe out.
+const (
+	minFramesPerShard = 64
+	maxDefaultShards  = 16
+)
+
+// defaultShards picks the shard count for a pool of nframes frames:
+// the largest power of two <= nframes/minFramesPerShard, clamped to
+// [1, maxDefaultShards].
+func defaultShards(nframes int) int {
+	s := nframes / minFramesPerShard
+	if s < 1 {
+		return 1
 	}
+	if s > maxDefaultShards {
+		s = maxDefaultShards
+	}
+	return floorPow2(s)
+}
+
+func floorPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// New creates a buffer manager with nframes frames over store, with an
+// automatically chosen shard count. The supplied policy instance is
+// used for the first shard; additional shards get fresh instances of
+// the same named policy. A custom Policy implementation that NewPolicy
+// cannot reconstruct by name keeps the pool at a single shard, so the
+// supplied instance governs every frame exactly as before sharding
+// (note Resize still resets policy state via NewPolicy, as it always
+// has).
+func New(store storage.PageStore, nframes int, policy Policy) *Manager {
 	if policy == nil {
 		policy = NewLRU()
 	}
-	m := &Manager{
-		store:  store,
-		frames: make([]frame, nframes),
-		table:  make(map[storage.PageID]int, nframes),
-		policy: policy,
+	if nframes < 1 {
+		nframes = 1
 	}
-	for i := range m.frames {
-		m.frames[i].data = make([]byte, storage.PageSize)
-		m.free = append(m.free, i)
+	nshards := defaultShards(nframes)
+	if !knownPolicy(policy.Name()) {
+		nshards = 1
+	}
+	m := newManager(store, nframes, nshards, policy.Name())
+	m.policyName = policy.Name()
+	m.shards[0].policy = policy
+	return m
+}
+
+// NewSharded creates a buffer manager with an explicit shard count
+// (rounded down to a power of two and clamped to [1, nframes]) and a
+// replacement policy selected by name for every shard. nshards=1 is
+// the single-mutex baseline.
+func NewSharded(store storage.PageStore, nframes, nshards int, policyName string) *Manager {
+	if nframes < 1 {
+		nframes = 1
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > nframes {
+		nshards = nframes
+	}
+	return newManager(store, nframes, floorPow2(nshards), policyName)
+}
+
+func newManager(store storage.PageStore, nframes, nshards int, policyName string) *Manager {
+	m := &Manager{
+		store:      store,
+		policyName: NewPolicy(policyName).Name(),
+		shards:     make([]*shard, nshards),
+		mask:       uint64(nshards - 1),
+	}
+	base, rem := nframes/nshards, nframes%nshards
+	for i := range m.shards {
+		n := base
+		if i < rem {
+			n++
+		}
+		s := &shard{
+			store:  store,
+			frames: make([]frame, n),
+			table:  make(map[storage.PageID]int, n),
+			policy: NewPolicy(m.policyName),
+		}
+		for fi := range s.frames {
+			s.frames[fi].data = make([]byte, storage.PageSize)
+			s.free = append(s.free, fi)
+		}
+		m.shards[i] = s
 	}
 	return m
+}
+
+// shardFor maps a page to its stripe with a Fibonacci hash, so that
+// sequentially allocated pages spread across shards.
+func (m *Manager) shardFor(id storage.PageID) *shard {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return m.shards[(h>>32)&m.mask]
 }
 
 // SetBeforeEvict installs the write-ahead hook invoked before dirty
 // write-back.
 func (m *Manager) SetBeforeEvict(f func(storage.PageID, uint64) error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.beforeEvict = f
+	for _, s := range m.shards {
+		s.mu.Lock()
+		s.beforeEvict = f
+		s.mu.Unlock()
+	}
 }
 
 // PolicyName reports the active replacement policy.
-func (m *Manager) PolicyName() string { return m.policy.Name() }
+func (m *Manager) PolicyName() string { return m.policyName }
 
-// PoolSize returns the number of frames.
-func (m *Manager) PoolSize() int { return len(m.frames) }
+// NumShards returns the number of lock stripes.
+func (m *Manager) NumShards() int { return len(m.shards) }
 
-// Stats returns a snapshot of the pool counters.
+// PoolSize returns the total number of frames across all shards.
+func (m *Manager) PoolSize() int {
+	total := 0
+	for _, s := range m.shards {
+		s.mu.Lock()
+		total += len(s.frames)
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns a snapshot of the pool counters, aggregated over all
+// shards.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	var agg Stats
+	for _, s := range m.shards {
+		s.mu.Lock()
+		agg.add(s.stats)
+		s.mu.Unlock()
+	}
+	return agg
+}
+
+// ShardStats returns a per-shard snapshot of the pool counters, for
+// monitoring stripe balance.
+func (m *Manager) ShardStats() []Stats {
+	out := make([]Stats, len(m.shards))
+	for i, s := range m.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Pin brings the page into the pool (loading it if absent), increments
 // its pin count and returns a frame handle.
 func (m *Manager) Pin(id storage.PageID) (*Frame, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if fi, ok := m.table[id]; ok {
-		f := &m.frames[fi]
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fi, ok := s.table[id]; ok {
+		f := &s.frames[fi]
 		f.pins++
-		m.stats.Hits++
-		m.policy.Touched(fi)
+		s.stats.Hits++
+		s.policy.Touched(fi)
 		return &Frame{ID: id, Data: f.data}, nil
 	}
-	m.stats.Misses++
-	fi, err := m.obtainFrameLocked()
+	s.stats.Misses++
+	fi, err := s.obtainFrameLocked()
 	if err != nil {
 		return nil, err
 	}
-	f := &m.frames[fi]
-	if err := m.store.ReadPage(id, f.data); err != nil {
-		m.free = append(m.free, fi)
+	f := &s.frames[fi]
+	if err := s.store.ReadPage(id, f.data); err != nil {
+		s.free = append(s.free, fi)
 		return nil, err
 	}
 	f.id = id
 	f.pins = 1
 	f.dirty = false
 	f.valid = true
-	m.table[id] = fi
-	m.policy.Inserted(fi)
+	s.table[id] = fi
+	s.policy.Inserted(fi)
 	return &Frame{ID: id, Data: f.data}, nil
 }
 
@@ -153,13 +290,14 @@ func (m *Manager) NewPage(t storage.PageType) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	fi, err := m.obtainFrameLocked()
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fi, err := s.obtainFrameLocked()
 	if err != nil {
 		return nil, err
 	}
-	f := &m.frames[fi]
+	f := &s.frames[fi]
 	for i := range f.data {
 		f.data[i] = 0
 	}
@@ -168,63 +306,64 @@ func (m *Manager) NewPage(t storage.PageType) (*Frame, error) {
 	f.pins = 1
 	f.dirty = true
 	f.valid = true
-	m.table[id] = fi
-	m.policy.Inserted(fi)
+	s.table[id] = fi
+	s.policy.Inserted(fi)
 	return &Frame{ID: id, Data: f.data}, nil
 }
 
 // obtainFrameLocked returns a free frame index, evicting if necessary.
-func (m *Manager) obtainFrameLocked() (int, error) {
-	if n := len(m.free); n > 0 {
-		fi := m.free[n-1]
-		m.free = m.free[:n-1]
+func (s *shard) obtainFrameLocked() (int, error) {
+	if n := len(s.free); n > 0 {
+		fi := s.free[n-1]
+		s.free = s.free[:n-1]
 		return fi, nil
 	}
-	fi := m.policy.Victim(func(i int) bool {
-		return m.frames[i].valid && m.frames[i].pins == 0
+	fi := s.policy.Victim(func(i int) bool {
+		return s.frames[i].valid && s.frames[i].pins == 0
 	})
 	if fi < 0 {
-		return 0, fmt.Errorf("%w (%d frames)", ErrPoolExhausted, len(m.frames))
+		return 0, fmt.Errorf("%w (%d frames in shard)", ErrPoolExhausted, len(s.frames))
 	}
-	f := &m.frames[fi]
+	f := &s.frames[fi]
 	if f.dirty {
-		if err := m.flushFrameLocked(fi); err != nil {
+		if err := s.flushFrameLocked(fi); err != nil {
 			return 0, err
 		}
 	}
-	delete(m.table, f.id)
-	m.policy.Removed(fi)
+	delete(s.table, f.id)
+	s.policy.Removed(fi)
 	f.valid = false
-	m.stats.Evictions++
+	s.stats.Evictions++
 	return fi, nil
 }
 
-func (m *Manager) flushFrameLocked(fi int) error {
-	f := &m.frames[fi]
-	if m.beforeEvict != nil {
+func (s *shard) flushFrameLocked(fi int) error {
+	f := &s.frames[fi]
+	if s.beforeEvict != nil {
 		lsn := storage.WrapPage(f.id, f.data).LSN()
-		if err := m.beforeEvict(f.id, lsn); err != nil {
+		if err := s.beforeEvict(f.id, lsn); err != nil {
 			return fmt.Errorf("buffer: write-ahead hook for page %d: %w", f.id, err)
 		}
 	}
-	if err := m.store.WritePage(f.id, f.data); err != nil {
+	if err := s.store.WritePage(f.id, f.data); err != nil {
 		return err
 	}
 	f.dirty = false
-	m.stats.Flushes++
+	s.stats.Flushes++
 	return nil
 }
 
 // Unpin decrements the pin count, recording whether the caller dirtied
 // the page.
 func (m *Manager) Unpin(id storage.PageID, dirty bool) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	fi, ok := m.table[id]
-	if !ok || m.frames[fi].pins == 0 {
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fi, ok := s.table[id]
+	if !ok || s.frames[fi].pins == 0 {
 		return fmt.Errorf("%w: page %d", ErrNotPinned, id)
 	}
-	f := &m.frames[fi]
+	f := &s.frames[fi]
 	f.pins--
 	if dirty {
 		f.dirty = true
@@ -234,113 +373,183 @@ func (m *Manager) Unpin(id storage.PageID, dirty bool) error {
 
 // FlushPage writes the page back if it is resident and dirty.
 func (m *Manager) FlushPage(id storage.PageID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	fi, ok := m.table[id]
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fi, ok := s.table[id]
 	if !ok {
 		return nil
 	}
-	if m.frames[fi].dirty {
-		return m.flushFrameLocked(fi)
+	if s.frames[fi].dirty {
+		return s.flushFrameLocked(fi)
 	}
 	return nil
 }
 
-// FlushAll writes back every dirty resident page and syncs the store.
+// FlushAll writes back every dirty resident page, shard by shard, and
+// syncs the store.
 func (m *Manager) FlushAll() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for fi := range m.frames {
-		if m.frames[fi].valid && m.frames[fi].dirty {
-			if err := m.flushFrameLocked(fi); err != nil {
-				return err
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for fi := range s.frames {
+			if s.frames[fi].valid && s.frames[fi].dirty {
+				if err := s.flushFrameLocked(fi); err != nil {
+					s.mu.Unlock()
+					return err
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return m.store.Sync()
 }
 
 // Resident reports whether a page currently occupies a frame.
 func (m *Manager) Resident(id storage.PageID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, ok := m.table[id]
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.table[id]
 	return ok
 }
 
 // PinCount returns the pin count of a resident page (0 if absent).
 func (m *Manager) PinCount(id storage.PageID) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if fi, ok := m.table[id]; ok {
-		return m.frames[fi].pins
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fi, ok := s.table[id]; ok {
+		return s.frames[fi].pins
 	}
 	return 0
 }
 
-// Resize changes the pool size at runtime. Shrinking flushes and drops
-// unpinned frames; it fails with ErrPinned when more than n frames are
-// pinned. This is how the coordinator honours low-memory alerts
-// (Section 3.7: component properties adjusted "according to the current
-// architecture constraints").
+// Resize changes the total pool size at runtime, holding every shard
+// lock so the operation is atomic with respect to pins. Each shard
+// keeps at least one frame, so the effective minimum is NumShards.
+// Shrinking flushes and drops unpinned frames; it fails with ErrPinned
+// when the pinned pages cannot fit in n frames (a shard whose pinned
+// pages exceed its share borrows frames from shards with slack). This
+// is how the coordinator honours low-memory alerts (Section 3.7:
+// component properties adjusted "according to the current architecture
+// constraints").
 func (m *Manager) Resize(n int) error {
-	if n < 1 {
-		n = 1
+	ns := len(m.shards)
+	if n < ns {
+		n = ns
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if n >= len(m.frames) {
-		for i := len(m.frames); i < n; i++ {
-			m.frames = append(m.frames, frame{data: make([]byte, storage.PageSize)})
-			m.free = append(m.free, i)
+	for _, s := range m.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range m.shards {
+			s.mu.Unlock()
+		}
+	}()
+
+	// Even split, then borrow frames for shards whose pinned pages
+	// exceed their share.
+	base, rem := n/ns, n%ns
+	targets := make([]int, ns)
+	pinned := make([]int, ns)
+	totalPinned := 0
+	for i, s := range m.shards {
+		targets[i] = base
+		if i < rem {
+			targets[i]++
+		}
+		for fi := range s.frames {
+			if s.frames[fi].valid && s.frames[fi].pins > 0 {
+				pinned[i]++
+			}
+		}
+		totalPinned += pinned[i]
+	}
+	if totalPinned > n {
+		return fmt.Errorf("%w: %d pinned > %d frames", ErrPinned, totalPinned, n)
+	}
+	need := 0
+	for i := range targets {
+		if pinned[i] > targets[i] {
+			need += pinned[i] - targets[i]
+			targets[i] = pinned[i]
+		}
+	}
+	for i := range targets {
+		if need == 0 {
+			break
+		}
+		floor := pinned[i]
+		if floor < 1 {
+			floor = 1
+		}
+		if slack := targets[i] - floor; slack > 0 {
+			take := slack
+			if take > need {
+				take = need
+			}
+			targets[i] -= take
+			need -= take
+		}
+	}
+	if need > 0 {
+		return fmt.Errorf("%w: pinned pages too skewed for %d frames over %d shards", ErrPinned, n, ns)
+	}
+	for i, s := range m.shards {
+		if err := s.resizeLocked(targets[i], m.policyName); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resizeLocked resizes one shard to n frames; the shard lock is held.
+func (s *shard) resizeLocked(n int, policyName string) error {
+	if n == len(s.frames) {
+		return nil
+	}
+	if n > len(s.frames) {
+		for i := len(s.frames); i < n; i++ {
+			s.frames = append(s.frames, frame{data: make([]byte, storage.PageSize)})
+			s.free = append(s.free, i)
 		}
 		return nil
 	}
-	pinned := 0
-	for i := range m.frames {
-		if m.frames[i].valid && m.frames[i].pins > 0 {
-			pinned++
-		}
-	}
-	if pinned > n {
-		return fmt.Errorf("%w: %d pinned > %d frames", ErrPinned, pinned, n)
-	}
-	// Evict from the tail down to n frames, compacting pinned/valid
-	// frames to the front.
-	for fi := range m.frames {
-		if m.frames[fi].valid && m.frames[fi].pins == 0 {
-			if m.frames[fi].dirty {
-				if err := m.flushFrameLocked(fi); err != nil {
+	// Evict every unpinned frame, compacting pinned/valid frames to the
+	// front of the new, smaller pool.
+	for fi := range s.frames {
+		if s.frames[fi].valid && s.frames[fi].pins == 0 {
+			if s.frames[fi].dirty {
+				if err := s.flushFrameLocked(fi); err != nil {
 					return err
 				}
 			}
-			delete(m.table, m.frames[fi].id)
-			m.policy.Removed(fi)
-			m.frames[fi].valid = false
-			m.stats.Evictions++
+			delete(s.table, s.frames[fi].id)
+			s.policy.Removed(fi)
+			s.frames[fi].valid = false
+			s.stats.Evictions++
 		}
 	}
-	// Rebuild the pool keeping resident (pinned) frames.
-	old := m.frames
-	m.frames = make([]frame, n)
-	m.free = m.free[:0]
-	m.table = make(map[storage.PageID]int, n)
+	old := s.frames
+	s.frames = make([]frame, n)
+	s.free = s.free[:0]
+	s.table = make(map[storage.PageID]int, n)
 	next := 0
 	for i := range old {
 		if old[i].valid {
-			m.frames[next] = old[i]
-			m.table[old[i].id] = next
+			s.frames[next] = old[i]
+			s.table[old[i].id] = next
 			next++
 		}
 	}
 	for i := next; i < n; i++ {
-		m.frames[i].data = make([]byte, storage.PageSize)
-		m.free = append(m.free, i)
+		s.frames[i].data = make([]byte, storage.PageSize)
+		s.free = append(s.free, i)
 	}
 	// Replacement policy state refers to old frame indices; reset it.
-	m.policy = NewPolicy(m.policy.Name())
+	s.policy = NewPolicy(policyName)
 	for i := 0; i < next; i++ {
-		m.policy.Inserted(i)
+		s.policy.Inserted(i)
 	}
 	return nil
 }
@@ -353,19 +562,20 @@ func (m *Manager) Allocate() (storage.PageID, error) { return m.store.Allocate()
 // Deallocate implements storage.PageStore: the page is dropped from the
 // pool (it must be unpinned) and freed in the store.
 func (m *Manager) Deallocate(id storage.PageID) error {
-	m.mu.Lock()
-	if fi, ok := m.table[id]; ok {
-		if m.frames[fi].pins > 0 {
-			m.mu.Unlock()
+	s := m.shardFor(id)
+	s.mu.Lock()
+	if fi, ok := s.table[id]; ok {
+		if s.frames[fi].pins > 0 {
+			s.mu.Unlock()
 			return fmt.Errorf("%w: page %d", ErrPinned, id)
 		}
-		delete(m.table, id)
-		m.policy.Removed(fi)
-		m.frames[fi].valid = false
-		m.frames[fi].dirty = false
-		m.free = append(m.free, fi)
+		delete(s.table, id)
+		s.policy.Removed(fi)
+		s.frames[fi].valid = false
+		s.frames[fi].dirty = false
+		s.free = append(s.free, fi)
 	}
-	m.mu.Unlock()
+	s.mu.Unlock()
 	return m.store.Deallocate(id)
 }
 

@@ -202,6 +202,16 @@ func (p *twoQPolicy) Victim(evictable func(int) bool) int {
 	return -1
 }
 
+// knownPolicy reports whether NewPolicy can construct the named policy
+// (rather than falling back to LRU).
+func knownPolicy(name string) bool {
+	switch name {
+	case "lru", "clock", "2q":
+		return true
+	}
+	return false
+}
+
 // NewPolicy constructs a policy by name, defaulting to LRU for unknown
 // names. Components use this to honour their "buffer.policy" property.
 func NewPolicy(name string) Policy {

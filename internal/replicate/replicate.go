@@ -212,7 +212,7 @@ func (s *Shipper) Ship() (int, error) {
 
 // Lag returns how many bytes of durable log a replica has not applied.
 func (s *Shipper) Lag(r *Replica) int64 {
-	return int64(s.log.FlushedLSN()) - int64(r.Applied())
+	return int64(s.log.DurableBoundary()) - int64(r.Applied())
 }
 
 // Stop halts shipping.

@@ -1,0 +1,65 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// TestConcurrentCommitsGroupCommit drives many committers through the
+// manager at once (run with -race): every commit must be durable and
+// the WAL's group commit must coalesce their flushes.
+func TestConcurrentCommitsGroupCommit(t *testing.T) {
+	l, err := wal.Open(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(l, nil)
+
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tx, err := m.Begin()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := m.Commit(tx); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatalf("active after commit storm: %d", m.ActiveCount())
+	}
+	var commits int
+	if err := l.Iterate(wal.ZeroLSN, func(r *wal.Record) error {
+		if r.Type == wal.RecCommit {
+			commits++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if commits != workers*perWorker {
+		t.Fatalf("durable commits = %d, want %d", commits, workers*perWorker)
+	}
+	if l.Syncs() > uint64(commits) {
+		t.Fatalf("syncs %d exceed commits %d", l.Syncs(), commits)
+	}
+}

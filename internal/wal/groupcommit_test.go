@@ -1,0 +1,295 @@
+package wal
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// countingDevice wraps a Device, counting Sync calls and optionally
+// slowing them down to widen the group-commit window, the way a real
+// fsync would.
+type countingDevice struct {
+	storage.Device
+	syncs     atomic.Uint64
+	syncDelay time.Duration
+}
+
+func (d *countingDevice) Sync() error {
+	if d.syncDelay > 0 {
+		time.Sleep(d.syncDelay)
+	}
+	d.syncs.Add(1)
+	return d.Device.Sync()
+}
+
+// TestGroupCommitCoalescesSyncs runs many concurrent committers and
+// asserts the log issues fewer device syncs than commits: followers
+// ride the leader's sync instead of issuing their own.
+func TestGroupCommitCoalescesSyncs(t *testing.T) {
+	dev := &countingDevice{Device: storage.NewMemDevice(), syncDelay: 200 * time.Microsecond}
+	l, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened := dev.syncs.Load() // Open may sync while initialising
+
+	const committers = 16
+	const perCommitter = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, committers)
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < perCommitter; i++ {
+				lsn, err := l.Append(&Record{Txn: id, Type: RecCommit})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := l.Flush(lsn + 1); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(uint64(c + 1))
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	commits := uint64(committers * perCommitter)
+	syncs := dev.syncs.Load() - opened
+	if syncs >= commits {
+		t.Fatalf("group commit issued %d syncs for %d commits — no coalescing", syncs, commits)
+	}
+	if l.Syncs() != syncs {
+		t.Fatalf("Log.Syncs() = %d, device counted %d", l.Syncs(), syncs)
+	}
+	// Every commit must still be durable.
+	var seen int
+	if err := l.Iterate(ZeroLSN, func(r *Record) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(seen) != commits {
+		t.Fatalf("iterated %d records, want %d", seen, commits)
+	}
+}
+
+// TestGroupWindowBatchesBurst checks that a non-zero window batches a
+// burst of committers into very few syncs.
+func TestGroupWindowBatchesBurst(t *testing.T) {
+	dev := &countingDevice{Device: storage.NewMemDevice()}
+	l, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetGroupWindow(2*time.Millisecond, 1<<20)
+	opened := dev.syncs.Load()
+
+	const committers = 8
+	var wg sync.WaitGroup
+	for c := 0; c < committers; c++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			lsn, _ := l.Append(&Record{Txn: id, Type: RecCommit})
+			_ = l.Flush(lsn + 1)
+		}(uint64(c + 1))
+	}
+	wg.Wait()
+	if syncs := dev.syncs.Load() - opened; syncs >= committers {
+		t.Fatalf("windowed group commit used %d syncs for %d commits", syncs, committers)
+	}
+}
+
+// TestGroupBytesEndsWindowEarly: once groupBytes are pending, the
+// leader must not wait out the rest of the window.
+func TestGroupBytesEndsWindowEarly(t *testing.T) {
+	l, err := Open(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetGroupWindow(500*time.Millisecond, 1)
+	lsn, err := l.Append(&Record{Txn: 1, Type: RecCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := l.Flush(lsn + 1); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 250*time.Millisecond {
+		t.Fatalf("flush took %v despite byte trigger already met", el)
+	}
+}
+
+// TestEvictFlushClosesWindowEarly: a write-ahead (eviction-path) flush
+// arriving while a leader holds a long group window open must close
+// the window early instead of waiting it out — the caller holds a
+// buffer shard lock.
+func TestEvictFlushClosesWindowEarly(t *testing.T) {
+	l, err := Open(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetGroupWindow(500*time.Millisecond, 0)
+	lsn, err := l.Append(&Record{Txn: 1, Type: RecCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- l.Flush(lsn + 1) }() // windowed leader
+	time.Sleep(10 * time.Millisecond)        // let it enter the window
+	lsn2, err := l.Append(&Record{Txn: 2, Type: RecUpdate, PageID: 1, Offset: 32,
+		Before: []byte("a"), After: []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.BeforeEvict()(1, uint64(lsn2)); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 250*time.Millisecond {
+		t.Fatalf("eviction flush waited %v behind a 500ms window", el)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if l.DurableBoundary() <= lsn2 {
+		t.Fatal("eviction flush returned before its record was durable")
+	}
+}
+
+// TestSyncEveryFlushBaseline pins the baseline mode: one device sync
+// per flush call, as before group commit.
+func TestSyncEveryFlushBaseline(t *testing.T) {
+	dev := &countingDevice{Device: storage.NewMemDevice()}
+	l, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetSyncEveryFlush(true)
+	opened := dev.syncs.Load()
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(&Record{Txn: uint64(i + 1), Type: RecCommit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Flush(lsn + 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs := dev.syncs.Load() - opened; syncs != 5 {
+		t.Fatalf("baseline issued %d syncs for 5 flushes", syncs)
+	}
+}
+
+// TestDurableBoundaryPinsDurability pins the durability contract:
+// after a crash (reopen of the same device), every record with
+// LSN < DurableBoundary survives, and records appended after the last
+// flush are gone.
+func TestDurableBoundaryPinsDurability(t *testing.T) {
+	dev := storage.NewMemDevice()
+	l, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var durable []LSN
+	for i := 0; i < 5; i++ {
+		lsn, err := l.Append(&Record{Txn: uint64(i + 1), Type: RecBegin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		durable = append(durable, lsn)
+	}
+	if err := l.Flush(l.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	boundary := l.DurableBoundary()
+	for _, lsn := range durable {
+		if lsn >= boundary {
+			t.Fatalf("flushed record %d not below boundary %d", lsn, boundary)
+		}
+	}
+	// Buffered but never flushed: lost at the crash.
+	lost, err := l.Append(&Record{Txn: 99, Type: RecBegin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost < boundary {
+		t.Fatalf("unflushed record %d below boundary %d", lost, boundary)
+	}
+
+	// "Crash": reopen the device without flushing.
+	l2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[LSN]bool)
+	if err := l2.Iterate(ZeroLSN, func(r *Record) error { got[r.LSN] = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for _, lsn := range durable {
+		if !got[lsn] {
+			t.Fatalf("record %d < boundary %d lost after reopen", lsn, boundary)
+		}
+	}
+	if got[lost] {
+		t.Fatalf("record %d >= boundary survived without a flush", lost)
+	}
+}
+
+// TestFlushErrorRestoresPending: a failed flush must keep the pending
+// records so a later flush persists them.
+func TestFlushErrorRestoresPending(t *testing.T) {
+	dev := storage.NewMemDevice()
+	l, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(&Record{Txn: 1, Type: RecCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFailWrites(true)
+	if err := l.Flush(lsn + 1); err == nil {
+		t.Fatal("flush must fail with injected write failure")
+	}
+	if l.DurableBoundary() > lsn {
+		t.Fatal("boundary advanced past an unwritten record")
+	}
+	dev.SetFailWrites(false)
+	if err := l.Flush(lsn + 1); err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	if err := l.Iterate(ZeroLSN, func(r *Record) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("iterated %d records after retried flush", seen)
+	}
+	// Appends made while the log was failing are also recovered.
+	dev.SetFailWrites(true)
+	a, _ := l.Append(&Record{Txn: 2, Type: RecBegin})
+	_ = l.Flush(a + 1) // fails, restores buffer
+	b, _ := l.Append(&Record{Txn: 2, Type: RecCommit})
+	dev.SetFailWrites(false)
+	if err := l.Flush(b + 1); err != nil {
+		t.Fatal(err)
+	}
+	seen = 0
+	if err := l.Iterate(ZeroLSN, func(r *Record) error { seen++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Fatalf("iterated %d records, want 3", seen)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -88,15 +89,30 @@ const logMagic = 0x5342444d53574131 // "SBDMSWA1"
 
 // Log is an append-only write-ahead log over a Device. Appends are
 // buffered in memory; Flush persists them. Safe for concurrent use.
+//
+// Flush uses group commit: concurrent callers coalesce onto a single
+// leader that performs one device sync covering every LSN requested so
+// far, while followers wait for the covering sync instead of issuing
+// their own. SetGroupWindow additionally holds the leader open for a
+// short time/size window so bursts of committers share one sync.
 type Log struct {
-	mu       sync.Mutex
-	dev      storage.Device
-	tailOff  uint64 // durable end of log
-	buf      []byte // pending bytes not yet written
-	bufStart uint64 // device offset of buf[0]
-	flushed  LSN    // highest LSN durably on the device
-	nextLSN  LSN
+	mu         sync.Mutex
+	dev        storage.Device
+	tailOff    uint64 // durable end of log
+	buf        []byte // pending bytes not yet written
+	bufStart   uint64 // device offset of buf[0]
+	flushed    LSN    // durability boundary (first LSN not yet durable)
+	nextLSN    LSN
 	checkpoint LSN // LSN of the last sharp checkpoint record
+
+	// Group commit state.
+	flushDone      *sync.Cond // broadcast when a flush round completes
+	syncing        bool       // a leader is writing/syncing off-lock
+	evictWaiters   int        // no-window callers waiting on the leader
+	groupWindow    time.Duration
+	groupBytes     int
+	syncEveryFlush bool   // baseline mode: every Flush syncs itself
+	syncs          uint64 // device syncs issued by Flush
 }
 
 // Open opens (or initialises) a log on a device, scanning to find the
@@ -144,7 +160,38 @@ func Open(dev storage.Device) (*Log, error) {
 	l.bufStart = l.tailOff
 	l.nextLSN = LSN(l.tailOff)
 	l.flushed = LSN(l.tailOff) // nothing pending
+	l.flushDone = sync.NewCond(&l.mu)
 	return l, nil
+}
+
+// SetGroupWindow tunes group commit: a flush leader holds the log
+// open for up to the window before syncing, so concurrent committers
+// batch into one device sync; the window ends as soon as maxBytes are
+// pending. window=0 (the default) syncs immediately; maxBytes<=0
+// means the full window is always waited out.
+func (l *Log) SetGroupWindow(window time.Duration, maxBytes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.groupWindow = window
+	l.groupBytes = maxBytes
+}
+
+// SetSyncEveryFlush toggles the pre-group-commit baseline: every Flush
+// call holds the log lock end to end and issues its own device sync.
+// Used by benchmarks to quantify the group-commit win.
+func (l *Log) SetSyncEveryFlush(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncEveryFlush = on
+}
+
+// Syncs returns the number of device syncs issued by Flush so far.
+// Under group commit this is typically far below the number of
+// committed transactions.
+func (l *Log) Syncs() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncs
 }
 
 // encode appends the wire form of rec (excluding LSN assignment) to dst.
@@ -242,11 +289,109 @@ func (l *Log) Append(rec *Record) (LSN, error) {
 	return lsn, nil
 }
 
-// Flush persists all buffered records at or below upTo (in practice the
-// whole buffer — group commit) and syncs the device.
-func (l *Log) Flush(upTo LSN) error {
+// Flush makes every record with LSN < upTo durable. Returns
+// immediately when upTo is already covered; otherwise the caller
+// either becomes the flush leader — writing the whole pending buffer
+// and issuing one device sync — or waits for an in-flight leader whose
+// sync covers its LSN (group commit). The leader performs I/O outside
+// the log lock, so appends proceed concurrently.
+func (l *Log) Flush(upTo LSN) error { return l.flush(upTo, true) }
+
+// flush implements Flush. allowWindow=false skips the group window:
+// the buffer manager's eviction hook flushes while holding a shard
+// lock, and must not stall page traffic for the commit-batching delay.
+func (l *Log) flush(upTo LSN, allowWindow bool) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if l.syncEveryFlush {
+		// Wait out any in-flight group leader first: flushSyncLocked
+		// must not advance flushed/tailOff past bytes a leader still
+		// has in flight (the mode can be toggled under traffic).
+		for l.syncing {
+			l.flushDone.Wait()
+		}
+		defer l.mu.Unlock()
+		return l.flushSyncLocked(upTo)
+	}
+	for {
+		if l.flushed >= upTo {
+			l.mu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			break // become the leader
+		}
+		if !allowWindow {
+			// An eviction-path caller is queued behind this round; the
+			// leader's window loop sees the count and closes early.
+			l.evictWaiters++
+			l.flushDone.Wait()
+			l.evictWaiters--
+		} else {
+			l.flushDone.Wait()
+		}
+	}
+	l.syncing = true
+	if allowWindow && l.groupWindow > 0 {
+		// Hold the group open so concurrent committers join this
+		// round. Appends only need l.mu, which we release; the window
+		// ends early once groupBytes are pending or an eviction-path
+		// flush is waiting on this round.
+		deadline := time.Now().Add(l.groupWindow)
+		slice := l.groupWindow / 8
+		if slice < time.Duration(50)*time.Microsecond {
+			slice = 50 * time.Microsecond
+		}
+		for l.evictWaiters == 0 && (l.groupBytes <= 0 || len(l.buf) < l.groupBytes) {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				break
+			}
+			if slice > remain {
+				slice = remain
+			}
+			l.mu.Unlock()
+			time.Sleep(slice)
+			l.mu.Lock()
+		}
+	}
+	// Take ownership of the pending bytes; appends continue into a
+	// fresh buffer at the advanced offset while we do I/O.
+	buf := l.buf
+	start := l.bufStart
+	l.buf = nil
+	l.bufStart = start + uint64(len(buf))
+	target := l.bufStart
+	l.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		if _, werr := l.dev.WriteAt(buf, int64(start)); werr != nil {
+			err = fmt.Errorf("wal: flushing: %w", werr)
+		}
+	}
+	if err == nil {
+		err = l.dev.Sync()
+	}
+
+	l.mu.Lock()
+	l.syncing = false
+	if err == nil {
+		l.syncs++
+		l.tailOff = target
+		l.flushed = LSN(target)
+	} else if len(buf) > 0 {
+		// Put the unwritten bytes back so a later flush retries them.
+		l.buf = append(buf, l.buf...)
+		l.bufStart = start
+	}
+	l.flushDone.Broadcast()
+	l.mu.Unlock()
+	return err
+}
+
+// flushSyncLocked is the baseline path: write and sync under the lock,
+// syncing once per call whenever anything is or might be pending.
+func (l *Log) flushSyncLocked(upTo LSN) error {
 	if l.flushed >= upTo && len(l.buf) == 0 {
 		return nil
 	}
@@ -261,13 +406,15 @@ func (l *Log) Flush(upTo LSN) error {
 	if err := l.dev.Sync(); err != nil {
 		return err
 	}
+	l.syncs++
 	l.flushed = LSN(l.tailOff)
 	return nil
 }
 
-// FlushedLSN returns the first LSN that is NOT yet durable; records
-// with LSN < FlushedLSN are safe on the device.
-func (l *Log) FlushedLSN() LSN {
+// DurableBoundary returns the log's durability boundary: every record
+// with LSN strictly below the boundary is safe on the device; the
+// record at or beyond it (if any) is not yet durable.
+func (l *Log) DurableBoundary() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.flushed
@@ -353,12 +500,15 @@ func (l *Log) LastCheckpoint() LSN {
 }
 
 // BeforeEvict returns a buffer-manager hook enforcing the write-ahead
-// rule: a dirty page with page LSN >= FlushedLSN forces a log flush
-// before the page may be written back.
+// rule: a dirty page with page LSN >= DurableBoundary forces a log
+// flush before the page may be written back.
 func (l *Log) BeforeEvict() func(storage.PageID, uint64) error {
 	return func(id storage.PageID, pageLSN uint64) error {
-		if LSN(pageLSN) >= l.FlushedLSN() {
-			return l.Flush(LSN(pageLSN) + 1)
+		if LSN(pageLSN) >= l.DurableBoundary() {
+			// No group window here: the caller holds a buffer shard
+			// lock, and batching latency belongs to commits, not to
+			// page eviction.
+			return l.flush(LSN(pageLSN)+1, false)
 		}
 		return nil
 	}

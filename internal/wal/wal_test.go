@@ -351,15 +351,15 @@ func TestBeforeEvictHookFlushes(t *testing.T) {
 	if err := hook(1, uint64(lsn)); err != nil {
 		t.Fatal(err)
 	}
-	if l.FlushedLSN() <= lsn {
-		t.Fatalf("flushed = %d, want > %d", l.FlushedLSN(), lsn)
+	if l.DurableBoundary() <= lsn {
+		t.Fatalf("flushed = %d, want > %d", l.DurableBoundary(), lsn)
 	}
 	// Page with an old LSN does not force a flush.
-	before := l.FlushedLSN()
+	before := l.DurableBoundary()
 	if err := hook(1, 0); err != nil {
 		t.Fatal(err)
 	}
-	if l.FlushedLSN() != before {
+	if l.DurableBoundary() != before {
 		t.Fatal("hook must not flush for already-durable LSNs")
 	}
 }

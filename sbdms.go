@@ -3,6 +3,7 @@ package sbdms
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/catalog"
@@ -49,6 +50,19 @@ type Options struct {
 	BufferFrames int
 	// BufferPolicy selects the replacement policy: lru, clock, 2q.
 	BufferPolicy string
+	// BufferShards overrides the buffer pool's lock-stripe count
+	// (0 = automatic, scaled to the pool size; 1 = single-mutex pool).
+	BufferShards int
+	// WALGroupWindow holds a WAL flush leader open for this window so
+	// concurrent committers share one device sync (0 = sync as soon as
+	// the leader runs; coalescing of concurrent callers still applies).
+	WALGroupWindow time.Duration
+	// WALGroupBytes ends the group window early once this many bytes
+	// are pending (0 = time window only).
+	WALGroupBytes int
+	// WALSyncEveryFlush disables WAL group commit: every flush call
+	// issues its own device sync (the pre-group-commit baseline).
+	WALSyncEveryFlush bool
 	// Binding wraps every registered service with a communication
 	// mechanism (nil = in-process). Use a netbind.Binding via
 	// WrapService for remote deployments.
@@ -125,6 +139,8 @@ func Open(opts Options) (*DB, error) {
 		if _, err := wal.Recover(l, disk); err != nil {
 			return nil, fmt.Errorf("sbdms: recovery: %w", err)
 		}
+		l.SetGroupWindow(opts.WALGroupWindow, opts.WALGroupBytes)
+		l.SetSyncEveryFlush(opts.WALSyncEveryFlush)
 		db.log = l
 	}
 
@@ -138,7 +154,11 @@ func Open(opts Options) (*DB, error) {
 		lower = NewPageStoreClient(db.kernel.Ref(IfaceDisk, nil))
 	}
 
-	db.pool = buffer.New(lower, opts.BufferFrames, buffer.NewPolicy(opts.BufferPolicy))
+	if opts.BufferShards > 0 {
+		db.pool = buffer.NewSharded(lower, opts.BufferFrames, opts.BufferShards, opts.BufferPolicy)
+	} else {
+		db.pool = buffer.New(lower, opts.BufferFrames, buffer.NewPolicy(opts.BufferPolicy))
+	}
 	if db.log != nil {
 		db.pool.SetBeforeEvict(db.log.BeforeEvict())
 	}
