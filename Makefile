@@ -1,9 +1,11 @@
 GO ?= go
 
 # Concurrency-heavy packages that must stay clean under the race detector.
-RACE_PKGS = ./internal/buffer/... ./internal/core/... ./internal/txn/... ./internal/wal/...
+RACE_PKGS = ./internal/access/... ./internal/buffer/... ./internal/core/... \
+            ./internal/index/... ./internal/storage/... ./internal/txn/... \
+            ./internal/wal/...
 
-.PHONY: build test race bench vet all
+.PHONY: build test race bench crash vet all
 
 all: vet build test
 
@@ -18,6 +20,12 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench 'BufferContention|WALCommit' -benchtime 0.5s .
+
+# Crash-recovery suite: kill -9, dropped write-backs, torn page writes,
+# batched transactions — run under the race detector.
+crash:
+	$(GO) test -race -run 'TestKVCrashRecovery|TestAbortThenCrashRecovery|TestEngineCrashRecovery' \
+		-count=1 . ./internal/txn/... ./internal/sql/...
 
 vet:
 	$(GO) vet ./...

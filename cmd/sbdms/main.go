@@ -35,6 +35,7 @@ func main() {
 	groupWindow := flag.Duration("wal-group-window", 0, "WAL group-commit window (0 = coalesce without waiting)")
 	groupBytes := flag.Int("wal-group-bytes", 0, "end the WAL group window early past this many pending bytes")
 	syncEvery := flag.Bool("wal-sync-every-flush", false, "disable WAL group commit (sync on every flush)")
+	commitSiblings := flag.Int("wal-commit-siblings", 0, "min sibling txns to hold the group window open (0 = 1, <0 = always hold)")
 	peers := flag.String("peers", "", "comma-separated peer addresses for registry gossip")
 	gossipEvery := flag.Duration("gossip", 2*time.Second, "gossip interval")
 	node := flag.String("node", "", "node tag for proximity selection")
@@ -47,6 +48,7 @@ func main() {
 		BufferShards:      *shards,
 		WALGroupWindow:    *groupWindow,
 		WALGroupBytes:     *groupBytes,
+		WALCommitSiblings: *commitSiblings,
 		WALSyncEveryFlush: *syncEvery,
 	}
 	if err := run(*addr, *dataPath, *walPath, opts, *peers, *gossipEvery, *node); err != nil {

@@ -24,9 +24,11 @@ import (
 )
 
 var (
-	flagGroupWindow = flag.Duration("wal-group-window", 0, "WAL group-commit window for g5 (0 = coalesce without waiting)")
+	flagGroupWindow = flag.Duration("wal-group-window", 0, "WAL group-commit window for g1/g5 (0 = coalesce without waiting)")
 	flagGroupBytes  = flag.Int("wal-group-bytes", 0, "end the WAL group window early past this many pending bytes")
-	flagShards      = flag.Int("shards", 0, "buffer pool shard count for g5 (0 = auto)")
+	flagSiblings    = flag.Int("wal-commit-siblings", 0, "min sibling txns to hold the group window (0 = gate at 1, <0 = no gate)")
+	flagShards      = flag.Int("shards", 0, "buffer pool shard count for g1/g5 (0 = auto)")
+	flagG1WAL       = flag.Bool("g1-wal", false, "run the G1 sweep with the WAL enabled (storage-vs-granularity ablation)")
 )
 
 func main() {
@@ -200,8 +202,16 @@ func runG1(ops, keys int) error {
 		{"read-mostly (YCSB-B)", workload.MixB},
 		{"update-heavy (YCSB-A)", workload.MixA},
 	} {
-		fmt.Printf("-- workload: %s, %d zipfian keys --\n", mix.name, keys)
-		ms, err := sbdms.GranularitySweep(mix.m, keys, ops, 1)
+		st := sbdms.SweepStorage{
+			BufferShards:      *flagShards,
+			EnableWAL:         *flagG1WAL,
+			WALGroupWindow:    *flagGroupWindow,
+			WALGroupBytes:     *flagGroupBytes,
+			WALCommitSiblings: *flagSiblings,
+		}
+		fmt.Printf("-- workload: %s, %d zipfian keys (shards=%d wal=%t window=%v) --\n",
+			mix.name, keys, *flagShards, *flagG1WAL, *flagGroupWindow)
+		ms, err := sbdms.GranularitySweepStorage(mix.m, keys, ops, 1, st)
 		if err != nil {
 			return err
 		}
@@ -425,6 +435,10 @@ func runG5(ops, keys int) error {
 			l.SetSyncEveryFlush(mode.syncEvery)
 			l.SetGroupWindow(*flagGroupWindow, *flagGroupBytes)
 			mgr := txn.NewManager(l, nil)
+			// commit_siblings gate: lone committers skip the window
+			// (the g5 single-committer row used to pay it in full).
+			// The knob convention matches sbdms.Options.
+			l.SetCommitSiblings(*flagSiblings, func() int { return mgr.ActiveCount() - 1 })
 			per := ops / 10 / g
 			if per < 1 {
 				per = 1

@@ -1,0 +1,233 @@
+package sbdms
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// crashState tracks what a crash-recovery run must find after reopen:
+// the value of every key whose Put committed (returned nil), and every
+// key whose Delete committed.
+type crashState struct {
+	live    map[string]string
+	deleted map[string]bool
+}
+
+// runKVCrashWorkload drives a mixed put/delete KV workload against db,
+// recording only operations that reported success. Operations are
+// allowed to fail (the device may crash mid-run); the workload stops
+// early once the fault device reports the crash happened and a few
+// more operations have been attempted against the dead disk.
+func runKVCrashWorkload(db *DB, nops, keySpace int, seed int64, fault *storage.FaultDevice) *crashState {
+	st := &crashState{live: map[string]string{}, deleted: map[string]bool{}}
+	rng := rand.New(rand.NewSource(seed))
+	pad := strings.Repeat("x", 80)
+	afterCrash := 0
+	for i := 0; i < nops; i++ {
+		if fault != nil && fault.Crashed() {
+			afterCrash++
+			if afterCrash > 20 {
+				break
+			}
+		}
+		k := fmt.Sprintf("key-%04d", rng.Intn(keySpace))
+		if rng.Intn(10) < 7 || !st.deleted[k] && st.live[k] == "" {
+			v := fmt.Sprintf("val-%d-%s", i, pad)
+			if err := db.Put(k, []byte(v)); err == nil {
+				st.live[k] = v
+				delete(st.deleted, k)
+			}
+		} else if _, ok := st.live[k]; ok {
+			if err := db.DeleteKey(k); err == nil {
+				delete(st.live, k)
+				st.deleted[k] = true
+			}
+		}
+	}
+	return st
+}
+
+// verifyRecovered reopens the store from the surviving devices and
+// asserts that recovery succeeds, every committed key is readable with
+// its committed value, every committed delete stays deleted, and the
+// index count matches.
+func verifyRecovered(t *testing.T, dataDev, logDev storage.Device, st *crashState) {
+	t.Helper()
+	db, err := Open(Options{
+		Device:       dataDev,
+		LogDevice:    logDev,
+		Granularity:  Monolithic,
+		BufferFrames: 64,
+	})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db.Close(context.Background())
+	for k, want := range st.live {
+		got, err := db.Get(k)
+		if err != nil {
+			t.Fatalf("committed key %q lost after recovery: %v", k, err)
+		}
+		if string(got) != want {
+			t.Fatalf("committed key %q = %q, want %q", k, got, want)
+		}
+	}
+	for k := range st.deleted {
+		if _, err := db.Get(k); err == nil {
+			t.Fatalf("committed delete of %q resurrected after recovery", k)
+		} else if !isNotFound(err) {
+			t.Fatalf("Get(%q) after committed delete: %v", k, err)
+		}
+	}
+	if got, want := db.KVLen(), uint64(len(st.live)); got != want {
+		t.Fatalf("KVLen after recovery = %d, want %d", got, want)
+	}
+}
+
+// openCrashDB opens a DB over the given devices with a deliberately
+// tiny buffer pool, so dirty pages are written back mid-workload and a
+// crash leaves the store torn between flushed and unflushed pages —
+// the scenario from the ROADMAP corruption item.
+func openCrashDB(t *testing.T, dataDev, logDev storage.Device) *DB {
+	t.Helper()
+	db, err := Open(Options{
+		Device:       dataDev,
+		LogDevice:    logDev,
+		Granularity:  Monolithic,
+		BufferFrames: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// abandon simulates kill -9: background services stop, but nothing is
+// flushed or closed. Whatever reached the devices is all that survives.
+func abandon(db *DB) { _ = db.Kernel().Stop(context.Background()) }
+
+// TestKVCrashRecoveryKill9 is the acceptance scenario: a pure-KV
+// workload (no SQL traffic) over a tiny pool, killed without any flush.
+// Dirty pages resident in the pool are lost; pages evicted mid-run were
+// written back. On the pre-fix engine this reopens to "storage: corrupt
+// file directory: page 1 has type 6"; with end-to-end KV logging the
+// store must reopen cleanly with every committed key present.
+func TestKVCrashRecoveryKill9(t *testing.T) {
+	dataDev, logDev := storage.NewMemDevice(), storage.NewMemDevice()
+	db := openCrashDB(t, dataDev, logDev)
+	st := runKVCrashWorkload(db, 400, 120, 1, nil)
+	if len(st.live) == 0 {
+		t.Fatal("workload committed nothing")
+	}
+	abandon(db)
+	verifyRecovered(t, dataDev, logDev, st)
+}
+
+// TestKVCrashRecoveryMidWriteBack crashes the data device part-way
+// through the workload's write-back traffic, at several crash points:
+// writes before the point land on disk, the crashing write is dropped,
+// and every later access fails — exactly a disk dying under kill -9.
+func TestKVCrashRecoveryMidWriteBack(t *testing.T) {
+	for _, crashAfter := range []int{0, 3, 17, 60} {
+		t.Run(fmt.Sprintf("crashAfter=%d", crashAfter), func(t *testing.T) {
+			inner, logDev := storage.NewMemDevice(), storage.NewMemDevice()
+			fault := storage.NewFaultDevice(inner)
+			db := openCrashDB(t, fault, logDev)
+			// Let the store format itself, then arm the crash so it
+			// triggers during workload write-back.
+			fault.CrashAfterWrites(crashAfter, 0)
+			st := runKVCrashWorkload(db, 600, 120, int64(crashAfter)+2, fault)
+			abandon(db)
+			verifyRecovered(t, inner, logDev, st)
+		})
+	}
+}
+
+// TestKVCrashRecoveryTornWrite tears a page write in half at the crash
+// point: the page on disk fails its checksum and recovery must
+// reconstruct it from logged images instead of reading it.
+func TestKVCrashRecoveryTornWrite(t *testing.T) {
+	for _, crashAfter := range []int{2, 11, 40} {
+		t.Run(fmt.Sprintf("crashAfter=%d", crashAfter), func(t *testing.T) {
+			inner, logDev := storage.NewMemDevice(), storage.NewMemDevice()
+			fault := storage.NewFaultDevice(inner)
+			db := openCrashDB(t, fault, logDev)
+			fault.CrashAfterWrites(crashAfter, storage.PageSize/2)
+			st := runKVCrashWorkload(db, 600, 120, int64(crashAfter)+100, fault)
+			abandon(db)
+			verifyRecovered(t, inner, logDev, st)
+		})
+	}
+}
+
+// TestKVBatchAbortRollsBackTree: a batch whose last operation fails
+// must roll back completely — including the B+tree's in-memory
+// root/count, which physical page undo alone does not rewind — and
+// leave a fully working engine whose state also survives a crash.
+func TestKVBatchAbortRollsBackTree(t *testing.T) {
+	dataDev, logDev := storage.NewMemDevice(), storage.NewMemDevice()
+	db := openCrashDB(t, dataDev, logDev)
+	if err := db.Put("survivor", []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	// 300 small puts force index splits (new root) before the oversized
+	// value fails the batch.
+	keys := make([]string, 301)
+	vals := make([][]byte, 301)
+	for i := 0; i < 300; i++ {
+		keys[i] = fmt.Sprintf("doomed-%03d", i)
+		vals[i] = []byte(strings.Repeat("x", 40))
+	}
+	keys[300] = "too-big"
+	vals[300] = make([]byte, 2*storage.PageSize)
+	if err := db.PutBatch(keys, vals); err == nil {
+		t.Fatal("oversized batch must fail")
+	}
+	if got := db.KVLen(); got != 1 {
+		t.Fatalf("KVLen after aborted batch = %d, want 1", got)
+	}
+	if _, err := db.Get("doomed-000"); err == nil {
+		t.Fatal("aborted key visible")
+	}
+	if got, err := db.Get("survivor"); err != nil || string(got) != "v0" {
+		t.Fatalf("survivor after abort = %q, %v", got, err)
+	}
+	// Engine still fully usable, and its post-abort commits recover.
+	if err := db.Put("after-abort", []byte("v1")); err != nil {
+		t.Fatalf("put after aborted batch: %v", err)
+	}
+	abandon(db)
+	verifyRecovered(t, dataDev, logDev, &crashState{
+		live:    map[string]string{"survivor": "v0", "after-abort": "v1"},
+		deleted: map[string]bool{"doomed-000": true, "too-big": true},
+	})
+}
+
+// TestKVCrashRecoveryBatch covers the batched multi-op path: a batch
+// is one transaction, so after a crash either all its keys are present
+// or none are.
+func TestKVCrashRecoveryBatch(t *testing.T) {
+	dataDev, logDev := storage.NewMemDevice(), storage.NewMemDevice()
+	db := openCrashDB(t, dataDev, logDev)
+	st := &crashState{live: map[string]string{}, deleted: map[string]bool{}}
+	for b := 0; b < 20; b++ {
+		keys := make([]string, 10)
+		vals := make([][]byte, 10)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("batch-%02d-%02d", b, i)
+			vals[i] = []byte(fmt.Sprintf("v-%d-%d", b, i))
+		}
+		if err := db.PutBatch(keys, vals); err == nil {
+			for i := range keys {
+				st.live[keys[i]] = string(vals[i])
+			}
+		}
+	}
+	abandon(db)
+	verifyRecovered(t, dataDev, logDev, st)
+}

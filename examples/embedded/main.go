@@ -104,6 +104,15 @@ type memStore struct{ m map[string][]byte }
 func newMemStore() *memStore { return &memStore{m: map[string][]byte{}} }
 
 func (s *memStore) Put(k string, v []byte) error { s.m[k] = v; return nil }
+func (s *memStore) PutBatch(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("embedded: %d keys, %d values", len(keys), len(vals))
+	}
+	for i, k := range keys {
+		s.m[k] = vals[i]
+	}
+	return nil
+}
 func (s *memStore) Get(k string) ([]byte, error) {
 	if v, ok := s.m[k]; ok {
 		return v, nil

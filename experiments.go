@@ -151,28 +151,63 @@ func MeasureTCPRoundTrip(n int) (time.Duration, error) {
 	return time.Since(start) / time.Duration(n), nil
 }
 
+// SweepStorage carries the storage-concurrency knobs of a granularity
+// sweep, so experiment G1 can ablate storage configuration (buffer
+// sharding, WAL group commit) against service granularity instead of
+// holding storage fixed.
+type SweepStorage struct {
+	// BufferFrames sizes the pool (0 = 512, the classic G1 setting).
+	BufferFrames int
+	// BufferShards overrides the pool's lock-stripe count (0 = auto).
+	BufferShards int
+	// EnableWAL turns logging on for the sweep; the WAL fields below
+	// only apply when set. The classic G1 sweep runs unlogged.
+	EnableWAL bool
+	// WALGroupWindow, WALGroupBytes and WALCommitSiblings mirror the
+	// same fields of Options.
+	WALGroupWindow    time.Duration
+	WALGroupBytes     int
+	WALCommitSiblings int
+}
+
 // GranularitySweep runs experiment G1: every granularity profile under
 // the local binding and under a per-hop delay calibrated from the real
 // TCP round-trip. Returns one measurement per cell.
 func GranularitySweep(mix workload.Mix, keys, nops int, seed int64) ([]KVMeasurement, error) {
+	return GranularitySweepStorage(mix, keys, nops, seed, SweepStorage{})
+}
+
+// GranularitySweepStorage is GranularitySweep with explicit storage
+// knobs, crossing the paper's granularity axis with the storage
+// concurrency axis (ROADMAP: "thread BufferShards/WAL knobs into the
+// G1 sweeps").
+func GranularitySweepStorage(mix workload.Mix, keys, nops int, seed int64, st SweepStorage) ([]KVMeasurement, error) {
 	rtt, err := MeasureTCPRoundTrip(200)
 	if err != nil {
 		return nil, err
 	}
+	frames := st.BufferFrames
+	if frames <= 0 {
+		frames = 512
+	}
 	var out []KVMeasurement
 	for _, binding := range []struct {
-		name  string
-		bind  core.Binding
+		name string
+		bind core.Binding
 	}{
 		{"local", nil},
 		{fmt.Sprintf("tcp(%v)", rtt.Round(time.Microsecond)), core.DelayBinding{Delay: rtt}},
 	} {
 		for _, g := range Granularities {
 			db, err := Open(Options{
-				Granularity:  g,
-				BufferFrames: 512,
-				Binding:      binding.bind,
-				DisableWAL:   true,
+				Granularity:       g,
+				BufferFrames:      frames,
+				BufferShards:      st.BufferShards,
+				Binding:           binding.bind,
+				DisableWAL:        !st.EnableWAL,
+				WALGroupWindow:    st.WALGroupWindow,
+				WALGroupBytes:     st.WALGroupBytes,
+				WALCommitSiblings: st.WALCommitSiblings,
 			})
 			if err != nil {
 				return nil, err

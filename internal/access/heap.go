@@ -81,25 +81,29 @@ func (h *HeapFile) SetLog(l *wal.Log) {
 // Name returns the file name.
 func (h *HeapFile) Name() string { return h.name }
 
-// mutatePage pins a page, runs fn over it, and — when logging applies —
-// appends one update record covering the byte range fn changed.
-func (h *HeapFile) mutatePage(tx TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
-	f, err := h.pool.Pin(pid)
+// MutatePage pins a page in pool, runs fn over it, and — when log and
+// tx are both non-nil — appends one update record covering the byte
+// range fn changed (per storage.LogImageRange, a page's first record
+// is its full image), stamps the page LSN, and registers the record
+// with the transaction. It is the one WAL-logging protocol shared by
+// every pool-based access method (heap files, B+trees).
+func MutatePage(pool *buffer.Manager, log *wal.Log, tx TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
+	f, err := pool.Pin(pid)
 	if err != nil {
 		return err
 	}
 	page := f.Page()
-	logging := h.log != nil && tx != nil
+	logging := log != nil && tx != nil
 	var before []byte
 	if logging {
 		before = append([]byte(nil), page.Data...)
 	}
 	if err := fn(page); err != nil {
-		_ = h.pool.Unpin(pid, false)
+		_ = pool.Unpin(pid, false)
 		return err
 	}
 	if logging {
-		lo, hi := diffRange(before, page.Data)
+		lo, hi := storage.LogImageRange(pid, before, page.Data)
 		if lo < hi {
 			rec := &wal.Record{
 				Txn:     tx.ID(),
@@ -110,34 +114,21 @@ func (h *HeapFile) mutatePage(tx TxnContext, pid storage.PageID, fn func(p *stor
 				After:   append([]byte(nil), page.Data[lo:hi]...),
 				PrevLSN: tx.LastLSN(),
 			}
-			lsn, err := h.log.Append(rec)
+			lsn, err := log.Append(rec)
 			if err != nil {
-				_ = h.pool.Unpin(pid, true)
+				_ = pool.Unpin(pid, true)
 				return err
 			}
 			page.SetLSN(uint64(lsn))
 			tx.Record(rec)
 		}
 	}
-	return h.pool.Unpin(pid, true)
+	return pool.Unpin(pid, true)
 }
 
-// diffRange returns the smallest [lo,hi) range over which a and b
-// differ, skipping the LSN field itself (bytes 8..16 of the header,
-// which mutatePage rewrites afterwards).
-func diffRange(a, b []byte) (int, int) {
-	lo := 0
-	for lo < len(a) && a[lo] == b[lo] {
-		lo++
-	}
-	if lo == len(a) {
-		return 0, 0
-	}
-	hi := len(a)
-	for hi > lo && a[hi-1] == b[hi-1] {
-		hi--
-	}
-	return lo, hi
+// mutatePage applies fn to pid under the heap's pool and log.
+func (h *HeapFile) mutatePage(tx TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
+	return MutatePage(h.pool, h.log, tx, pid, fn)
 }
 
 // Insert stores a record and returns its RID. With a non-nil tx the
@@ -209,14 +200,9 @@ func (h *HeapFile) Insert(tx TxnContext, rec []byte) (RID, error) {
 	if err != nil {
 		return RID{}, err
 	}
-	// File-manager directory changes are not WAL-logged; make them (and
-	// the freshly chained page) durable now so that recovery can reach
-	// records that redo will replay into this page.
-	if h.log != nil && tx != nil {
-		if err := h.pool.FlushAll(); err != nil {
-			return RID{}, err
-		}
-	}
+	// The file manager WAL-logs the directory update and chain links of
+	// the appended page under a system transaction, so recovery reaches
+	// this page without any eager flush here.
 	return rid, nil
 }
 

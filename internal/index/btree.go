@@ -17,6 +17,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/buffer"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // Index errors.
@@ -37,6 +38,7 @@ const indexMagic = 0x5342444d53425431 // "SBDMSBT1"
 // correctness.
 type BTree struct {
 	pool   *buffer.Manager
+	log    *wal.Log
 	metaID storage.PageID
 	mu     sync.RWMutex
 	root   storage.PageID
@@ -104,13 +106,52 @@ func (t *BTree) writeMeta(p *storage.Page) {
 	}
 }
 
-func (t *BTree) flushMetaLocked() error {
+// SetLog attaches a write-ahead log; subsequent mutations through a
+// non-nil access.TxnContext are logged with physical before/after
+// images, mirroring access.HeapFile. Structure modifications (splits,
+// root changes) are covered too: every dirtied page gets a record, so
+// redo replays them and undo restores the exact prior bytes. The tree
+// serialises writers under its own mutex, which is what makes physical
+// undo of structure modifications safe.
+func (t *BTree) SetLog(l *wal.Log) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.log = l
+}
+
+// mutatePage applies fn to pid under the tree's pool and log, via the
+// shared access.MutatePage logging protocol.
+func (t *BTree) mutatePage(tx access.TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
+	return access.MutatePage(t.pool, t.log, tx, pid, fn)
+}
+
+func (t *BTree) flushMetaLocked(tx access.TxnContext) error {
+	return t.mutatePage(tx, t.metaID, func(p *storage.Page) error {
+		t.writeMeta(p)
+		return nil
+	})
+}
+
+// ReloadMeta re-reads the tree's root pointer and entry count from the
+// metadata page, discarding the in-memory copies. A transaction abort
+// restores page bytes from physical before images, which rewinds the
+// meta page but not this struct; callers re-synchronise with the
+// restored state by reloading after a rollback.
+func (t *BTree) ReloadMeta() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	f, err := t.pool.Pin(t.metaID)
 	if err != nil {
 		return err
 	}
-	t.writeMeta(f.Page())
-	return t.pool.Unpin(t.metaID, true)
+	pl := f.Page().Payload()
+	if binary.LittleEndian.Uint64(pl) != indexMagic {
+		_ = t.pool.Unpin(t.metaID, false)
+		return fmt.Errorf("%w: bad meta magic on page %d", ErrCorrupt, t.metaID)
+	}
+	t.root = storage.PageID(binary.LittleEndian.Uint64(pl[8:]))
+	t.count = binary.LittleEndian.Uint64(pl[16:])
+	return t.pool.Unpin(t.metaID, false)
 }
 
 // MetaID returns the metadata page id used to reopen the tree.
@@ -302,29 +343,25 @@ func (t *BTree) loadNode(id storage.PageID) (*node, error) {
 	return n, err
 }
 
-func (t *BTree) storeNode(n *node) error {
-	f, err := t.pool.Pin(n.id)
-	if err != nil {
-		return err
-	}
-	if err := n.encode(f.Page()); err != nil {
-		_ = t.pool.Unpin(n.id, false)
-		return err
-	}
-	return t.pool.Unpin(n.id, true)
+func (t *BTree) storeNode(tx access.TxnContext, n *node) error {
+	return t.mutatePage(tx, n.id, n.encode)
 }
 
-func (t *BTree) newNode(leaf bool) (*node, error) {
+func (t *BTree) newNode(tx access.TxnContext, leaf bool) (*node, error) {
 	f, err := t.pool.NewPage(storage.PageTypeIndex)
 	if err != nil {
 		return nil, err
 	}
-	n := &node{id: f.ID, leaf: leaf}
-	if err := n.encode(f.Page()); err != nil {
-		_ = t.pool.Unpin(f.ID, false)
+	if err := t.pool.Unpin(f.ID, true); err != nil {
 		return nil, err
 	}
-	return n, t.pool.Unpin(f.ID, true)
+	// Encode through mutatePage so the node's birth is logged (the
+	// freshly zeroed page has LSN 0, producing a full image).
+	n := &node{id: f.ID, leaf: leaf}
+	if err := t.storeNode(tx, n); err != nil {
+		return nil, err
+	}
+	return n, nil
 }
 
 // --- operations ---------------------------------------------------------
@@ -332,6 +369,12 @@ func (t *BTree) newNode(leaf bool) (*node, error) {
 // Insert adds (key, rid). Unique trees reject an existing key with
 // ErrDuplicateKey.
 func (t *BTree) Insert(key []byte, rid access.RID) error {
+	return t.InsertTx(nil, key, rid)
+}
+
+// InsertTx adds (key, rid), logging every dirtied page (leaf, split
+// siblings, parents, metadata) under tx when a WAL is attached.
+func (t *BTree) InsertTx(tx access.TxnContext, key []byte, rid access.RID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.unique {
@@ -344,27 +387,27 @@ func (t *BTree) Insert(key []byte, rid access.RID) error {
 		}
 	}
 	ck := compositeKey(key, rid)
-	sep, right, split, err := t.insertRec(t.root, ck)
+	sep, right, split, err := t.insertRec(tx, t.root, ck)
 	if err != nil {
 		return err
 	}
 	if split {
-		newRoot, err := t.newNode(false)
+		newRoot, err := t.newNode(tx, false)
 		if err != nil {
 			return err
 		}
 		newRoot.keys = [][]byte{sep}
 		newRoot.children = []storage.PageID{t.root, right}
-		if err := t.storeNode(newRoot); err != nil {
+		if err := t.storeNode(tx, newRoot); err != nil {
 			return err
 		}
 		t.root = newRoot.id
 	}
 	t.count++
-	return t.flushMetaLocked()
+	return t.flushMetaLocked(tx)
 }
 
-func (t *BTree) insertRec(id storage.PageID, ck []byte) (sep []byte, right storage.PageID, split bool, err error) {
+func (t *BTree) insertRec(tx access.TxnContext, id storage.PageID, ck []byte) (sep []byte, right storage.PageID, split bool, err error) {
 	n, err := t.loadNode(id)
 	if err != nil {
 		return nil, 0, false, err
@@ -378,12 +421,12 @@ func (t *BTree) insertRec(id storage.PageID, ck []byte) (sep []byte, right stora
 		copy(n.keys[pos+1:], n.keys[pos:])
 		n.keys[pos] = ck
 		if n.encodedSize() <= storage.PayloadSize {
-			return nil, 0, false, t.storeNode(n)
+			return nil, 0, false, t.storeNode(tx, n)
 		}
-		return t.splitLeaf(n)
+		return t.splitLeaf(tx, n)
 	}
 	idx := childIndex(n, ck)
-	csep, cright, csplit, err := t.insertRec(n.children[idx], ck)
+	csep, cright, csplit, err := t.insertRec(tx, n.children[idx], ck)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -397,18 +440,18 @@ func (t *BTree) insertRec(id storage.PageID, ck []byte) (sep []byte, right stora
 	copy(n.children[idx+2:], n.children[idx+1:])
 	n.children[idx+1] = cright
 	if n.encodedSize() <= storage.PayloadSize {
-		return nil, 0, false, t.storeNode(n)
+		return nil, 0, false, t.storeNode(tx, n)
 	}
-	return t.splitInternal(n)
+	return t.splitInternal(tx, n)
 }
 
 func childIndex(n *node, ck []byte) int {
 	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(ck, n.keys[i]) < 0 })
 }
 
-func (t *BTree) splitLeaf(n *node) ([]byte, storage.PageID, bool, error) {
+func (t *BTree) splitLeaf(tx access.TxnContext, n *node) ([]byte, storage.PageID, bool, error) {
 	mid := len(n.keys) / 2
-	rightN, err := t.newNode(true)
+	rightN, err := t.newNode(tx, true)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -419,10 +462,10 @@ func (t *BTree) splitLeaf(n *node) ([]byte, storage.PageID, bool, error) {
 	rightN.prev = n.id
 	oldNext := n.next
 	n.next = rightN.id
-	if err := t.storeNode(rightN); err != nil {
+	if err := t.storeNode(tx, rightN); err != nil {
 		return nil, 0, false, err
 	}
-	if err := t.storeNode(n); err != nil {
+	if err := t.storeNode(tx, n); err != nil {
 		return nil, 0, false, err
 	}
 	if oldNext != storage.InvalidPageID {
@@ -431,7 +474,7 @@ func (t *BTree) splitLeaf(n *node) ([]byte, storage.PageID, bool, error) {
 			return nil, 0, false, err
 		}
 		on.prev = rightN.id
-		if err := t.storeNode(on); err != nil {
+		if err := t.storeNode(tx, on); err != nil {
 			return nil, 0, false, err
 		}
 	}
@@ -439,10 +482,10 @@ func (t *BTree) splitLeaf(n *node) ([]byte, storage.PageID, bool, error) {
 	return sep, rightN.id, true, nil
 }
 
-func (t *BTree) splitInternal(n *node) ([]byte, storage.PageID, bool, error) {
+func (t *BTree) splitInternal(tx access.TxnContext, n *node) ([]byte, storage.PageID, bool, error) {
 	mid := len(n.keys) / 2
 	sep := append([]byte(nil), n.keys[mid]...)
-	rightN, err := t.newNode(false)
+	rightN, err := t.newNode(tx, false)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -450,10 +493,10 @@ func (t *BTree) splitInternal(n *node) ([]byte, storage.PageID, bool, error) {
 	rightN.children = append(rightN.children, n.children[mid+1:]...)
 	n.keys = n.keys[:mid]
 	n.children = n.children[:mid+1]
-	if err := t.storeNode(rightN); err != nil {
+	if err := t.storeNode(tx, rightN); err != nil {
 		return nil, 0, false, err
 	}
-	if err := t.storeNode(n); err != nil {
+	if err := t.storeNode(tx, n); err != nil {
 		return nil, 0, false, err
 	}
 	return sep, rightN.id, true, nil
@@ -482,6 +525,11 @@ func (t *BTree) searchLocked(key []byte) ([]access.RID, error) {
 
 // Delete removes (key, rid) and reports whether it was present.
 func (t *BTree) Delete(key []byte, rid access.RID) (bool, error) {
+	return t.DeleteTx(nil, key, rid)
+}
+
+// DeleteTx removes (key, rid) under tx, logging the dirtied pages.
+func (t *BTree) DeleteTx(tx access.TxnContext, key []byte, rid access.RID) (bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ck := compositeKey(key, rid)
@@ -505,7 +553,7 @@ func (t *BTree) Delete(key []byte, rid access.RID) (bool, error) {
 		return false, nil
 	}
 	leaf.keys = append(leaf.keys[:pos], leaf.keys[pos+1:]...)
-	if err := t.storeNode(leaf); err != nil {
+	if err := t.storeNode(tx, leaf); err != nil {
 		return false, err
 	}
 	t.count--
@@ -520,11 +568,21 @@ func (t *BTree) Delete(key []byte, rid access.RID) (bool, error) {
 		}
 		old := t.root
 		t.root = root.children[0]
-		if err := t.pool.Deallocate(old); err != nil {
-			return false, err
+		// Under a transaction the free is deferred until the commit is
+		// durable: an abort (or crash undo) restores the old root
+		// pointer, which must not then reference a reallocated page.
+		switch h := tx.(type) {
+		case nil:
+			if err := t.pool.Deallocate(old); err != nil {
+				return false, err
+			}
+		case interface{ OnCommitted(func()) }:
+			pool := t.pool
+			h.OnCommitted(func() { _ = pool.Deallocate(old) })
 		}
+		// Other TxnContext implementations leak the page (safe).
 	}
-	return true, t.flushMetaLocked()
+	return true, t.flushMetaLocked(tx)
 }
 
 // Range iterates entries with lo <= key < hi (nil bounds are

@@ -461,8 +461,12 @@ func TestEngineCrashRecovery(t *testing.T) {
 	pool := buffer.New(d, 128, buffer.NewLRU())
 	pool.SetBeforeEvict(l.BeforeEvict())
 	fm, _ := storage.OpenFileManager(pool)
+	mgr := txn.NewManager(l, pool)
+	// Log directory updates under system transactions, as sbdms.Open
+	// wires it, so recovery can reach the table's pages.
+	fm.SetLogger(mgr.PageLogger())
 	cat, _ := catalog.Open(fm, pool)
-	e := NewEngine(fm, pool, cat, txn.NewManager(l, pool))
+	e := NewEngine(fm, pool, cat, mgr)
 	e.SetWAL(l)
 	mustExec(t, e, "CREATE TABLE kv (k TEXT, v INT)")
 	mustExec(t, e, "INSERT INTO kv VALUES ('committed', 1)")

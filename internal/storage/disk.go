@@ -50,6 +50,7 @@ type DiskManager struct {
 	freeHead  PageID
 	closed    bool
 	verify    bool
+	salvage   bool
 }
 
 // DiskOption configures a disk manager.
@@ -58,6 +59,15 @@ type DiskOption func(*DiskManager)
 // WithChecksumVerify enables checksum verification on every read.
 func WithChecksumVerify(on bool) DiskOption {
 	return func(d *DiskManager) { d.verify = on }
+}
+
+// WithMetaSalvage makes OpenDisk tolerate a torn or unreadable metadata
+// page: instead of failing, the page count is conservatively derived
+// from the device size and the free list abandoned (freed pages leak
+// rather than risk double allocation). Crash recovery then rebuilds
+// page content from the WAL.
+func WithMetaSalvage(on bool) DiskOption {
+	return func(d *DiskManager) { d.salvage = on }
 }
 
 // OpenDisk opens (or initialises) a disk manager on a device.
@@ -79,19 +89,73 @@ func OpenDisk(dev Device, opts ...DiskOption) (*DiskManager, error) {
 	}
 	meta := make([]byte, PageSize)
 	if _, err := dev.ReadAt(meta, 0); err != nil {
+		if d.salvage && size >= PageSize {
+			return d.salvageMeta(size)
+		}
 		return nil, fmt.Errorf("storage: reading meta page: %w", err)
 	}
 	p := WrapPage(0, meta)
 	payload := p.Payload()
 	if binary.LittleEndian.Uint64(payload) != diskMagic {
+		// A bad magic means a foreign or mispointed file, not a torn
+		// meta write (page writes are whole-page, so a torn rewrite
+		// keeps a valid magic from either the old or new image): fail
+		// loudly rather than salvage over someone else's data.
 		return nil, fmt.Errorf("%w: bad magic", ErrBadMeta)
 	}
 	if p.Type() != PageTypeMeta || !p.VerifyChecksum() {
+		if d.salvage {
+			return d.salvageMeta(size)
+		}
 		return nil, fmt.Errorf("%w: bad meta header", ErrBadMeta)
 	}
 	d.pageCount = binary.LittleEndian.Uint64(payload[8:])
 	d.freeHead = PageID(binary.LittleEndian.Uint64(payload[16:]))
+	// A crash can lose the meta write that recorded device growth;
+	// trust the device size for the page count so recovery can reach
+	// every page the WAL mentions.
+	if d.salvage {
+		if fromSize := uint64(size+PageSize-1)/PageSize - 1; fromSize > d.pageCount {
+			d.pageCount = fromSize
+		}
+	}
 	return d, nil
+}
+
+// salvageMeta reconstructs conservative metadata after a torn meta-page
+// write: every page within the device size counts as allocated, the
+// free list is dropped, and a fresh meta page is written.
+func (d *DiskManager) salvageMeta(size int64) (*DiskManager, error) {
+	d.pageCount = uint64(size+PageSize-1)/PageSize - 1
+	d.freeHead = InvalidPageID
+	if err := d.writeMetaLocked(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// EnsureAllocated grows the store so that id is a valid page, writing
+// zeroed pages for the extension. Recovery uses it when the WAL
+// references pages whose allocation never reached the metadata page
+// before a crash.
+func (d *DiskManager) EnsureAllocated(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if uint64(id) <= d.pageCount {
+		return nil
+	}
+	for d.pageCount < uint64(id) {
+		d.pageCount++
+		zero := NewPage(PageID(d.pageCount), PageTypeRaw)
+		zero.UpdateChecksum()
+		if _, err := d.dev.WriteAt(zero.Data, int64(d.pageCount)*PageSize); err != nil {
+			return fmt.Errorf("storage: extending to page %d: %w", d.pageCount, err)
+		}
+	}
+	return d.writeMetaLocked()
 }
 
 func (d *DiskManager) writeMetaLocked() error {

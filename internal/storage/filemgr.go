@@ -28,6 +28,30 @@ type fileEntry struct {
 	pageCount uint64
 }
 
+// PageTxn is one system transaction logging physical page mutations on
+// behalf of the file manager. internal/txn provides the implementation;
+// the indirection keeps this package free of a WAL dependency.
+type PageTxn interface {
+	// Update logs a physical before/after image for page id starting at
+	// byte off, returning the record's LSN (to stamp on the page).
+	Update(id PageID, off int, before, after []byte) (lsn uint64, err error)
+	// Commit finishes the transaction. The commit record need not be
+	// forced: WAL ordering makes it durable with the next forced flush.
+	Commit() error
+	// Abort rolls the logged mutations back.
+	Abort() error
+}
+
+// PageLogger hands out system transactions and forces the log. A file
+// manager with a logger attached WAL-logs every directory and
+// page-allocation mutation, so crash recovery can restore a consistent
+// directory.
+type PageLogger interface {
+	Begin() (PageTxn, error)
+	// Flush forces everything logged so far to stable storage.
+	Flush() error
+}
+
 // FileManager organises pages of a PageStore into named doubly-linked
 // page chains ("files"), with a directory persisted in a dedicated page
 // chain rooted at the first page of the store. It corresponds to the
@@ -39,6 +63,7 @@ type FileManager struct {
 	files   map[string]*fileEntry
 	dirRoot PageID
 	dirLen  int // number of directory chain pages currently in use
+	logger  PageLogger
 }
 
 // DirectoryRootPage is the fixed page id of the directory chain root;
@@ -59,7 +84,7 @@ func OpenFileManager(store PageStore) (*FileManager, error) {
 		}
 		fm.dirRoot = id
 		fm.dirLen = 1
-		if err := fm.persistLocked(); err != nil {
+		if _, err := fm.persistLocked(nil); err != nil {
 			return nil, err
 		}
 		return fm, nil
@@ -138,16 +163,89 @@ func (fm *FileManager) decodeLocked(raw []byte) error {
 	return nil
 }
 
+// SetLogger attaches a system-transaction logger; subsequent directory
+// and allocation mutations are WAL-logged through it.
+func (fm *FileManager) SetLogger(l PageLogger) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	fm.logger = l
+}
+
+// beginSysLocked starts a system transaction covering one directory
+// mutation (nil when no logger is attached).
+func (fm *FileManager) beginSysLocked() (PageTxn, error) {
+	if fm.logger == nil {
+		return nil, nil
+	}
+	return fm.logger.Begin()
+}
+
+// finishSysLocked commits (or, on error, aborts) a system transaction
+// and then frees the given page chains. Freeing happens strictly after
+// commit, and behind a log force, so that a crash can never leave a
+// freed page still referenced by the recovered directory.
+func (fm *FileManager) finishSysLocked(tx PageTxn, opErr error, chains ...PageID) error {
+	if opErr != nil {
+		if tx != nil {
+			if aerr := tx.Abort(); aerr != nil {
+				return fmt.Errorf("%w (abort: %v)", opErr, aerr)
+			}
+		}
+		return opErr
+	}
+	if tx != nil {
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	needFlush := fm.logger != nil
+	for _, c := range chains {
+		if c == InvalidPageID {
+			continue
+		}
+		if needFlush {
+			if err := fm.logger.Flush(); err != nil {
+				return err
+			}
+			needFlush = false
+		}
+		if err := fm.freeChainLocked(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLogged writes new page content, logging a physical before/after
+// image under tx per the LogImageRange first-touch rule.
+func (fm *FileManager) writeLogged(tx PageTxn, id PageID, old, data []byte) error {
+	if tx != nil {
+		lo, hi := LogImageRange(id, old, data)
+		if lo < hi {
+			lsn, err := tx.Update(id, lo, old[lo:hi], data[lo:hi])
+			if err != nil {
+				return err
+			}
+			WrapPage(id, data).SetLSN(lsn)
+		}
+	}
+	return fm.store.WritePage(id, data)
+}
+
 // persistLocked writes the directory blob across the directory chain,
-// growing or shrinking it as needed.
-func (fm *FileManager) persistLocked() error {
+// growing or shrinking it as needed, logging every page image under tx.
+// It returns the surplus chain tail (InvalidPageID if none); the caller
+// frees it after the transaction commits.
+func (fm *FileManager) persistLocked(tx PageTxn) (PageID, error) {
 	raw := fm.encodeLocked()
 	needPages := (len(raw) + PayloadSize - 1) / PayloadSize
 	if needPages == 0 {
 		needPages = 1
 	}
-	// Walk existing chain, writing chunks; extend or free as needed.
+	// Walk existing chain, writing chunks; extend or unlink as needed.
 	buf := make([]byte, PageSize)
+	old := make([]byte, PageSize)
+	surplus := InvalidPageID
 	cur := fm.dirRoot
 	prev := InvalidPageID
 	written := 0
@@ -155,24 +253,31 @@ func (fm *FileManager) persistLocked() error {
 		if cur == InvalidPageID {
 			id, err := fm.store.Allocate()
 			if err != nil {
-				return err
+				return InvalidPageID, err
 			}
 			// Link from prev.
 			if err := fm.store.ReadPage(prev, buf); err != nil {
-				return err
+				return InvalidPageID, err
 			}
+			copy(old, buf)
 			WrapPage(prev, buf).SetNext(id)
-			if err := fm.store.WritePage(prev, buf); err != nil {
-				return err
+			if err := fm.writeLogged(tx, prev, old, buf); err != nil {
+				return InvalidPageID, err
 			}
 			cur = id
 			// Fresh page buffer.
 			for j := range buf {
 				buf[j] = 0
 			}
+			for j := range old {
+				old[j] = 0
+			}
 			WrapPage(cur, buf).SetPrev(prev)
-		} else if err := fm.store.ReadPage(cur, buf); err != nil {
-			return err
+		} else {
+			if err := fm.store.ReadPage(cur, buf); err != nil {
+				return InvalidPageID, err
+			}
+			copy(old, buf)
 		}
 		p := WrapPage(cur, buf)
 		p.SetType(PageTypeDirectory)
@@ -186,23 +291,16 @@ func (fm *FileManager) persistLocked() error {
 		next := p.Next()
 		if i == needPages-1 && next != InvalidPageID {
 			p.SetNext(InvalidPageID)
-			if err := fm.store.WritePage(cur, buf); err != nil {
-				return err
-			}
-			// Free the surplus tail of the chain.
-			if err := fm.freeChainLocked(next); err != nil {
-				return err
-			}
-		} else {
-			if err := fm.store.WritePage(cur, buf); err != nil {
-				return err
-			}
+			surplus = next
+		}
+		if err := fm.writeLogged(tx, cur, old, buf); err != nil {
+			return InvalidPageID, err
 		}
 		prev = cur
 		cur = next
 	}
 	fm.dirLen = needPages
-	return nil
+	return surplus, nil
 }
 
 func (fm *FileManager) freeChainLocked(from PageID) error {
@@ -254,8 +352,16 @@ func (fm *FileManager) Create(name string) error {
 	if _, ok := fm.files[name]; ok {
 		return fmt.Errorf("%w: %s", ErrFileExists, name)
 	}
+	tx, err := fm.beginSysLocked()
+	if err != nil {
+		return err
+	}
 	fm.files[name] = &fileEntry{name: name}
-	return fm.persistLocked()
+	surplus, err := fm.persistLocked(tx)
+	if err != nil {
+		delete(fm.files, name)
+	}
+	return fm.finishSysLocked(tx, err, surplus)
 }
 
 // Drop removes a file and returns all its pages to the store.
@@ -266,13 +372,16 @@ func (fm *FileManager) Drop(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrFileNotFound, name)
 	}
-	if e.firstPage != InvalidPageID {
-		if err := fm.freeChainLocked(e.firstPage); err != nil {
-			return err
-		}
+	tx, err := fm.beginSysLocked()
+	if err != nil {
+		return err
 	}
 	delete(fm.files, name)
-	return fm.persistLocked()
+	surplus, err := fm.persistLocked(tx)
+	if err != nil {
+		fm.files[name] = e
+	}
+	return fm.finishSysLocked(tx, err, surplus, e.firstPage)
 }
 
 // Exists reports whether the file exists.
@@ -330,7 +439,10 @@ func (fm *FileManager) PageCount(name string) (uint64, error) {
 }
 
 // AppendPage allocates a fresh page, links it at the end of the file's
-// chain, and returns its id. The page is typed t.
+// chain, and returns its id. The page is typed t. With a logger
+// attached the chain links and directory update are WAL-logged under
+// one system transaction, so a crash either keeps the whole appended
+// page or none of it.
 func (fm *FileManager) AppendPage(name string, t PageType) (PageID, error) {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
@@ -338,15 +450,32 @@ func (fm *FileManager) AppendPage(name string, t PageType) (PageID, error) {
 	if !ok {
 		return InvalidPageID, fmt.Errorf("%w: %s", ErrFileNotFound, name)
 	}
+	tx, err := fm.beginSysLocked()
+	if err != nil {
+		return InvalidPageID, err
+	}
+	saved := *e
+	id, err := fm.appendPageLocked(tx, e, t)
+	if err != nil {
+		*e = saved
+	}
+	if ferr := fm.finishSysLocked(tx, err, InvalidPageID); ferr != nil {
+		return InvalidPageID, ferr
+	}
+	return id, nil
+}
+
+func (fm *FileManager) appendPageLocked(tx PageTxn, e *fileEntry, t PageType) (PageID, error) {
 	id, err := fm.store.Allocate()
 	if err != nil {
 		return InvalidPageID, err
 	}
 	buf := make([]byte, PageSize)
+	old := make([]byte, PageSize)
 	p := WrapPage(id, buf)
 	p.SetType(t)
 	p.SetPrev(e.lastPage)
-	if err := fm.store.WritePage(id, buf); err != nil {
+	if err := fm.writeLogged(tx, id, old, buf); err != nil {
 		return InvalidPageID, err
 	}
 	if e.lastPage != InvalidPageID {
@@ -354,8 +483,9 @@ func (fm *FileManager) AppendPage(name string, t PageType) (PageID, error) {
 		if err := fm.store.ReadPage(e.lastPage, last); err != nil {
 			return InvalidPageID, err
 		}
+		copy(old, last)
 		WrapPage(e.lastPage, last).SetNext(id)
-		if err := fm.store.WritePage(e.lastPage, last); err != nil {
+		if err := fm.writeLogged(tx, e.lastPage, old, last); err != nil {
 			return InvalidPageID, err
 		}
 	} else {
@@ -363,7 +493,7 @@ func (fm *FileManager) AppendPage(name string, t PageType) (PageID, error) {
 	}
 	e.lastPage = id
 	e.pageCount++
-	if err := fm.persistLocked(); err != nil {
+	if _, err := fm.persistLocked(tx); err != nil {
 		return InvalidPageID, err
 	}
 	return id, nil

@@ -52,11 +52,12 @@ type Txn struct {
 	id  uint64
 	mgr *Manager
 
-	mu      sync.Mutex
-	status  Status
-	lastLSN wal.LSN
-	undo    []*wal.Record
-	comp    []func() error
+	mu        sync.Mutex
+	status    Status
+	lastLSN   wal.LSN
+	undo      []*wal.Record
+	comp      []func() error
+	committed []func()
 }
 
 // ID implements access.TxnContext.
@@ -76,6 +77,25 @@ func (t *Txn) Record(rec *wal.Record) {
 	defer t.mu.Unlock()
 	t.lastLSN = rec.LSN
 	t.undo = append(t.undo, rec)
+}
+
+// OnCommitted registers a callback run after the transaction's commit
+// record is durable (and never on abort). The engine uses it to defer
+// page deallocation until the commit that unlinked the page can no
+// longer be rolled back — freeing earlier would let the allocator hand
+// the page out while a crash could still resurrect the old reference.
+func (t *Txn) OnCommitted(f func()) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.committed = append(t.committed, f)
+}
+
+func (t *Txn) takeCommitted() []func() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.committed
+	t.committed = nil
+	return out
 }
 
 // Compensate registers a callback run (in reverse registration order)
@@ -156,30 +176,85 @@ func (m *Manager) Begin() (*Txn, error) {
 
 // Commit finishes the transaction: RecCommit is logged and the log
 // flushed (durability), then all locks are released.
-func (m *Manager) Commit(t *Txn) error {
+func (m *Manager) Commit(t *Txn) error { return m.commit(t, true) }
+
+// CommitLazy finishes the transaction without forcing the log: the
+// commit record becomes durable with the next forced flush. System
+// transactions (file-directory maintenance) use it — WAL ordering
+// guarantees their records are durable before any dependent user
+// commit is acknowledged.
+func (m *Manager) CommitLazy(t *Txn) error { return m.commit(t, false) }
+
+func (m *Manager) commit(t *Txn, flush bool) error {
+	lsn, err := m.CommitAppend(t)
+	if err != nil {
+		return err
+	}
+	// On-commit hooks require durability even on the lazy path.
+	if !flush && len(t.takeCommittedPeek()) == 0 {
+		m.finish(t)
+		return nil
+	}
+	return m.FinishCommit(t, lsn)
+}
+
+// takeCommittedPeek reports pending on-commit hooks without consuming
+// them (helper for the lazy-commit fast path).
+func (t *Txn) takeCommittedPeek() []func() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.committed
+}
+
+// CommitAppend moves the transaction to committed and appends its
+// commit record WITHOUT forcing the log or deregistering it: the
+// transaction keeps counting as in flight (so the commit_siblings gate
+// sees concurrent committers) until FinishCommit forces durability and
+// releases it. Callers that commit while holding an engine lock use
+// the pair to keep commit ordering under the lock but pay the log
+// force outside it.
+func (m *Manager) CommitAppend(t *Txn) (wal.LSN, error) {
 	t.mu.Lock()
 	if t.status != StatusActive {
 		t.mu.Unlock()
-		return ErrTxnDone
+		return wal.ZeroLSN, ErrTxnDone
 	}
 	t.status = StatusCommitted
 	prev := t.lastLSN
 	t.mu.Unlock()
+	if m.log == nil {
+		return wal.ZeroLSN, nil
+	}
+	return m.log.Append(&wal.Record{Txn: t.id, Type: wal.RecCommit, PrevLSN: prev})
+}
+
+// FinishCommit forces the log through the commit record appended by
+// CommitAppend, deregisters the transaction, and runs its on-commit
+// hooks (which may now safely free pages the commit unlinked). On a
+// flush failure the transaction stays registered with its locks held —
+// its durability is in doubt, so the engine must treat itself as
+// failed (the KV core poisons itself) rather than proceed.
+func (m *Manager) FinishCommit(t *Txn, lsn wal.LSN) error {
 	if m.log != nil {
-		lsn, err := m.log.Append(&wal.Record{Txn: t.id, Type: wal.RecCommit, PrevLSN: prev})
-		if err != nil {
-			return err
-		}
 		if err := m.log.Flush(lsn + 1); err != nil {
 			return err
 		}
 	}
 	m.finish(t)
+	for _, f := range t.takeCommitted() {
+		f()
+	}
 	return nil
 }
 
 // Abort rolls the transaction back: before images are applied in
-// reverse order, RecAbort is logged, and locks released.
+// reverse order, each restoration is logged as a compensation record
+// (a redo-only update whose after image is the restored bytes), then
+// RecAbort is logged and locks released. Because RecAbort is appended
+// only after every compensation record, recovery can treat an aborted
+// transaction like a committed no-op — replaying its updates and
+// compensations in log order — instead of re-applying stale before
+// images over pages later transactions may have rewritten.
 func (m *Manager) Abort(t *Txn) error {
 	t.mu.Lock()
 	if t.status != StatusActive {
@@ -192,16 +267,47 @@ func (m *Manager) Abort(t *Txn) error {
 	prev := t.lastLSN
 	t.mu.Unlock()
 
-	if m.store != nil {
+	// An error anywhere below returns without finish(): the transaction
+	// stays registered and its locks stay held, deliberately. A failed
+	// rollback leaves pages in doubt, so releasing its locks (or letting
+	// Checkpoint believe the system is quiescent) would expose
+	// half-rolled-back state; callers must treat the engine as failed
+	// (the KV core poisons itself) or restart, at which point recovery
+	// undoes the still-in-flight transaction from the log.
+	if m.store != nil || m.log != nil {
 		buf := make([]byte, storage.PageSize)
 		for i := len(undo) - 1; i >= 0; i-- {
 			rec := undo[i]
+			var lsn wal.LSN
+			if m.log != nil {
+				clr := &wal.Record{
+					Txn:     t.id,
+					Type:    wal.RecUpdate,
+					PageID:  rec.PageID,
+					Offset:  rec.Offset,
+					After:   append([]byte(nil), rec.Before...),
+					PrevLSN: prev,
+				}
+				var err error
+				lsn, err = m.log.Append(clr)
+				if err != nil {
+					return err
+				}
+				prev = lsn
+			}
+			if m.store == nil {
+				continue
+			}
 			if err := m.store.ReadPage(rec.PageID, buf); err != nil {
 				return fmt.Errorf("txn: undo read page %d: %w", rec.PageID, err)
 			}
 			p := storage.WrapPage(rec.PageID, buf)
 			copy(p.Data[rec.Offset:int(rec.Offset)+len(rec.Before)], rec.Before)
-			p.SetLSN(uint64(rec.LSN))
+			if m.log != nil {
+				p.SetLSN(uint64(lsn))
+			} else {
+				p.SetLSN(uint64(rec.LSN))
+			}
 			if err := m.store.WritePage(rec.PageID, p.Data); err != nil {
 				return fmt.Errorf("txn: undo write page %d: %w", rec.PageID, err)
 			}

@@ -1,0 +1,66 @@
+package txn
+
+import (
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// PageLogger exposes the manager as a storage.PageLogger, so the file
+// manager can WAL-log directory and page-allocation mutations under
+// system transactions. Returns nil when no WAL is attached.
+func (m *Manager) PageLogger() storage.PageLogger {
+	if m.log == nil {
+		return nil
+	}
+	return sysLogger{m}
+}
+
+type sysLogger struct{ m *Manager }
+
+// Begin implements storage.PageLogger.
+func (s sysLogger) Begin() (storage.PageTxn, error) {
+	t, err := s.m.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &pageTxn{m: s.m, t: t}, nil
+}
+
+// Flush implements storage.PageLogger: it forces everything appended so
+// far (the file manager calls it before returning freed pages to the
+// allocator). No group window: the caller holds the file-manager lock,
+// and commit-batching latency must not stall page traffic.
+func (s sysLogger) Flush() error {
+	return s.m.log.FlushNoWindow(s.m.log.NextLSN())
+}
+
+// pageTxn adapts a Txn to storage.PageTxn.
+type pageTxn struct {
+	m *Manager
+	t *Txn
+}
+
+// Update implements storage.PageTxn.
+func (p *pageTxn) Update(id storage.PageID, off int, before, after []byte) (uint64, error) {
+	rec := &wal.Record{
+		Txn:     p.t.ID(),
+		Type:    wal.RecUpdate,
+		PageID:  id,
+		Offset:  uint16(off),
+		Before:  append([]byte(nil), before...),
+		After:   append([]byte(nil), after...),
+		PrevLSN: p.t.LastLSN(),
+	}
+	lsn, err := p.m.log.Append(rec)
+	if err != nil {
+		return 0, err
+	}
+	p.t.Record(rec)
+	return uint64(lsn), nil
+}
+
+// Commit implements storage.PageTxn (lazy: no log force).
+func (p *pageTxn) Commit() error { return p.m.CommitLazy(p.t) }
+
+// Abort implements storage.PageTxn.
+func (p *pageTxn) Abort() error { return p.m.Abort(p.t) }

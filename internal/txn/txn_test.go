@@ -409,3 +409,74 @@ func TestCheckpointQuiescesAndBoundsRecovery(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// TestAbortThenCrashRecovery: a transaction aborts at runtime (logging
+// compensation records), then the machine crashes before the restored
+// pages are written back. Recovery must replay the abort — updates plus
+// compensations — so the committed baseline survives and the aborted
+// bytes do not.
+func TestAbortThenCrashRecovery(t *testing.T) {
+	dev := storage.NewMemDevice()
+	logDev := storage.NewMemDevice()
+	d, _ := storage.OpenDisk(dev)
+	pool := buffer.New(d, 32, buffer.NewLRU())
+	l, _ := wal.Open(logDev)
+	fm, _ := storage.OpenFileManager(pool)
+	h, _ := access.OpenHeap("t", fm, pool)
+	h.SetLog(l)
+	pool.SetBeforeEvict(l.BeforeEvict())
+	m := NewManager(l, pool)
+	fm.SetLogger(m.PageLogger())
+
+	tx0, _ := m.Begin()
+	rid, err := h.Insert(tx0, []byte("baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx0); err != nil {
+		t.Fatal(err)
+	}
+
+	tx1, _ := m.Begin()
+	if _, err := h.Update(tx1, rid, []byte("doomed!!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Abort(tx1); err != nil {
+		t.Fatal(err)
+	}
+	// A later committed write on the same page, after the rollback.
+	tx2, _ := m.Begin()
+	if _, err := h.Insert(tx2, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: nothing written back.
+
+	d2, _ := storage.OpenDisk(dev)
+	l2, _ := wal.Open(logDev)
+	if _, err := wal.Recover(l2, d2); err != nil {
+		t.Fatal(err)
+	}
+	pool2 := buffer.New(d2, 32, buffer.NewLRU())
+	fm2, err := storage.OpenFileManager(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := access.OpenHeap("t", fm2, pool2)
+	got, err := h2.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "baseline" {
+		t.Fatalf("recovered record = %q, want the pre-abort baseline", got)
+	}
+	count, err := h2.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("recovered count = %d, want baseline + survivor", count)
+	}
+}

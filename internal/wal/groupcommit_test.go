@@ -293,3 +293,42 @@ func TestFlushErrorRestoresPending(t *testing.T) {
 		t.Fatalf("iterated %d records, want 3", seen)
 	}
 }
+
+// TestCommitSiblingsGateSkipsWindow checks the Postgres-style
+// commit_siblings gate: a lone committer must not sleep out a long
+// group window, while a committer with siblings in flight still holds
+// it open to batch them.
+func TestCommitSiblingsGateSkipsWindow(t *testing.T) {
+	l, err := Open(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetGroupWindow(500*time.Millisecond, 0)
+	siblings := 0
+	l.SetCommitSiblings(1, func() int { return siblings })
+
+	// Lone committer: the gate skips the 500ms window entirely.
+	lsn, _ := l.Append(&Record{Txn: 1, Type: RecCommit})
+	start := time.Now()
+	if err := l.Flush(lsn + 1); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 100*time.Millisecond {
+		t.Fatalf("lone committer waited %v behind the gated window", el)
+	}
+	if l.WindowSkips() == 0 {
+		t.Fatal("gate did not record the skipped window")
+	}
+
+	// With siblings reported, the window is held open again.
+	l.SetGroupWindow(30*time.Millisecond, 0)
+	siblings = 3
+	lsn, _ = l.Append(&Record{Txn: 2, Type: RecCommit})
+	start = time.Now()
+	if err := l.Flush(lsn + 1); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("windowed flush with siblings returned in %v, want >= ~30ms", el)
+	}
+}

@@ -1,7 +1,9 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"repro/internal/storage"
@@ -9,22 +11,70 @@ import (
 
 // RecoveryStats reports what recovery did.
 type RecoveryStats struct {
-	Scanned    int
-	Redone     int
-	Undone     int
-	Committed  int
-	InFlight   int // transactions rolled back
+	Scanned   int
+	Redone    int
+	Undone    int
+	Rebuilt   int // pages reconstructed from scratch (torn or lost writes)
+	Committed int
+	InFlight  int // transactions rolled back
+}
+
+// pageExtender is implemented by stores (the disk manager) that can
+// extend themselves so a page id becomes valid. Recovery needs it when
+// a crash lost the allocation metadata for pages the WAL references.
+type pageExtender interface {
+	EnsureAllocated(storage.PageID) error
+}
+
+// readPageForRecovery reads a page, tolerating crash damage: a page id
+// beyond the store's allocation metadata extends the store, and a torn
+// or never-completed page write (checksum mismatch, short device) is
+// returned as a zeroed page. The zeroed page is sound because the
+// engine logs a full page image the first time it touches any page
+// (page LSN 0), so replaying the page's records in log order rebuilds
+// it completely — but only while the log's full history is being
+// replayed: once a sharp checkpoint truncates the scan, records before
+// it are invisible, so canRebuild is false and torn pages fail loudly
+// instead of being silently rebuilt from a partial history.
+func readPageForRecovery(store storage.PageStore, id storage.PageID, buf []byte, canRebuild bool, st *RecoveryStats) error {
+	err := store.ReadPage(id, buf)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, storage.ErrOutOfRange) {
+		if ext, ok := store.(pageExtender); ok {
+			if eerr := ext.EnsureAllocated(id); eerr != nil {
+				return eerr
+			}
+			if err = store.ReadPage(id, buf); err == nil {
+				return nil
+			}
+		}
+	}
+	if canRebuild && (errors.Is(err, storage.ErrChecksum) || errors.Is(err, io.EOF)) {
+		for i := range buf {
+			buf[i] = 0
+		}
+		st.Rebuilt++
+		return nil
+	}
+	return err
 }
 
 // Recover brings a page store to a consistent state after a crash:
 //
 //  1. Analysis: a full log scan classifies transactions as committed,
 //     aborted, or in-flight, and collects update records.
-//  2. Redo: updates of committed transactions are reapplied in log
-//     order wherever the page LSN shows the write never reached the
-//     page (page.LSN < record.LSN).
-//  3. Undo: updates of in-flight and aborted transactions are reverted
-//     in reverse log order using the before images.
+//  2. Redo: updates of committed AND cleanly-aborted transactions are
+//     reapplied in log order wherever the page LSN shows the write
+//     never reached the page (page.LSN < record.LSN). An aborted
+//     transaction is safe to replay because the transaction manager
+//     appends RecAbort only after logging a compensation record for
+//     every undone update — replaying updates then compensations in
+//     order nets out to the rollback, without re-applying stale before
+//     images over bytes later transactions may have rewritten.
+//  3. Undo: updates of in-flight transactions (no commit or abort
+//     record) are reverted in reverse log order using before images.
 //
 // Pages touched by undo/redo are stamped with the record's LSN so that
 // recovery is idempotent: running it twice is a no-op.
@@ -63,9 +113,13 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 		}
 	}
 
+	// Torn pages can only be rebuilt from zeros when the whole log
+	// history is in the replayed range (no checkpoint truncated it).
+	canRebuild := l.LastCheckpoint() == ZeroLSN
+
 	buf := make([]byte, storage.PageSize)
 	apply := func(rec *Record, image []byte) error {
-		if err := store.ReadPage(rec.PageID, buf); err != nil {
+		if err := readPageForRecovery(store, rec.PageID, buf, canRebuild, &st); err != nil {
 			return err
 		}
 		p := storage.WrapPage(rec.PageID, buf)
@@ -74,27 +128,32 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 		return store.WritePage(rec.PageID, p.Data)
 	}
 
-	// Redo committed work in log order.
+	// Redo committed and cleanly-aborted work in log order.
 	for _, rec := range updates {
-		if status[rec.Txn] != RecCommit {
+		if s := status[rec.Txn]; s != RecCommit && s != RecAbort {
 			continue
 		}
-		if err := store.ReadPage(rec.PageID, buf); err != nil {
+		if err := readPageForRecovery(store, rec.PageID, buf, canRebuild, &st); err != nil {
 			return st, fmt.Errorf("wal: redo read page %d: %w", rec.PageID, err)
 		}
-		if storage.WrapPage(rec.PageID, buf).LSN() >= uint64(rec.LSN) {
+		p := storage.WrapPage(rec.PageID, buf)
+		if p.LSN() >= uint64(rec.LSN) {
 			continue // already on the page
 		}
-		if err := apply(rec, rec.After); err != nil {
+		copy(p.Data[rec.Offset:int(rec.Offset)+len(rec.After)], rec.After)
+		p.SetLSN(uint64(rec.LSN))
+		if err := store.WritePage(rec.PageID, p.Data); err != nil {
 			return st, fmt.Errorf("wal: redo: %w", err)
 		}
 		st.Redone++
 	}
 
-	// Undo losers in reverse log order.
+	// Undo in-flight losers in reverse log order. Compensation records
+	// of a crashed (incomplete) abort carry empty before images, so
+	// re-undoing them here is a no-op.
 	losers := updates[:0:0]
 	for _, rec := range updates {
-		if s := status[rec.Txn]; s == RecBegin || s == RecAbort {
+		if status[rec.Txn] == RecBegin {
 			losers = append(losers, rec)
 		}
 	}

@@ -111,8 +111,11 @@ type Log struct {
 	evictWaiters   int        // no-window callers waiting on the leader
 	groupWindow    time.Duration
 	groupBytes     int
-	syncEveryFlush bool   // baseline mode: every Flush syncs itself
-	syncs          uint64 // device syncs issued by Flush
+	commitSiblings int        // min other in-flight txns to hold the window
+	siblingsFn     func() int // reports other in-flight transactions
+	syncEveryFlush bool       // baseline mode: every Flush syncs itself
+	syncs          uint64     // device syncs issued by Flush
+	windowSkips    uint64     // windows skipped by the siblings gate
 }
 
 // Open opens (or initialises) a log on a device, scanning to find the
@@ -174,6 +177,51 @@ func (l *Log) SetGroupWindow(window time.Duration, maxBytes int) {
 	defer l.mu.Unlock()
 	l.groupWindow = window
 	l.groupBytes = maxBytes
+}
+
+// SetCommitSiblings installs a Postgres-style commit_siblings gate on
+// the group window: a flush leader only holds the window open when fn
+// reports at least minSiblings other transactions in flight, so a lone
+// committer syncs immediately instead of sleeping out the window.
+// minSiblings follows the user-facing knob convention everywhere the
+// gate is configured: 0 selects the default gate of 1 sibling, a
+// negative value (or fn == nil) disables the gate so the window is
+// always held. fn is called with the log mutex held and must not call
+// back into the log.
+func (l *Log) SetCommitSiblings(minSiblings int, fn func() int) {
+	if minSiblings == 0 {
+		minSiblings = 1
+	} else if minSiblings < 0 {
+		minSiblings = 0 // disabled
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.commitSiblings = minSiblings
+	l.siblingsFn = fn
+}
+
+// WindowSkips returns how many flush rounds skipped the group window
+// because too few sibling transactions were in flight.
+func (l *Log) WindowSkips() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.windowSkips
+}
+
+// holdWindowLocked reports whether a flush leader should hold the group
+// window open, consulting the commit_siblings gate.
+func (l *Log) holdWindowLocked() bool {
+	if l.groupWindow <= 0 {
+		return false
+	}
+	if l.commitSiblings <= 0 || l.siblingsFn == nil {
+		return true
+	}
+	if l.siblingsFn() >= l.commitSiblings {
+		return true
+	}
+	l.windowSkips++
+	return false
 }
 
 // SetSyncEveryFlush toggles the pre-group-commit baseline: every Flush
@@ -297,6 +345,11 @@ func (l *Log) Append(rec *Record) (LSN, error) {
 // the log lock, so appends proceed concurrently.
 func (l *Log) Flush(upTo LSN) error { return l.flush(upTo, true) }
 
+// FlushNoWindow is Flush without the group-commit window: callers that
+// hold an engine lock (file-manager frees, page eviction) must not
+// stall unrelated traffic for commit-batching latency.
+func (l *Log) FlushNoWindow(upTo LSN) error { return l.flush(upTo, false) }
+
 // flush implements Flush. allowWindow=false skips the group window:
 // the buffer manager's eviction hook flushes while holding a shard
 // lock, and must not stall page traffic for the commit-batching delay.
@@ -331,7 +384,7 @@ func (l *Log) flush(upTo LSN, allowWindow bool) error {
 		}
 	}
 	l.syncing = true
-	if allowWindow && l.groupWindow > 0 {
+	if allowWindow && l.holdWindowLocked() {
 		// Hold the group open so concurrent committers join this
 		// round. Appends only need l.mu, which we release; the window
 		// ends early once groupBytes are pending or an eviction-path

@@ -315,7 +315,10 @@ func TestRecoverMixedTransactions(t *testing.T) {
 	writeAt(t, disk, p1, off, []byte("1111"), 0)
 	writeAt(t, disk, p2, off, []byte("2222"), 0)
 
-	// Txn 1 commits (write lost), txn 2 aborts (write persisted).
+	// Txn 1 commits (write lost), txn 2 aborts cleanly (write
+	// persisted, rollback compensation logged but its write lost — the
+	// contract is that RecAbort is only appended after a compensation
+	// record exists for every update).
 	_, _ = l.Append(&Record{Txn: 1, Type: RecBegin})
 	_, _ = l.Append(&Record{Txn: 2, Type: RecBegin})
 	_, _ = l.Append(&Record{Txn: 1, Type: RecUpdate, PageID: p1, Offset: uint16(off),
@@ -323,6 +326,8 @@ func TestRecoverMixedTransactions(t *testing.T) {
 	lu2, _ := l.Append(&Record{Txn: 2, Type: RecUpdate, PageID: p2, Offset: uint16(off),
 		Before: []byte("2222"), After: []byte("bbbb")})
 	writeAt(t, disk, p2, off, []byte("bbbb"), lu2)
+	_, _ = l.Append(&Record{Txn: 2, Type: RecUpdate, PageID: p2, Offset: uint16(off),
+		After: []byte("2222")}) // compensation: redo-only restore
 	_, _ = l.Append(&Record{Txn: 1, Type: RecCommit})
 	_, _ = l.Append(&Record{Txn: 2, Type: RecAbort})
 	_ = l.Flush(l.NextLSN())
@@ -331,7 +336,7 @@ func TestRecoverMixedTransactions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Redone != 1 || st.Undone != 1 {
+	if st.Redone != 2 || st.Undone != 0 {
 		t.Fatalf("stats = %+v", st)
 	}
 	if got := readAt(t, disk, p1, off, 4); string(got) != "aaaa" {

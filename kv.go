@@ -19,25 +19,38 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/index"
 	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/wal"
 )
 
 // KV errors.
 var (
 	// ErrKeyNotFound is returned by Get/Delete on absent keys.
 	ErrKeyNotFound = errors.New("sbdms: key not found")
+	// ErrBatchMismatch is returned by PutBatch when keys and values
+	// have different lengths.
+	ErrBatchMismatch = errors.New("sbdms: batch keys/values length mismatch")
 )
 
 // kvCore is the native key-value engine: a heap file for values plus a
 // unique B+tree index on keys. It is the workhorse behind the KV
 // service at every granularity; what changes between profiles is how
 // many service boundaries a call crosses before reaching it.
+//
+// Every mutation runs under a transaction (one per operation, one per
+// batch) so the heap, the B+tree and — via the file manager's system
+// transactions — the page directory are all WAL-logged: a kill -9 at
+// any point recovers to a consistent store with exactly the committed
+// operations applied.
 type kvCore struct {
-	mu   sync.Mutex
-	heap *access.HeapFile
-	idx  *index.BTree
+	mu     sync.Mutex
+	heap   *access.HeapFile
+	idx    *index.BTree
+	txns   *txn.Manager // nil = unlogged (WAL disabled)
+	failed error        // fatal engine fault; all further mutations refused
 }
 
-func newKVCore(fm *storage.FileManager, pool *buffer.Manager, name string) (*kvCore, error) {
+func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, name string) (*kvCore, error) {
 	heap, err := access.OpenHeap(name, fm, pool)
 	if err != nil {
 		return nil, err
@@ -46,7 +59,13 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, name string) (*kvC
 	if err != nil {
 		return nil, err
 	}
-	return &kvCore{heap: heap, idx: idx}, nil
+	kv := &kvCore{heap: heap, idx: idx}
+	if log != nil && txns != nil {
+		heap.SetLog(log)
+		idx.SetLog(log)
+		kv.txns = txns
+	}
+	return kv, nil
 }
 
 // openKVIndex opens the KV B+tree, persisting its metadata page id in a
@@ -91,41 +110,171 @@ func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, metaFile string)
 
 func (kv *kvCore) key(k string) []byte { return access.EncodeKey(access.NewString(k)) }
 
-// Put stores (or replaces) a key.
-func (kv *kvCore) Put(k string, v []byte) error {
+// begin starts the per-operation transaction (nil in unlogged mode).
+// kv.mu is held.
+func (kv *kvCore) begin() (*txn.Txn, error) {
+	if kv.failed != nil {
+		return nil, kv.failed
+	}
+	if kv.txns == nil {
+		return nil, nil
+	}
+	return kv.txns.Begin()
+}
+
+// run executes op under kv.mu inside a fresh transaction. A failed op
+// is rolled back (before images restore every dirtied page) while the
+// core lock is still held; a successful op commits after the lock is
+// released, so concurrent committers can coalesce into one group-commit
+// sync instead of serialising their log forces behind kv.mu.
+//
+// A rollback or commit that itself fails (the device died mid-way)
+// poisons the engine: the pool may hold pages with unrecovered
+// uncommitted bytes, and further commits would legitimise them in the
+// log. Refusing all further mutations keeps the WAL trustworthy, so a
+// restart recovers exactly the committed state.
+func (kv *kvCore) run(op func(tx *txn.Txn) error) error {
 	kv.mu.Lock()
-	defer kv.mu.Unlock()
+	tx, err := kv.begin()
+	if err != nil {
+		kv.mu.Unlock()
+		return err
+	}
+	if err := op(tx); err != nil {
+		var aerr error
+		if tx != nil {
+			if aerr = kv.txns.Abort(tx); aerr == nil {
+				// The abort rewound the index pages (including the
+				// metadata page) via before images; resynchronise the
+				// tree's in-memory root/count with the restored bytes.
+				aerr = kv.idx.ReloadMeta()
+			}
+			if aerr != nil {
+				kv.failed = fmt.Errorf("sbdms: kv engine offline after failed rollback: %w", aerr)
+			}
+		}
+		kv.mu.Unlock()
+		if aerr != nil {
+			return fmt.Errorf("%w (rollback: %v)", err, aerr)
+		}
+		return err
+	}
+	if tx == nil {
+		kv.mu.Unlock()
+		return nil
+	}
+	// Append the commit record while still holding kv.mu: the next
+	// operation may build on this transaction's pages, so its commit
+	// record must precede theirs in the log — otherwise a crash could
+	// classify this transaction as in-flight and undo bytes a later
+	// committed transaction already acknowledged.
+	lsn, err := kv.txns.CommitAppend(tx)
+	if err != nil {
+		kv.failed = fmt.Errorf("sbdms: kv engine offline after failed commit: %w", err)
+		kv.mu.Unlock()
+		return err
+	}
+	kv.mu.Unlock()
+	// Durability force outside the lock, so concurrent committers share
+	// one group-commit sync; the transaction stays registered until the
+	// force completes, so the commit_siblings gate sees it.
+	if err := kv.txns.FinishCommit(tx, lsn); err != nil {
+		kv.mu.Lock()
+		kv.failed = fmt.Errorf("sbdms: kv engine offline after failed commit force: %w", err)
+		kv.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// txctx converts the concrete transaction into the access-layer hook,
+// avoiding a typed-nil interface when tx is nil.
+func txctx(tx *txn.Txn) access.TxnContext {
+	if tx == nil {
+		return nil
+	}
+	return tx
+}
+
+// putLocked stores (or replaces) a key under tx; kv.mu is held.
+func (kv *kvCore) putLocked(tx *txn.Txn, k string, v []byte) error {
+	c := txctx(tx)
 	rec := access.EncodeRow(access.Row{access.NewString(k), access.NewBytes(v)})
 	rids, err := kv.idx.Search(kv.key(k))
 	if err != nil {
 		return err
 	}
 	if len(rids) > 0 {
-		nrid, err := kv.heap.Update(nil, rids[0], rec)
+		nrid, err := kv.heap.Update(c, rids[0], rec)
 		if err != nil {
 			return err
 		}
 		if nrid != rids[0] {
-			if _, err := kv.idx.Delete(kv.key(k), rids[0]); err != nil {
+			if _, err := kv.idx.DeleteTx(c, kv.key(k), rids[0]); err != nil {
 				return err
 			}
-			if err := kv.idx.Insert(kv.key(k), nrid); err != nil {
+			if err := kv.idx.InsertTx(c, kv.key(k), nrid); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	rid, err := kv.heap.Insert(nil, rec)
+	rid, err := kv.heap.Insert(c, rec)
 	if err != nil {
 		return err
 	}
-	return kv.idx.Insert(kv.key(k), rid)
+	return kv.idx.InsertTx(c, kv.key(k), rid)
 }
 
-// Get fetches a key's value.
+// deleteLocked removes a key under tx; kv.mu is held.
+func (kv *kvCore) deleteLocked(tx *txn.Txn, k string) error {
+	c := txctx(tx)
+	rids, err := kv.idx.Search(kv.key(k))
+	if err != nil {
+		return err
+	}
+	if len(rids) == 0 {
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+	}
+	if err := kv.heap.Delete(c, rids[0]); err != nil {
+		return err
+	}
+	_, err = kv.idx.DeleteTx(c, kv.key(k), rids[0])
+	return err
+}
+
+// Put stores (or replaces) a key, durably when the WAL is enabled.
+func (kv *kvCore) Put(k string, v []byte) error {
+	return kv.run(func(tx *txn.Txn) error { return kv.putLocked(tx, k, v) })
+}
+
+// PutBatch stores several keys under one transaction: one WAL force
+// for the whole batch, and after a crash either all of the batch's
+// keys are recovered or none. With the WAL disabled there is no undo,
+// so a mid-batch failure leaves the earlier keys applied (unlogged
+// mode trades the atomicity guarantee away along with durability).
+func (kv *kvCore) PutBatch(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("%w: %d keys, %d values", ErrBatchMismatch, len(keys), len(vals))
+	}
+	return kv.run(func(tx *txn.Txn) error {
+		for i := range keys {
+			if err := kv.putLocked(tx, keys[i], vals[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Get fetches a key's value. A poisoned engine refuses reads too: the
+// pool may hold half-rolled-back bytes a failed rollback left behind.
 func (kv *kvCore) Get(k string) ([]byte, error) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	if kv.failed != nil {
+		return nil, kv.failed
+	}
 	rids, err := kv.idx.Search(kv.key(k))
 	if err != nil {
 		return nil, err
@@ -146,20 +295,22 @@ func (kv *kvCore) Get(k string) ([]byte, error) {
 
 // Delete removes a key.
 func (kv *kvCore) Delete(k string) error {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	rids, err := kv.idx.Search(kv.key(k))
-	if err != nil {
-		return err
+	// In logged mode, pre-check existence so a miss stays a read-only
+	// operation instead of paying a begin/abort WAL round trip (in
+	// unlogged mode a miss costs nothing extra, so skip the second
+	// lookup). Racing writers are serialised by kv.mu, and
+	// deleteLocked re-checks under the same transaction.
+	if kv.txns != nil {
+		kv.mu.Lock()
+		if kv.failed == nil {
+			if rids, err := kv.idx.Search(kv.key(k)); err == nil && len(rids) == 0 {
+				kv.mu.Unlock()
+				return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+			}
+		}
+		kv.mu.Unlock()
 	}
-	if len(rids) == 0 {
-		return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
-	}
-	if err := kv.heap.Delete(nil, rids[0]); err != nil {
-		return err
-	}
-	_, err = kv.idx.Delete(kv.key(k), rids[0])
-	return err
+	return kv.run(func(tx *txn.Txn) error { return kv.deleteLocked(tx, k) })
 }
 
 // Scan returns up to n keys starting at (inclusive) the given key, in
@@ -167,6 +318,9 @@ func (kv *kvCore) Delete(k string) error {
 func (kv *kvCore) Scan(from string, n int) ([]string, error) {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
+	if kv.failed != nil {
+		return nil, kv.failed
+	}
 	var out []string
 	err := kv.idx.Range(kv.key(from), nil, func(key []byte, rid access.RID) error {
 		if len(out) >= n {
@@ -189,7 +343,16 @@ func (kv *kvCore) Scan(from string, n int) ([]string, error) {
 	return out, nil
 }
 
-// Len returns the number of keys.
-func (kv *kvCore) Len() uint64 { return kv.idx.Len() }
+// Len returns the number of keys (0 when the engine is poisoned — the
+// in-memory count is no more trustworthy than the pages then).
+func (kv *kvCore) Len() uint64 {
+	kv.mu.Lock()
+	failed := kv.failed != nil
+	kv.mu.Unlock()
+	if failed {
+		return 0
+	}
+	return kv.idx.Len()
+}
 
 var errStopScan = errors.New("sbdms: stop scan")

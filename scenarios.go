@@ -53,6 +53,18 @@ func (b *kvEchoBackend) Put(k string, v []byte) error {
 	return nil
 }
 
+func (b *kvEchoBackend) PutBatch(keys []string, vals [][]byte) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("%w: %d keys, %d values", ErrBatchMismatch, len(keys), len(vals))
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, k := range keys {
+		b.m[k] = append([]byte(nil), vals[i]...)
+	}
+	return nil
+}
+
 func (b *kvEchoBackend) Get(k string) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -251,6 +263,7 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 		Operations: []core.OpSpec{
 			{Name: "fetch", In: "string", Out: "[]byte", Semantic: "kv.get"},
 			{Name: "store", In: "sbdms.legacyPut", Out: "bool", Semantic: "kv.put"},
+			{Name: "storeMany", In: "sbdms.legacyBatch", Out: "bool", Semantic: "kv.putBatch"},
 			{Name: "remove", In: "string", Out: "bool", Semantic: "kv.delete"},
 			{Name: "list", In: "sbdms.legacyScan", Out: "[]string", Semantic: "kv.scan"},
 			{Name: "size", In: "nil", Out: "uint64", Semantic: "kv.len"},
@@ -265,11 +278,19 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 		From string
 		N    int
 	}
+	type legacyBatch struct {
+		Ks []string
+		Vs [][]byte
+	}
 	lsvc := core.NewService("legacy-store", legacyContract)
 	lsvc.Handle("fetch", func(ctx context.Context, req any) (any, error) { return legacy.Get(req.(string)) })
 	lsvc.Handle("store", func(ctx context.Context, req any) (any, error) {
 		p := req.(legacyPut)
 		return true, legacy.Put(p.K, p.V)
+	})
+	lsvc.Handle("storeMany", func(ctx context.Context, req any) (any, error) {
+		p := req.(legacyBatch)
+		return true, legacy.PutBatch(p.Ks, p.Vs)
 	})
 	lsvc.Handle("remove", func(ctx context.Context, req any) (any, error) { return true, legacy.Delete(req.(string)) })
 	lsvc.Handle("list", func(ctx context.Context, req any) (any, error) {
@@ -291,6 +312,10 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 	repo.PutTransform("sbdms.KVScanRequest", "sbdms.legacyScan", func(v any) (any, error) {
 		r := v.(KVScanRequest)
 		return legacyScan{From: r.Key, N: r.N}, nil
+	})
+	repo.PutTransform("sbdms.KVBatchRequest", "sbdms.legacyBatch", func(v any) (any, error) {
+		r := v.(KVBatchRequest)
+		return legacyBatch{Ks: r.Keys, Vs: r.Vals}, nil
 	})
 
 	key := func(i int) string { return fmt.Sprintf("adp-%06d", i%256) }

@@ -35,6 +35,11 @@ type (
 		Key string
 		Val []byte
 	}
+	// KVBatchRequest stores several key/value pairs atomically.
+	KVBatchRequest struct {
+		Keys []string
+		Vals [][]byte
+	}
 	// KVScanRequest asks for up to N keys from Key onward.
 	KVScanRequest struct {
 		Key string
@@ -48,6 +53,7 @@ func init() {
 	gob.Register(PageReadRequest{})
 	gob.Register(PageWriteRequest{})
 	gob.Register(KVPutRequest{})
+	gob.Register(KVBatchRequest{})
 	gob.Register(KVScanRequest{})
 	gob.Register(RecordPutRequest{})
 	gob.Register(storage.PageID(0))
@@ -193,6 +199,7 @@ func KVContract() *core.Contract {
 		Operations: []core.OpSpec{
 			{Name: "get", In: "string", Out: "[]byte", Semantic: "kv.get"},
 			{Name: "put", In: "sbdms.KVPutRequest", Out: "bool", Semantic: "kv.put"},
+			{Name: "putBatch", In: "sbdms.KVBatchRequest", Out: "bool", Semantic: "kv.putBatch"},
 			{Name: "delete", In: "string", Out: "bool", Semantic: "kv.delete"},
 			{Name: "scan", In: "sbdms.KVScanRequest", Out: "[]string", Semantic: "kv.scan"},
 			{Name: "len", In: "nil", Out: "uint64", Semantic: "kv.len"},
@@ -206,6 +213,7 @@ func KVContract() *core.Contract {
 // further service hop (layered/fine profiles).
 type kvBackend interface {
 	Put(k string, v []byte) error
+	PutBatch(keys []string, vals [][]byte) error
 	Get(k string) ([]byte, error)
 	Delete(k string) error
 	Scan(from string, n int) ([]string, error)
@@ -228,6 +236,13 @@ func NewKVService(name string, backend kvBackend) *core.BaseService {
 			return nil, &core.RequestError{Op: "put", Want: "sbdms.KVPutRequest", Got: core.TypeName(req)}
 		}
 		return true, backend.Put(r.Key, r.Val)
+	})
+	s.Handle("putBatch", func(ctx context.Context, req any) (any, error) {
+		r, ok := req.(KVBatchRequest)
+		if !ok {
+			return nil, &core.RequestError{Op: "putBatch", Want: "sbdms.KVBatchRequest", Got: core.TypeName(req)}
+		}
+		return true, backend.PutBatch(r.Keys, r.Vals)
 	})
 	s.Handle("delete", func(ctx context.Context, req any) (any, error) {
 		k, ok := req.(string)
@@ -260,6 +275,12 @@ func NewKVClient(inv core.Invoker) *KVClient { return &KVClient{inv: inv} }
 // Put implements kvBackend.
 func (c *KVClient) Put(k string, v []byte) error {
 	_, err := c.inv.Invoke(bg, "put", KVPutRequest{Key: k, Val: v})
+	return err
+}
+
+// PutBatch implements kvBackend.
+func (c *KVClient) PutBatch(keys []string, vals [][]byte) error {
+	_, err := c.inv.Invoke(bg, "putBatch", KVBatchRequest{Keys: keys, Vals: vals})
 	return err
 }
 
@@ -322,7 +343,7 @@ func NewRecordService(name string, backend kvBackend) *core.BaseService {
 	s := core.NewService(name, RecordContract())
 	inner := NewKVService(name+"-inner", backend)
 	// Delegate every op to the same handlers as a KV service.
-	for _, op := range []string{"get", "put", "delete", "scan", "len"} {
+	for _, op := range []string{"get", "put", "putBatch", "delete", "scan", "len"} {
 		op := op
 		s.Handle(op, func(ctx context.Context, req any) (any, error) {
 			return inner.Invoke(ctx, op, req)
