@@ -5,7 +5,7 @@ RACE_PKGS = ./internal/access/... ./internal/buffer/... ./internal/core/... \
             ./internal/index/... ./internal/storage/... ./internal/txn/... \
             ./internal/wal/...
 
-.PHONY: build test race bench crash vet all
+.PHONY: build test race bench crash checkpoint-crash vet all
 
 all: vet build test
 
@@ -26,6 +26,13 @@ bench:
 crash:
 	$(GO) test -race -run 'TestKVCrashRecovery|TestAbortThenCrashRecovery|TestEngineCrashRecovery' \
 		-count=1 . ./internal/txn/... ./internal/sql/...
+
+# Checkpoint-aware crash suite: kill -9 mid-fuzzy-checkpoint, torn page
+# after segment truncation (full-page-write rebuild), crash during
+# segment rollover, bounded-WAL proof, free-list reclamation.
+checkpoint-crash:
+	$(GO) test -race -run 'TestKVCrashRecoveryMidFuzzyCheckpoint|TestKVCrashRecoveryTornPageAfterTruncation|TestKVCrashRecoveryMidSegmentRollover|TestKVWALBoundedBySegmentTruncation|TestFreedPagesReclaimed|TestFuzzyCheckpoint' \
+		-count=1 . ./internal/txn/...
 
 vet:
 	$(GO) vet ./...

@@ -22,12 +22,16 @@ import (
 	sbdms "repro"
 	"repro/internal/netbind"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address for the TCP binding")
 	dataPath := flag.String("data", "", "data file (empty = in-memory)")
-	walPath := flag.String("wal", "", "WAL file (empty = in-memory)")
+	walPath := flag.String("wal", "", "single-file WAL (legacy unbounded layout; empty = in-memory)")
+	walDir := flag.String("wal-dir", "", "segmented WAL directory (wal.NNNNNN files, truncated by checkpoints; takes precedence over -wal)")
+	segBytes := flag.Int("wal-segment-bytes", 0, "WAL segment roll threshold in bytes (0 = 4 MiB)")
+	ckptEvery := flag.Duration("checkpoint-interval", 0, "background fuzzy-checkpoint period (0 = off); bounds recovery time and WAL size")
 	granularity := flag.String("granularity", "layered", "service granularity: monolithic|coarse|layered|fine")
 	frames := flag.Int("frames", 256, "buffer pool frames")
 	policy := flag.String("policy", "lru", "buffer replacement policy: lru|clock|2q")
@@ -42,22 +46,24 @@ func main() {
 	flag.Parse()
 
 	opts := sbdms.Options{
-		Granularity:       sbdms.Granularity(*granularity),
-		BufferFrames:      *frames,
-		BufferPolicy:      *policy,
-		BufferShards:      *shards,
-		WALGroupWindow:    *groupWindow,
-		WALGroupBytes:     *groupBytes,
-		WALCommitSiblings: *commitSiblings,
-		WALSyncEveryFlush: *syncEvery,
+		Granularity:        sbdms.Granularity(*granularity),
+		BufferFrames:       *frames,
+		BufferPolicy:       *policy,
+		BufferShards:       *shards,
+		WALGroupWindow:     *groupWindow,
+		WALGroupBytes:      *groupBytes,
+		WALCommitSiblings:  *commitSiblings,
+		WALSyncEveryFlush:  *syncEvery,
+		WALSegmentBytes:    *segBytes,
+		CheckpointInterval: *ckptEvery,
 	}
-	if err := run(*addr, *dataPath, *walPath, opts, *peers, *gossipEvery, *node); err != nil {
+	if err := run(*addr, *dataPath, *walPath, *walDir, opts, *peers, *gossipEvery, *node); err != nil {
 		fmt.Fprintln(os.Stderr, "sbdms:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataPath, walPath string, opts sbdms.Options, peers string, gossipEvery time.Duration, node string) error {
+func run(addr, dataPath, walPath, walDir string, opts sbdms.Options, peers string, gossipEvery time.Duration, node string) error {
 	ctx := context.Background()
 	if dataPath != "" {
 		dev, err := storage.OpenFileDevice(dataPath)
@@ -66,7 +72,14 @@ func run(addr, dataPath, walPath string, opts sbdms.Options, peers string, gossi
 		}
 		opts.Device = dev
 	}
-	if walPath != "" {
+	switch {
+	case walDir != "":
+		dir, err := wal.NewFileSegmentDir(walDir)
+		if err != nil {
+			return err
+		}
+		opts.LogDir = dir
+	case walPath != "":
 		dev, err := storage.OpenFileDevice(walPath)
 		if err != nil {
 			return err

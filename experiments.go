@@ -163,11 +163,14 @@ type SweepStorage struct {
 	// EnableWAL turns logging on for the sweep; the WAL fields below
 	// only apply when set. The classic G1 sweep runs unlogged.
 	EnableWAL bool
-	// WALGroupWindow, WALGroupBytes and WALCommitSiblings mirror the
-	// same fields of Options.
-	WALGroupWindow    time.Duration
-	WALGroupBytes     int
-	WALCommitSiblings int
+	// WALGroupWindow, WALGroupBytes, WALCommitSiblings,
+	// WALSegmentBytes and CheckpointInterval mirror the same fields of
+	// Options.
+	WALGroupWindow     time.Duration
+	WALGroupBytes      int
+	WALCommitSiblings  int
+	WALSegmentBytes    int
+	CheckpointInterval time.Duration
 }
 
 // GranularitySweep runs experiment G1: every granularity profile under
@@ -200,14 +203,16 @@ func GranularitySweepStorage(mix workload.Mix, keys, nops int, seed int64, st Sw
 	} {
 		for _, g := range Granularities {
 			db, err := Open(Options{
-				Granularity:       g,
-				BufferFrames:      frames,
-				BufferShards:      st.BufferShards,
-				Binding:           binding.bind,
-				DisableWAL:        !st.EnableWAL,
-				WALGroupWindow:    st.WALGroupWindow,
-				WALGroupBytes:     st.WALGroupBytes,
-				WALCommitSiblings: st.WALCommitSiblings,
+				Granularity:        g,
+				BufferFrames:       frames,
+				BufferShards:       st.BufferShards,
+				Binding:            binding.bind,
+				DisableWAL:         !st.EnableWAL,
+				WALGroupWindow:     st.WALGroupWindow,
+				WALGroupBytes:      st.WALGroupBytes,
+				WALCommitSiblings:  st.WALCommitSiblings,
+				WALSegmentBytes:    st.WALSegmentBytes,
+				CheckpointInterval: st.CheckpointInterval,
 			})
 			if err != nil {
 				return nil, err

@@ -82,11 +82,12 @@ func (h *HeapFile) SetLog(l *wal.Log) {
 func (h *HeapFile) Name() string { return h.name }
 
 // MutatePage pins a page in pool, runs fn over it, and — when log and
-// tx are both non-nil — appends one update record covering the byte
-// range fn changed (per storage.LogImageRange, a page's first record
-// is its full image), stamps the page LSN, and registers the record
-// with the transaction. It is the one WAL-logging protocol shared by
-// every pool-based access method (heap files, B+trees).
+// tx are both non-nil — appends one update record covering the page
+// transition (the log decides between a minimal diff and a full page
+// image per its full-page-write fence), stamps the page LSN, and
+// registers the record with the transaction. It is the one WAL-logging
+// protocol shared by every pool-based access method (heap files,
+// B+trees).
 func MutatePage(pool *buffer.Manager, log *wal.Log, tx TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
 	f, err := pool.Pin(pid)
 	if err != nil {
@@ -103,23 +104,13 @@ func MutatePage(pool *buffer.Manager, log *wal.Log, tx TxnContext, pid storage.P
 		return err
 	}
 	if logging {
-		lo, hi := storage.LogImageRange(pid, before, page.Data)
-		if lo < hi {
-			rec := &wal.Record{
-				Txn:     tx.ID(),
-				Type:    wal.RecUpdate,
-				PageID:  pid,
-				Offset:  uint16(lo),
-				Before:  append([]byte(nil), before[lo:hi]...),
-				After:   append([]byte(nil), page.Data[lo:hi]...),
-				PrevLSN: tx.LastLSN(),
-			}
-			lsn, err := log.Append(rec)
-			if err != nil {
-				_ = pool.Unpin(pid, true)
-				return err
-			}
-			page.SetLSN(uint64(lsn))
+		rec, err := log.AppendPageUpdate(tx.ID(), tx.LastLSN(), pid, before, page.Data)
+		if err != nil {
+			_ = pool.Unpin(pid, true)
+			return err
+		}
+		if rec != nil {
+			page.SetLSN(uint64(rec.LSN))
 			tx.Record(rec)
 		}
 	}

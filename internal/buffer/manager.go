@@ -3,7 +3,10 @@ package buffer
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"time"
+	"unsafe"
 
 	"repro/internal/storage"
 )
@@ -60,6 +63,13 @@ type frame struct {
 	pins  int
 	dirty bool
 	valid bool
+	// recLSN is the LSN of the first log record that dirtied the page
+	// since it was last clean (0 until the first logged mutation, or
+	// when the dirt is unlogged). Fuzzy checkpoints snapshot it into
+	// the dirty-page table; the minimum recLSN bounds how far back a
+	// recovery scan must reach, and therefore how much of the WAL may
+	// be truncated.
+	recLSN uint64
 }
 
 // shard is one lock stripe of the pool: its own mutex, frames, page
@@ -80,6 +90,31 @@ type shard struct {
 	// write-ahead ordering.
 	beforeEvict func(storage.PageID, uint64) error
 }
+
+// shardStride rounds each shard up to a whole number of cache lines
+// PLUS one extra full line of trailing padding, so that adjacent shards
+// in the pool's contiguous shard array never share a line even when the
+// allocator hands back a base that is only 8-byte aligned (Go
+// guarantees natural alignment, not line alignment): with >= one whole
+// line between the end of one shard's live fields and the start of the
+// next, no base offset can fold them onto the same line. One stripe's
+// mutex traffic must not invalidate its neighbour's (the ROADMAP
+// false-sharing audit).
+const (
+	cacheLine   = 64
+	shardStride = (int(unsafe.Sizeof(shard{}))/cacheLine + 2) * cacheLine
+)
+
+// paddedShard is a shard padded out to shardStride bytes.
+type paddedShard struct {
+	shard
+	_ [shardStride - int(unsafe.Sizeof(shard{}))]byte
+}
+
+// ShardStride returns the per-shard footprint in bytes of the pool's
+// contiguous shard array (a whole multiple of the cache line), for
+// benchmarks that record the stripe layout.
+func ShardStride() int { return shardStride }
 
 // Manager is the buffer manager service: a bounded cache of page
 // frames over a storage.PageStore, partitioned into lock-striped
@@ -173,18 +208,22 @@ func newManager(store storage.PageStore, nframes, nshards int, policyName string
 		shards:     make([]*shard, nshards),
 		mask:       uint64(nshards - 1),
 	}
+	// One contiguous allocation at a fixed line-multiple stride with a
+	// spare line of padding per shard, so stripes never false-share
+	// regardless of the base address alignment and the layout is
+	// reproducible for the contention benchmarks.
+	backing := make([]paddedShard, nshards)
 	base, rem := nframes/nshards, nframes%nshards
 	for i := range m.shards {
 		n := base
 		if i < rem {
 			n++
 		}
-		s := &shard{
-			store:  store,
-			frames: make([]frame, n),
-			table:  make(map[storage.PageID]int, n),
-			policy: NewPolicy(m.policyName),
-		}
+		s := &backing[i].shard
+		s.store = store
+		s.frames = make([]frame, n)
+		s.table = make(map[storage.PageID]int, n)
+		s.policy = NewPolicy(m.policyName)
 		for fi := range s.frames {
 			s.frames[fi].data = make([]byte, storage.PageSize)
 			s.free = append(s.free, fi)
@@ -279,6 +318,7 @@ func (m *Manager) Pin(id storage.PageID) (*Frame, error) {
 	f.pins = 1
 	f.dirty = false
 	f.valid = true
+	f.recLSN = 0
 	s.table[id] = fi
 	s.policy.Inserted(fi)
 	return &Frame{ID: id, Data: f.data}, nil
@@ -306,6 +346,7 @@ func (m *Manager) NewPage(t storage.PageType) (*Frame, error) {
 	f.pins = 1
 	f.dirty = true
 	f.valid = true
+	f.recLSN = 0 // the page's first logged mutation sets it at Unpin
 	s.table[id] = fi
 	s.policy.Inserted(fi)
 	return &Frame{ID: id, Data: f.data}, nil
@@ -349,6 +390,7 @@ func (s *shard) flushFrameLocked(fi int) error {
 		return err
 	}
 	f.dirty = false
+	f.recLSN = 0
 	s.stats.Flushes++
 	return nil
 }
@@ -367,9 +409,91 @@ func (m *Manager) Unpin(id storage.PageID, dirty bool) error {
 	f.pins--
 	if dirty {
 		f.dirty = true
+		if f.recLSN == 0 {
+			// First dirtying since the frame was last clean. The access
+			// layer appends exactly one record per pin-mutate-unpin
+			// round and stamps its LSN on the page before unpinning, so
+			// the page LSN here IS the first record of this dirty
+			// episode. Unlogged writers leave the stamp unchanged; a
+			// stale (already durable) or zero LSN only makes the
+			// checkpoint's recovery-begin computation conservative.
+			f.recLSN = storage.WrapPage(f.id, f.data).LSN()
+		}
 	}
 	return nil
 }
+
+// DirtyPages snapshots the pool's dirty-page table: every resident
+// dirty page with its recLSN. Fuzzy checkpoints log it and use the
+// minimum recLSN to advance the WAL truncation horizon.
+func (m *Manager) DirtyPages() []storage.DirtyPageInfo {
+	var out []storage.DirtyPageInfo
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for fi := range s.frames {
+			f := &s.frames[fi]
+			if f.valid && f.dirty {
+				out = append(out, storage.DirtyPageInfo{ID: f.id, RecLSN: f.recLSN})
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// FlushPages writes back the given pages (skipping any no longer
+// resident or already clean) and syncs the underlying store. Fuzzy
+// checkpoints flush exactly their dirty-page-table snapshot this way,
+// without quiescing writers or touching pages dirtied afterwards.
+//
+// A pinned dirty page is NOT flushed immediately: the pin holder may be
+// mutating the frame bytes outside the shard lock, and persisting a
+// half-applied image (with a freshly recomputed checksum) would hand
+// recovery a consistent-looking page that matches no logged state.
+// Pins in this engine are held only across short pin-mutate-unpin
+// rounds, so FlushPages waits the pin out; if a pin outlasts the wait
+// budget it returns an error and the checkpoint fails harmlessly (the
+// previous manifest stays in force, no truncation happens).
+func (m *Manager) FlushPages(ids []storage.PageID) error {
+	for _, id := range ids {
+		if err := m.flushUnpinned(id); err != nil {
+			return err
+		}
+	}
+	return m.store.Sync()
+}
+
+// flushUnpinned flushes one page once its pin count drains to zero.
+func (m *Manager) flushUnpinned(id storage.PageID) error {
+	s := m.shardFor(id)
+	deadline := time.Now().Add(flushPinWait)
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		fi, ok := s.table[id]
+		if !ok || !s.frames[fi].dirty {
+			s.mu.Unlock()
+			return nil
+		}
+		if s.frames[fi].pins == 0 {
+			err := s.flushFrameLocked(fi)
+			s.mu.Unlock()
+			return err
+		}
+		s.mu.Unlock()
+		if attempt > 1000 {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: page %d pinned dirty throughout a checkpoint flush", ErrPinned, id)
+			}
+			// Long-held pin: back off instead of burning a core.
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// flushPinWait bounds how long FlushPages waits for a pin to drain.
+const flushPinWait = 2 * time.Second
 
 // FlushPage writes the page back if it is resident and dirty.
 func (m *Manager) FlushPage(id storage.PageID) error {
@@ -573,6 +697,7 @@ func (m *Manager) Deallocate(id storage.PageID) error {
 		s.policy.Removed(fi)
 		s.frames[fi].valid = false
 		s.frames[fi].dirty = false
+		s.frames[fi].recLSN = 0
 		s.free = append(s.free, fi)
 	}
 	s.mu.Unlock()

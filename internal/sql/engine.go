@@ -53,6 +53,7 @@ type Engine struct {
 	trees   map[storage.PageID]*index.BTree
 	current *txn.Txn // session transaction from BEGIN
 	wal     *wal.Log
+	failed  error // fatal engine fault; all further statements refused
 }
 
 // NewEngine assembles an engine over an opened storage stack.
@@ -74,8 +75,8 @@ func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
 // its statistics).
 func (e *Engine) Pool() *buffer.Manager { return e.pool }
 
-// SetWAL attaches a write-ahead log applied to every heap the engine
-// opens (call once at startup, before any statement runs).
+// SetWAL attaches a write-ahead log applied to every heap and B+tree
+// the engine opens (call once at startup, before any statement runs).
 func (e *Engine) SetWAL(l *wal.Log) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -83,6 +84,38 @@ func (e *Engine) SetWAL(l *wal.Log) {
 	for _, h := range e.heaps {
 		h.SetLog(l)
 	}
+	for _, t := range e.trees {
+		t.SetLog(l)
+	}
+}
+
+// txc converts the concrete transaction into the access-layer logging
+// hook, avoiding a typed-nil interface when tx is nil.
+func txc(tx *txn.Txn) access.TxnContext {
+	if tx == nil {
+		return nil
+	}
+	return tx
+}
+
+// reloadTrees re-reads every open tree's root pointer and entry count
+// from its metadata page. A transaction abort rewinds index pages via
+// physical before images, which restores the bytes but not the trees'
+// in-memory copies; callers re-synchronise after any rollback that may
+// have touched an index.
+func (e *Engine) reloadTrees() error {
+	e.mu.Lock()
+	trees := make([]*index.BTree, 0, len(e.trees))
+	for _, t := range e.trees {
+		trees = append(trees, t)
+	}
+	e.mu.Unlock()
+	for _, t := range trees {
+		if err := t.ReloadMeta(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (e *Engine) heap(t *catalog.Table) (*access.HeapFile, error) {
@@ -124,10 +157,30 @@ func (e *Engine) MustExec(ctx context.Context, src string) *Result {
 	return r
 }
 
+// poison takes the engine offline: after a rollback that failed midway
+// (pages half-rewound) or whose index-meta resynchronisation failed
+// (cached B+tree roots possibly pointing into rewound pages), running
+// further statements would corrupt live data. Mirrors the KV core's
+// failed-rollback poisoning.
+func (e *Engine) poison(err error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.failed == nil {
+		e.failed = fmt.Errorf("sql: engine offline after failed rollback: %w", err)
+	}
+	return e.failed
+}
+
 // ExecuteStmt executes a parsed statement. DML and SELECT run under the
 // session transaction when one is open, otherwise under a per-statement
 // auto-commit transaction (when a transaction manager is attached).
 func (e *Engine) ExecuteStmt(ctx context.Context, st Statement) (*Result, error) {
+	e.mu.Lock()
+	if ferr := e.failed; ferr != nil {
+		e.mu.Unlock()
+		return nil, ferr
+	}
+	e.mu.Unlock()
 	switch s := st.(type) {
 	case *Begin:
 		return e.begin()
@@ -152,7 +205,14 @@ func (e *Engine) ExecuteStmt(ctx context.Context, st Statement) (*Result, error)
 	res, err := e.runDMLOrQuery(ctx, st, tx)
 	if auto {
 		if err != nil {
-			_ = e.txns.Abort(tx)
+			rewound := tx.Updates() > 0 // an update-free abort rewinds no pages
+			if aerr := e.txns.Abort(tx); aerr != nil {
+				err = fmt.Errorf("%w (%v)", err, e.poison(aerr))
+			} else if rewound {
+				if rerr := e.reloadTrees(); rerr != nil {
+					err = fmt.Errorf("%w (%v)", err, e.poison(rerr))
+				}
+			}
 		} else if cerr := e.txns.Commit(tx); cerr != nil {
 			return nil, cerr
 		}
@@ -272,8 +332,14 @@ func (e *Engine) rollbackSession() (*Result, error) {
 	if tx == nil {
 		return nil, ErrNoActiveTxn
 	}
+	rewound := tx.Updates() > 0
 	if err := e.txns.Abort(tx); err != nil {
-		return nil, err
+		return nil, e.poison(err)
+	}
+	if rewound {
+		if err := e.reloadTrees(); err != nil {
+			return nil, e.poison(err)
+		}
 	}
 	return &Result{}, nil
 }
@@ -312,6 +378,11 @@ func (e *Engine) createIndex(ctx context.Context, s *CreateIndex) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	e.mu.Lock()
+	if e.wal != nil {
+		tree.SetLog(e.wal)
+	}
+	e.mu.Unlock()
 	// Backfill from existing rows.
 	h, err := e.heap(tbl)
 	if err != nil {
@@ -408,6 +479,9 @@ func (e *Engine) tree(def catalog.IndexDef) (*index.BTree, error) {
 	if err != nil {
 		return nil, err
 	}
+	if e.wal != nil {
+		t.SetLog(e.wal)
+	}
 	e.trees[def.MetaPage] = t
 	return t, nil
 }
@@ -497,29 +571,28 @@ func (e *Engine) runInsert(ctx context.Context, s *Insert, tx *txn.Txn) (*Result
 	return &Result{Affected: affected}, nil
 }
 
-// insertRow writes the row and maintains every index, undoing the heap
-// insert on index failure (e.g. unique violation).
+// insertRow writes the row and maintains every index through the
+// trees' transactional hooks, so heap and index mutations share one
+// physical redo/undo story: an abort rewinds the index pages from
+// before images, exactly like the heap. On index failure (e.g. unique
+// violation) the partial work of this row is reverted inside the same
+// transaction — the statement fails but a surrounding session
+// transaction stays usable.
 func (e *Engine) insertRow(h *access.HeapFile, indexes []openIndex, tx *txn.Txn, row access.Row) error {
 	rid, err := h.Insert(tx, access.EncodeRow(row))
 	if err != nil {
 		return err
 	}
+	c := txc(tx)
 	for k, ix := range indexes {
 		key := access.EncodeKey(row[ix.colIdx])
-		if err := ix.tree.Insert(key, rid); err != nil {
-			// Roll back the partial work of this row.
+		if err := ix.tree.InsertTx(c, key, rid); err != nil {
+			// Roll back the partial work of this row, still under tx.
 			for j := 0; j < k; j++ {
-				_, _ = indexes[j].tree.Delete(access.EncodeKey(row[indexes[j].colIdx]), rid)
+				_, _ = indexes[j].tree.DeleteTx(c, access.EncodeKey(row[indexes[j].colIdx]), rid)
 			}
 			_ = h.Delete(tx, rid)
 			return err
-		}
-		if tx != nil {
-			tree := ix.tree
-			tx.Compensate(func() error {
-				_, err := tree.Delete(key, rid)
-				return err
-			})
 		}
 	}
 	return nil
@@ -634,20 +707,11 @@ func (e *Engine) runUpdate(ctx context.Context, s *Update, tx *txn.Txn) (*Result
 			if string(oldKey) == string(newKey) && nrid == rid {
 				continue
 			}
-			if _, err := ix.tree.Delete(oldKey, rid); err != nil {
+			if _, err := ix.tree.DeleteTx(txc(tx), oldKey, rid); err != nil {
 				return nil, err
 			}
-			if err := ix.tree.Insert(newKey, nrid); err != nil {
+			if err := ix.tree.InsertTx(txc(tx), newKey, nrid); err != nil {
 				return nil, err
-			}
-			if tx != nil {
-				tree, oldRID, newRID := ix.tree, rid, nrid
-				tx.Compensate(func() error {
-					if _, err := tree.Delete(newKey, newRID); err != nil {
-						return err
-					}
-					return tree.Insert(oldKey, oldRID)
-				})
 			}
 		}
 	}
@@ -677,12 +741,8 @@ func (e *Engine) runDelete(ctx context.Context, s *Delete, tx *txn.Txn) (*Result
 		}
 		for _, ix := range indexes {
 			key := access.EncodeKey(rows[k][ix.colIdx])
-			if _, err := ix.tree.Delete(key, rid); err != nil {
+			if _, err := ix.tree.DeleteTx(txc(tx), key, rid); err != nil {
 				return nil, err
-			}
-			if tx != nil {
-				tree, drid := ix.tree, rid
-				tx.Compensate(func() error { return tree.Insert(key, drid) })
 			}
 		}
 	}

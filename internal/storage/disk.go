@@ -39,6 +39,16 @@ type PageStore interface {
 	Sync() error
 }
 
+// DirtyPageInfo is one dirty-page-table entry reported by a buffering
+// PageStore: a resident dirty page and the LSN of the first log record
+// that dirtied it since it was last clean (recLSN; 0 when the page was
+// dirtied outside the log). Fuzzy checkpoints snapshot these to bound
+// the recovery scan and the log-truncation horizon.
+type DirtyPageInfo struct {
+	ID     PageID
+	RecLSN uint64
+}
+
 // DiskManager implements PageStore directly over a byte Device: fixed
 // size pages, a persistent free list threaded through freed pages, and
 // a checksum on every page. It corresponds to the Disk Manager service
@@ -186,7 +196,20 @@ func (d *DiskManager) Allocate() (PageID, error) {
 		if err := d.readLocked(id, buf, false); err != nil {
 			return InvalidPageID, err
 		}
-		d.freeHead = WrapPage(id, buf).Next()
+		p := WrapPage(id, buf)
+		if p.Type() != PageTypeFree || !p.VerifyChecksum() {
+			// A crash persisted the head pointer but not the freed
+			// page's marking (device writes reorder): following its
+			// chain pointer would walk live page chains and hand out
+			// in-use pages. Abandon the list — leaked pages are
+			// reclaimed by the post-crash free-list rebuild; handing
+			// out a live page would corrupt the store.
+			d.freeHead = InvalidPageID
+			d.pageCount++
+			id = PageID(d.pageCount)
+		} else {
+			d.freeHead = p.Next()
+		}
 	} else {
 		d.pageCount++
 		id = PageID(d.pageCount)
@@ -305,6 +328,45 @@ func (d *DiskManager) FreePages() (int, error) {
 		}
 	}
 	return n, nil
+}
+
+// RebuildFreeList rescans every page and rebuilds the persistent free
+// list from page types: every page whose durable image is a valid
+// free-marked page is relinked, whether or not the crash lost the old
+// list's head or chain pointers. Combined with WAL-logged free
+// markings (the file manager logs each freed page's transition to the
+// free type under a system transaction), this is what turns "a crash
+// leaks freed pages" into "recovery reclaims them". Returns the number
+// of pages linked.
+func (d *DiskManager) RebuildFreeList() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	head := InvalidPageID
+	n := 0
+	buf := make([]byte, PageSize)
+	// Descending scan, so the rebuilt list pops lowest ids first.
+	for id := PageID(d.pageCount); id >= 1; id-- {
+		if err := d.readLocked(id, buf, false); err != nil {
+			continue // unreadable pages cannot be proven free
+		}
+		p := WrapPage(id, buf)
+		if p.Type() != PageTypeFree || !p.VerifyChecksum() {
+			continue
+		}
+		fresh := NewPage(id, PageTypeFree)
+		fresh.SetNext(head)
+		fresh.UpdateChecksum()
+		if _, err := d.dev.WriteAt(fresh.Data, int64(id)*PageSize); err != nil {
+			return n, fmt.Errorf("storage: relinking free page %d: %w", id, err)
+		}
+		head = id
+		n++
+	}
+	d.freeHead = head
+	return n, d.writeMetaLocked()
 }
 
 // Sync implements PageStore.

@@ -32,9 +32,12 @@ type fileEntry struct {
 // behalf of the file manager. internal/txn provides the implementation;
 // the indirection keeps this package free of a WAL dependency.
 type PageTxn interface {
-	// Update logs a physical before/after image for page id starting at
-	// byte off, returning the record's LSN (to stamp on the page).
-	Update(id PageID, off int, before, after []byte) (lsn uint64, err error)
+	// Update logs the page transition before -> after (both full page
+	// images); the logger decides between a minimal diff and a full
+	// page image (full-page-writes after a checkpoint fence). logged
+	// reports whether a record was appended — identical images log
+	// nothing — and lsn is the record's LSN to stamp on the page.
+	Update(id PageID, before, after []byte) (lsn uint64, logged bool, err error)
 	// Commit finishes the transaction. The commit record need not be
 	// forced: WAL ordering makes it durable with the next forced flush.
 	Commit() error
@@ -216,16 +219,15 @@ func (fm *FileManager) finishSysLocked(tx PageTxn, opErr error, chains ...PageID
 	return nil
 }
 
-// writeLogged writes new page content, logging a physical before/after
-// image under tx per the LogImageRange first-touch rule.
+// writeLogged writes new page content, logging the transition under tx
+// (the WAL decides diff vs full image per the full-page-write fence).
 func (fm *FileManager) writeLogged(tx PageTxn, id PageID, old, data []byte) error {
 	if tx != nil {
-		lo, hi := LogImageRange(id, old, data)
-		if lo < hi {
-			lsn, err := tx.Update(id, lo, old[lo:hi], data[lo:hi])
-			if err != nil {
-				return err
-			}
+		lsn, logged, err := tx.Update(id, old, data)
+		if err != nil {
+			return err
+		}
+		if logged {
 			WrapPage(id, data).SetLSN(lsn)
 		}
 	}
@@ -303,17 +305,46 @@ func (fm *FileManager) persistLocked(tx PageTxn) (PageID, error) {
 	return surplus, nil
 }
 
+// freeChainLocked returns a page chain to the store. With a logger
+// attached, each page's transition to the free type is first WAL-logged
+// under a fresh lazy system transaction: should a crash lose the
+// allocator's eager free-list writes, recovery replays the free
+// markings and the post-crash free-list rebuild relinks the pages —
+// freed pages are reclaimed instead of leaked.
 func (fm *FileManager) freeChainLocked(from PageID) error {
+	tx, err := fm.beginSysLocked()
+	if err != nil {
+		return err
+	}
 	buf := make([]byte, PageSize)
+	var ids []PageID
 	for id := from; id != InvalidPageID; {
 		if err := fm.store.ReadPage(id, buf); err != nil {
+			if tx != nil {
+				_ = tx.Abort()
+			}
 			return err
 		}
 		next := WrapPage(id, buf).Next()
+		if tx != nil {
+			freeImg := make([]byte, PageSize) // zeroed PageTypeFree image
+			if err := fm.writeLogged(tx, id, buf, freeImg); err != nil {
+				_ = tx.Abort()
+				return err
+			}
+		}
+		ids = append(ids, id)
+		id = next
+	}
+	if tx != nil {
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
 		if err := fm.store.Deallocate(id); err != nil {
 			return err
 		}
-		id = next
 	}
 	return nil
 }

@@ -132,20 +132,6 @@ func (p *Page) VerifyChecksum() bool {
 // Checksum returns the stored checksum value.
 func (p *Page) Checksum() uint32 { return binary.LittleEndian.Uint32(p.Data[offChecksum:]) }
 
-// LogImageRange returns the [lo, hi) byte range a WAL writer must log
-// for the page transition before -> after. It encodes the engine-wide
-// first-touch rule: a page whose prior image carries LSN 0 has never
-// been logged (fresh from the allocator, or predates logging), so its
-// full image is logged; afterwards the minimal diff suffices. The rule
-// is what lets recovery rebuild a torn page from zeros by replaying
-// its records in log order.
-func LogImageRange(id PageID, before, after []byte) (int, int) {
-	if WrapPage(id, before).LSN() == 0 {
-		return 0, len(before)
-	}
-	return DiffRange(before, after)
-}
-
 // DiffRange returns the smallest [lo, hi) range over which a and b
 // differ ((0, 0) when they are identical). WAL writers use it to log
 // minimal physical before/after images of a page mutation.

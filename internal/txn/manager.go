@@ -15,9 +15,6 @@ import (
 var (
 	// ErrTxnDone is returned for operations on a finished transaction.
 	ErrTxnDone = errors.New("txn: transaction already finished")
-	// ErrActiveTxns is returned by Checkpoint while transactions are in
-	// flight (sharp checkpoints require a quiescent system).
-	ErrActiveTxns = errors.New("txn: active transactions")
 	// ErrNoWAL is returned by Checkpoint without an attached log.
 	ErrNoWAL = errors.New("txn: no WAL attached")
 )
@@ -54,9 +51,9 @@ type Txn struct {
 
 	mu        sync.Mutex
 	status    Status
+	firstLSN  wal.LSN // begin record (fuzzy checkpoints' ATT entry)
 	lastLSN   wal.LSN
 	undo      []*wal.Record
-	comp      []func() error
 	committed []func()
 }
 
@@ -98,16 +95,6 @@ func (t *Txn) takeCommitted() []func() {
 	return out
 }
 
-// Compensate registers a callback run (in reverse registration order)
-// if the transaction aborts. It reverts auxiliary structures that are
-// not covered by WAL before/after images — the engine uses it to undo
-// B+tree index maintenance.
-func (t *Txn) Compensate(f func() error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.comp = append(t.comp, f)
-}
-
 // Status returns the transaction state.
 func (t *Txn) Status() Status {
 	t.mu.Lock()
@@ -141,6 +128,12 @@ type Manager struct {
 
 	mu     sync.Mutex
 	active map[uint64]*Txn
+
+	// ckptMu serialises fuzzy checkpoints: two interleaved checkpoints
+	// could otherwise complete out of order and persist a manifest
+	// whose recovery-begin LSN points into segments the other already
+	// truncated.
+	ckptMu sync.Mutex
 }
 
 // NewManager creates a transaction manager. log and store may be nil
@@ -166,6 +159,7 @@ func (m *Manager) Begin() (*Txn, error) {
 		if err != nil {
 			return nil, err
 		}
+		t.firstLSN = lsn
 		t.lastLSN = lsn
 	}
 	m.mu.Lock()
@@ -263,7 +257,6 @@ func (m *Manager) Abort(t *Txn) error {
 	}
 	t.status = StatusAborted
 	undo := append([]*wal.Record(nil), t.undo...)
-	comp := append([]func() error(nil), t.comp...)
 	prev := t.lastLSN
 	t.mu.Unlock()
 
@@ -276,10 +269,11 @@ func (m *Manager) Abort(t *Txn) error {
 	// undoes the still-in-flight transaction from the log.
 	if m.store != nil || m.log != nil {
 		buf := make([]byte, storage.PageSize)
+		restored := make([]byte, storage.PageSize)
 		for i := len(undo) - 1; i >= 0; i-- {
 			rec := undo[i]
-			var lsn wal.LSN
-			if m.log != nil {
+			if m.store == nil {
+				// Log-only mode: a plain redo-only compensation record.
 				clr := &wal.Record{
 					Txn:     t.id,
 					Type:    wal.RecUpdate,
@@ -288,34 +282,37 @@ func (m *Manager) Abort(t *Txn) error {
 					After:   append([]byte(nil), rec.Before...),
 					PrevLSN: prev,
 				}
-				var err error
-				lsn, err = m.log.Append(clr)
+				lsn, err := m.log.Append(clr)
 				if err != nil {
 					return err
 				}
 				prev = lsn
-			}
-			if m.store == nil {
 				continue
 			}
 			if err := m.store.ReadPage(rec.PageID, buf); err != nil {
 				return fmt.Errorf("txn: undo read page %d: %w", rec.PageID, err)
 			}
-			p := storage.WrapPage(rec.PageID, buf)
+			copy(restored, buf)
+			p := storage.WrapPage(rec.PageID, restored)
 			copy(p.Data[rec.Offset:int(rec.Offset)+len(rec.Before)], rec.Before)
+			p.SetLSN(uint64(rec.LSN))
 			if m.log != nil {
-				p.SetLSN(uint64(lsn))
-			} else {
-				p.SetLSN(uint64(rec.LSN))
+				// The compensation goes through the same fence-checked
+				// append as forward mutations, so a rollback touching a
+				// page for the first time after a checkpoint still logs
+				// the full image torn-page rebuild depends on.
+				clr, err := m.log.AppendPageUpdate(t.id, prev, rec.PageID, buf, restored)
+				if err != nil {
+					return err
+				}
+				if clr != nil {
+					prev = clr.LSN
+					p.SetLSN(uint64(clr.LSN))
+				}
 			}
 			if err := m.store.WritePage(rec.PageID, p.Data); err != nil {
 				return fmt.Errorf("txn: undo write page %d: %w", rec.PageID, err)
 			}
-		}
-	}
-	for i := len(comp) - 1; i >= 0; i-- {
-		if err := comp[i](); err != nil {
-			return fmt.Errorf("txn: compensation: %w", err)
 		}
 	}
 	if m.log != nil {
@@ -334,25 +331,115 @@ func (m *Manager) finish(t *Txn) {
 	m.mu.Unlock()
 }
 
-// Checkpoint takes a sharp checkpoint: with no transactions in flight,
-// every dirty page is flushed and a checkpoint record written, so the
-// next recovery scans only the log suffix.
+// dirtyTracker is the buffer-pool surface a fuzzy checkpoint needs:
+// the dirty-page table with per-page recLSNs, and a targeted flush of
+// exactly that snapshot. buffer.Manager implements it; a bare disk
+// manager does not, and the checkpoint falls back to a full sync.
+type dirtyTracker interface {
+	DirtyPages() []storage.DirtyPageInfo
+	FlushPages([]storage.PageID) error
+}
+
+// Checkpoint takes an ARIES-style fuzzy checkpoint — writers are never
+// quiesced and in-flight transactions are fine:
+//
+//  1. The full-page-write fence advances to the current log tail (B).
+//     From here on, the first mutation of any page whose image predates
+//     B logs a full page image.
+//  2. The active-transaction table is snapshotted, then the dirty-page
+//     table (in that order: a transaction missing from the ATT has
+//     finished, so its dirty pages are already visible to the DPT
+//     gather or safely on disk). A record that is appended but whose
+//     page is not yet marked dirty (the writer is between
+//     AppendPageUpdate and Unpin) is covered by the ATT leg of the
+//     minimum: its transaction cannot finish before the unpin, so it
+//     is still registered and its first LSN bounds the record.
+//  3. A checkpoint record carrying both tables is appended and forced.
+//  4. The DPT snapshot's pages are flushed and the store synced —
+//     concurrent traffic keeps running; pages dirtied after the
+//     snapshot are the NEXT checkpoint's problem, their records lie at
+//     or above B.
+//  5. The recovery-begin LSN — min(B, ATT first LSNs) — and the
+//     checkpoint LSN are persisted in the log manifest, and every
+//     segment wholly below the recovery-begin LSN is deleted. The
+//     classic ARIES formula also takes the minimum over the DPT
+//     recLSNs, but step 4 flushed exactly that snapshot, so every
+//     record the DPT leg would retain is provably durable on its page:
+//     the term is vacuous here and dropping it lets truncation advance
+//     a full checkpoint round further.
+//
+// Every record a future recovery could need (redo for pages not yet
+// durable, undo for transactions then in flight) has an LSN at or above
+// the recovery-begin LSN: a page dirtied by a pre-fence record that is
+// not in the flushed DPT snapshot must have been unpinned after the DPT
+// gather, so its transaction was still registered at the earlier ATT
+// gather and its first LSN holds the bound. The scan is bounded and the
+// truncated history is provably dead.
 func (m *Manager) Checkpoint() (wal.LSN, error) {
 	if m.log == nil {
 		return wal.ZeroLSN, ErrNoWAL
 	}
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	fence := m.log.BeginCheckpoint()
+
 	m.mu.Lock()
-	active := len(m.active)
-	m.mu.Unlock()
-	if active > 0 {
-		return wal.ZeroLSN, fmt.Errorf("%w: %d in flight", ErrActiveTxns, active)
+	att := make([]wal.CkptTxn, 0, len(m.active))
+	for id, t := range m.active {
+		t.mu.Lock()
+		att = append(att, wal.CkptTxn{ID: id, First: t.firstLSN, Last: t.lastLSN})
+		t.mu.Unlock()
 	}
-	if m.store != nil {
+	m.mu.Unlock()
+
+	var dpt []wal.CkptPage
+	tracker, _ := m.store.(dirtyTracker)
+	if tracker != nil {
+		for _, d := range tracker.DirtyPages() {
+			dpt = append(dpt, wal.CkptPage{Page: d.ID, RecLSN: wal.LSN(d.RecLSN)})
+		}
+	}
+
+	lsn, err := m.log.Append(&wal.Record{
+		Type:  wal.RecCheckpoint,
+		After: wal.EncodeCheckpoint(wal.CheckpointData{Fence: fence, ATT: att, DPT: dpt}),
+	})
+	if err != nil {
+		return wal.ZeroLSN, err
+	}
+	if err := m.log.Flush(lsn + 1); err != nil {
+		return wal.ZeroLSN, err
+	}
+
+	// Flush the snapshot. This is what licenses truncation: once every
+	// page dirty at the snapshot is durably on disk, no record below
+	// the recovery-begin LSN is needed for redo, and any page a later
+	// crash tears was re-dirtied after the fence — so a full image for
+	// it sits above the fence in the retained log.
+	if tracker != nil {
+		ids := make([]storage.PageID, len(dpt))
+		for i, d := range dpt {
+			ids[i] = d.Page
+		}
+		if err := tracker.FlushPages(ids); err != nil {
+			return wal.ZeroLSN, err
+		}
+	} else if m.store != nil {
 		if err := m.store.Sync(); err != nil {
 			return wal.ZeroLSN, err
 		}
 	}
-	return m.log.Checkpoint()
+
+	recoveryBegin := fence
+	for _, t := range att {
+		if t.First != wal.ZeroLSN && t.First < recoveryBegin {
+			recoveryBegin = t.First
+		}
+	}
+	if err := m.log.CompleteCheckpoint(lsn, recoveryBegin); err != nil {
+		return wal.ZeroLSN, err
+	}
+	return lsn, nil
 }
 
 // ActiveCount returns the number of in-flight transactions.

@@ -2,12 +2,12 @@ package txn
 
 import (
 	"repro/internal/storage"
-	"repro/internal/wal"
 )
 
 // PageLogger exposes the manager as a storage.PageLogger, so the file
-// manager can WAL-log directory and page-allocation mutations under
-// system transactions. Returns nil when no WAL is attached.
+// manager can WAL-log directory, page-allocation and free-list
+// mutations under system transactions. Returns nil when no WAL is
+// attached.
 func (m *Manager) PageLogger() storage.PageLogger {
 	if m.log == nil {
 		return nil
@@ -40,23 +40,19 @@ type pageTxn struct {
 	t *Txn
 }
 
-// Update implements storage.PageTxn.
-func (p *pageTxn) Update(id storage.PageID, off int, before, after []byte) (uint64, error) {
-	rec := &wal.Record{
-		Txn:     p.t.ID(),
-		Type:    wal.RecUpdate,
-		PageID:  id,
-		Offset:  uint16(off),
-		Before:  append([]byte(nil), before...),
-		After:   append([]byte(nil), after...),
-		PrevLSN: p.t.LastLSN(),
-	}
-	lsn, err := p.m.log.Append(rec)
+// Update implements storage.PageTxn: the page transition is appended
+// through the WAL's fence-checked path, which picks a minimal diff or —
+// for the page's first mutation after a checkpoint — a full page image.
+func (p *pageTxn) Update(id storage.PageID, before, after []byte) (uint64, bool, error) {
+	rec, err := p.m.log.AppendPageUpdate(p.t.ID(), p.t.LastLSN(), id, before, after)
 	if err != nil {
-		return 0, err
+		return 0, false, err
+	}
+	if rec == nil {
+		return 0, false, nil
 	}
 	p.t.Record(rec)
-	return uint64(lsn), nil
+	return uint64(rec.LSN), true, nil
 }
 
 // Commit implements storage.PageTxn (lazy: no log force).

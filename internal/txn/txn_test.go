@@ -383,30 +383,99 @@ func TestConcurrentTransfers(t *testing.T) {
 	}
 }
 
-func TestCheckpointQuiescesAndBoundsRecovery(t *testing.T) {
+// TestFuzzyCheckpointWithActiveTxn: a fuzzy checkpoint runs while a
+// transaction is in flight, records it in the checkpoint's ATT, and
+// keeps the recovery-begin LSN at or below the transaction's first
+// record so its undo history is never truncated.
+func TestFuzzyCheckpointWithActiveTxn(t *testing.T) {
 	m, h, _, l := testEngine(t)
+	tx, _ := m.Begin()
+	if _, err := h.Insert(tx, []byte("in-flight at checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := m.Checkpoint()
+	if err != nil {
+		t.Fatalf("fuzzy checkpoint with an active txn: %v", err)
+	}
+	if l.LastCheckpoint() != ck {
+		t.Fatalf("checkpoint = %d, want %d", l.LastCheckpoint(), ck)
+	}
+	if rb := l.RecoveryBegin(); rb > tx.LastLSN() {
+		t.Fatalf("recovery begin %d is above the active txn's records (%d)", rb, tx.LastLSN())
+	}
+	// The checkpoint record carries the transaction in its ATT.
+	var data wal.CheckpointData
+	err = l.Iterate(ck, func(r *wal.Record) error {
+		if r.LSN == ck && r.Type == wal.RecCheckpoint {
+			data, err = wal.DecodeCheckpoint(r.After)
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range data.ATT {
+		if e.ID == tx.ID() {
+			found = true
+			if e.First == wal.ZeroLSN || e.First > e.Last {
+				t.Fatalf("ATT entry %+v has bad LSN range", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("active txn %d missing from checkpoint ATT %+v", tx.ID(), data.ATT)
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Without a WAL, checkpointing fails cleanly.
+	m2 := NewManager(nil, nil)
+	if _, err := m2.Checkpoint(); !errors.Is(err, ErrNoWAL) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestFuzzyCheckpointBoundsRecoveryScan: work committed and flushed
+// before a quiescent-moment checkpoint is excluded from the next
+// recovery scan.
+func TestFuzzyCheckpointBoundsRecoveryScan(t *testing.T) {
+	m, h, pool, l := testEngine(t)
 	tx, _ := m.Begin()
 	if _, err := h.Insert(tx, []byte("pre-checkpoint")); err != nil {
 		t.Fatal(err)
 	}
-	// Checkpoint refuses while the transaction is active.
-	if _, err := m.Checkpoint(); !errors.Is(err, ErrActiveTxns) {
-		t.Fatalf("err = %v", err)
-	}
 	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
 		t.Fatal(err)
 	}
 	ck, err := m.Checkpoint()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if l.LastCheckpoint() != ck {
-		t.Fatalf("checkpoint = %d, want %d", l.LastCheckpoint(), ck)
+	if rb := l.RecoveryBegin(); rb < ck {
+		t.Fatalf("recovery begin %d should reach the checkpoint %d with nothing dirty", rb, ck)
 	}
-	// Without a WAL, checkpointing fails cleanly.
-	m2 := NewManager(nil, nil)
-	if _, err := m2.Checkpoint(); !errors.Is(err, ErrNoWAL) {
-		t.Fatalf("err = %v", err)
+	tx2, _ := m.Begin()
+	if _, err := h.Insert(tx2, []byte("post-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := wal.Recover(l, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the checkpoint record and txn 2's records are scanned.
+	if st.Scanned > 4 {
+		t.Fatalf("scanned %d records, checkpoint did not bound the scan", st.Scanned)
+	}
+	if st.Committed != 1 {
+		t.Fatalf("committed = %d", st.Committed)
 	}
 }
 

@@ -17,6 +17,20 @@ type RecoveryStats struct {
 	Rebuilt   int // pages reconstructed from scratch (torn or lost writes)
 	Committed int
 	InFlight  int // transactions rolled back
+	ScanFrom  LSN // where analysis started (the recovery-begin LSN)
+	// FreeImages counts durable records of finished transactions that
+	// mark a page free (a free-typed image starting at byte 0). Their
+	// presence means the allocator's eager free-list links may diverge
+	// from the logged markings, so the opener should rebuild the free
+	// list even when redo itself had nothing to repair.
+	FreeImages int
+}
+
+// Changed reports whether recovery had to repair anything — callers use
+// it to decide whether crash-only follow-up work (free-list rebuild) is
+// warranted.
+func (st RecoveryStats) Changed() bool {
+	return st.Redone > 0 || st.Undone > 0 || st.Rebuilt > 0
 }
 
 // pageExtender is implemented by stores (the disk manager) that can
@@ -29,14 +43,16 @@ type pageExtender interface {
 // readPageForRecovery reads a page, tolerating crash damage: a page id
 // beyond the store's allocation metadata extends the store, and a torn
 // or never-completed page write (checksum mismatch, short device) is
-// returned as a zeroed page. The zeroed page is sound because the
-// engine logs a full page image the first time it touches any page
-// (page LSN 0), so replaying the page's records in log order rebuilds
-// it completely — but only while the log's full history is being
-// replayed: once a sharp checkpoint truncates the scan, records before
-// it are invisible, so canRebuild is false and torn pages fail loudly
-// instead of being silently rebuilt from a partial history.
-func readPageForRecovery(store storage.PageStore, id storage.PageID, buf []byte, canRebuild bool, st *RecoveryStats) error {
+// returned as a zeroed page. The zeroed page is sound because of the
+// full-page-write discipline: the first record for any page inside the
+// replayed range is a full page image — either the page's first-ever
+// record (prior image LSN 0), or the full image AppendPageUpdate logs
+// on the page's first mutation after each checkpoint's fence. The
+// recovery-begin LSN never exceeds a fence, so replaying the range in
+// log order rebuilds the page completely even after older segments
+// were truncated; diff records that precede the page's full image land
+// on garbage and are then overwritten by it.
+func readPageForRecovery(store storage.PageStore, id storage.PageID, buf []byte, st *RecoveryStats) error {
 	err := store.ReadPage(id, buf)
 	if err == nil {
 		return nil
@@ -51,7 +67,7 @@ func readPageForRecovery(store storage.PageStore, id storage.PageID, buf []byte,
 			}
 		}
 	}
-	if canRebuild && (errors.Is(err, storage.ErrChecksum) || errors.Is(err, io.EOF)) {
+	if errors.Is(err, storage.ErrChecksum) || errors.Is(err, io.EOF) {
 		for i := range buf {
 			buf[i] = 0
 		}
@@ -63,8 +79,12 @@ func readPageForRecovery(store storage.PageStore, id storage.PageID, buf []byte,
 
 // Recover brings a page store to a consistent state after a crash:
 //
-//  1. Analysis: a full log scan classifies transactions as committed,
-//     aborted, or in-flight, and collects update records.
+//  1. Analysis: a scan from the manifest's recovery-begin LSN (the
+//     minimum of the last checkpoint's fence, its dirty-page recLSNs
+//     and the first LSN of its oldest in-flight transaction — so every
+//     record that could still matter is inside the scan) classifies
+//     transactions as committed, aborted, or in-flight, and collects
+//     update records.
 //  2. Redo: updates of committed AND cleanly-aborted transactions are
 //     reapplied in log order wherever the page LSN shows the write
 //     never reached the page (page.LSN < record.LSN). An aborted
@@ -75,16 +95,18 @@ func readPageForRecovery(store storage.PageStore, id storage.PageID, buf []byte,
 //     images over bytes later transactions may have rewritten.
 //  3. Undo: updates of in-flight transactions (no commit or abort
 //     record) are reverted in reverse log order using before images.
+//     Compensation records of a crashed (incomplete) abort are undone
+//     first and their originals after, netting out to the original
+//     before-images.
 //
 // Pages touched by undo/redo are stamped with the record's LSN so that
 // recovery is idempotent: running it twice is a no-op.
 func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 	var st RecoveryStats
+	st.ScanFrom = l.RecoveryBegin()
 	status := make(map[uint64]RecType) // txn -> final state seen
 	var updates []*Record
-	// Sharp checkpoints guarantee no in-flight transactions and clean
-	// pages at the checkpoint, so analysis starts there.
-	err := l.Iterate(l.LastCheckpoint(), func(rec *Record) error {
+	err := l.Iterate(st.ScanFrom, func(rec *Record) error {
 		st.Scanned++
 		switch rec.Type {
 		case RecBegin:
@@ -113,13 +135,9 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 		}
 	}
 
-	// Torn pages can only be rebuilt from zeros when the whole log
-	// history is in the replayed range (no checkpoint truncated it).
-	canRebuild := l.LastCheckpoint() == ZeroLSN
-
 	buf := make([]byte, storage.PageSize)
 	apply := func(rec *Record, image []byte) error {
-		if err := readPageForRecovery(store, rec.PageID, buf, canRebuild, &st); err != nil {
+		if err := readPageForRecovery(store, rec.PageID, buf, &st); err != nil {
 			return err
 		}
 		p := storage.WrapPage(rec.PageID, buf)
@@ -133,12 +151,19 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 		if s := status[rec.Txn]; s != RecCommit && s != RecAbort {
 			continue
 		}
-		if err := readPageForRecovery(store, rec.PageID, buf, canRebuild, &st); err != nil {
+		if err := readPageForRecovery(store, rec.PageID, buf, &st); err != nil {
 			return st, fmt.Errorf("wal: redo read page %d: %w", rec.PageID, err)
 		}
 		p := storage.WrapPage(rec.PageID, buf)
 		if p.LSN() >= uint64(rec.LSN) {
 			continue // already on the page
+		}
+		if rec.Offset == 0 && len(rec.After) > 0 && storage.PageType(rec.After[0]) == storage.PageTypeFree {
+			// A free marking the crash actually lost had to be
+			// replayed; only then is the allocator's list suspect
+			// (counted here, after the already-applied check, so clean
+			// reopens never pay the free-list rebuild).
+			st.FreeImages++
 		}
 		copy(p.Data[rec.Offset:int(rec.Offset)+len(rec.After)], rec.After)
 		p.SetLSN(uint64(rec.LSN))
@@ -148,9 +173,7 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 		st.Redone++
 	}
 
-	// Undo in-flight losers in reverse log order. Compensation records
-	// of a crashed (incomplete) abort carry empty before images, so
-	// re-undoing them here is a no-op.
+	// Undo in-flight losers in reverse log order.
 	losers := updates[:0:0]
 	for _, rec := range updates {
 		if status[rec.Txn] == RecBegin {

@@ -1,9 +1,11 @@
 // Package wal implements a write-ahead log for the SBDMS storage layer:
-// length-prefixed, checksummed records appended to a byte device, with
-// group-buffered appends, explicit flush, iteration, and redo/undo
-// recovery over a storage.PageStore. The heap file access method logs
-// record-level before/after images through this log, and the buffer
-// manager's before-evict hook enforces the write-ahead rule.
+// length-prefixed, checksummed records appended to numbered log
+// segments, with group-buffered appends, explicit flush, iteration, and
+// redo/undo recovery over a storage.PageStore. The log address space
+// (LSNs) is global and monotonic across segments; a manifest carries
+// the last fuzzy checkpoint, the recovery-begin LSN, and the full-page-
+// write fence, so segments wholly below the recovery-begin LSN can be
+// deleted without losing the ability to rebuild torn pages.
 package wal
 
 import (
@@ -28,7 +30,10 @@ var (
 	ErrTornTail = errors.New("wal: torn tail")
 )
 
-// LSN is a log sequence number: the byte offset of a record in the log.
+// LSN is a log sequence number: the byte address of a record in the
+// global log stream. Addresses are never reused; segment files map a
+// contiguous LSN range onto a file each, so truncating old segments
+// does not move surviving records.
 type LSN uint64
 
 // ZeroLSN is the null LSN (no record).
@@ -65,7 +70,8 @@ func (t RecType) String() string {
 }
 
 // Record is one log record. Update records carry a physical
-// before/after image of a byte range within a page.
+// before/after image of a byte range within a page; checkpoint records
+// carry the encoded transaction and dirty-page tables in After.
 type Record struct {
 	LSN     LSN // assigned by Append
 	Txn     uint64
@@ -75,19 +81,35 @@ type Record struct {
 	Before  []byte
 	After   []byte
 	PrevLSN LSN // previous record of the same transaction
-	// End is the offset one past this record on the device. It is set
-	// when the record is read back via Iterate (not persisted); log
-	// shippers use it as their resume watermark.
+	// End is the LSN one past this record. It is set when the record is
+	// read back via Iterate (not persisted); log shippers use it as
+	// their resume watermark.
 	End LSN
 }
 
-// The log begins with a fixed header (magic, checkpoint LSN, reserved)
-// so that offset 0 is never a valid LSN.
-const logHeaderSize = 24
+// DefaultSegmentBytes is the roll threshold used when OpenDir is given
+// a non-positive segment size.
+const DefaultSegmentBytes = 4 << 20
 
-const logMagic = 0x5342444d53574131 // "SBDMSWA1"
+// minSegmentBytes floors configured segment sizes so a single full
+// page image always fits comfortably in one segment.
+const minSegmentBytes = 2 * storage.PageSize
 
-// Log is an append-only write-ahead log over a Device. Appends are
+// segment is one live log segment: a contiguous LSN range mapped onto
+// one device. Records at LSN x live at device offset
+// segHeaderSize + (x - base).
+type segment struct {
+	seq  uint64
+	base LSN
+	end  LSN // durable end; for the active segment this tracks flushed
+	dev  storage.Device
+}
+
+func (s *segment) devOff(lsn LSN) int64 {
+	return int64(segHeaderSize) + int64(lsn-s.base)
+}
+
+// Log is an append-only write-ahead log over a SegmentDir. Appends are
 // buffered in memory; Flush persists them. Safe for concurrent use.
 //
 // Flush uses group commit: concurrent callers coalesce onto a single
@@ -96,14 +118,20 @@ const logMagic = 0x5342444d53574131 // "SBDMSWA1"
 // their own. SetGroupWindow additionally holds the leader open for a
 // short time/size window so bursts of committers share one sync.
 type Log struct {
-	mu         sync.Mutex
-	dev        storage.Device
-	tailOff    uint64 // durable end of log
-	buf        []byte // pending bytes not yet written
-	bufStart   uint64 // device offset of buf[0]
-	flushed    LSN    // durability boundary (first LSN not yet durable)
-	nextLSN    LSN
-	checkpoint LSN // LSN of the last sharp checkpoint record
+	mu           sync.Mutex
+	dir          SegmentDir
+	manifestDev  storage.Device
+	segs         []*segment // ascending by base; last is active
+	segmentBytes int        // roll threshold in record bytes (0 = never)
+
+	buf      []byte // pending bytes not yet written
+	bufStart uint64 // LSN of buf[0]
+	flushed  LSN    // durability boundary (first LSN not yet durable)
+	nextLSN  LSN
+
+	checkpoint    LSN // LSN of the last completed checkpoint record
+	recoveryBegin LSN // where the next recovery scan starts
+	fence         LSN // full-page-write fence (page LSN below it => log a full image)
 
 	// Group commit state.
 	flushDone      *sync.Cond // broadcast when a flush round completes
@@ -116,55 +144,326 @@ type Log struct {
 	syncEveryFlush bool       // baseline mode: every Flush syncs itself
 	syncs          uint64     // device syncs issued by Flush
 	windowSkips    uint64     // windows skipped by the siblings gate
+	rolls          uint64     // segment rollovers performed
+	rollFails      uint64     // rollover attempts that failed (retried)
 }
 
-// Open opens (or initialises) a log on a device, scanning to find the
-// durable tail. Torn tail records are truncated away.
+// Open opens (or initialises) a log over a single device: the
+// unbounded layout (manifest plus one segment in one file). Checkpoints
+// still advance the recovery-begin LSN and the full-page-write fence,
+// but no space is ever reclaimed; use OpenDir for a segmented log with
+// truncation.
+//
+// The on-device layout changed with the segmented-log rework (a 64-byte
+// manifest followed by a segment header); single-file logs written by
+// the pre-segmentation layout are rejected with ErrCorrupt rather than
+// silently misread.
 func Open(dev storage.Device) (*Log, error) {
-	size, err := dev.Size()
+	return OpenDir(singleDeviceDir{dev: dev}, 0)
+}
+
+// OpenDir opens (or initialises) a segmented log over a SegmentDir,
+// scanning the newest segment to find the durable tail (torn tail
+// records are truncated away). segmentBytes sets the roll threshold;
+// <= 0 selects DefaultSegmentBytes, except for single-device layouts
+// which never roll.
+func OpenDir(dir SegmentDir, segmentBytes int) (*Log, error) {
+	l := &Log{dir: dir, segmentBytes: segmentBytes}
+	if _, single := dir.(singleDeviceDir); single {
+		l.segmentBytes = 0
+	} else if l.segmentBytes <= 0 {
+		l.segmentBytes = DefaultSegmentBytes
+	} else if l.segmentBytes < minSegmentBytes {
+		l.segmentBytes = minSegmentBytes
+	}
+
+	mdev, err := dir.OpenManifest()
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dev: dev}
-	if size == 0 {
-		var hdr [logHeaderSize]byte
-		binary.LittleEndian.PutUint64(hdr[:], logMagic)
-		if _, err := dev.WriteAt(hdr[:], 0); err != nil {
-			return nil, err
+	l.manifestDev = mdev
+	msize, err := mdev.Size()
+	if err != nil {
+		return nil, err
+	}
+	mbuf := make([]byte, manifestSize)
+	haveManifest := false
+	manifestTorn := false
+	if msize > 0 {
+		n := msize
+		if n > manifestSize {
+			n = manifestSize
 		}
-		l.tailOff = logHeaderSize
-	} else {
-		if size < logHeaderSize {
-			return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+		if _, err := mdev.ReadAt(mbuf[:n], 0); err != nil {
+			return nil, fmt.Errorf("wal: reading manifest: %w", err)
 		}
-		var hdr [logHeaderSize]byte
-		if _, err := dev.ReadAt(hdr[:], 0); err != nil {
-			return nil, fmt.Errorf("wal: reading header: %w", err)
-		}
-		if binary.LittleEndian.Uint64(hdr[:]) != logMagic {
-			return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-		}
-		l.checkpoint = LSN(binary.LittleEndian.Uint64(hdr[8:]))
-		// Scan for the durable tail.
-		off := uint64(logHeaderSize)
-		for {
-			rec, next, err := readRecordAt(dev, off, uint64(size))
-			if err != nil {
-				break // torn or corrupt tail: log ends here
+		allZero := true
+		for _, b := range mbuf[:n] {
+			if b != 0 {
+				allZero = false
+				break
 			}
-			_ = rec
-			off = next
 		}
-		l.tailOff = off
-		if err := dev.Truncate(int64(off)); err != nil {
-			return nil, err
+		switch {
+		case allZero:
+			// The manifest region exists but was never written: a crash
+			// landed between creating the first segment and the first
+			// manifest write (the single-device layout extends the file
+			// past the manifest region when the segment header goes
+			// in). No record can have been acknowledged before the
+			// first manifest sync, so treat it as absent, not foreign.
+		case n >= 8 && binary.LittleEndian.Uint64(mbuf) != manifestMagic:
+			// A wrong magic is a foreign or mispointed file, not a torn
+			// manifest write: fail loudly instead of "recovering" over
+			// someone else's data.
+			return nil, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
+		default:
+			m, ok, err := decodeManifest(mbuf[:n])
+			if err != nil {
+				return nil, err
+			}
+			if ok && n == manifestSize {
+				l.checkpoint = m.checkpoint
+				l.recoveryBegin = m.recoveryBegin
+				l.fence = m.fence
+				haveManifest = true
+			} else {
+				manifestTorn = true
+			}
 		}
 	}
-	l.bufStart = l.tailOff
-	l.nextLSN = LSN(l.tailOff)
-	l.flushed = LSN(l.tailOff) // nothing pending
+
+	if err := l.openSegments(); err != nil {
+		return nil, err
+	}
+	if !haveManifest {
+		// No usable manifest: fall back to scanning from the oldest
+		// live segment. Only a genuinely empty log (no records, no
+		// prior truncation) is treated as fresh; any existing history
+		// without a manifest — torn write, zeroed block — forces the
+		// fence to the tail so every page's next mutation logs a full
+		// image: self-healing torn-page protection while the
+		// checkpoint provenance is unknown.
+		l.recoveryBegin = ZeroLSN
+		l.checkpoint = ZeroLSN
+		empty := l.segs[0].seq == 1 && l.nextLSN == l.segs[0].base
+		if manifestTorn || !empty {
+			l.fence = l.nextLSN
+		} else {
+			l.fence = 1
+			if err := l.writeManifestLocked(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if l.fence == ZeroLSN {
+		l.fence = 1
+	}
 	l.flushDone = sync.NewCond(&l.mu)
 	return l, nil
+}
+
+// openSegments loads every live segment, validates header continuity,
+// and truncates the torn tail of the newest one. A newest segment whose
+// header never became durable (crash during rollover, before anything
+// in it was acknowledged) is deleted.
+func (l *Log) openSegments() error {
+	seqs, err := l.dir.ListSegments()
+	if err != nil {
+		return err
+	}
+	if len(seqs) == 0 {
+		seg, err := l.createSegment(1, LSN(segHeaderSize))
+		if err != nil {
+			return err
+		}
+		l.segs = []*segment{seg}
+		l.flushed = seg.base
+		l.nextLSN = seg.base
+		l.bufStart = uint64(seg.base)
+		return nil
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			return fmt.Errorf("%w: segment gap %d -> %d", ErrCorrupt, seqs[i-1], seqs[i])
+		}
+	}
+	// Pass 1: open every segment and read its header.
+	type rawSeg struct {
+		seq      uint64
+		dev      storage.Device
+		size     int64
+		headerOK bool
+		base     LSN
+	}
+	raws := make([]rawSeg, 0, len(seqs))
+	for _, seq := range seqs {
+		dev, err := l.dir.OpenSegment(seq)
+		if err != nil {
+			return err
+		}
+		size, err := dev.Size()
+		if err != nil {
+			return err
+		}
+		r := rawSeg{seq: seq, dev: dev, size: size}
+		if size >= segHeaderSize {
+			hdr := make([]byte, segHeaderSize)
+			if _, err := dev.ReadAt(hdr, 0); err != nil {
+				return fmt.Errorf("wal: reading segment %d header: %w", seq, err)
+			}
+			hseq, base, ok := decodeSegHeader(hdr)
+			r.headerOK = ok && hseq == seq
+			r.base = base
+		}
+		raws = append(raws, r)
+	}
+	// The NEWEST segment may be a crash leftover that never held an
+	// acknowledged record, in two shapes: a torn header (crash during
+	// rollover, before the creation sync completed), or a durable
+	// header whose base no longer matches the previous segment's end (a
+	// rollover failed after writing the header, appends continued in
+	// the previous segment, and the retry never happened before the
+	// crash). Records only ever move to a new segment once its creation
+	// fully succeeded, so in both shapes the leftover is empty of
+	// promises and is dropped; the same damage anywhere else is real
+	// corruption. A sole first segment with a torn header is the
+	// crash-during-very-first-init case, droppable only while no
+	// checkpoint was ever completed.
+	if n := len(raws); n > 0 {
+		last := raws[n-1]
+		drop := false
+		if !last.headerOK {
+			drop = n > 1 || (l.checkpoint == ZeroLSN && l.recoveryBegin == ZeroLSN)
+			if !drop {
+				return fmt.Errorf("%w: segment %d has a bad header", ErrCorrupt, last.seq)
+			}
+		} else if n > 1 {
+			prev := raws[n-2]
+			if prev.headerOK && last.base != prev.base+LSN(prev.size-segHeaderSize) {
+				drop = true // stale failed-rollover leftover
+			}
+		}
+		if drop {
+			if err := l.dir.RemoveSegment(last.seq); err != nil {
+				return err
+			}
+			_ = last.dev.Close()
+			raws = raws[:n-1]
+		}
+	}
+	// Pass 2: validate chain continuity and durable extents. Only the
+	// final remaining segment is tail-scanned for torn records — every
+	// earlier one was fully synced before its successor was created.
+	var segs []*segment
+	for i, r := range raws {
+		if !r.headerOK {
+			return fmt.Errorf("%w: segment %d has a bad header", ErrCorrupt, r.seq)
+		}
+		if len(segs) > 0 {
+			prev := segs[len(segs)-1]
+			if r.base != prev.end {
+				return fmt.Errorf("%w: segment %d base %d, want %d", ErrCorrupt, r.seq, r.base, prev.end)
+			}
+		}
+		seg := &segment{seq: r.seq, base: r.base, dev: r.dev}
+		if i == len(raws)-1 {
+			end := r.base
+			for {
+				_, next, err := seg.readRecord(end, r.base+LSN(r.size-segHeaderSize))
+				if err != nil {
+					break
+				}
+				end = next
+			}
+			seg.end = end
+			if err := r.dev.Truncate(seg.devOff(end)); err != nil {
+				return err
+			}
+		} else {
+			seg.end = r.base + LSN(r.size-segHeaderSize)
+		}
+		segs = append(segs, seg)
+	}
+	if len(segs) == 0 {
+		// Only reachable when the sole unborn segment was dropped:
+		// reinitialise from scratch, exactly like an empty directory.
+		seg, err := l.createSegment(1, LSN(segHeaderSize))
+		if err != nil {
+			return err
+		}
+		segs = []*segment{seg}
+	}
+	l.segs = segs
+	tail := segs[len(segs)-1].end
+	l.flushed = tail
+	l.nextLSN = tail
+	l.bufStart = uint64(tail)
+	return nil
+}
+
+// createSegment creates segment seq with the given base LSN, writing
+// and syncing its header so the segment is valid before any record in
+// it can be acknowledged. On failure the half-created file is removed
+// (best effort): leaving it behind with a stale header would confuse
+// the base-continuity check at the next open once the previous segment
+// keeps growing.
+func (l *Log) createSegment(seq uint64, base LSN) (*segment, error) {
+	dev, err := l.dir.OpenSegment(seq)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*segment, error) {
+		_ = dev.Close()
+		_ = l.dir.RemoveSegment(seq)
+		return nil, err
+	}
+	if _, err := dev.WriteAt(encodeSegHeader(seq, base), 0); err != nil {
+		return fail(fmt.Errorf("wal: writing segment %d header: %w", seq, err))
+	}
+	if err := dev.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := l.dir.Sync(); err != nil {
+		return fail(err)
+	}
+	return &segment{seq: seq, base: base, end: base, dev: dev}, nil
+}
+
+// active returns the segment receiving appends. Callers hold l.mu.
+func (l *Log) active() *segment { return l.segs[len(l.segs)-1] }
+
+// maybeRollLocked seals the active segment and opens the next one when
+// the active segment's durable body has reached the roll threshold.
+// Called with l.mu held, directly after a successful flush, so the
+// pending buffer (if any) starts exactly at the new segment's base.
+// The header write and its two syncs run under the mutex, stalling
+// concurrent appends for that round — a deliberate trade: it happens
+// once per segmentBytes of traffic, and keeping creation atomic with
+// the segment-list swap is what makes every other path lock-simple.
+func (l *Log) maybeRollLocked() error {
+	if l.segmentBytes <= 0 {
+		return nil
+	}
+	act := l.active()
+	if int(l.flushed-act.base) < l.segmentBytes {
+		return nil
+	}
+	act.end = l.flushed
+	seg, err := l.createSegment(act.seq+1, l.flushed)
+	if err != nil {
+		return fmt.Errorf("wal: rolling to segment %d: %w", act.seq+1, err)
+	}
+	l.segs = append(l.segs, seg)
+	l.rolls++
+	return nil
+}
+
+// Rolls returns how many segment rollovers the log has performed.
+func (l *Log) Rolls() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rolls
 }
 
 // SetGroupWindow tunes group commit: a flush leader holds the log
@@ -275,22 +574,32 @@ func encode(dst []byte, rec *Record) []byte {
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// readRecordAt decodes the record at off; returns the record and the
-// offset of the next record.
-func readRecordAt(r io.ReaderAt, off, limit uint64) (*Record, uint64, error) {
+// readRecord decodes the record at LSN lsn inside the segment; limit
+// bounds the readable LSN range. Returns the record and the LSN of the
+// next record.
+func (s *segment) readRecord(lsn, limit LSN) (*Record, LSN, error) {
+	off := uint64(s.devOff(lsn))
+	devLimit := uint64(s.devOff(limit))
 	var lenBuf [4]byte
-	if off+4 > limit {
+	if off+4 > devLimit {
 		return nil, 0, ErrTornTail
 	}
-	if _, err := r.ReadAt(lenBuf[:], int64(off)); err != nil {
+	if _, err := s.dev.ReadAt(lenBuf[:], int64(off)); err != nil {
+		if errors.Is(err, storage.ErrClosed) {
+			// The segment was truncated away under a concurrent reader.
+			return nil, 0, fmt.Errorf("%w: segment %d", ErrSegmentGone, s.seq)
+		}
 		return nil, 0, fmt.Errorf("%w: %v", ErrTornTail, err)
 	}
 	total := binary.LittleEndian.Uint32(lenBuf[:])
-	if total < 4+35 || off+4+uint64(total) > limit {
+	if total < 4+35 || off+4+uint64(total) > devLimit {
 		return nil, 0, ErrTornTail
 	}
 	payload := make([]byte, total)
-	if _, err := r.ReadAt(payload, int64(off+4)); err != nil {
+	if _, err := s.dev.ReadAt(payload, int64(off+4)); err != nil {
+		if errors.Is(err, storage.ErrClosed) {
+			return nil, 0, fmt.Errorf("%w: segment %d", ErrSegmentGone, s.seq)
+		}
 		return nil, 0, fmt.Errorf("%w: %v", ErrTornTail, err)
 	}
 	wantCRC := binary.LittleEndian.Uint32(payload)
@@ -298,7 +607,7 @@ func readRecordAt(r io.ReaderAt, off, limit uint64) (*Record, uint64, error) {
 	if crc32.Checksum(body, crcTable) != wantCRC {
 		return nil, 0, ErrCorrupt
 	}
-	rec := &Record{LSN: LSN(off)}
+	rec := &Record{LSN: lsn}
 	rec.Txn = binary.LittleEndian.Uint64(body)
 	rec.Type = RecType(body[8])
 	rec.PageID = storage.PageID(binary.LittleEndian.Uint64(body[9:]))
@@ -321,8 +630,9 @@ func readRecordAt(r io.ReaderAt, off, limit uint64) (*Record, uint64, error) {
 	rec.After = append([]byte(nil), body[p:p+int(alen)]...)
 	p += int(alen)
 	rec.PrevLSN = LSN(binary.LittleEndian.Uint64(body[p:]))
-	rec.End = LSN(off + 4 + uint64(total))
-	return rec, off + 4 + uint64(total), nil
+	next := lsn + LSN(4+total)
+	rec.End = next
+	return rec, next, nil
 }
 
 // Append buffers a record and returns its assigned LSN. The record is
@@ -330,11 +640,50 @@ func readRecordAt(r io.ReaderAt, off, limit uint64) (*Record, uint64, error) {
 func (l *Log) Append(rec *Record) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(rec), nil
+}
+
+func (l *Log) appendLocked(rec *Record) LSN {
 	lsn := l.nextLSN
 	rec.LSN = lsn
 	l.buf = encode(l.buf, rec)
 	l.nextLSN = LSN(l.bufStart + uint64(len(l.buf)))
-	return lsn, nil
+	return lsn
+}
+
+// AppendPageUpdate appends an update record for the page transition
+// before -> after (both full page images), choosing between a minimal
+// diff and a full page image under the log mutex: if the page's prior
+// image predates the full-page-write fence (its LSN is below the fence
+// installed by the last checkpoint — or it was never logged at all),
+// the full image is logged. Deciding under the same mutex that assigns
+// the LSN is what makes the fence race-free: every record at or above a
+// checkpoint's fence was appended by a caller that saw that fence, so
+// the first post-checkpoint record for any page is always a full image
+// and torn pages stay rebuildable after old segments are truncated.
+//
+// Returns nil (no error) when before and after are identical.
+func (l *Log) AppendPageUpdate(txnID uint64, prevLSN LSN, pid storage.PageID, before, after []byte) (*Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lo, hi := 0, len(before)
+	if LSN(storage.WrapPage(pid, before).LSN()) >= l.fence {
+		lo, hi = storage.DiffRange(before, after)
+		if lo == hi {
+			return nil, nil
+		}
+	}
+	rec := &Record{
+		Txn:     txnID,
+		Type:    RecUpdate,
+		PageID:  pid,
+		Offset:  uint16(lo),
+		Before:  append([]byte(nil), before[lo:hi]...),
+		After:   append([]byte(nil), after[lo:hi]...),
+		PrevLSN: prevLSN,
+	}
+	l.appendLocked(rec)
+	return rec, nil
 }
 
 // Flush makes every record with LSN < upTo durable. Returns
@@ -357,8 +706,8 @@ func (l *Log) flush(upTo LSN, allowWindow bool) error {
 	l.mu.Lock()
 	if l.syncEveryFlush {
 		// Wait out any in-flight group leader first: flushSyncLocked
-		// must not advance flushed/tailOff past bytes a leader still
-		// has in flight (the mode can be toggled under traffic).
+		// must not advance flushed past bytes a leader still has in
+		// flight (the mode can be toggled under traffic).
 		for l.syncing {
 			l.flushDone.Wait()
 		}
@@ -408,9 +757,12 @@ func (l *Log) flush(upTo LSN, allowWindow bool) error {
 		}
 	}
 	// Take ownership of the pending bytes; appends continue into a
-	// fresh buffer at the advanced offset while we do I/O.
+	// fresh buffer at the advanced offset while we do I/O. The whole
+	// pending buffer belongs to the active segment: rolls only happen
+	// after a flush completes, so the buffer never spans segments.
 	buf := l.buf
 	start := l.bufStart
+	act := l.active()
 	l.buf = nil
 	l.bufStart = start + uint64(len(buf))
 	target := l.bufStart
@@ -418,20 +770,28 @@ func (l *Log) flush(upTo LSN, allowWindow bool) error {
 
 	var err error
 	if len(buf) > 0 {
-		if _, werr := l.dev.WriteAt(buf, int64(start)); werr != nil {
+		if _, werr := act.dev.WriteAt(buf, act.devOff(LSN(start))); werr != nil {
 			err = fmt.Errorf("wal: flushing: %w", werr)
 		}
 	}
 	if err == nil {
-		err = l.dev.Sync()
+		err = act.dev.Sync()
 	}
 
 	l.mu.Lock()
 	l.syncing = false
 	if err == nil {
 		l.syncs++
-		l.tailOff = target
 		l.flushed = LSN(target)
+		act.end = l.flushed
+		// A failed rollover must not fail the flush: every record the
+		// caller asked for is already durable in the active segment.
+		// The roll condition still holds, so the next successful flush
+		// retries it; until then appends keep landing in the oversized
+		// active segment (degraded but correct).
+		if rerr := l.maybeRollLocked(); rerr != nil {
+			l.rollFails++
+		}
 	} else if len(buf) > 0 {
 		// Put the unwritten bytes back so a later flush retries them.
 		l.buf = append(buf, l.buf...)
@@ -448,19 +808,23 @@ func (l *Log) flushSyncLocked(upTo LSN) error {
 	if l.flushed >= upTo && len(l.buf) == 0 {
 		return nil
 	}
+	act := l.active()
 	if len(l.buf) > 0 {
-		if _, err := l.dev.WriteAt(l.buf, int64(l.bufStart)); err != nil {
+		if _, err := act.dev.WriteAt(l.buf, act.devOff(LSN(l.bufStart))); err != nil {
 			return fmt.Errorf("wal: flushing: %w", err)
 		}
 		l.bufStart += uint64(len(l.buf))
 		l.buf = l.buf[:0]
-		l.tailOff = l.bufStart
 	}
-	if err := l.dev.Sync(); err != nil {
+	if err := act.dev.Sync(); err != nil {
 		return err
 	}
 	l.syncs++
-	l.flushed = LSN(l.tailOff)
+	l.flushed = LSN(l.bufStart)
+	act.end = l.flushed
+	if rerr := l.maybeRollLocked(); rerr != nil {
+		l.rollFails++ // durable already; retried on the next flush
+	}
 	return nil
 }
 
@@ -480,49 +844,215 @@ func (l *Log) NextLSN() LSN {
 	return l.nextLSN
 }
 
-// Iterate replays durable records with LSN >= from in log order. The
-// callback may return io.EOF to stop early.
-func (l *Log) Iterate(from LSN, fn func(*Record) error) error {
+// OldestLSN returns the base LSN of the oldest live segment: the
+// earliest record Iterate can still reach after truncation.
+func (l *Log) OldestLSN() LSN {
 	l.mu.Lock()
-	limit := l.tailOff
-	l.mu.Unlock()
-	off := uint64(from)
-	if off < logHeaderSize {
-		off = logHeaderSize
+	defer l.mu.Unlock()
+	return l.segs[0].base
+}
+
+// Iterate replays durable records with LSN >= from in log order. Pass
+// ZeroLSN to start at the oldest retained record. A positive from that
+// lies below the oldest live segment names truncated history and fails
+// with ErrSegmentGone — a lagging log shipper must resynchronise (full
+// copy) rather than silently skip the reclaimed records. The callback
+// may return io.EOF to stop early.
+func (l *Log) Iterate(from LSN, fn func(*Record) error) error {
+	// Snapshot the segment list AND each segment's durable end under
+	// the mutex: flush advances the active segment's end concurrently.
+	type segView struct {
+		seg *segment
+		end LSN
 	}
-	for off < limit {
-		rec, next, err := readRecordAt(l.dev, off, limit)
-		if err != nil {
-			if errors.Is(err, ErrTornTail) {
-				return nil
-			}
-			return err
+	l.mu.Lock()
+	views := make([]segView, len(l.segs))
+	for i, s := range l.segs {
+		views[i] = segView{seg: s, end: s.end}
+	}
+	limit := l.flushed
+	l.mu.Unlock()
+	if from < views[0].seg.base {
+		if from != ZeroLSN {
+			return fmt.Errorf("%w: LSN %d predates oldest segment %d (base %d)",
+				ErrSegmentGone, from, views[0].seg.seq, views[0].seg.base)
 		}
-		if err := fn(rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return err
+		from = views[0].seg.base
+	}
+	for _, v := range views {
+		seg := v.seg
+		segEnd := v.end
+		if segEnd > limit {
+			segEnd = limit
 		}
-		off = next
+		if from >= segEnd {
+			continue
+		}
+		lsn := from
+		if lsn < seg.base {
+			lsn = seg.base
+		}
+		for lsn < segEnd {
+			rec, next, err := seg.readRecord(lsn, segEnd)
+			if err != nil {
+				if errors.Is(err, ErrTornTail) {
+					// Everything below segEnd was durable and validated
+					// (Open truncates the real torn tail before the log
+					// accepts traffic), so a short or unframable record
+					// here is corruption — ending the scan quietly
+					// would silently drop every later segment's
+					// committed records.
+					return fmt.Errorf("%w: unreadable record at LSN %d in segment %d", ErrCorrupt, lsn, seg.seq)
+				}
+				return err
+			}
+			if err := fn(rec); err != nil {
+				if errors.Is(err, io.EOF) {
+					return nil
+				}
+				return err
+			}
+			lsn = next
+		}
+		from = segEnd
 	}
 	return nil
 }
 
-// Size returns the durable log size in bytes.
+// Size returns the durable log footprint in bytes: segment headers plus
+// durable record bytes across every live segment. Checkpoint truncation
+// shrinks it.
 func (l *Log) Size() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.tailOff
+	var total uint64
+	for _, s := range l.segs {
+		end := s.end
+		if end > l.flushed {
+			end = l.flushed
+		}
+		total += segHeaderSize + uint64(end-s.base)
+	}
+	return total
 }
 
-// Checkpoint appends a sharp checkpoint record, flushes the log, and
-// persists the checkpoint LSN in the log header. A sharp checkpoint is
-// only valid at a quiescent point: no in-flight transactions and all
-// dirty pages flushed (the transaction manager's Checkpoint enforces
-// this). Recovery then scans from the checkpoint instead of the log
-// head.
+// SegmentCount returns the number of live segments.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// OldestSegment returns the sequence number of the oldest live segment.
+func (l *Log) OldestSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].seq
+}
+
+// ActiveSegment returns the sequence number of the segment receiving
+// appends.
+func (l *Log) ActiveSegment() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active().seq
+}
+
+// --- checkpoints --------------------------------------------------------
+
+// BeginCheckpoint starts a fuzzy checkpoint: it advances the full-page-
+// write fence to the current NextLSN and returns that LSN. From this
+// moment, the first mutation of any page whose image predates the fence
+// logs a full page image (see AppendPageUpdate), so once the checkpoint
+// completes and older segments are truncated, any page a future crash
+// can tear still has a full image inside the retained log suffix.
+func (l *Log) BeginCheckpoint() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.fence = l.nextLSN
+	return l.fence
+}
+
+// CompleteCheckpoint persists the checkpoint in the manifest — the
+// checkpoint record's LSN and the recovery-begin LSN (the minimum of
+// the fence, the dirty-page table's recLSNs and the oldest active
+// transaction's first LSN, as computed by the caller) — then deletes
+// every segment wholly below the recovery-begin LSN. The manifest is
+// synced before any segment is removed, so a crash between the two
+// steps only delays truncation, never loses needed history.
+func (l *Log) CompleteCheckpoint(ckpt, recoveryBegin LSN) error {
+	l.mu.Lock()
+	if recoveryBegin > l.flushed {
+		recoveryBegin = l.flushed
+	}
+	// Never let the manifest point below the oldest live segment: the
+	// records there are already gone, and a recovery-begin naming them
+	// would make the next Open fail with ErrSegmentGone. (Checkpoints
+	// are serialised by the transaction manager; this is the backstop.)
+	if base := l.segs[0].base; recoveryBegin < base {
+		recoveryBegin = base
+	}
+	m := manifest{checkpoint: ckpt, recoveryBegin: recoveryBegin, fence: l.fence}
+	l.checkpoint = ckpt
+	l.recoveryBegin = recoveryBegin
+	if err := l.writeManifest(m); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	// Truncate: drop segments whose every record lies below the
+	// recovery-begin LSN. The active segment is never dropped. Each
+	// segment leaves l.segs only after its file removal succeeded, so a
+	// removal failure keeps the log's view (OldestLSN, Size, Iterate)
+	// honest and the retry happens at the next checkpoint.
+	var removable []*segment
+	for i := 0; i+1 < len(l.segs) && l.segs[i+1].base <= recoveryBegin; i++ {
+		removable = append(removable, l.segs[i])
+	}
+	l.mu.Unlock()
+	removed := 0
+	var rmErr error
+	for _, seg := range removable {
+		if rmErr = l.dir.RemoveSegment(seg.seq); rmErr != nil {
+			break
+		}
+		_ = seg.dev.Close()
+		removed++
+	}
+	if removed > 0 {
+		l.mu.Lock()
+		l.segs = append([]*segment(nil), l.segs[removed:]...)
+		l.mu.Unlock()
+		if serr := l.dir.Sync(); serr != nil && rmErr == nil {
+			rmErr = serr
+		}
+	}
+	return rmErr
+}
+
+// writeManifest persists a manifest image. Callers hold l.mu.
+func (l *Log) writeManifest(m manifest) error {
+	if _, err := l.manifestDev.WriteAt(encodeManifest(m), 0); err != nil {
+		return fmt.Errorf("wal: persisting manifest: %w", err)
+	}
+	return l.manifestDev.Sync()
+}
+
+func (l *Log) writeManifestLocked() error {
+	return l.writeManifest(manifest{
+		checkpoint:    l.checkpoint,
+		recoveryBegin: l.recoveryBegin,
+		fence:         l.fence,
+	})
+}
+
+// Checkpoint takes a self-contained checkpoint without table snapshots:
+// the caller promises no transactions are in flight and every dirty
+// page has been flushed (quiescent embedders and tests). The
+// transaction manager's fuzzy Checkpoint is the production path — it
+// snapshots the active-transaction and dirty-page tables and computes
+// the true recovery-begin LSN without quiescing anything.
 func (l *Log) Checkpoint() (LSN, error) {
+	l.BeginCheckpoint()
 	lsn, err := l.Append(&Record{Type: RecCheckpoint})
 	if err != nil {
 		return ZeroLSN, err
@@ -530,26 +1060,35 @@ func (l *Log) Checkpoint() (LSN, error) {
 	if err := l.Flush(lsn + 1); err != nil {
 		return ZeroLSN, err
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(lsn))
-	if _, err := l.dev.WriteAt(buf[:], 8); err != nil {
-		return ZeroLSN, fmt.Errorf("wal: persisting checkpoint: %w", err)
-	}
-	if err := l.dev.Sync(); err != nil {
+	if err := l.CompleteCheckpoint(lsn, lsn); err != nil {
 		return ZeroLSN, err
 	}
-	l.checkpoint = lsn
 	return lsn, nil
 }
 
-// LastCheckpoint returns the LSN of the most recent sharp checkpoint
-// (ZeroLSN if none was ever taken).
+// LastCheckpoint returns the LSN of the most recent completed
+// checkpoint record (ZeroLSN if none was ever taken).
 func (l *Log) LastCheckpoint() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.checkpoint
+}
+
+// RecoveryBegin returns the LSN recovery scans from (ZeroLSN = the
+// whole retained log).
+func (l *Log) RecoveryBegin() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recoveryBegin
+}
+
+// FullPageFence returns the current full-page-write fence: a page whose
+// image carries an LSN below the fence has its next mutation logged as
+// a full page image.
+func (l *Log) FullPageFence() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fence
 }
 
 // BeforeEvict returns a buffer-manager hook enforcing the write-ahead

@@ -112,8 +112,12 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 	_ = l.Flush(l.NextLSN())
 	good := l.Size()
-	// Simulate a torn write: garbage partial record at the tail.
-	if _, err := dev.WriteAt([]byte{0x55, 0x01}, int64(good)); err != nil {
+	tail, err := dev.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: garbage partial record at the device tail.
+	if _, err := dev.WriteAt([]byte{0x55, 0x01}, tail); err != nil {
 		t.Fatal(err)
 	}
 	l2, err := Open(dev)

@@ -3,6 +3,7 @@ package sbdms
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/buffer"
@@ -40,10 +41,26 @@ var Granularities = []Granularity{Monolithic, Coarse, Layered, Fine}
 type Options struct {
 	// Device is the data device (nil = in-memory).
 	Device storage.Device
-	// LogDevice is the WAL device (nil = in-memory). DisableWAL skips
-	// logging entirely.
+	// LogDir holds the segmented WAL: numbered wal.NNNNNN segment files
+	// plus a manifest, reclaimed by fuzzy-checkpoint truncation. Takes
+	// precedence over LogDevice. Use wal.NewFileSegmentDir for an
+	// on-disk log, wal.NewMemSegmentDir for tests. When both LogDir and
+	// LogDevice are nil the WAL defaults to an in-memory segmented log.
+	LogDir wal.SegmentDir
+	// LogDevice is a single-file WAL (the legacy unbounded layout: no
+	// segment rollover, so checkpoints bound recovery time but never
+	// reclaim space). DisableWAL skips logging entirely.
 	LogDevice  storage.Device
 	DisableWAL bool
+	// WALSegmentBytes is the segment roll threshold for segmented logs
+	// (0 = 4 MiB). Once the recovery-begin LSN passes a segment's end,
+	// the segment file is deleted.
+	WALSegmentBytes int
+	// CheckpointInterval runs a background fuzzy checkpoint on this
+	// period, bounding both recovery time and total WAL size without
+	// quiescing writers (0 = no background checkpoints; DB.Checkpoint
+	// remains available).
+	CheckpointInterval time.Duration
 	// Granularity selects the service decomposition (default Layered).
 	Granularity Granularity
 	// BufferFrames sizes the buffer pool (default 256).
@@ -95,6 +112,13 @@ type DB struct {
 	engine *sql.Engine
 	kv     *kvCore
 
+	ckptStop chan struct{} // stops the background checkpointer
+	ckptDone chan struct{}
+
+	ckptMu    sync.Mutex
+	ckptFails uint64 // background checkpoints that returned an error
+	ckptErr   error  // most recent background checkpoint error
+
 	// Service path handles (nil for Monolithic).
 	kvRef    *core.Ref
 	queryRef *core.Ref
@@ -138,15 +162,30 @@ func Open(opts Options) (*DB, error) {
 
 	// WAL + crash recovery before anything reads the disk.
 	if !opts.DisableWAL {
-		if opts.LogDevice == nil {
-			opts.LogDevice = storage.NewMemDevice()
+		var l *wal.Log
+		switch {
+		case opts.LogDir != nil:
+			l, err = wal.OpenDir(opts.LogDir, opts.WALSegmentBytes)
+		case opts.LogDevice != nil:
+			l, err = wal.Open(opts.LogDevice)
+		default:
+			l, err = wal.OpenDir(wal.NewMemSegmentDir(), opts.WALSegmentBytes)
 		}
-		l, err := wal.Open(opts.LogDevice)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := wal.Recover(l, disk); err != nil {
+		st, err := wal.Recover(l, disk)
+		if err != nil {
 			return nil, fmt.Errorf("sbdms: recovery: %w", err)
+		}
+		if st.Changed() || st.FreeImages > 0 {
+			// An actual crash was repaired, or the retained log holds
+			// free markings whose allocator list-links may not all
+			// have reached the device: relink every durably free-marked
+			// page so frees are reclaimed instead of leaked.
+			if _, err := disk.RebuildFreeList(); err != nil {
+				return nil, fmt.Errorf("sbdms: rebuilding free list: %w", err)
+			}
 		}
 		l.SetGroupWindow(opts.WALGroupWindow, opts.WALGroupBytes)
 		l.SetSyncEveryFlush(opts.WALSyncEveryFlush)
@@ -217,7 +256,61 @@ func Open(opts Options) (*DB, error) {
 	if err := db.kernel.Start(ctx); err != nil {
 		return nil, err
 	}
+	if db.log != nil && opts.CheckpointInterval > 0 {
+		db.ckptStop = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		go db.checkpointLoop(opts.CheckpointInterval)
+	}
 	return db, nil
+}
+
+// checkpointLoop runs fuzzy checkpoints on a fixed period until Close.
+// Errors are tolerated per tick (a busy device retries next round) but
+// counted and kept: persistent checkpoint failure means the WAL has
+// stopped shrinking, and operators must be able to see that
+// (CheckpointStatus) instead of discovering a full disk.
+func (db *DB) checkpointLoop(every time.Duration) {
+	defer close(db.ckptDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.ckptStop:
+			return
+		case <-t.C:
+			if _, err := db.Checkpoint(); err != nil {
+				db.ckptMu.Lock()
+				db.ckptFails++
+				db.ckptErr = err
+				db.ckptMu.Unlock()
+			} else {
+				db.ckptMu.Lock()
+				db.ckptErr = nil
+				db.ckptMu.Unlock()
+			}
+		}
+	}
+}
+
+// CheckpointStatus reports the background checkpointer's health: how
+// many ticks have failed since Open, and the error from the most
+// recent tick (nil after a success). A persistently non-nil error
+// means log truncation has stalled and the WAL is growing.
+func (db *DB) CheckpointStatus() (failures uint64, lastErr error) {
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	return db.ckptFails, db.ckptErr
+}
+
+// Checkpoint takes a fuzzy checkpoint now: in-flight transactions and
+// concurrent writers are unaffected, recovery scans are bounded to the
+// log suffix, and WAL segments below the new recovery-begin LSN are
+// deleted. Returns the checkpoint record's LSN.
+func (db *DB) Checkpoint() (wal.LSN, error) {
+	if db.txns == nil || db.log == nil {
+		return wal.ZeroLSN, txn.ErrNoWAL
+	}
+	return db.txns.Checkpoint()
 }
 
 // wrap applies the configured binding to a service.
@@ -351,6 +444,11 @@ func (db *DB) Flush() error {
 
 // Close flushes and stops the instance.
 func (db *DB) Close(ctx context.Context) error {
+	if db.ckptStop != nil {
+		close(db.ckptStop)
+		<-db.ckptDone
+		db.ckptStop = nil
+	}
 	if err := db.Flush(); err != nil {
 		return err
 	}
