@@ -5,7 +5,7 @@ RACE_PKGS = ./internal/access/... ./internal/buffer/... ./internal/core/... \
             ./internal/index/... ./internal/storage/... ./internal/txn/... \
             ./internal/wal/...
 
-.PHONY: build test race bench crash checkpoint-crash vet all
+.PHONY: build test race bench crash checkpoint-crash stress vet all
 
 all: vet build test
 
@@ -33,6 +33,17 @@ crash:
 checkpoint-crash:
 	$(GO) test -race -run 'TestKVCrashRecoveryMidFuzzyCheckpoint|TestKVCrashRecoveryTornPageAfterTruncation|TestKVCrashRecoveryMidSegmentRollover|TestKVWALBoundedBySegmentTruncation|TestFreedPagesReclaimed|TestFuzzyCheckpoint' \
 		-count=1 . ./internal/txn/...
+
+# Concurrent stress suite under the race detector, at a GOMAXPROCS
+# matrix: parallel KV traffic on overlapping key ranges, kill -9 under
+# concurrent load (interleaved-transaction recovery), latch-crabbing
+# B+tree and heap stress, and the lock-manager deadlock/upgrade audit.
+STRESS_RUN = 'TestKVConcurrent|TestKVCrashRecoveryConcurrent|TestKVBatchConflicts|TestKVLockWait|TestConcurrentInsert|TestHeapConcurrent|TestConcurrentTransfers|TestDeadlock|TestLockUpgrade|TestNoPhantom|TestAcquireContext'
+STRESS_PKGS = . ./internal/access/... ./internal/index/... ./internal/txn/...
+
+stress:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(STRESS_RUN) $(STRESS_PKGS)
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(STRESS_RUN) $(STRESS_PKGS)
 
 vet:
 	$(GO) vet ./...

@@ -1,6 +1,6 @@
 // Command sbench regenerates every experiment of EXPERIMENTS.md and
 // prints the result tables. Run all experiments with no arguments, or
-// select one with -exp (f1, f2, f5, f6, f7, g1, g2, g3, g4, g5).
+// select one with -exp (f1, f2, f5, f6, f7, g1, g2, g3, g4, g5, g6).
 package main
 
 import (
@@ -34,16 +34,16 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|all")
+	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|all")
 	ops := flag.Int("ops", 20000, "operations per measurement")
 	keys := flag.Int("keys", 2000, "key space size")
 	flag.Parse()
 
 	runners := map[string]func(int, int) error{
 		"f1": runF1, "f2": runF2, "f5": runF5, "f6": runF6, "f7": runF7,
-		"g1": runG1, "g2": runG2, "g3": runG3, "g4": runG4, "g5": runG5,
+		"g1": runG1, "g2": runG2, "g3": runG3, "g4": runG4, "g5": runG5, "g6": runG6,
 	}
-	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5"}
+	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6"}
 	sel := strings.ToLower(*exp)
 	if sel == "all" {
 		for _, id := range order {
@@ -478,6 +478,45 @@ func runG5(ops, keys int) error {
 				mode.label, g, commits, float64(commits)/el.Seconds(), l.Syncs(),
 				float64(commits)/float64(l.Syncs()))
 			_ = dev.Close()
+		}
+	}
+	return nil
+}
+
+// G6: concurrency scaling of the fine-grained engine — goroutines ×
+// read/write mix against one WAL-enabled DB (latch-crabbed B+tree,
+// per-key 2PL, no engine-wide lock). The column to watch is the
+// speedup over the 1-goroutine row of the same mix.
+func runG6(ops, keys int) error {
+	fmt.Println("== G6: concurrency scaling (goroutines x read/write mix) ==")
+	fmt.Printf("   shards=%d group-window=%v  (latch crabbing + per-key locks)\n",
+		*flagShards, *flagGroupWindow)
+	db, err := sbdms.Open(sbdms.Options{
+		Granularity:    sbdms.Monolithic,
+		BufferFrames:   2048,
+		BufferShards:   *flagShards,
+		WALGroupWindow: *flagGroupWindow,
+		WALGroupBytes:  *flagGroupBytes,
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close(context.Background())
+	if err := sbdms.Preload(db, keys, 64); err != nil {
+		return err
+	}
+	for _, readPct := range []int{95, 50} {
+		var base float64
+		for _, g := range []int{1, 2, 4, 8} {
+			m := sbdms.ConcurrencyScaling(db, g, keys, ops, readPct, int64(g)*17)
+			if g == 1 {
+				base = m.OpsPerSec
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = m.OpsPerSec / base
+			}
+			fmt.Printf("%s  speedup=%.2fx\n", m, speedup)
 		}
 	}
 	return nil

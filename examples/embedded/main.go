@@ -103,8 +103,8 @@ type memStore struct{ m map[string][]byte }
 
 func newMemStore() *memStore { return &memStore{m: map[string][]byte{}} }
 
-func (s *memStore) Put(k string, v []byte) error { s.m[k] = v; return nil }
-func (s *memStore) PutBatch(keys []string, vals [][]byte) error {
+func (s *memStore) Put(_ context.Context, k string, v []byte) error { s.m[k] = v; return nil }
+func (s *memStore) PutBatch(_ context.Context, keys []string, vals [][]byte) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("embedded: %d keys, %d values", len(keys), len(vals))
 	}
@@ -113,14 +113,14 @@ func (s *memStore) PutBatch(keys []string, vals [][]byte) error {
 	}
 	return nil
 }
-func (s *memStore) Get(k string) ([]byte, error) {
+func (s *memStore) Get(_ context.Context, k string) ([]byte, error) {
 	if v, ok := s.m[k]; ok {
 		return v, nil
 	}
 	return nil, fmt.Errorf("not found: %s", k)
 }
-func (s *memStore) Delete(k string) error { delete(s.m, k); return nil }
-func (s *memStore) Scan(from string, n int) ([]string, error) {
+func (s *memStore) Delete(_ context.Context, k string) error { delete(s.m, k); return nil }
+func (s *memStore) Scan(_ context.Context, from string, n int) ([]string, error) {
 	var out []string
 	for k := range s.m {
 		if k >= from && len(out) < n {

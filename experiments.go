@@ -3,7 +3,10 @@ package sbdms
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -110,6 +113,77 @@ func Preload(db *DB, keys, valSize int) error {
 		}
 	}
 	return nil
+}
+
+// ConcurrencyMeasurement is one cell of the G6 concurrency-scaling
+// experiment: throughput of a read/write KV mix at a given goroutine
+// count, against the latch-crabbed, per-key-locked engine.
+type ConcurrencyMeasurement struct {
+	Goroutines int
+	ReadPct    int // percentage of Gets in the mix
+	Ops        int
+	Elapsed    time.Duration
+	OpsPerSec  float64
+	Conflicts  int // retryable deadlock-victim aborts (retried)
+	Failures   int
+}
+
+// String renders the measurement as a result-table row.
+func (m ConcurrencyMeasurement) String() string {
+	return fmt.Sprintf("goroutines=%-3d read%%=%-3d ops=%-8d thr=%10.0f op/s  conflicts=%-4d fail=%d",
+		m.Goroutines, m.ReadPct, m.Ops, m.OpsPerSec, m.Conflicts, m.Failures)
+}
+
+// ConcurrencyScaling drives nops operations split across g goroutines
+// over a shared key space (readPct percent Gets, the rest Puts) and
+// measures aggregate throughput. Deadlock-victim conflicts are retried
+// once and counted. Preload the key space first so reads hit.
+func ConcurrencyScaling(db *DB, g, keys, nops, readPct int, seed int64) ConcurrencyMeasurement {
+	m := ConcurrencyMeasurement{Goroutines: g, ReadPct: readPct, Ops: nops}
+	per := nops / g
+	if per < 1 {
+		per = 1
+	}
+	m.Ops = per * g
+	var conflicts, failures int64
+	val := []byte("concurrency-scaling-value-0123456789")
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < per; i++ {
+				k := workload.Key(rng.Intn(keys))
+				var err error
+				if rng.Intn(100) < readPct {
+					_, err = db.Get(k)
+					if err != nil && isNotFound(err) {
+						err = nil
+					}
+				} else {
+					err = db.Put(k, val)
+					if IsConflict(err) {
+						atomic.AddInt64(&conflicts, 1)
+						err = db.Put(k, val) // retryable by contract
+					}
+				}
+				if err != nil {
+					atomic.AddInt64(&failures, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	m.Elapsed = time.Since(start)
+	m.Conflicts = int(conflicts)
+	m.Failures = int(failures)
+	if m.Elapsed > 0 {
+		m.OpsPerSec = float64(m.Ops) / m.Elapsed.Seconds()
+	}
+	return m
 }
 
 // MeasureTCPRoundTrip measures the real cost of one service invocation

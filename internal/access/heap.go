@@ -46,10 +46,44 @@ type TxnContext interface {
 	Record(rec *wal.Record)
 }
 
+// CompensationContext is optionally implemented by TxnContexts used
+// while rolling a transaction back: records logged through them are
+// compensations and carry the redo-only marker instead of a fresh undo
+// descriptor (an undo is never itself undone; idempotent inverses plus
+// repeat-history redo make re-running a half-durable rollback safe).
+type CompensationContext interface {
+	Compensating() bool
+}
+
+// committedHook is the optional TxnContext surface for deferring work
+// until the transaction's commit record is durable.
+type committedHook interface {
+	OnCommitted(func())
+}
+
+// SystemTxnHooks supplies short system transactions to access methods:
+// self-contained, WAL-logged page mutations (deferred slot purges,
+// B+tree structure modifications) that commit independently of the user
+// transaction that triggered them. internal/txn provides the
+// implementation; a zero value means unlogged operation.
+type SystemTxnHooks struct {
+	Begin  func() (TxnContext, error)
+	Commit func(TxnContext) error
+	Abort  func(TxnContext) error
+}
+
 // HeapFile stores variable-length records in a chain of slotted pages
 // managed by the file manager, cached by the buffer manager, and
 // (optionally) logged to the WAL. It is the record-level storage
 // service behind tables.
+//
+// Concurrency: every page access runs under the buffer pool's page
+// latches (shared for reads, exclusive for mutations), so operations on
+// different pages proceed in parallel and operations on the same page
+// serialise only for the latch hold. The struct's own mutex guards just
+// the free-space hint list and configuration; file growth serialises on
+// a separate append mutex so concurrent inserts don't race to extend
+// the chain.
 type HeapFile struct {
 	name string
 	fm   *storage.FileManager
@@ -57,13 +91,16 @@ type HeapFile struct {
 
 	mu       sync.Mutex
 	log      *wal.Log
+	sys      SystemTxnHooks
 	freeHint []storage.PageID // pages with reclaimed space
+
+	appendMu sync.Mutex // serialises chain growth
 }
 
 // OpenHeap opens the named heap file, creating it if absent.
 func OpenHeap(name string, fm *storage.FileManager, pool *buffer.Manager) (*HeapFile, error) {
 	if !fm.Exists(name) {
-		if err := fm.Create(name); err != nil {
+		if err := fm.Create(name); err != nil && !errors.Is(err, storage.ErrFileExists) {
 			return nil, err
 		}
 	}
@@ -71,25 +108,56 @@ func OpenHeap(name string, fm *storage.FileManager, pool *buffer.Manager) (*Heap
 }
 
 // SetLog attaches a write-ahead log; subsequent mutations through a
-// non-nil TxnContext are logged with physical before/after images.
+// non-nil TxnContext are logged with physical redo images and logical
+// undo descriptors.
 func (h *HeapFile) SetLog(l *wal.Log) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.log = l
 }
 
+// SetSystemTxns attaches the system-transaction hooks used for deferred
+// slot purges.
+func (h *HeapFile) SetSystemTxns(s SystemTxnHooks) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sys = s
+}
+
+func (h *HeapFile) getLog() *wal.Log {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.log
+}
+
+func (h *HeapFile) getSys() SystemTxnHooks {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sys
+}
+
 // Name returns the file name.
 func (h *HeapFile) Name() string { return h.name }
 
-// MutatePage pins a page in pool, runs fn over it, and — when log and
-// tx are both non-nil — appends one update record covering the page
-// transition (the log decides between a minimal diff and a full page
-// image per its full-page-write fence), stamps the page LSN, and
-// registers the record with the transaction. It is the one WAL-logging
-// protocol shared by every pool-based access method (heap files,
-// B+trees).
+// MutatePage pins the page under an exclusive page latch, runs fn over
+// it, and — when log and tx are both non-nil — appends one update
+// record covering the page transition, stamps the page LSN, and
+// registers the record with the transaction. Physical before-image undo
+// (undo == nil) is only sound for serialised writers (system
+// transactions); concurrent user transactions attach a logical undo
+// descriptor via MutatePageUndo.
 func MutatePage(pool *buffer.Manager, log *wal.Log, tx TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
-	f, err := pool.Pin(pid)
+	return MutatePageUndo(pool, log, tx, pid, nil, fn)
+}
+
+// MutatePageUndo is MutatePage with a logical-undo descriptor supplier:
+// undo is evaluated after fn succeeded (so it can reference slot
+// numbers fn assigned) and attached to the log record. A tx that
+// implements CompensationContext forces the redo-only marker instead.
+// It is the one WAL-logging protocol shared by every pool-based access
+// method (heap files, B+trees).
+func MutatePageUndo(pool *buffer.Manager, log *wal.Log, tx TxnContext, pid storage.PageID, undo func() []byte, fn func(p *storage.Page) error) error {
+	f, err := pool.PinLatched(pid, true)
 	if err != nil {
 		return err
 	}
@@ -100,13 +168,23 @@ func MutatePage(pool *buffer.Manager, log *wal.Log, tx TxnContext, pid storage.P
 		before = append([]byte(nil), page.Data...)
 	}
 	if err := fn(page); err != nil {
-		_ = pool.Unpin(pid, false)
+		_ = pool.UnpinLatched(pid, true, false)
 		return err
 	}
 	if logging {
-		rec, err := log.AppendPageUpdate(tx.ID(), tx.LastLSN(), pid, before, page.Data)
+		var desc []byte
+		if c, ok := tx.(CompensationContext); ok && c.Compensating() {
+			desc = wal.UndoNone
+		} else if undo != nil {
+			desc = undo()
+		}
+		rec, err := log.AppendPageUpdate(tx.ID(), tx.LastLSN(), pid, before, page.Data, desc)
 		if err != nil {
-			_ = pool.Unpin(pid, true)
+			// The mutation could not be logged: put the page back
+			// exactly as it was (we hold the latch and the before
+			// image), so the failure leaves no unlogged change behind.
+			copy(page.Data, before)
+			_ = pool.UnpinLatched(pid, true, false)
 			return err
 		}
 		if rec != nil {
@@ -114,27 +192,76 @@ func MutatePage(pool *buffer.Manager, log *wal.Log, tx TxnContext, pid storage.P
 			tx.Record(rec)
 		}
 	}
-	return pool.Unpin(pid, true)
+	return pool.UnpinLatched(pid, true, true)
+}
+
+// LogLatchedMutation applies fn to a frame the caller already holds
+// exclusively latched, and logs the transition exactly like
+// MutatePageUndo. The caller remains responsible for marking the frame
+// dirty when it unlatches. B+tree crabbing uses it: latches are
+// acquired by the descent, not per mutation.
+func LogLatchedMutation(log *wal.Log, tx TxnContext, f *buffer.Frame, undo func() []byte, fn func(p *storage.Page) error) error {
+	page := f.Page()
+	logging := log != nil && tx != nil
+	var before []byte
+	if logging {
+		before = append([]byte(nil), page.Data...)
+	}
+	if err := fn(page); err != nil {
+		return err
+	}
+	if logging {
+		var desc []byte
+		if c, ok := tx.(CompensationContext); ok && c.Compensating() {
+			desc = wal.UndoNone
+		} else if undo != nil {
+			desc = undo()
+		}
+		rec, err := log.AppendPageUpdate(tx.ID(), tx.LastLSN(), f.ID, before, page.Data, desc)
+		if err != nil {
+			// Unloggable: restore the exact prior bytes under the
+			// caller's latch so no unlogged mutation survives.
+			copy(page.Data, before)
+			return err
+		}
+		if rec != nil {
+			page.SetLSN(uint64(rec.LSN))
+			tx.Record(rec)
+		}
+	}
+	return nil
 }
 
 // mutatePage applies fn to pid under the heap's pool and log.
-func (h *HeapFile) mutatePage(tx TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
-	return MutatePage(h.pool, h.log, tx, pid, fn)
+func (h *HeapFile) mutatePage(tx TxnContext, pid storage.PageID, undo func() []byte, fn func(p *storage.Page) error) error {
+	return MutatePageUndo(h.pool, h.getLog(), tx, pid, undo, fn)
 }
 
 // Insert stores a record and returns its RID. With a non-nil tx the
-// mutation is WAL-logged under that transaction.
+// mutation is WAL-logged under that transaction with a logical undo
+// (delete the slot again).
 func (h *HeapFile) Insert(tx TxnContext, rec []byte) (RID, error) {
 	if len(rec) > maxRecordLen {
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 
 	try := func(pid storage.PageID) (RID, bool, error) {
 		var rid RID
 		ok := false
-		err := h.mutatePage(tx, pid, func(p *storage.Page) error {
+		// A full page is not an error for the mutation protocol: the
+		// failed Insert may still have compacted the page, and that
+		// reorganisation MUST be logged (redo replays diffs against the
+		// exact byte history; an unlogged layout change would corrupt
+		// every later diff on the page). Compaction is content-
+		// preserving, so the record is redo-only — rollback never needs
+		// to undo it.
+		undo := func() []byte {
+			if !ok {
+				return wal.UndoNone
+			}
+			return UndoHeapInsert(rid)
+		}
+		err := h.mutatePage(tx, pid, undo, func(p *storage.Page) error {
 			sp := Slotted(p)
 			slot, err := sp.Insert(rec)
 			if errors.Is(err, ErrPageFull) {
@@ -151,8 +278,7 @@ func (h *HeapFile) Insert(tx TxnContext, rec []byte) (RID, error) {
 	}
 
 	// Pages with reclaimed space first, then the chain tail.
-	for i := 0; i < len(h.freeHint); i++ {
-		pid := h.freeHint[i]
+	for _, pid := range h.hintSnapshot() {
 		rid, ok, err := try(pid)
 		if err != nil {
 			return RID{}, err
@@ -160,9 +286,7 @@ func (h *HeapFile) Insert(tx TxnContext, rec []byte) (RID, error) {
 		if ok {
 			return rid, nil
 		}
-		// Hint exhausted.
-		h.freeHint = append(h.freeHint[:i], h.freeHint[i+1:]...)
-		i--
+		h.dropHint(pid)
 	}
 	if last, err := h.fm.LastPage(h.name); err == nil && last != storage.InvalidPageID {
 		rid, ok, err := try(last)
@@ -173,14 +297,30 @@ func (h *HeapFile) Insert(tx TxnContext, rec []byte) (RID, error) {
 			return rid, nil
 		}
 	}
-	// Grow the file.
+	// Grow the file. One grower at a time: a racing insert that lost
+	// the append mutex retries the (possibly new) tail first instead of
+	// appending a second page.
+	h.appendMu.Lock()
+	defer h.appendMu.Unlock()
+	if last, err := h.fm.LastPage(h.name); err == nil && last != storage.InvalidPageID {
+		rid, ok, err := try(last)
+		if err != nil {
+			return RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
 	pid, err := h.fm.AppendPage(h.name, storage.PageTypeHeap)
 	if err != nil {
 		return RID{}, err
 	}
 	var rid RID
-	err = h.mutatePage(tx, pid, func(p *storage.Page) error {
-		sp := InitSlotted(p)
+	err = h.mutatePage(tx, pid, func() []byte { return UndoHeapInsert(rid) }, func(p *storage.Page) error {
+		sp := Slotted(p)
+		if sp.NumSlots() == 0 && sp.cellStart() == 0 {
+			sp = InitSlotted(p)
+		}
 		slot, err := sp.Insert(rec)
 		if err != nil {
 			return err
@@ -197,36 +337,27 @@ func (h *HeapFile) Insert(tx TxnContext, rec []byte) (RID, error) {
 	return rid, nil
 }
 
-// Get returns a copy of the record at rid.
-func (h *HeapFile) Get(rid RID) ([]byte, error) {
-	f, err := h.pool.Pin(rid.Page)
-	if err != nil {
-		return nil, err
-	}
-	defer h.pool.Unpin(rid.Page, false)
-	sp := Slotted(f.Page())
-	rec, err := sp.Get(int(rid.Slot))
-	if err != nil {
-		return nil, err
-	}
-	return append([]byte(nil), rec...), nil
-}
-
-// Delete removes the record at rid.
-func (h *HeapFile) Delete(tx TxnContext, rid RID) error {
+func (h *HeapFile) hintSnapshot() []storage.PageID {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	err := h.mutatePage(tx, rid.Page, func(p *storage.Page) error {
-		return Slotted(p).Delete(int(rid.Slot))
-	})
-	if err != nil {
-		return err
-	}
-	h.noteFreeLocked(rid.Page)
-	return nil
+	return append([]storage.PageID(nil), h.freeHint...)
 }
 
-func (h *HeapFile) noteFreeLocked(pid storage.PageID) {
+func (h *HeapFile) dropHint(pid storage.PageID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, f := range h.freeHint {
+		if f == pid {
+			h.freeHint = append(h.freeHint[:i], h.freeHint[i+1:]...)
+			return
+		}
+	}
+}
+
+// NoteFree records that pid has reclaimable space (insert candidates).
+func (h *HeapFile) NoteFree(pid storage.PageID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	for _, f := range h.freeHint {
 		if f == pid {
 			return
@@ -235,45 +366,194 @@ func (h *HeapFile) noteFreeLocked(pid storage.PageID) {
 	h.freeHint = append(h.freeHint, pid)
 }
 
-// Update replaces the record at rid. When the new record no longer fits
-// its page, the record moves: the old slot is deleted and the new
-// location returned.
+// Get returns a copy of the record's cell at rid (including any padding
+// left by UpdateInPlace — callers' record encodings are
+// self-delimiting), read under a shared page latch.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	f, err := h.pool.PinLatched(rid.Page, false)
+	if err != nil {
+		return nil, err
+	}
+	sp := Slotted(f.Page())
+	rec, err := sp.Get(int(rid.Slot))
+	if err != nil {
+		_ = h.pool.UnpinLatched(rid.Page, false, false)
+		return nil, err
+	}
+	out := append([]byte(nil), rec...)
+	if err := h.pool.UnpinLatched(rid.Page, false, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delete removes the record at rid immediately, with a logical undo
+// that restores the record bytes into the same slot. Immediate deletion
+// is only rollback-safe when the caller's locking prevents any OTHER
+// transaction from inserting into this heap while the deleting
+// transaction is live (table-level X locks): otherwise the freed slot
+// could be reused before an abort restores it. Per-key callers use
+// DeleteDeferred instead.
+func (h *HeapFile) Delete(tx TxnContext, rid RID) error {
+	var old []byte
+	err := h.mutatePage(tx, rid.Page, func() []byte { return UndoHeapDelete(rid, old) }, func(p *storage.Page) error {
+		sp := Slotted(p)
+		cur, err := sp.Get(int(rid.Slot))
+		if err != nil {
+			return err
+		}
+		old = append([]byte(nil), cur...)
+		return sp.Delete(int(rid.Slot))
+	})
+	if err != nil {
+		return err
+	}
+	h.NoteFree(rid.Page)
+	return nil
+}
+
+// DeleteDeferred removes the record at rid only once tx's commit is
+// durable: the transaction itself leaves the slot untouched (so abort
+// has nothing to restore and no other transaction can steal the slot),
+// and the actual purge runs post-commit under a short system
+// transaction. A crash between the commit and the purge leaks the
+// slot: the record is unreachable (its index entry is gone) but stays
+// live in the page — nothing reclaims it until a vacuum exists (see
+// ROADMAP); the cost is bounded at one slot per crash. Without a
+// transaction (unlogged mode) the delete happens immediately.
+func (h *HeapFile) DeleteDeferred(tx TxnContext, rid RID) error {
+	hook, ok := tx.(committedHook)
+	if tx == nil || !ok {
+		return h.mutatePage(tx, rid.Page, nil, func(p *storage.Page) error {
+			return Slotted(p).Delete(int(rid.Slot))
+		})
+	}
+	hook.OnCommitted(func() { _ = h.purge(rid) })
+	return nil
+}
+
+// purge deletes a slot under a lazily-committed system transaction.
+// The record carries a LOGICAL undo (restore the cell), not physical:
+// the page latch is released before the system transaction's lazy
+// commit record enters the log, so a concurrent user record can
+// interleave on the page — a crash catching that window would
+// otherwise restore a stale before image over committed bytes. With
+// logical undo, an in-flight purge is rolled back by re-inserting
+// exactly its own cell.
+func (h *HeapFile) purge(rid RID) error {
+	sys := h.getSys()
+	var stx TxnContext
+	if sys.Begin != nil {
+		var err error
+		if stx, err = sys.Begin(); err != nil {
+			return err
+		}
+	}
+	var old []byte
+	err := h.mutatePage(stx, rid.Page, func() []byte { return UndoHeapDelete(rid, old) }, func(p *storage.Page) error {
+		sp := Slotted(p)
+		cur, err := sp.Cell(int(rid.Slot))
+		if errors.Is(err, ErrNoSlot) {
+			return nil // already purged
+		}
+		if err != nil {
+			return err
+		}
+		old = append([]byte(nil), cur...)
+		return sp.Delete(int(rid.Slot))
+	})
+	if stx != nil {
+		if err != nil {
+			_ = sys.Abort(stx)
+			return err
+		}
+		if cerr := sys.Commit(stx); cerr != nil {
+			return cerr
+		}
+	}
+	if err == nil {
+		h.NoteFree(rid.Page)
+	}
+	return err
+}
+
+// UpdateInPlace overwrites the record at rid without moving it, keeping
+// the cell length (shorter records are zero-padded): the undo — restore
+// the old cell bytes — then always fits, no matter what concurrent
+// transactions do to the rest of the page. Returns false (and no
+// mutation) when the record exceeds the cell; the caller then inserts a
+// fresh record and retargets its index. Requires a self-delimiting
+// record encoding.
+func (h *HeapFile) UpdateInPlace(tx TxnContext, rid RID, rec []byte) (bool, error) {
+	var old []byte
+	err := h.mutatePage(tx, rid.Page, func() []byte { return UndoHeapCell(rid, old) }, func(p *storage.Page) error {
+		sp := Slotted(p)
+		cur, err := sp.Cell(int(rid.Slot))
+		if err != nil {
+			return err
+		}
+		old = append([]byte(nil), cur...)
+		return sp.UpdatePadded(int(rid.Slot), rec)
+	})
+	if errors.Is(err, ErrPageFull) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Update replaces the record at rid with exact length bookkeeping,
+// relocating it when it no longer fits its page (the old slot is
+// deleted and the new location returned). Like Delete, it is meant for
+// callers whose locking excludes concurrent writers from the heap;
+// rollback restores the old record via the page's free space.
 func (h *HeapFile) Update(tx TxnContext, rid RID, rec []byte) (RID, error) {
 	if len(rec) > maxRecordLen {
 		return RID{}, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
 	}
-	h.mu.Lock()
 	moved := false
-	err := h.mutatePage(tx, rid.Page, func(p *storage.Page) error {
-		err := Slotted(p).Update(int(rid.Slot), rec)
+	var old []byte
+	err := h.mutatePage(tx, rid.Page, func() []byte {
+		if moved {
+			return UndoHeapDelete(rid, old)
+		}
+		return UndoHeapUpdate(rid, old)
+	}, func(p *storage.Page) error {
+		sp := Slotted(p)
+		cur, err := sp.Get(int(rid.Slot))
+		if err != nil {
+			return err
+		}
+		old = append([]byte(nil), cur...)
+		err = sp.Update(int(rid.Slot), rec)
 		if errors.Is(err, ErrPageFull) {
 			moved = true
-			return Slotted(p).Delete(int(rid.Slot))
+			return sp.Delete(int(rid.Slot))
 		}
 		return err
 	})
 	if err != nil {
-		h.mu.Unlock()
 		return RID{}, err
 	}
 	if !moved {
-		h.mu.Unlock()
 		return rid, nil
 	}
-	h.noteFreeLocked(rid.Page)
-	h.mu.Unlock()
+	h.NoteFree(rid.Page)
 	return h.Insert(tx, rec)
 }
 
-// Scan iterates all records in chain order. The record slice passed to
-// fn aliases the pinned page; fn must copy it to retain it.
+// Scan iterates all records in chain order, each page visited under a
+// shared latch. The record slice passed to fn aliases the latched page;
+// fn must copy it to retain it past the callback.
 func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
 	first, err := h.fm.FirstPage(h.name)
 	if err != nil {
 		return err
 	}
 	for pid := first; pid != storage.InvalidPageID; {
-		f, err := h.pool.Pin(pid)
+		f, err := h.pool.PinLatched(pid, false)
 		if err != nil {
 			return err
 		}
@@ -283,7 +563,7 @@ func (h *HeapFile) Scan(fn func(rid RID, rec []byte) error) error {
 		err = sp.Records(func(slot int, rec []byte) error {
 			return fn(RID{Page: pid, Slot: uint16(slot)}, rec)
 		})
-		if uerr := h.pool.Unpin(pid, false); uerr != nil && err == nil {
+		if uerr := h.pool.UnpinLatched(pid, false, false); uerr != nil && err == nil {
 			err = uerr
 		}
 		if err != nil {
@@ -304,7 +584,7 @@ func (h *HeapFile) Count() (int, error) {
 // Drop removes the heap file and its pages.
 func (h *HeapFile) Drop() error {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.freeHint = nil
+	h.mu.Unlock()
 	return h.fm.Drop(h.name)
 }

@@ -293,6 +293,19 @@ func TestHeapWALRecoveryRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Redo repeated history, including the in-flight loser; finish its
+	// rollback by applying the logical undo descriptors (the full
+	// engine does this via txn.Manager.UndoLosers).
+	if len(st.Losers) != 1 {
+		t.Fatalf("losers = %d, want the in-flight txn", len(st.Losers))
+	}
+	for _, lt := range st.Losers {
+		for i := len(lt.Records) - 1; i >= 0; i-- {
+			if handled, err := ApplyHeapUndo(pool2, nil, nil, lt.Records[i].Undo); err != nil || !handled {
+				t.Fatalf("heap undo: handled=%v err=%v", handled, err)
+			}
+		}
+	}
 	h2, err := OpenHeap("heap", fm2, pool2)
 	if err != nil {
 		t.Fatal(err)

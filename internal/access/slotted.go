@@ -142,6 +142,94 @@ func (sp *SlottedPage) Insert(rec []byte) (int, error) {
 	return slotIdx, nil
 }
 
+// InsertAt re-fills slot i — which must be dead (or one past the
+// current slot count) — with rec, compacting the page if needed. It is
+// the undo of Delete: rollback must restore the record at its original
+// RID because index entries reference it. Re-filling an occupied slot
+// that already holds exactly rec is a no-op, so replaying an undo that
+// a durable compensation record already applied is harmless.
+func (sp *SlottedPage) InsertAt(i int, rec []byte) error {
+	if i < 0 || i > sp.slotCount() {
+		return fmt.Errorf("%w: slot %d of %d", ErrNoSlot, i, sp.slotCount())
+	}
+	if i < sp.slotCount() {
+		if off, ln := sp.slot(i); off != deadSlot {
+			cur := sp.payload()[off : off+ln]
+			if len(cur) == len(rec) && string(cur) == string(rec) {
+				return nil // undo already applied
+			}
+			return fmt.Errorf("%w: slot %d occupied", ErrNoSlot, i)
+		}
+	}
+	needSlot := 0
+	if i == sp.slotCount() {
+		needSlot = slotSize
+	}
+	free := sp.cellStart() - (slotHdrSize + sp.slotCount()*slotSize) - needSlot
+	if free < len(rec) {
+		sp.Compact()
+		free = sp.cellStart() - (slotHdrSize + sp.slotCount()*slotSize) - needSlot
+		if free < len(rec) {
+			return fmt.Errorf("%w: restore needs %d, have %d", ErrPageFull, len(rec), free)
+		}
+	}
+	newStart := sp.cellStart() - len(rec)
+	copy(sp.payload()[newStart:], rec)
+	sp.setCellStart(uint16(newStart))
+	if i == sp.slotCount() {
+		sp.setSlotCount(i + 1)
+	}
+	sp.setSlot(i, newStart, len(rec))
+	return nil
+}
+
+// UpdatePadded overwrites the record in slot i in place WITHOUT
+// changing the cell length: the new record must fit the existing cell;
+// the tail is zero-padded. Because the cell never shrinks, the undo
+// (RestoreCell with the old cell bytes) always fits — no concurrent
+// neighbour can steal the space — which is what makes in-place updates
+// rollback-safe under per-key locking. Callers' record encodings must
+// be self-delimiting (tolerate trailing zeros). Returns ErrPageFull
+// when the record exceeds the cell; the caller then relocates.
+func (sp *SlottedPage) UpdatePadded(i int, rec []byte) error {
+	if i < 0 || i >= sp.slotCount() {
+		return fmt.Errorf("%w: slot %d of %d", ErrNoSlot, i, sp.slotCount())
+	}
+	off, ln := sp.slot(i)
+	if off == deadSlot {
+		return fmt.Errorf("%w: slot %d deleted", ErrNoSlot, i)
+	}
+	if len(rec) > ln {
+		return fmt.Errorf("%w: %d bytes into a %d-byte cell", ErrPageFull, len(rec), ln)
+	}
+	cell := sp.payload()[off : off+ln]
+	copy(cell, rec)
+	for j := len(rec); j < ln; j++ {
+		cell[j] = 0
+	}
+	return nil
+}
+
+// Cell returns the full cell bytes of slot i, including any padding.
+func (sp *SlottedPage) Cell(i int) ([]byte, error) { return sp.Get(i) }
+
+// RestoreCell rewrites the cell of slot i with exactly its prior
+// content (same length) — the undo of UpdatePadded.
+func (sp *SlottedPage) RestoreCell(i int, cell []byte) error {
+	if i < 0 || i >= sp.slotCount() {
+		return fmt.Errorf("%w: slot %d of %d", ErrNoSlot, i, sp.slotCount())
+	}
+	off, ln := sp.slot(i)
+	if off == deadSlot {
+		return fmt.Errorf("%w: slot %d deleted", ErrNoSlot, i)
+	}
+	if ln != len(cell) {
+		return fmt.Errorf("%w: restore %d bytes into a %d-byte cell", ErrNoSlot, len(cell), ln)
+	}
+	copy(sp.payload()[off:off+ln], cell)
+	return nil
+}
+
 // Get returns the record bytes in slot i (aliasing the page buffer).
 func (sp *SlottedPage) Get(i int) ([]byte, error) {
 	if i < 0 || i >= sp.slotCount() {

@@ -1,0 +1,140 @@
+package access
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Logical-undo descriptors.
+//
+// Once transactions interleave on shared pages (per-key locking, many
+// writers per heap page or index leaf), physical before-image undo is
+// unsound: restoring a stale image would wipe bytes that concurrent
+// committed transactions wrote next to ours. Instead, every record-
+// and key-level mutation attaches a small descriptor naming its
+// INVERSE operation; rollback (and post-crash loser rollback, after
+// redo has repeated history) re-executes the inverse through the normal
+// latched access paths, logging each step as a redo-only compensation
+// record.
+//
+// Every inverse is idempotent — deleting an absent entry, re-inserting
+// a present one and rewriting identical bytes are no-ops — so a crash
+// in the middle of a rollback needs no undo-next pointers: recovery
+// replays the durable compensations (repeat history) and re-runs the
+// remaining inverses; inverses already applied by a durable
+// compensation fall through harmlessly.
+//
+// Wire form: one kind byte, then kind-specific fields.
+const (
+	// UndoKindNone marks a redo-only record (wal.UndoNone).
+	UndoKindNone byte = 0
+	// UndoKindHeapInsert undoes a heap insert: delete (page, slot).
+	UndoKindHeapInsert byte = 1
+	// UndoKindHeapDelete undoes a heap delete: re-insert the record
+	// bytes at exactly (page, slot).
+	UndoKindHeapDelete byte = 2
+	// UndoKindHeapCell undoes a padded in-place update: rewrite the
+	// whole cell at (page, slot) with the old cell bytes (same length).
+	UndoKindHeapCell byte = 3
+	// UndoKindHeapUpdate undoes an exact-length update: store the old
+	// record bytes back into (page, slot), relocating within the page
+	// if needed.
+	UndoKindHeapUpdate byte = 4
+	// UndoKindIndexInsert undoes a B+tree insert: delete (key, rid)
+	// from the tree rooted at the meta page. Applied by internal/index.
+	UndoKindIndexInsert byte = 5
+	// UndoKindIndexDelete undoes a B+tree delete: re-insert (key, rid).
+	// Applied by internal/index.
+	UndoKindIndexDelete byte = 6
+)
+
+// ErrBadUndo is returned for malformed or unknown undo descriptors.
+var ErrBadUndo = errors.New("access: bad undo descriptor")
+
+// encodeRIDDesc is the shared heap-descriptor prefix:
+// kind | u64 page | u16 slot | payload.
+func encodeRIDDesc(kind byte, rid RID, payload []byte) []byte {
+	out := make([]byte, 11, 11+len(payload))
+	out[0] = kind
+	binary.LittleEndian.PutUint64(out[1:], uint64(rid.Page))
+	binary.LittleEndian.PutUint16(out[9:], rid.Slot)
+	return append(out, payload...)
+}
+
+func decodeRIDDesc(desc []byte) (RID, []byte, error) {
+	if len(desc) < 11 {
+		return RID{}, nil, fmt.Errorf("%w: %d bytes", ErrBadUndo, len(desc))
+	}
+	rid := RID{
+		Page: storage.PageID(binary.LittleEndian.Uint64(desc[1:])),
+		Slot: binary.LittleEndian.Uint16(desc[9:]),
+	}
+	return rid, desc[11:], nil
+}
+
+// UndoHeapInsert builds the descriptor undoing an insert at rid.
+func UndoHeapInsert(rid RID) []byte { return encodeRIDDesc(UndoKindHeapInsert, rid, nil) }
+
+// UndoHeapDelete builds the descriptor undoing a delete of rec at rid.
+func UndoHeapDelete(rid RID, rec []byte) []byte { return encodeRIDDesc(UndoKindHeapDelete, rid, rec) }
+
+// UndoHeapCell builds the descriptor undoing a padded in-place update
+// (oldCell is the full prior cell content).
+func UndoHeapCell(rid RID, oldCell []byte) []byte {
+	return encodeRIDDesc(UndoKindHeapCell, rid, oldCell)
+}
+
+// UndoHeapUpdate builds the descriptor undoing an exact-length update.
+func UndoHeapUpdate(rid RID, oldRec []byte) []byte {
+	return encodeRIDDesc(UndoKindHeapUpdate, rid, oldRec)
+}
+
+// ApplyHeapUndo executes the inverse heap operation named by desc,
+// logging the page mutation as a redo-only compensation under tx (which
+// should force the redo-only marker via the RedoOnlyLogger interface).
+// It reports false when the descriptor is not a heap kind.
+//
+// Each inverse tolerates having already been applied (by a durable
+// compensation record of a rollback the crash interrupted): deleting a
+// dead slot, re-filling an occupied slot with identical bytes and
+// rewriting identical cells are silent no-ops.
+func ApplyHeapUndo(pool *buffer.Manager, log *wal.Log, tx TxnContext, desc []byte) (bool, error) {
+	if len(desc) == 0 {
+		return false, fmt.Errorf("%w: empty", ErrBadUndo)
+	}
+	kind := desc[0]
+	if kind < UndoKindHeapInsert || kind > UndoKindHeapUpdate {
+		return false, nil
+	}
+	rid, payload, err := decodeRIDDesc(desc)
+	if err != nil {
+		return false, err
+	}
+	err = MutatePageUndo(pool, log, tx, rid.Page, nil, func(p *storage.Page) error {
+		sp := Slotted(p)
+		switch kind {
+		case UndoKindHeapInsert:
+			if err := sp.Delete(int(rid.Slot)); err != nil && !errors.Is(err, ErrNoSlot) {
+				return err
+			}
+			return nil
+		case UndoKindHeapDelete:
+			return sp.InsertAt(int(rid.Slot), payload)
+		case UndoKindHeapCell:
+			return sp.RestoreCell(int(rid.Slot), payload)
+		case UndoKindHeapUpdate:
+			if cur, err := sp.Get(int(rid.Slot)); err == nil && bytes.Equal(cur, payload) {
+				return nil // compensation already applied
+			}
+			return sp.Update(int(rid.Slot), payload)
+		}
+		return fmt.Errorf("%w: kind %d", ErrBadUndo, kind)
+	})
+	return true, err
+}

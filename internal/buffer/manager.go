@@ -63,6 +63,14 @@ type frame struct {
 	pins  int
 	dirty bool
 	valid bool
+	// latch is the page latch: short-term physical mutual exclusion
+	// over the frame bytes, acquired AFTER pinning (a pinned page
+	// cannot be evicted, so the latch pointer stays bound to the page
+	// for the whole hold). Shared for readers, exclusive for mutators;
+	// the access layer crabs these latches down B+tree descents. A
+	// pointer so that frame structs can be moved by Resize while a
+	// latch is held on a pinned frame.
+	latch *sync.RWMutex
 	// recLSN is the LSN of the first log record that dirtied the page
 	// since it was last clean (0 until the first logged mutation, or
 	// when the dirt is unlogged). Fuzzy checkpoints snapshot it into
@@ -226,6 +234,7 @@ func newManager(store storage.PageStore, nframes, nshards int, policyName string
 		s.policy = NewPolicy(m.policyName)
 		for fi := range s.frames {
 			s.frames[fi].data = make([]byte, storage.PageSize)
+			s.frames[fi].latch = new(sync.RWMutex)
 			s.free = append(s.free, fi)
 		}
 		m.shards[i] = s
@@ -421,6 +430,130 @@ func (m *Manager) Unpin(id storage.PageID, dirty bool) error {
 		}
 	}
 	return nil
+}
+
+// PinLatched pins the page and acquires its page latch — shared when
+// exclusive is false, exclusive otherwise. The latch is taken outside
+// the shard mutex (blocking on a latch must not stall unrelated pages
+// of the same stripe); the pin taken first keeps the frame, and
+// therefore the latch identity, stable while we wait. Release with
+// UnpinLatched.
+func (m *Manager) PinLatched(id storage.PageID, exclusive bool) (*Frame, error) {
+	f, latch, err := m.pinWithLatch(id)
+	if err != nil {
+		return nil, err
+	}
+	if exclusive {
+		latch.Lock()
+	} else {
+		latch.RLock()
+	}
+	return f, nil
+}
+
+// pinWithLatch pins the page and returns its frame latch.
+func (m *Manager) pinWithLatch(id storage.PageID) (*Frame, *sync.RWMutex, error) {
+	s := m.shardFor(id)
+	s.mu.Lock()
+	if fi, ok := s.table[id]; ok {
+		f := &s.frames[fi]
+		f.pins++
+		s.stats.Hits++
+		s.policy.Touched(fi)
+		latch := f.latch
+		s.mu.Unlock()
+		return &Frame{ID: id, Data: f.data}, latch, nil
+	}
+	s.stats.Misses++
+	fi, err := s.obtainFrameLocked()
+	if err != nil {
+		s.mu.Unlock()
+		return nil, nil, err
+	}
+	f := &s.frames[fi]
+	if err := s.store.ReadPage(id, f.data); err != nil {
+		s.free = append(s.free, fi)
+		s.mu.Unlock()
+		return nil, nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.valid = true
+	f.recLSN = 0
+	s.table[id] = fi
+	s.policy.Inserted(fi)
+	latch := f.latch
+	s.mu.Unlock()
+	return &Frame{ID: id, Data: f.data}, latch, nil
+}
+
+// UnpinLatched releases the page latch acquired by PinLatched (or
+// NewPageLatched) and drops the pin, recording whether the caller
+// dirtied the page. exclusive must match the acquisition mode.
+func (m *Manager) UnpinLatched(id storage.PageID, exclusive, dirty bool) error {
+	s := m.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fi, ok := s.table[id]
+	if !ok || s.frames[fi].pins == 0 {
+		return fmt.Errorf("%w: page %d", ErrNotPinned, id)
+	}
+	f := &s.frames[fi]
+	// All frame bookkeeping — in particular reading the page LSN for
+	// recLSN — happens BEFORE the latch is released: the next latch
+	// waiter needs no shard mutex and would otherwise mutate the frame
+	// bytes under our read.
+	f.pins--
+	if dirty {
+		f.dirty = true
+		if f.recLSN == 0 {
+			f.recLSN = storage.WrapPage(f.id, f.data).LSN()
+		}
+	}
+	if exclusive {
+		f.latch.Unlock()
+	} else {
+		f.latch.RUnlock()
+	}
+	return nil
+}
+
+// NewPageLatched allocates a page and returns it pinned AND
+// exclusively latched (trivially uncontended: the id is unpublished).
+// Release with UnpinLatched(id, true, dirty).
+func (m *Manager) NewPageLatched(t storage.PageType) (*Frame, error) {
+	f, err := m.NewPage(t)
+	if err != nil {
+		return nil, err
+	}
+	s := m.shardFor(f.ID)
+	s.mu.Lock()
+	fi, ok := s.table[f.ID]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("buffer: fresh page %d vanished", f.ID)
+	}
+	latch := s.frames[fi].latch
+	s.mu.Unlock()
+	latch.Lock()
+	return f, nil
+}
+
+// UpdatePage applies fn to the page under an exclusive page latch and
+// marks it dirty. It is the race-safe way for code that is not part of
+// the latching access methods (the file manager's chain links, physical
+// undo) to mutate a page that latching writers may touch concurrently.
+func (m *Manager) UpdatePage(id storage.PageID, fn func(p *storage.Page) error) error {
+	f, err := m.PinLatched(id, true)
+	if err != nil {
+		return err
+	}
+	err = fn(f.Page())
+	if uerr := m.UnpinLatched(id, true, err == nil); uerr != nil && err == nil {
+		err = uerr
+	}
+	return err
 }
 
 // DirtyPages snapshots the pool's dirty-page table: every resident
@@ -634,7 +767,7 @@ func (s *shard) resizeLocked(n int, policyName string) error {
 	}
 	if n > len(s.frames) {
 		for i := len(s.frames); i < n; i++ {
-			s.frames = append(s.frames, frame{data: make([]byte, storage.PageSize)})
+			s.frames = append(s.frames, frame{data: make([]byte, storage.PageSize), latch: new(sync.RWMutex)})
 			s.free = append(s.free, i)
 		}
 		return nil
@@ -668,6 +801,7 @@ func (s *shard) resizeLocked(n int, policyName string) error {
 	}
 	for i := next; i < n; i++ {
 		s.frames[i].data = make([]byte, storage.PageSize)
+		s.frames[i].latch = new(sync.RWMutex)
 		s.free = append(s.free, i)
 	}
 	// Replacement policy state refers to old frame indices; reset it.

@@ -1,9 +1,36 @@
 // Package index implements a disk-resident B+tree over buffer-managed
 // pages: variable-length byte keys with order-preserving composite
 // encoding, duplicate support, range scans over a linked leaf chain,
-// and lazy deletion with root collapse. It is the access-path service
-// of the SBDMS Access layer ("access path structure, such as B-trees",
-// Section 3.1).
+// and lazy deletion. It is the access-path service of the SBDMS Access
+// layer ("access path structure, such as B-trees", Section 3.1).
+//
+// Concurrency is latch crabbing over the buffer pool's page latches —
+// no tree-wide lock exists:
+//
+//   - Searches and range scans crab SHARED latches down the tree
+//     (child latched before the parent is released) and walk the leaf
+//     chain left to right; each leaf's matching keys are copied out
+//     before the callback runs, so user callbacks never execute under
+//     a latch.
+//   - Inserts crab EXCLUSIVE latches down the tree, releasing each
+//     safe ancestor as soon as the next level is latched, and split
+//     full nodes preemptively on the way down (so a split never needs
+//     to propagate back up past a released ancestor). A root split
+//     swaps the root pointer under an exclusive latch on the metadata
+//     page — the "tiny meta latch" serialising only root changes.
+//   - Deletes descend shared like a search, then re-latch the target
+//     leaf exclusively, moving right along the chain if a concurrent
+//     split shifted the key (splits only ever move keys right).
+//
+// All latch acquisition is top-down and left-to-right, so waits form no
+// cycles. Structure modifications (splits, root changes) run as short
+// WAL-logged SYSTEM transactions that commit immediately regardless of
+// the triggering user transaction: an abort of the user transaction
+// undoes its key insert logically but keeps the split, and a crash
+// mid-split is rolled back physically before any user record could
+// depend on the new shape. Key-level mutations carry logical undo
+// descriptors (see internal/access) because concurrent transactions
+// interleave freely on shared leaves.
 package index
 
 import (
@@ -13,6 +40,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/buffer"
@@ -26,24 +54,41 @@ var (
 	ErrDuplicateKey = errors.New("index: duplicate key")
 	// ErrCorrupt is returned when a node fails to decode.
 	ErrCorrupt = errors.New("index: corrupt node")
+	// ErrKeyTooLarge is returned for keys exceeding MaxKeySize; the
+	// bound is what lets crabbing writers prove an ancestor can absorb
+	// any separator a descendant split may push into it.
+	ErrKeyTooLarge = errors.New("index: key too large")
 )
 
 const indexMagic = 0x5342444d53425431 // "SBDMSBT1"
 
+// MaxKeySize bounds the composite key length (user key escaped +
+// terminator + RID suffix). With 4 KiB pages this keeps internal-node
+// fanout >= 3 even for maximal keys.
+const MaxKeySize = storage.PayloadSize / 4
+
 // BTree is a B+tree keyed by arbitrary byte strings (use
 // access.EncodeKey for order-preserving value encodings), mapping each
 // key to one or more access.RIDs. Deletion is lazy: entries are removed
-// but nodes are not rebalanced, except that an empty internal root
-// collapses. This trades space for simplicity without affecting
-// correctness.
+// but nodes are not rebalanced. This trades space for simplicity
+// without affecting correctness.
+//
+// The root pointer lives in the metadata page and is read under that
+// page's latch on every descent, never cached: any number of BTree
+// handles over the same metadata page (live engines, rollback
+// executors) stay coherent by construction. Only the entry count is
+// kept in memory (synced to the metadata page by SyncMeta, recomputed
+// by Recount after a crash).
 type BTree struct {
 	pool   *buffer.Manager
-	log    *wal.Log
 	metaID storage.PageID
-	mu     sync.RWMutex
-	root   storage.PageID
-	count  uint64
 	unique bool
+	count  atomic.Int64
+
+	mu    sync.Mutex // guards log/sys/freer configuration
+	log   *wal.Log
+	sys   access.SystemTxnHooks
+	freer func([]storage.PageID) error
 }
 
 // Create allocates a new empty tree and returns it with its metadata
@@ -65,8 +110,8 @@ func Create(pool *buffer.Manager, unique bool) (*BTree, storage.PageID, error) {
 	if err := pool.Unpin(rootF.ID, true); err != nil {
 		return nil, 0, err
 	}
-	t := &BTree{pool: pool, metaID: meta.ID, root: rootF.ID, unique: unique}
-	t.writeMeta(meta.Page())
+	t := &BTree{pool: pool, metaID: meta.ID, unique: unique}
+	writeMetaPage(meta.Page(), rootF.ID, 0, unique)
 	if err := pool.Unpin(meta.ID, true); err != nil {
 		return nil, 0, err
 	}
@@ -75,11 +120,11 @@ func Create(pool *buffer.Manager, unique bool) (*BTree, storage.PageID, error) {
 
 // Open loads an existing tree from its metadata page.
 func Open(pool *buffer.Manager, metaID storage.PageID) (*BTree, error) {
-	f, err := pool.Pin(metaID)
+	f, err := pool.PinLatched(metaID, false)
 	if err != nil {
 		return nil, err
 	}
-	defer pool.Unpin(metaID, false)
+	defer pool.UnpinLatched(metaID, false, false)
 	pl := f.Page().Payload()
 	if binary.LittleEndian.Uint64(pl) != indexMagic {
 		return nil, fmt.Errorf("%w: bad meta magic on page %d", ErrCorrupt, metaID)
@@ -87,19 +132,19 @@ func Open(pool *buffer.Manager, metaID storage.PageID) (*BTree, error) {
 	t := &BTree{
 		pool:   pool,
 		metaID: metaID,
-		root:   storage.PageID(binary.LittleEndian.Uint64(pl[8:])),
-		count:  binary.LittleEndian.Uint64(pl[16:]),
 		unique: pl[24] == 1,
 	}
+	t.count.Store(int64(binary.LittleEndian.Uint64(pl[16:])))
 	return t, nil
 }
 
-func (t *BTree) writeMeta(p *storage.Page) {
+// writeMetaPage lays out the full metadata payload.
+func writeMetaPage(p *storage.Page, root storage.PageID, count uint64, unique bool) {
 	pl := p.Payload()
 	binary.LittleEndian.PutUint64(pl, indexMagic)
-	binary.LittleEndian.PutUint64(pl[8:], uint64(t.root))
-	binary.LittleEndian.PutUint64(pl[16:], t.count)
-	if t.unique {
+	binary.LittleEndian.PutUint64(pl[8:], uint64(root))
+	binary.LittleEndian.PutUint64(pl[16:], count)
+	if unique {
 		pl[24] = 1
 	} else {
 		pl[24] = 0
@@ -107,51 +152,40 @@ func (t *BTree) writeMeta(p *storage.Page) {
 }
 
 // SetLog attaches a write-ahead log; subsequent mutations through a
-// non-nil access.TxnContext are logged with physical before/after
-// images, mirroring access.HeapFile. Structure modifications (splits,
-// root changes) are covered too: every dirtied page gets a record, so
-// redo replays them and undo restores the exact prior bytes. The tree
-// serialises writers under its own mutex, which is what makes physical
-// undo of structure modifications safe.
+// non-nil access.TxnContext are logged (physical redo, logical undo).
 func (t *BTree) SetLog(l *wal.Log) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.log = l
 }
 
-// mutatePage applies fn to pid under the tree's pool and log, via the
-// shared access.MutatePage logging protocol.
-func (t *BTree) mutatePage(tx access.TxnContext, pid storage.PageID, fn func(p *storage.Page) error) error {
-	return access.MutatePage(t.pool, t.log, tx, pid, fn)
-}
-
-func (t *BTree) flushMetaLocked(tx access.TxnContext) error {
-	return t.mutatePage(tx, t.metaID, func(p *storage.Page) error {
-		t.writeMeta(p)
-		return nil
-	})
-}
-
-// ReloadMeta re-reads the tree's root pointer and entry count from the
-// metadata page, discarding the in-memory copies. A transaction abort
-// restores page bytes from physical before images, which rewinds the
-// meta page but not this struct; callers re-synchronise with the
-// restored state by reloading after a rollback.
-func (t *BTree) ReloadMeta() error {
+// SetSystemTxns attaches the system-transaction hooks structure
+// modifications (splits, root swaps) are logged under.
+func (t *BTree) SetSystemTxns(s access.SystemTxnHooks) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	f, err := t.pool.Pin(t.metaID)
-	if err != nil {
-		return err
-	}
-	pl := f.Page().Payload()
-	if binary.LittleEndian.Uint64(pl) != indexMagic {
-		_ = t.pool.Unpin(t.metaID, false)
-		return fmt.Errorf("%w: bad meta magic on page %d", ErrCorrupt, t.metaID)
-	}
-	t.root = storage.PageID(binary.LittleEndian.Uint64(pl[8:]))
-	t.count = binary.LittleEndian.Uint64(pl[16:])
-	return t.pool.Unpin(t.metaID, false)
+	t.sys = s
+}
+
+// SetFreer routes page deallocation (Drop) through the file manager's
+// WAL-logged free path instead of the pool's direct free, so a crash
+// between unlink and free cannot leak the pages.
+func (t *BTree) SetFreer(f func([]storage.PageID) error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.freer = f
+}
+
+func (t *BTree) getLog() *wal.Log {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.log
+}
+
+func (t *BTree) getSys() access.SystemTxnHooks {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sys
 }
 
 // MetaID returns the metadata page id used to reopen the tree.
@@ -162,9 +196,55 @@ func (t *BTree) Unique() bool { return t.unique }
 
 // Len returns the number of entries.
 func (t *BTree) Len() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.count
+	n := t.count.Load()
+	if n < 0 {
+		return 0
+	}
+	return uint64(n)
+}
+
+// SyncMeta persists the in-memory entry count into the metadata page
+// and sets the clean-shutdown flag (unlogged; call on clean shutdown
+// before the pool flushes). The flag tells the next open that the
+// persisted count is trustworthy; it is consumed — cleared — before
+// any new mutation can run.
+func (t *BTree) SyncMeta() error {
+	return t.pool.UpdatePage(t.metaID, func(p *storage.Page) error {
+		pl := p.Payload()
+		binary.LittleEndian.PutUint64(pl[16:], t.Len())
+		pl[25] = 1
+		return nil
+	})
+}
+
+// ConsumeCleanFlag reports whether the previous shutdown synced the
+// metadata cleanly, and clears the flag in the pool. The caller must
+// flush the pool before serving traffic (sbdms.Open's durability
+// baseline does), so a subsequent crash finds the flag cleared and
+// recounts instead of trusting a by-then stale count.
+func (t *BTree) ConsumeCleanFlag() (bool, error) {
+	clean := false
+	err := t.pool.UpdatePage(t.metaID, func(p *storage.Page) error {
+		pl := p.Payload()
+		clean = pl[25] == 1
+		pl[25] = 0
+		return nil
+	})
+	return clean, err
+}
+
+// Recount rebuilds the in-memory entry count by walking the leaf chain.
+// Call after crash recovery: per-operation count updates are not WAL-
+// logged (they would serialise every writer on the metadata page), so
+// the persisted count is only trustworthy after a clean SyncMeta.
+func (t *BTree) Recount() error {
+	n := int64(0)
+	err := t.rangeScan(nil, nil, func(ck []byte) error { n++; return nil })
+	if err != nil {
+		return err
+	}
+	t.count.Store(n)
+	return nil
 }
 
 // --- composite key encoding -------------------------------------------
@@ -331,37 +411,162 @@ func decodeNode(p *storage.Page) (*node, error) {
 	return n, nil
 }
 
-func (t *BTree) loadNode(id storage.PageID) (*node, error) {
-	f, err := t.pool.Pin(id)
+// --- latched node references -------------------------------------------
+
+// nref is one latched, decoded node.
+type nref struct {
+	id    storage.PageID
+	f     *buffer.Frame
+	n     *node
+	excl  bool
+	dirty bool
+}
+
+// latch pins+latches the page and decodes it.
+func (t *BTree) latch(id storage.PageID, excl bool) (*nref, error) {
+	f, err := t.pool.PinLatched(id, excl)
 	if err != nil {
 		return nil, err
 	}
 	n, err := decodeNode(f.Page())
-	if uerr := t.pool.Unpin(id, false); uerr != nil && err == nil {
-		err = uerr
+	if err != nil {
+		_ = t.pool.UnpinLatched(id, excl, false)
+		return nil, err
 	}
-	return n, err
+	return &nref{id: id, f: f, n: n, excl: excl}, nil
 }
 
-func (t *BTree) storeNode(tx access.TxnContext, n *node) error {
-	return t.mutatePage(tx, n.id, n.encode)
+// unlatch releases the node. Safe on nil.
+func (t *BTree) unlatch(r *nref) {
+	if r == nil {
+		return
+	}
+	_ = t.pool.UnpinLatched(r.id, r.excl, r.dirty)
 }
 
-func (t *BTree) newNode(tx access.TxnContext, leaf bool) (*node, error) {
-	f, err := t.pool.NewPage(storage.PageTypeIndex)
+// write re-encodes the node into its latched frame and logs the
+// transition under tx with the given undo supplier.
+func (t *BTree) write(tx access.TxnContext, r *nref, undo func() []byte) error {
+	err := access.LogLatchedMutation(t.getLog(), tx, r.f, undo, r.n.encode)
+	if err == nil {
+		r.dirty = true
+	}
+	return err
+}
+
+// metaLatch pins+latches the metadata page and returns the frame and
+// the current root id.
+func (t *BTree) metaLatch(excl bool) (*buffer.Frame, storage.PageID, error) {
+	f, err := t.pool.PinLatched(t.metaID, excl)
+	if err != nil {
+		return nil, 0, err
+	}
+	pl := f.Page().Payload()
+	if binary.LittleEndian.Uint64(pl) != indexMagic {
+		_ = t.pool.UnpinLatched(t.metaID, excl, false)
+		return nil, 0, fmt.Errorf("%w: bad meta magic on page %d", ErrCorrupt, t.metaID)
+	}
+	return f, storage.PageID(binary.LittleEndian.Uint64(pl[8:])), nil
+}
+
+func (t *BTree) metaUnlatch(excl, dirty bool) {
+	_ = t.pool.UnpinLatched(t.metaID, excl, dirty)
+}
+
+// descendToLeaf crabs shared latches from the root down to the leaf
+// that covers ck (leftmost leaf for nil), returning it latched shared.
+func (t *BTree) descendToLeaf(ck []byte) (*nref, error) {
+	metaF, rootID, err := t.metaLatch(false)
 	if err != nil {
 		return nil, err
 	}
-	if err := t.pool.Unpin(f.ID, true); err != nil {
+	_ = metaF
+	cur, err := t.latch(rootID, false)
+	t.metaUnlatch(false, false)
+	if err != nil {
 		return nil, err
 	}
-	// Encode through mutatePage so the node's birth is logged (the
-	// freshly zeroed page has LSN 0, producing a full image).
-	n := &node{id: f.ID, leaf: leaf}
-	if err := t.storeNode(tx, n); err != nil {
+	for !cur.n.leaf {
+		var childID storage.PageID
+		if ck == nil {
+			childID = cur.n.children[0]
+		} else {
+			childID = cur.n.children[childIndex(cur.n, ck)]
+		}
+		child, err := t.latch(childID, false)
+		t.unlatch(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+// --- system transactions for structure modifications -------------------
+
+// smoBegin starts the system transaction a structure modification is
+// logged under (nil context when unlogged).
+func (t *BTree) smoBegin() (access.TxnContext, access.SystemTxnHooks, error) {
+	sys := t.getSys()
+	if sys.Begin == nil || t.getLog() == nil {
+		return nil, sys, nil
+	}
+	stx, err := sys.Begin()
+	return stx, sys, err
+}
+
+func (t *BTree) smoFinish(stx access.TxnContext, sys access.SystemTxnHooks, opErr error) error {
+	if stx == nil {
+		return opErr
+	}
+	if opErr != nil {
+		if aerr := sys.Abort(stx); aerr != nil {
+			return fmt.Errorf("%w (smo abort: %v)", opErr, aerr)
+		}
+		return opErr
+	}
+	return sys.Commit(stx)
+}
+
+// newNodeLatched allocates a page, returns it exclusively latched, and
+// logs its (empty) birth under stx so redo reconstructs it.
+func (t *BTree) newNodeLatched(stx access.TxnContext, leaf bool) (*nref, error) {
+	f, err := t.pool.NewPageLatched(storage.PageTypeIndex)
+	if err != nil {
 		return nil, err
 	}
-	return n, nil
+	r := &nref{id: f.ID, f: f, n: &node{id: f.ID, leaf: leaf}, excl: true, dirty: true}
+	if err := t.write(stx, r, nil); err != nil {
+		t.unlatch(r)
+		return nil, err
+	}
+	return r, nil
+}
+
+// --- safety bounds ------------------------------------------------------
+
+// safeForLeaf reports whether inserting ck cannot overflow the leaf.
+func safeForLeaf(n *node, ck []byte) bool {
+	return n.encodedSize()+2+len(ck) <= storage.PayloadSize
+}
+
+// safeForInternal reports whether the internal node can absorb any
+// separator a child split could push into it (separator length is
+// bounded by MaxKeySize).
+func safeForInternal(n *node) bool {
+	return n.encodedSize()+2+MaxKeySize+8 <= storage.PayloadSize
+}
+
+func (t *BTree) safeFor(n *node, ck []byte) bool {
+	if n.leaf {
+		return safeForLeaf(n, ck)
+	}
+	return safeForInternal(n)
+}
+
+func childIndex(n *node, ck []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(ck, n.keys[i]) < 0 })
 }
 
 // --- operations ---------------------------------------------------------
@@ -372,147 +577,264 @@ func (t *BTree) Insert(key []byte, rid access.RID) error {
 	return t.InsertTx(nil, key, rid)
 }
 
-// InsertTx adds (key, rid), logging every dirtied page (leaf, split
-// siblings, parents, metadata) under tx when a WAL is attached.
+// InsertTx adds (key, rid) under tx: the leaf mutation is logged with a
+// logical undo (delete the entry again); any splits run as separate
+// system transactions and survive a rollback of tx. Callers relying on
+// uniqueness must hold a key-level lock across the operation — the
+// tree serialises conflicting page access, not conflicting keys.
 func (t *BTree) InsertTx(tx access.TxnContext, key []byte, rid access.RID) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.unique {
-		rids, err := t.searchLocked(key)
+	ck := compositeKey(key, rid)
+	if len(ck) > MaxKeySize {
+		return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLarge, len(ck), MaxKeySize)
+	}
+	compensating := false
+	if c, ok := tx.(access.CompensationContext); ok && c.Compensating() {
+		compensating = true
+	}
+	if t.unique && !compensating {
+		rids, err := t.Search(key)
 		if err != nil {
 			return err
 		}
-		if len(rids) > 0 {
-			return fmt.Errorf("%w: %q", ErrDuplicateKey, key)
+		for _, r := range rids {
+			if r != rid {
+				return fmt.Errorf("%w: %q", ErrDuplicateKey, key)
+			}
 		}
 	}
-	ck := compositeKey(key, rid)
-	sep, right, split, err := t.insertRec(tx, t.root, ck)
+	for {
+		done, inserted, err := t.insertAttempt(tx, key, rid, ck)
+		if err != nil {
+			return err
+		}
+		if done {
+			if inserted {
+				t.count.Add(1)
+			}
+			return nil
+		}
+	}
+}
+
+// insertAttempt runs one exclusive crab descent. done=false means a
+// root split was performed and the descent must restart.
+func (t *BTree) insertAttempt(tx access.TxnContext, key []byte, rid access.RID, ck []byte) (done, inserted bool, err error) {
+	metaF, rootID, err := t.metaLatch(false)
+	if err != nil {
+		return false, false, err
+	}
+	_ = metaF
+	cur, err := t.latch(rootID, true)
+	if err != nil {
+		t.metaUnlatch(false, false)
+		return false, false, err
+	}
+	if !t.safeFor(cur.n, ck) {
+		// The root itself must split: restart the latch acquisition
+		// with the meta page held exclusively so the root pointer can
+		// be swapped.
+		t.unlatch(cur)
+		t.metaUnlatch(false, false)
+		if err := t.splitRoot(ck); err != nil {
+			return false, false, err
+		}
+		return false, false, nil // retry descent
+	}
+	t.metaUnlatch(false, false)
+
+	for !cur.n.leaf {
+		i := childIndex(cur.n, ck)
+		child, err := t.latch(cur.n.children[i], true)
+		if err != nil {
+			t.unlatch(cur)
+			return false, false, err
+		}
+		if !t.safeFor(child.n, ck) {
+			// Preemptive split: cur is safe (invariant), so it can
+			// absorb the separator without propagating further up.
+			right, sep, err := t.splitChild(cur, child, i)
+			if err != nil {
+				t.unlatch(child)
+				t.unlatch(cur)
+				return false, false, err
+			}
+			if bytes.Compare(ck, sep) < 0 {
+				t.unlatch(right)
+			} else {
+				t.unlatch(child)
+				child = right
+			}
+		}
+		t.unlatch(cur)
+		cur = child
+	}
+
+	pos := sort.Search(len(cur.n.keys), func(i int) bool { return bytes.Compare(cur.n.keys[i], ck) >= 0 })
+	if pos < len(cur.n.keys) && bytes.Equal(cur.n.keys[pos], ck) {
+		t.unlatch(cur)
+		return true, false, nil // exact duplicate (same key+rid): no-op
+	}
+	cur.n.keys = append(cur.n.keys, nil)
+	copy(cur.n.keys[pos+1:], cur.n.keys[pos:])
+	cur.n.keys[pos] = ck
+	err = t.write(tx, cur, func() []byte { return undoIndexInsert(t.metaID, key, rid) })
+	t.unlatch(cur)
+	if err != nil {
+		return false, false, err
+	}
+	return true, true, nil
+}
+
+// splitChild splits child (latched exclusively) into (child, right),
+// pushing the separator into parent at child position i. Every touched
+// node — parent, child, the new right sibling and (for leaf splits)
+// the old next leaf — stays exclusively latched across the whole
+// system transaction, through commit or rollback: its records and
+// outcome enter the log while no other transaction can touch the
+// pages, which is what makes its physical undo sound (the manager's
+// held-latches abort writes the before images back directly).
+func (t *BTree) splitChild(parent, child *nref, i int) (*nref, []byte, error) {
+	stx, sys, err := t.smoBegin()
+	if err != nil {
+		return nil, nil, err
+	}
+	right, oldNext, sep, err := t.splitNode(stx, child)
+	if err == nil {
+		parent.n.keys = append(parent.n.keys, nil)
+		copy(parent.n.keys[i+1:], parent.n.keys[i:])
+		parent.n.keys[i] = sep
+		parent.n.children = append(parent.n.children, 0)
+		copy(parent.n.children[i+2:], parent.n.children[i+1:])
+		parent.n.children[i+1] = right.id
+		err = t.write(stx, parent, nil)
+	}
+	ferr := t.smoFinish(stx, sys, err)
+	t.unlatch(oldNext)
+	if ferr != nil {
+		t.unlatch(right)
+		return nil, nil, ferr
+	}
+	return right, sep, nil
+}
+
+// splitNode halves the (latched, full) node into itself plus a new
+// right sibling, returning the latched sibling, the latched old next
+// leaf (nil for internal nodes or tail leaves — the CALLER unlatches
+// both after the system transaction finishes) and the separator key.
+// Leaf splits maintain the chain links; latching the old next leaf is
+// a left-to-right acquisition, consistent with every traversal.
+func (t *BTree) splitNode(stx access.TxnContext, n *nref) (right, oldNext *nref, sep []byte, err error) {
+	right, err = t.newNodeLatched(stx, n.n.leaf)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fail := func(err error) (*nref, *nref, []byte, error) {
+		return right, oldNext, nil, err
+	}
+	if n.n.leaf {
+		mid := len(n.n.keys) / 2
+		right.n.keys = append(right.n.keys, n.n.keys[mid:]...)
+		n.n.keys = n.n.keys[:mid]
+		next := n.n.next
+		right.n.next = next
+		right.n.prev = n.id
+		n.n.next = right.id
+		if next != storage.InvalidPageID {
+			// Latch the neighbour BEFORE any write, so a failure can
+			// roll the whole modification back under held latches.
+			if oldNext, err = t.latch(next, true); err != nil {
+				return fail(err)
+			}
+		}
+		if err := t.write(stx, right, nil); err != nil {
+			return fail(err)
+		}
+		if err := t.write(stx, n, nil); err != nil {
+			return fail(err)
+		}
+		if oldNext != nil {
+			oldNext.n.prev = right.id
+			if err := t.write(stx, oldNext, nil); err != nil {
+				return fail(err)
+			}
+		}
+		sep = append([]byte(nil), right.n.keys[0]...)
+	} else {
+		mid := len(n.n.keys) / 2
+		sep = append([]byte(nil), n.n.keys[mid]...)
+		right.n.keys = append(right.n.keys, n.n.keys[mid+1:]...)
+		right.n.children = append(right.n.children, n.n.children[mid+1:]...)
+		n.n.keys = n.n.keys[:mid]
+		n.n.children = n.n.children[:mid+1]
+		if err := t.write(stx, right, nil); err != nil {
+			return fail(err)
+		}
+		if err := t.write(stx, n, nil); err != nil {
+			return fail(err)
+		}
+	}
+	return right, oldNext, sep, nil
+}
+
+// splitRoot grows the tree by one level: the old root splits and a new
+// internal root pointing at both halves is installed in the metadata
+// page — all under the exclusive meta latch, so concurrent descents
+// (which crab meta -> root) serialise against the swap.
+func (t *BTree) splitRoot(ck []byte) error {
+	metaF, rootID, err := t.metaLatch(true)
 	if err != nil {
 		return err
 	}
-	if split {
-		newRoot, err := t.newNode(tx, false)
-		if err != nil {
-			return err
-		}
-		newRoot.keys = [][]byte{sep}
-		newRoot.children = []storage.PageID{t.root, right}
-		if err := t.storeNode(tx, newRoot); err != nil {
-			return err
-		}
-		t.root = newRoot.id
-	}
-	t.count++
-	return t.flushMetaLocked(tx)
-}
-
-func (t *BTree) insertRec(tx access.TxnContext, id storage.PageID, ck []byte) (sep []byte, right storage.PageID, split bool, err error) {
-	n, err := t.loadNode(id)
+	root, err := t.latch(rootID, true)
 	if err != nil {
-		return nil, 0, false, err
+		t.metaUnlatch(true, false)
+		return err
 	}
-	if n.leaf {
-		pos := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], ck) >= 0 })
-		if pos < len(n.keys) && bytes.Equal(n.keys[pos], ck) {
-			return nil, 0, false, nil // exact duplicate (same key+rid): no-op
-		}
-		n.keys = append(n.keys, nil)
-		copy(n.keys[pos+1:], n.keys[pos:])
-		n.keys[pos] = ck
-		if n.encodedSize() <= storage.PayloadSize {
-			return nil, 0, false, t.storeNode(tx, n)
-		}
-		return t.splitLeaf(tx, n)
+	if t.safeFor(root.n, ck) {
+		// Another writer split it first.
+		t.unlatch(root)
+		t.metaUnlatch(true, false)
+		return nil
 	}
-	idx := childIndex(n, ck)
-	csep, cright, csplit, err := t.insertRec(tx, n.children[idx], ck)
+	stx, sys, err := t.smoBegin()
 	if err != nil {
-		return nil, 0, false, err
+		t.unlatch(root)
+		t.metaUnlatch(true, false)
+		return err
 	}
-	if !csplit {
-		return nil, 0, false, nil
+	var right, oldNext, newRoot *nref
+	var sep []byte
+	right, oldNext, sep, err = t.splitNode(stx, root)
+	if err == nil {
+		newRoot, err = t.newNodeLatched(stx, false)
 	}
-	n.keys = append(n.keys, nil)
-	copy(n.keys[idx+1:], n.keys[idx:])
-	n.keys[idx] = csep
-	n.children = append(n.children, 0)
-	copy(n.children[idx+2:], n.children[idx+1:])
-	n.children[idx+1] = cright
-	if n.encodedSize() <= storage.PayloadSize {
-		return nil, 0, false, t.storeNode(tx, n)
+	if err == nil {
+		newRoot.n.keys = [][]byte{sep}
+		newRoot.n.children = []storage.PageID{root.id, right.id}
+		err = t.write(stx, newRoot, nil)
 	}
-	return t.splitInternal(tx, n)
-}
-
-func childIndex(n *node, ck []byte) int {
-	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(ck, n.keys[i]) < 0 })
-}
-
-func (t *BTree) splitLeaf(tx access.TxnContext, n *node) ([]byte, storage.PageID, bool, error) {
-	mid := len(n.keys) / 2
-	rightN, err := t.newNode(tx, true)
-	if err != nil {
-		return nil, 0, false, err
+	dirtyMeta := false
+	if err == nil {
+		err = access.LogLatchedMutation(t.getLog(), stx, metaF, nil, func(p *storage.Page) error {
+			binary.LittleEndian.PutUint64(p.Payload()[8:], uint64(newRoot.id))
+			return nil
+		})
+		dirtyMeta = err == nil
 	}
-	rightN.keys = append(rightN.keys, n.keys[mid:]...)
-	n.keys = n.keys[:mid]
-	// Leaf chain: n <-> rightN <-> oldNext.
-	rightN.next = n.next
-	rightN.prev = n.id
-	oldNext := n.next
-	n.next = rightN.id
-	if err := t.storeNode(tx, rightN); err != nil {
-		return nil, 0, false, err
-	}
-	if err := t.storeNode(tx, n); err != nil {
-		return nil, 0, false, err
-	}
-	if oldNext != storage.InvalidPageID {
-		on, err := t.loadNode(oldNext)
-		if err != nil {
-			return nil, 0, false, err
-		}
-		on.prev = rightN.id
-		if err := t.storeNode(tx, on); err != nil {
-			return nil, 0, false, err
-		}
-	}
-	sep := append([]byte(nil), rightN.keys[0]...)
-	return sep, rightN.id, true, nil
-}
-
-func (t *BTree) splitInternal(tx access.TxnContext, n *node) ([]byte, storage.PageID, bool, error) {
-	mid := len(n.keys) / 2
-	sep := append([]byte(nil), n.keys[mid]...)
-	rightN, err := t.newNode(tx, false)
-	if err != nil {
-		return nil, 0, false, err
-	}
-	rightN.keys = append(rightN.keys, n.keys[mid+1:]...)
-	rightN.children = append(rightN.children, n.children[mid+1:]...)
-	n.keys = n.keys[:mid]
-	n.children = n.children[:mid+1]
-	if err := t.storeNode(tx, rightN); err != nil {
-		return nil, 0, false, err
-	}
-	if err := t.storeNode(tx, n); err != nil {
-		return nil, 0, false, err
-	}
-	return sep, rightN.id, true, nil
+	err = t.smoFinish(stx, sys, err)
+	t.unlatch(newRoot)
+	t.unlatch(oldNext)
+	t.unlatch(right)
+	t.unlatch(root)
+	t.metaUnlatch(true, dirtyMeta)
+	return err
 }
 
 // Search returns every RID stored under the exact key.
 func (t *BTree) Search(key []byte) ([]access.RID, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.searchLocked(key)
-}
-
-func (t *BTree) searchLocked(key []byte) ([]access.RID, error) {
 	lo, hi := keyPrefixBounds(key)
 	var out []access.RID
-	err := t.rangeLocked(lo, hi, func(ck []byte) error {
+	err := t.rangeScan(lo, hi, func(ck []byte) error {
 		_, rid, err := splitComposite(ck)
 		if err != nil {
 			return err
@@ -528,68 +850,57 @@ func (t *BTree) Delete(key []byte, rid access.RID) (bool, error) {
 	return t.DeleteTx(nil, key, rid)
 }
 
-// DeleteTx removes (key, rid) under tx, logging the dirtied pages.
+// DeleteTx removes (key, rid) under tx, logging the leaf mutation with
+// a logical undo (re-insert the entry). The descent is shared; only the
+// target leaf is latched exclusively. If a concurrent split moved the
+// key right between the shared descent and the exclusive re-latch, the
+// delete follows the chain right — splits only ever move keys right.
 func (t *BTree) DeleteTx(tx access.TxnContext, key []byte, rid access.RID) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	ck := compositeKey(key, rid)
-	id := t.root
-	// Descend to the leaf.
-	var path []*node
-	for {
-		n, err := t.loadNode(id)
-		if err != nil {
-			return false, err
-		}
-		path = append(path, n)
-		if n.leaf {
-			break
-		}
-		id = n.children[childIndex(n, ck)]
-	}
-	leaf := path[len(path)-1]
-	pos := sort.Search(len(leaf.keys), func(i int) bool { return bytes.Compare(leaf.keys[i], ck) >= 0 })
-	if pos >= len(leaf.keys) || !bytes.Equal(leaf.keys[pos], ck) {
-		return false, nil
-	}
-	leaf.keys = append(leaf.keys[:pos], leaf.keys[pos+1:]...)
-	if err := t.storeNode(tx, leaf); err != nil {
+	leaf, err := t.descendToLeaf(ck)
+	if err != nil {
 		return false, err
 	}
-	t.count--
-	// Root collapse: an internal root with no keys has one child.
+	id := leaf.id
+	t.unlatch(leaf)
+	cur, err := t.latch(id, true)
+	if err != nil {
+		return false, err
+	}
 	for {
-		root, err := t.loadNode(t.root)
+		pos := sort.Search(len(cur.n.keys), func(i int) bool { return bytes.Compare(cur.n.keys[i], ck) >= 0 })
+		if pos < len(cur.n.keys) && bytes.Equal(cur.n.keys[pos], ck) {
+			cur.n.keys = append(cur.n.keys[:pos], cur.n.keys[pos+1:]...)
+			err := t.write(tx, cur, func() []byte { return undoIndexDelete(t.metaID, key, rid) })
+			t.unlatch(cur)
+			if err != nil {
+				return false, err
+			}
+			t.count.Add(-1)
+			return true, nil
+		}
+		// Not here. Only worth chasing right if the key could have been
+		// moved by a split: ck sorts after everything in this leaf.
+		if cur.n.next == storage.InvalidPageID ||
+			(len(cur.n.keys) > 0 && bytes.Compare(ck, cur.n.keys[len(cur.n.keys)-1]) < 0) {
+			t.unlatch(cur)
+			return false, nil
+		}
+		next, err := t.latch(cur.n.next, true)
+		t.unlatch(cur)
 		if err != nil {
 			return false, err
 		}
-		if root.leaf || len(root.keys) > 0 {
-			break
-		}
-		old := t.root
-		t.root = root.children[0]
-		// Under a transaction the free is deferred until the commit is
-		// durable: an abort (or crash undo) restores the old root
-		// pointer, which must not then reference a reallocated page.
-		switch h := tx.(type) {
-		case nil:
-			if err := t.pool.Deallocate(old); err != nil {
-				return false, err
-			}
-		case interface{ OnCommitted(func()) }:
-			pool := t.pool
-			h.OnCommitted(func() { _ = pool.Deallocate(old) })
-		}
-		// Other TxnContext implementations leak the page (safe).
+		cur = next
 	}
-	return true, t.flushMetaLocked(tx)
 }
 
 // Range iterates entries with lo <= key < hi (nil bounds are
-// unbounded), in key order, calling fn with the user key and RID.
+// unbounded), in key order, calling fn with the user key and RID. Each
+// leaf's matching entries are copied out under the shared leaf latch
+// and fn runs after the latch is released: fn may take arbitrarily long
+// (or re-enter the storage stack) without blocking writers.
 func (t *BTree) Range(lo, hi []byte, fn func(key []byte, rid access.RID) error) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var clo, chi []byte
 	if lo != nil {
 		clo, _ = keyPrefixBounds(lo)
@@ -597,7 +908,7 @@ func (t *BTree) Range(lo, hi []byte, fn func(key []byte, rid access.RID) error) 
 	if hi != nil {
 		chi, _ = keyPrefixBounds(hi)
 	}
-	return t.rangeLocked(clo, chi, func(ck []byte) error {
+	return t.rangeScan(clo, chi, func(ck []byte) error {
 		key, rid, err := splitComposite(ck)
 		if err != nil {
 			return err
@@ -606,87 +917,116 @@ func (t *BTree) Range(lo, hi []byte, fn func(key []byte, rid access.RID) error) 
 	})
 }
 
-// rangeLocked walks composite keys in [clo, chi) (nil = unbounded).
-func (t *BTree) rangeLocked(clo, chi []byte, fn func(ck []byte) error) error {
-	// Descend to the leaf containing clo (or the leftmost leaf).
-	id := t.root
-	for {
-		n, err := t.loadNode(id)
-		if err != nil {
-			return err
-		}
-		if n.leaf {
-			break
-		}
-		if clo == nil {
-			id = n.children[0]
-		} else {
-			id = n.children[childIndex(n, clo)]
-		}
+// rangeScan walks composite keys in [clo, chi) (nil = unbounded).
+func (t *BTree) rangeScan(clo, chi []byte, fn func(ck []byte) error) error {
+	leaf, err := t.descendToLeaf(clo)
+	if err != nil {
+		return err
 	}
-	for id != storage.InvalidPageID {
-		n, err := t.loadNode(id)
-		if err != nil {
-			return err
-		}
+	for {
+		// Copy the window out, then release the latch before callbacks.
 		start := 0
 		if clo != nil {
-			start = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], clo) >= 0 })
+			start = sort.Search(len(leaf.n.keys), func(i int) bool { return bytes.Compare(leaf.n.keys[i], clo) >= 0 })
 		}
-		for i := start; i < len(n.keys); i++ {
-			if chi != nil && bytes.Compare(n.keys[i], chi) >= 0 {
-				return nil
+		var batch [][]byte
+		done := false
+		for i := start; i < len(leaf.n.keys); i++ {
+			if chi != nil && bytes.Compare(leaf.n.keys[i], chi) >= 0 {
+				done = true
+				break
 			}
-			if err := fn(n.keys[i]); err != nil {
+			batch = append(batch, leaf.n.keys[i])
+		}
+		next := leaf.n.next
+		t.unlatch(leaf)
+		for _, ck := range batch {
+			if err := fn(ck); err != nil {
 				return err
 			}
 		}
+		if done || next == storage.InvalidPageID {
+			return nil
+		}
 		clo = nil // subsequent leaves start at 0
-		id = n.next
+		leaf, err = t.latch(next, false)
+		if err != nil {
+			return err
+		}
 	}
-	return nil
 }
 
 // Height returns the tree height (1 for a lone leaf).
 func (t *BTree) Height() (int, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	metaF, rootID, err := t.metaLatch(false)
+	if err != nil {
+		return 0, err
+	}
+	_ = metaF
+	cur, err := t.latch(rootID, false)
+	t.metaUnlatch(false, false)
+	if err != nil {
+		return 0, err
+	}
 	h := 1
-	id := t.root
-	for {
-		n, err := t.loadNode(id)
+	for !cur.n.leaf {
+		child, err := t.latch(cur.n.children[0], false)
+		t.unlatch(cur)
 		if err != nil {
 			return 0, err
 		}
-		if n.leaf {
-			return h, nil
-		}
+		cur = child
 		h++
-		id = n.children[0]
 	}
+	t.unlatch(cur)
+	return h, nil
 }
 
-// Drop frees every page of the tree including the metadata page.
+// Drop frees every page of the tree including the metadata page,
+// through the WAL-logged free path when a freer is attached (a crash
+// mid-drop then replays the free markings instead of leaking the
+// pages). Callers must ensure no concurrent operations on the tree.
 func (t *BTree) Drop() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.dropRec(t.root); err != nil {
-		return err
-	}
-	return t.pool.Deallocate(t.metaID)
-}
-
-func (t *BTree) dropRec(id storage.PageID) error {
-	n, err := t.loadNode(id)
+	_, rootID, err := t.metaLatch(true)
 	if err != nil {
 		return err
 	}
-	if !n.leaf {
-		for _, c := range n.children {
-			if err := t.dropRec(c); err != nil {
+	var ids []storage.PageID
+	err = t.collect(rootID, &ids)
+	t.metaUnlatch(true, false)
+	if err != nil {
+		return err
+	}
+	ids = append(ids, t.metaID)
+	t.mu.Lock()
+	freer := t.freer
+	t.mu.Unlock()
+	if freer != nil {
+		return freer(ids)
+	}
+	for _, id := range ids {
+		if err := t.pool.Deallocate(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *BTree) collect(id storage.PageID, out *[]storage.PageID) error {
+	r, err := t.latch(id, false)
+	if err != nil {
+		return err
+	}
+	children := append([]storage.PageID(nil), r.n.children...)
+	leaf := r.n.leaf
+	t.unlatch(r)
+	if !leaf {
+		for _, c := range children {
+			if err := t.collect(c, out); err != nil {
 				return err
 			}
 		}
 	}
-	return t.pool.Deallocate(id)
+	*out = append(*out, id)
+	return nil
 }

@@ -290,6 +290,11 @@ func TestPersistenceAcrossOpen(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Entry counts live in memory and persist only on SyncMeta (per-op
+	// count logging would serialise writers on the metadata page).
+	if err := tr.SyncMeta(); err != nil {
+		t.Fatal(err)
+	}
 	if err := pool.FlushAll(); err != nil {
 		t.Fatal(err)
 	}

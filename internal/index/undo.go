@@ -1,0 +1,84 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/access"
+	"repro/internal/storage"
+)
+
+// Logical-undo descriptors for B+tree entry mutations. The descriptor
+// names the tree by its metadata page id, so a rollback executor can
+// resolve (or open) the tree and run the inverse through the normal
+// latched code paths — including after a crash, when no live engine
+// handles exist yet.
+//
+// Wire form: kind | u64 metaPage | u64 ridPage | u16 ridSlot | key.
+
+func encodeIndexDesc(kind byte, metaID storage.PageID, key []byte, rid access.RID) []byte {
+	out := make([]byte, 19, 19+len(key))
+	out[0] = kind
+	binary.LittleEndian.PutUint64(out[1:], uint64(metaID))
+	binary.LittleEndian.PutUint64(out[9:], uint64(rid.Page))
+	binary.LittleEndian.PutUint16(out[17:], rid.Slot)
+	return append(out, key...)
+}
+
+// undoIndexInsert builds the descriptor undoing an insert of (key,rid).
+func undoIndexInsert(metaID storage.PageID, key []byte, rid access.RID) []byte {
+	return encodeIndexDesc(access.UndoKindIndexInsert, metaID, key, rid)
+}
+
+// undoIndexDelete builds the descriptor undoing a delete of (key,rid).
+func undoIndexDelete(metaID storage.PageID, key []byte, rid access.RID) []byte {
+	return encodeIndexDesc(access.UndoKindIndexDelete, metaID, key, rid)
+}
+
+// DecodeUndo splits an index undo descriptor. It reports ok=false for
+// non-index kinds.
+func DecodeUndo(desc []byte) (kind byte, metaID storage.PageID, key []byte, rid access.RID, ok bool, err error) {
+	if len(desc) == 0 {
+		return 0, 0, nil, access.RID{}, false, fmt.Errorf("%w: empty undo descriptor", ErrCorrupt)
+	}
+	kind = desc[0]
+	if kind != access.UndoKindIndexInsert && kind != access.UndoKindIndexDelete {
+		return kind, 0, nil, access.RID{}, false, nil
+	}
+	if len(desc) < 19 {
+		return 0, 0, nil, access.RID{}, false, fmt.Errorf("%w: short undo descriptor", ErrCorrupt)
+	}
+	metaID = storage.PageID(binary.LittleEndian.Uint64(desc[1:]))
+	rid = access.RID{
+		Page: storage.PageID(binary.LittleEndian.Uint64(desc[9:])),
+		Slot: binary.LittleEndian.Uint16(desc[17:]),
+	}
+	key = append([]byte(nil), desc[19:]...)
+	return kind, metaID, key, rid, true, nil
+}
+
+// ApplyUndo executes the inverse index operation named by desc through
+// tree (which must be the tree whose metadata page the descriptor
+// names), under tx — a compensation context, so the logged records are
+// redo-only. Both inverses are idempotent: deleting an absent entry and
+// re-inserting a present one are no-ops, which is what lets recovery
+// re-run a rollback whose compensations were partially durable.
+func (t *BTree) ApplyUndo(tx access.TxnContext, desc []byte) error {
+	kind, metaID, key, rid, ok, err := DecodeUndo(desc)
+	if err != nil || !ok {
+		if err == nil {
+			err = fmt.Errorf("%w: undo kind %d is not an index kind", ErrCorrupt, kind)
+		}
+		return err
+	}
+	if metaID != t.metaID {
+		return fmt.Errorf("%w: undo names tree %d, applied to %d", ErrCorrupt, metaID, t.metaID)
+	}
+	switch kind {
+	case access.UndoKindIndexInsert:
+		_, err = t.DeleteTx(tx, key, rid)
+	case access.UndoKindIndexDelete:
+		err = t.InsertTx(tx, key, rid)
+	}
+	return err
+}

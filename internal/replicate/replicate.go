@@ -215,6 +215,18 @@ func (s *Shipper) Lag(r *Replica) int64 {
 	return int64(s.log.DurableBoundary()) - int64(r.Applied())
 }
 
+// Shipped returns the ship watermark: every record below it has been
+// delivered to all replicas attached at ship time. Install it as the
+// WAL's retention hook (wal.Log.SetRetention / DB.SetLogRetention) so
+// checkpoint truncation never deletes segments this shipper still has
+// to read — a lagging replica then resumes from its watermark instead
+// of failing with ErrSegmentGone and resynchronising from scratch.
+func (s *Shipper) Shipped() wal.LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shipped
+}
+
 // Stop halts shipping.
 func (s *Shipper) Stop() {
 	s.mu.Lock()

@@ -1,0 +1,117 @@
+package replicate
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// sinkStore is a PageStore that accepts writes to any page id (the
+// replica side of synthetic log records).
+type sinkStore struct {
+	pages map[storage.PageID][]byte
+	n     uint64
+}
+
+func newSinkStore() *sinkStore { return &sinkStore{pages: map[storage.PageID][]byte{}} }
+
+func (s *sinkStore) Allocate() (storage.PageID, error) {
+	s.n++
+	return storage.PageID(s.n), nil
+}
+func (s *sinkStore) Deallocate(storage.PageID) error { return nil }
+func (s *sinkStore) ReadPage(id storage.PageID, buf []byte) error {
+	if p, ok := s.pages[id]; ok {
+		copy(buf, p)
+		return nil
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+func (s *sinkStore) WritePage(id storage.PageID, data []byte) error {
+	s.pages[id] = append([]byte(nil), data...)
+	return nil
+}
+func (s *sinkStore) NumPages() uint64 { return s.n }
+func (s *sinkStore) Sync() error      { return nil }
+
+// TestShipperSurvivesTruncationWithRetention: a lagging shipper whose
+// Shipped watermark is installed as the WAL retention hook keeps its
+// unread suffix across checkpoint truncation — it resumes and drains
+// instead of failing with ErrSegmentGone. The control (no hook)
+// reproduces the restart-from-scratch failure the ROADMAP describes.
+func TestShipperSurvivesTruncationWithRetention(t *testing.T) {
+	open := func() *wal.Log {
+		l, err := wal.OpenDir(wal.NewMemSegmentDir(), 2*storage.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	fill := func(l *wal.Log, segs int) {
+		payload := make([]byte, 512)
+		for i := 0; l.SegmentCount() < segs && i < 10_000; i++ {
+			if _, err := l.Append(&wal.Record{Txn: 1, Type: wal.RecUpdate, PageID: 3, After: payload}); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Flush(l.NextLSN()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Control: truncation without retention strands the shipper.
+	l := open()
+	fill(l, 2)
+	s := NewShipper(l)
+	r := NewReplica("r1", newSinkStore())
+	s.Attach(r)
+	if _, err := s.Ship(); err != nil {
+		t.Fatal(err)
+	}
+	fill(l, 4)
+	if _, err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ship(); !errors.Is(err, wal.ErrSegmentGone) {
+		t.Fatalf("control shipper err = %v, want ErrSegmentGone", err)
+	}
+
+	// With the retention hook: same sequence, shipper survives.
+	l2 := open()
+	fill(l2, 2)
+	s2 := NewShipper(l2)
+	r2 := NewReplica("r2", newSinkStore())
+	s2.Attach(r2)
+	if _, err := s2.Ship(); err != nil {
+		t.Fatal(err)
+	}
+	l2.SetRetention(s2.Shipped)
+	fill(l2, 4)
+	if _, err := l2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.Ship()
+	if err != nil {
+		t.Fatalf("retained shipper: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("retained shipper shipped nothing")
+	}
+	// Once caught up, the next checkpoint reclaims the held segments.
+	before := l2.SegmentCount()
+	fill(l2, l2.SegmentCount()+1)
+	if _, err := s2.Ship(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.SegmentCount(); got > before {
+		t.Fatalf("segments not reclaimed after catch-up: %d -> %d", before, got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/undo"
 	"repro/internal/wal"
 )
 
@@ -42,17 +43,26 @@ type Result struct {
 // Engine executes SQL statements against the storage stack: catalog,
 // heap files, B+tree indexes and the transaction manager. It is the
 // implementation behind the Data Services query interface.
+//
+// Statement-level isolation comes from the lock manager (shared/
+// exclusive table locks acquired per statement); page-level consistency
+// from the buffer pool's latches. The engine's own mutex is catalog-
+// level only — a read-write lock over the open-heap/open-tree maps and
+// session state, held for map lookups, never across statement
+// execution — so reads on different tables (and on the same table)
+// proceed in parallel.
 type Engine struct {
 	fm   *storage.FileManager
 	pool *buffer.Manager
 	cat  *catalog.Catalog
 	txns *txn.Manager // may be nil: no locking/durability
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	heaps   map[string]*access.HeapFile
 	trees   map[storage.PageID]*index.BTree
 	current *txn.Txn // session transaction from BEGIN
 	wal     *wal.Log
+	undoex  *undo.Executor
 	failed  error // fatal engine fault; all further statements refused
 }
 
@@ -89,6 +99,34 @@ func (e *Engine) SetWAL(l *wal.Log) {
 	}
 }
 
+// SetUndo attaches the logical-undo executor; every tree the engine
+// opens registers with it so rollbacks (live and post-crash) run
+// against the same handles the engine uses.
+func (e *Engine) SetUndo(ex *undo.Executor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.undoex = ex
+	for _, t := range e.trees {
+		ex.Register(t)
+	}
+}
+
+// configureTree wires a freshly opened tree into the engine's WAL,
+// system transactions, logged free path and undo registry. Callers hold
+// e.mu.
+func (e *Engine) configureTreeLocked(t *index.BTree) {
+	if e.wal != nil {
+		t.SetLog(e.wal)
+	}
+	if e.txns != nil {
+		t.SetSystemTxns(e.txns.SystemHooksHeldLatches())
+	}
+	t.SetFreer(e.fm.FreePagesLogged)
+	if e.undoex != nil {
+		e.undoex.Register(t)
+	}
+}
+
 // txc converts the concrete transaction into the access-layer logging
 // hook, avoiding a typed-nil interface when tx is nil.
 func txc(tx *txn.Txn) access.TxnContext {
@@ -98,27 +136,13 @@ func txc(tx *txn.Txn) access.TxnContext {
 	return tx
 }
 
-// reloadTrees re-reads every open tree's root pointer and entry count
-// from its metadata page. A transaction abort rewinds index pages via
-// physical before images, which restores the bytes but not the trees'
-// in-memory copies; callers re-synchronise after any rollback that may
-// have touched an index.
-func (e *Engine) reloadTrees() error {
-	e.mu.Lock()
-	trees := make([]*index.BTree, 0, len(e.trees))
-	for _, t := range e.trees {
-		trees = append(trees, t)
-	}
-	e.mu.Unlock()
-	for _, t := range trees {
-		if err := t.ReloadMeta(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 func (e *Engine) heap(t *catalog.Table) (*access.HeapFile, error) {
+	e.mu.RLock()
+	if h, ok := e.heaps[t.HeapFile]; ok {
+		e.mu.RUnlock()
+		return h, nil
+	}
+	e.mu.RUnlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.heapLocked(t)
@@ -134,6 +158,9 @@ func (e *Engine) heapLocked(t *catalog.Table) (*access.HeapFile, error) {
 	}
 	if e.wal != nil {
 		h.SetLog(e.wal)
+	}
+	if e.txns != nil {
+		h.SetSystemTxns(e.txns.SystemHooks())
 	}
 	e.heaps[t.HeapFile] = h
 	return h, nil
@@ -175,12 +202,12 @@ func (e *Engine) poison(err error) error {
 // session transaction when one is open, otherwise under a per-statement
 // auto-commit transaction (when a transaction manager is attached).
 func (e *Engine) ExecuteStmt(ctx context.Context, st Statement) (*Result, error) {
-	e.mu.Lock()
+	e.mu.RLock()
 	if ferr := e.failed; ferr != nil {
-		e.mu.Unlock()
+		e.mu.RUnlock()
 		return nil, ferr
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	switch s := st.(type) {
 	case *Begin:
 		return e.begin()
@@ -205,13 +232,11 @@ func (e *Engine) ExecuteStmt(ctx context.Context, st Statement) (*Result, error)
 	res, err := e.runDMLOrQuery(ctx, st, tx)
 	if auto {
 		if err != nil {
-			rewound := tx.Updates() > 0 // an update-free abort rewinds no pages
+			// Logical undo rolls the statement back through the live
+			// access methods: in-memory tree state stays coherent, no
+			// metadata reload is needed.
 			if aerr := e.txns.Abort(tx); aerr != nil {
 				err = fmt.Errorf("%w (%v)", err, e.poison(aerr))
-			} else if rewound {
-				if rerr := e.reloadTrees(); rerr != nil {
-					err = fmt.Errorf("%w (%v)", err, e.poison(rerr))
-				}
 			}
 		} else if cerr := e.txns.Commit(tx); cerr != nil {
 			return nil, cerr
@@ -332,14 +357,8 @@ func (e *Engine) rollbackSession() (*Result, error) {
 	if tx == nil {
 		return nil, ErrNoActiveTxn
 	}
-	rewound := tx.Updates() > 0
 	if err := e.txns.Abort(tx); err != nil {
 		return nil, e.poison(err)
-	}
-	if rewound {
-		if err := e.reloadTrees(); err != nil {
-			return nil, e.poison(err)
-		}
 	}
 	return &Result{}, nil
 }
@@ -379,9 +398,7 @@ func (e *Engine) createIndex(ctx context.Context, s *CreateIndex) (*Result, erro
 		return nil, err
 	}
 	e.mu.Lock()
-	if e.wal != nil {
-		tree.SetLog(e.wal)
-	}
+	e.configureTreeLocked(tree)
 	e.mu.Unlock()
 	// Backfill from existing rows.
 	h, err := e.heap(tbl)
@@ -431,6 +448,9 @@ func (e *Engine) drop(s *Drop) (*Result, error) {
 			}
 			e.mu.Lock()
 			delete(e.trees, ix.MetaPage)
+			if e.undoex != nil {
+				e.undoex.Unregister(ix.MetaPage)
+			}
 			e.mu.Unlock()
 		}
 		e.mu.Lock()
@@ -458,6 +478,9 @@ func (e *Engine) drop(s *Drop) (*Result, error) {
 		}
 		e.mu.Lock()
 		delete(e.trees, def.MetaPage)
+		if e.undoex != nil {
+			e.undoex.Unregister(def.MetaPage)
+		}
 		e.mu.Unlock()
 		return &Result{}, e.pool.FlushAll()
 	case "VIEW":
@@ -470,6 +493,12 @@ func (e *Engine) drop(s *Drop) (*Result, error) {
 }
 
 func (e *Engine) tree(def catalog.IndexDef) (*index.BTree, error) {
+	e.mu.RLock()
+	if t, ok := e.trees[def.MetaPage]; ok {
+		e.mu.RUnlock()
+		return t, nil
+	}
+	e.mu.RUnlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if t, ok := e.trees[def.MetaPage]; ok {
@@ -479,9 +508,7 @@ func (e *Engine) tree(def catalog.IndexDef) (*index.BTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e.wal != nil {
-		t.SetLog(e.wal)
-	}
+	e.configureTreeLocked(t)
 	e.trees[def.MetaPage] = t
 	return t, nil
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/undo"
 	"repro/internal/wal"
 )
 
@@ -42,7 +43,16 @@ func newEngine(t *testing.T) *Engine {
 	mgr := txn.NewManager(l, pool)
 	e := NewEngine(fm, pool, cat, mgr)
 	e.SetWAL(l)
+	wireUndo(e, pool, l, mgr)
 	return e
+}
+
+// wireUndo installs the logical-undo executor, as sbdms.Open does.
+func wireUndo(e *Engine, pool *buffer.Manager, l *wal.Log, mgr *txn.Manager) {
+	ex := undo.NewExecutor(pool, l)
+	ex.SetSystemTxns(mgr.SystemHooksHeldLatches())
+	mgr.SetUndoHandler(ex)
+	e.SetUndo(ex)
 }
 
 func seedUsers(t *testing.T, e *Engine) {
@@ -429,8 +439,10 @@ func TestEnginePersistenceAcrossReopen(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		e := NewEngine(fm, pool, cat, txn.NewManager(l, pool))
+		mgr := txn.NewManager(l, pool)
+		e := NewEngine(fm, pool, cat, mgr)
 		e.SetWAL(l)
+		wireUndo(e, pool, l, mgr)
 		return e
 	}
 	e := open()
@@ -468,6 +480,7 @@ func TestEngineCrashRecovery(t *testing.T) {
 	cat, _ := catalog.Open(fm, pool)
 	e := NewEngine(fm, pool, cat, mgr)
 	e.SetWAL(l)
+	wireUndo(e, pool, l, mgr)
 	mustExec(t, e, "CREATE TABLE kv (k TEXT, v INT)")
 	mustExec(t, e, "INSERT INTO kv VALUES ('committed', 1)")
 	// Crash: no FlushAll. Committed work lives only in WAL + whatever

@@ -39,6 +39,35 @@ type PageStore interface {
 	Sync() error
 }
 
+// PageUpdater is implemented by page stores that can apply a
+// read-modify-write mutation to one page atomically with respect to
+// concurrent page access (the buffer manager does it under the page
+// latch, the disk manager under its mutex). Code outside the latching
+// access methods — file-manager chain links, transaction undo — must
+// mutate shared pages through it rather than via ReadPage+WritePage,
+// which would race with latched writers.
+type PageUpdater interface {
+	UpdatePage(id PageID, fn func(p *Page) error) error
+}
+
+// UpdatePageOn applies fn to the page through the store's PageUpdater
+// when available, else via a read-modify-write (single-threaded callers
+// only, e.g. recovery).
+func UpdatePageOn(store PageStore, id PageID, fn func(p *Page) error) error {
+	if u, ok := store.(PageUpdater); ok {
+		return u.UpdatePage(id, fn)
+	}
+	buf := make([]byte, PageSize)
+	if err := store.ReadPage(id, buf); err != nil {
+		return err
+	}
+	p := WrapPage(id, buf)
+	if err := fn(p); err != nil {
+		return err
+	}
+	return store.WritePage(id, p.Data)
+}
+
 // DirtyPageInfo is one dirty-page-table entry reported by a buffering
 // PageStore: a resident dirty page and the LSN of the first log record
 // that dirtied it since it was last clean (recLSN; 0 when the page was
@@ -289,6 +318,32 @@ func (d *DiskManager) WritePage(id PageID, data []byte) error {
 	}
 	WrapPage(id, data).UpdateChecksum()
 	if _, err := d.dev.WriteAt(data, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: writing page %d: %w", id, err)
+	}
+	return nil
+}
+
+// UpdatePage implements PageUpdater: read-modify-write of one page as a
+// single atomic step under the disk mutex.
+func (d *DiskManager) UpdatePage(id PageID, fn func(p *Page) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if err := d.checkIDLocked(id); err != nil {
+		return err
+	}
+	buf := make([]byte, PageSize)
+	if err := d.readLocked(id, buf, d.verify); err != nil {
+		return err
+	}
+	p := WrapPage(id, buf)
+	if err := fn(p); err != nil {
+		return err
+	}
+	p.UpdateChecksum()
+	if _, err := d.dev.WriteAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: writing page %d: %w", id, err)
 	}
 	return nil

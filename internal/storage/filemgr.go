@@ -37,7 +37,21 @@ type PageTxn interface {
 	// page image (full-page-writes after a checkpoint fence). logged
 	// reports whether a record was appended — identical images log
 	// nothing — and lsn is the record's LSN to stamp on the page.
+	//
+	// Physical (before-image) undo of these records is only sound for
+	// pages this file manager owns exclusively (directory chain, pages
+	// of dropped files): concurrent latched writers interleave records
+	// on shared pages, and restoring a stale image would wipe their
+	// committed bytes.
 	Update(id PageID, before, after []byte) (lsn uint64, logged bool, err error)
+	// UpdateRedoOnly is Update for records that must never be undone —
+	// neither by rollback nor by crash recovery of an in-flight system
+	// transaction. Used for mutations of SHARED pages whose effect is
+	// harmless if kept on abort (a heap tail's chain link to a fresh,
+	// otherwise-unreachable page): the page latch is released before
+	// the lazy commit record enters the log, so a concurrent user
+	// record can interleave and physical undo would corrupt it.
+	UpdateRedoOnly(id PageID, before, after []byte) (lsn uint64, logged bool, err error)
 	// Commit finishes the transaction. The commit record need not be
 	// forced: WAL ordering makes it durable with the next forced flush.
 	Commit() error
@@ -221,6 +235,8 @@ func (fm *FileManager) finishSysLocked(tx PageTxn, opErr error, chains ...PageID
 
 // writeLogged writes new page content, logging the transition under tx
 // (the WAL decides diff vs full image per the full-page-write fence).
+// Only for pages the file manager owns exclusively (directory chain,
+// pages of files being dropped): the write bypasses page latches.
 func (fm *FileManager) writeLogged(tx PageTxn, id PageID, old, data []byte) error {
 	if tx != nil {
 		lsn, logged, err := tx.Update(id, old, data)
@@ -232,6 +248,39 @@ func (fm *FileManager) writeLogged(tx PageTxn, id PageID, old, data []byte) erro
 		}
 	}
 	return fm.store.WritePage(id, data)
+}
+
+// updateLogged mutates one page in place through the store's
+// PageUpdater — atomically with respect to the buffer pool's page
+// latches — and logs the transition under tx. Required for pages that
+// latching access methods touch concurrently (a heap file's tail page
+// whose chain link the append updates while inserters fill its slots).
+// redoOnly marks the record as never-undone; it MUST be set for shared
+// pages, where an undo's before image could wipe interleaved records.
+func (fm *FileManager) updateLogged(tx PageTxn, id PageID, redoOnly bool, fn func(p *Page) error) error {
+	return UpdatePageOn(fm.store, id, func(p *Page) error {
+		var old []byte
+		if tx != nil {
+			old = append([]byte(nil), p.Data...)
+		}
+		if err := fn(p); err != nil {
+			return err
+		}
+		if tx != nil {
+			up := tx.Update
+			if redoOnly {
+				up = tx.UpdateRedoOnly
+			}
+			lsn, logged, err := up(id, old, p.Data)
+			if err != nil {
+				return err
+			}
+			if logged {
+				p.SetLSN(lsn)
+			}
+		}
+		return nil
+	})
 }
 
 // persistLocked writes the directory blob across the directory chain,
@@ -338,6 +387,52 @@ func (fm *FileManager) freeChainLocked(from PageID) error {
 	}
 	if tx != nil {
 		if err := tx.Commit(); err != nil {
+			return err
+		}
+	}
+	for _, id := range ids {
+		if err := fm.store.Deallocate(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FreePagesLogged returns a set of pages (not a chain — e.g. the pages
+// of a dropped B+tree) to the store through the WAL-logged free path:
+// each page's transition to the free type is logged under one lazy
+// system transaction, the log is forced, and only then are the pages
+// handed to the allocator. A crash anywhere in between either keeps the
+// pages allocated (leaked at worst, reclaimed by the free-list rebuild
+// once the markings are durable) or replays the free markings — never
+// double-allocates.
+func (fm *FileManager) FreePagesLogged(ids []PageID) error {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	tx, err := fm.beginSysLocked()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if tx == nil {
+			break
+		}
+		err := fm.updateLogged(tx, id, false, func(p *Page) error {
+			for i := range p.Data {
+				p.Data[i] = 0
+			}
+			return nil
+		})
+		if err != nil {
+			_ = tx.Abort()
+			return err
+		}
+	}
+	if tx != nil {
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		if err := fm.logger.Flush(); err != nil {
 			return err
 		}
 	}
@@ -510,13 +605,19 @@ func (fm *FileManager) appendPageLocked(tx PageTxn, e *fileEntry, t PageType) (P
 		return InvalidPageID, err
 	}
 	if e.lastPage != InvalidPageID {
-		last := make([]byte, PageSize)
-		if err := fm.store.ReadPage(e.lastPage, last); err != nil {
-			return InvalidPageID, err
-		}
-		copy(old, last)
-		WrapPage(e.lastPage, last).SetNext(id)
-		if err := fm.writeLogged(tx, e.lastPage, old, last); err != nil {
+		// The tail page is concurrently latched by heap inserters;
+		// update its chain link under the page latch, and log it
+		// redo-only: the latch is long gone by the time this system
+		// transaction's lazy commit record is appended, so a physical
+		// undo could wipe records a user transaction interleaved on
+		// the tail. Keeping the link on abort/crash is harmless — it
+		// points at a fresh page that stays empty (a leaked page at
+		// worst) and is overwritten by the next successful append.
+		err := fm.updateLogged(tx, e.lastPage, true, func(p *Page) error {
+			p.SetNext(id)
+			return nil
+		})
+		if err != nil {
 			return InvalidPageID, err
 		}
 	} else {

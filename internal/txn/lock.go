@@ -96,12 +96,14 @@ func (lm *LockManager) Acquire(ctx context.Context, txn uint64, resource string,
 			delete(lm.waitsFor, txn)
 			return nil
 		}
-		// Register wait-for edges to current blockers.
-		edges := lm.waitsFor[txn]
-		if edges == nil {
-			edges = make(map[uint64]bool)
-			lm.waitsFor[txn] = edges
-		}
+		// Register wait-for edges to the CURRENT blockers, rebuilding
+		// the edge set from scratch each round: a blocker from an
+		// earlier round may have released and moved on, and a stale
+		// edge to it would manufacture phantom deadlocks (the released
+		// blocker later waiting on us would "close" a cycle that no
+		// longer exists).
+		edges := make(map[uint64]bool)
+		lm.waitsFor[txn] = edges
 		for holder, hmode := range st.holders {
 			if holder == txn {
 				continue

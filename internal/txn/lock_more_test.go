@@ -1,0 +1,246 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLockUpgradeSoloHolder: the sole shared holder upgrades to
+// exclusive in place, without deadlocking against itself.
+func TestLockUpgradeSoloHolder(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(ctx, 1, "r", Exclusive); err != nil {
+		t.Fatalf("solo upgrade: %v", err)
+	}
+	if m, ok := lm.Held(1, "r"); !ok || m != Exclusive {
+		t.Fatalf("held = %v,%v want X", m, ok)
+	}
+	// Exclusive re-acquisition and shared re-acquisition are no-ops.
+	if err := lm.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := lm.Held(1, "r"); m != Exclusive {
+		t.Fatal("shared re-acquire must not downgrade")
+	}
+	lm.ReleaseAll(1)
+	if lm.Locked() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+// TestLockUpgradeWaitsForReaders: an upgrade blocks while other shared
+// holders remain and proceeds once they release.
+func TestLockUpgradeWaitsForReaders(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(ctx, 2, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- lm.Acquire(ctx, 1, "r", Exclusive) }()
+	select {
+	case err := <-got:
+		t.Fatalf("upgrade completed with a second reader present: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	lm.ReleaseAll(2)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("upgrade after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("upgrade never woke up")
+	}
+	if m, ok := lm.Held(1, "r"); !ok || m != Exclusive {
+		t.Fatalf("held = %v,%v want X", m, ok)
+	}
+	lm.ReleaseAll(1)
+}
+
+// TestLockUpgradeDeadlock: two shared holders both requesting the
+// upgrade deadlock; exactly one is chosen as victim, and after it backs
+// off (releasing its share) the survivor upgrades.
+func TestLockUpgradeDeadlock(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	if err := lm.Acquire(ctx, 1, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(ctx, 2, "r", Shared); err != nil {
+		t.Fatal(err)
+	}
+	type res struct {
+		txn uint64
+		err error
+	}
+	results := make(chan res, 2)
+	for _, id := range []uint64{1, 2} {
+		id := id
+		go func() {
+			err := lm.Acquire(ctx, id, "r", Exclusive)
+			if errors.Is(err, ErrDeadlock) {
+				lm.ReleaseAll(id) // victims abort, freeing their share
+			}
+			results <- res{id, err}
+		}()
+	}
+	var victims, winners int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if errors.Is(r.err, ErrDeadlock) {
+			victims++
+		} else if r.err == nil {
+			winners++
+		} else {
+			t.Fatalf("txn %d: %v", r.txn, r.err)
+		}
+	}
+	if victims != 1 || winners != 1 {
+		t.Fatalf("victims=%d winners=%d, want exactly one of each", victims, winners)
+	}
+}
+
+// TestDeadlockThreeWayCycle: T1 holds A, T2 holds B, T3 holds C; each
+// then requests the next resource, closing a 3-cycle. Exactly one
+// victim aborts; the others complete after it releases.
+func TestDeadlockThreeWayCycle(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+	holds := map[uint64]string{1: "A", 2: "B", 3: "C"}
+	wants := map[uint64]string{1: "B", 2: "C", 3: "A"}
+	for id, r := range holds {
+		if err := lm.Acquire(ctx, id, r, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type res struct {
+		txn uint64
+		err error
+	}
+	results := make(chan res, 3)
+	var wg sync.WaitGroup
+	for id := uint64(1); id <= 3; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := lm.Acquire(ctx, id, wants[id], Exclusive)
+			// Victim or not, the transaction then "finishes" and frees
+			// everything it holds, so the remaining waiters drain.
+			lm.ReleaseAll(id)
+			results <- res{id, err}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	victims := 0
+	for r := range results {
+		if errors.Is(r.err, ErrDeadlock) {
+			victims++
+		} else if r.err != nil {
+			t.Fatalf("txn %d: %v", r.txn, r.err)
+		}
+	}
+	if victims != 1 {
+		t.Fatalf("victims = %d, want exactly 1 (minimal victim set for one cycle)", victims)
+	}
+	if lm.Locked() != 0 {
+		t.Fatal("locks leaked after cycle resolution")
+	}
+}
+
+// TestNoPhantomDeadlockFromStaleEdges is the wakeup-audit regression:
+// wait-for edges must be rebuilt from the CURRENT blockers on every
+// retry. Sequence: T1 waits on T2 (edge T1->T2), T2 releases, T1's next
+// blocker is T3. If the stale T1->T2 edge survived, T2 waiting on T1
+// later would be declared a deadlock even though no cycle exists.
+func TestNoPhantomDeadlockFromStaleEdges(t *testing.T) {
+	lm := NewLockManager()
+	ctx := context.Background()
+
+	// T2 holds R; T3 holds S. T1 parks waiting for R (edge T1->T2),
+	// then R is handed to T3 — T1's real blocker becomes T3.
+	if err := lm.Acquire(ctx, 2, "R", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Acquire(ctx, 3, "S", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	t1done := make(chan error, 1)
+	go func() {
+		err := lm.Acquire(ctx, 1, "R", Exclusive)
+		lm.ReleaseAll(1)
+		t1done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // T1 is parked with edge T1->T2
+
+	// Hand R from T2 to T3 while T1 sleeps. Both T1 and T3 race for
+	// the grant; either way T1's retry must rebuild its edges from the
+	// holders it actually sees.
+	t3got := make(chan error, 1)
+	go func() {
+		err := lm.Acquire(ctx, 3, "R", Exclusive)
+		lm.ReleaseAll(3) // releases R and S once it got R
+		t3got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	lm.ReleaseAll(2)
+	time.Sleep(20 * time.Millisecond)
+
+	// T2 (holding nothing) now waits on S while T3 still holds it. If
+	// T1 kept its stale edge T1->T2 and T3 waits behind T1, the graph
+	// would show the phantom cycle T2->T3->T1->T2 and wrongly abort
+	// T2. With per-retry rebuilt edges there is no cycle through T2:
+	// the wait simply drains as R and S are released.
+	if err := lm.Acquire(ctx, 2, "S", Exclusive); err != nil {
+		t.Fatalf("phantom deadlock from stale wait-for edges: %v", err)
+	}
+	lm.ReleaseAll(2)
+	for _, ch := range []chan error{t1done, t3got} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("grant: %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter never drained")
+		}
+	}
+	if lm.Locked() != 0 {
+		t.Fatal("locks leaked")
+	}
+}
+
+// TestAcquireContextCancellation: a blocked acquisition observes
+// context cancellation instead of waiting forever.
+func TestAcquireContextCancellation(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.Acquire(context.Background(), 1, "r", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- lm.Acquire(ctx, 2, "r", Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancellation not observed")
+	}
+	lm.ReleaseAll(1)
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/access"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -17,6 +18,9 @@ var (
 	ErrTxnDone = errors.New("txn: transaction already finished")
 	// ErrNoWAL is returned by Checkpoint without an attached log.
 	ErrNoWAL = errors.New("txn: no WAL attached")
+	// ErrNoUndoHandler is returned when a rollback meets a logical undo
+	// descriptor but no handler was installed.
+	ErrNoUndoHandler = errors.New("txn: no logical undo handler installed")
 )
 
 // Status is the lifecycle state of a transaction.
@@ -117,6 +121,13 @@ func (t *Txn) Lock(ctx context.Context, resource string, mode LockMode) error {
 	return t.mgr.locks.Acquire(ctx, t.id, resource, mode)
 }
 
+// UndoHandler executes the logical inverse of a WAL record (see
+// internal/undo). The tx passed in is a compensation context: records
+// logged through it carry the redo-only marker.
+type UndoHandler interface {
+	UndoRecord(tx access.TxnContext, rec *wal.Record) error
+}
+
 // Manager creates and finishes transactions. With a WAL attached,
 // begin/commit/abort are logged and commit forces the log; without one,
 // transactions still provide locking and in-memory undo.
@@ -125,6 +136,7 @@ type Manager struct {
 	store storage.PageStore // for undo application; may be nil without log
 	locks *LockManager
 	next  atomic.Uint64
+	undo  atomic.Pointer[UndoHandler]
 
 	mu     sync.Mutex
 	active map[uint64]*Txn
@@ -149,6 +161,55 @@ func NewManager(log *wal.Log, store storage.PageStore) *Manager {
 
 // Locks exposes the lock manager.
 func (m *Manager) Locks() *LockManager { return m.locks }
+
+// SetUndoHandler installs the logical-undo executor. Must be set before
+// any transaction logging logical undo descriptors can abort.
+func (m *Manager) SetUndoHandler(h UndoHandler) { m.undo.Store(&h) }
+
+func (m *Manager) undoHandler() UndoHandler {
+	if p := m.undo.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ReserveID hands out a transaction-id-space identifier without
+// starting a transaction. Lock-only sessions (read locks for unlogged
+// point reads) use it so their lock owners never collide with real
+// transactions.
+func (m *Manager) ReserveID() uint64 { return m.next.Add(1) }
+
+// SystemHooks adapts the manager into the access-layer system
+// transaction interface: short WAL-logged page mutations (B+tree
+// structure modifications, deferred slot purges) that begin and commit
+// independently of any user transaction. Commits are lazy — WAL
+// ordering makes them durable before any dependent user commit is
+// acknowledged.
+func (m *Manager) SystemHooks() access.SystemTxnHooks {
+	return access.SystemTxnHooks{
+		Begin: func() (access.TxnContext, error) {
+			t, err := m.Begin()
+			if err != nil {
+				return nil, err
+			}
+			return t, nil
+		},
+		Commit: func(c access.TxnContext) error { return m.CommitLazy(c.(*Txn)) },
+		Abort:  func(c access.TxnContext) error { return m.Abort(c.(*Txn)) },
+	}
+}
+
+// SystemHooksHeldLatches is SystemHooks for callers that keep the
+// exclusive page latches of every page the transaction touched for the
+// transaction's whole lifetime (B+tree structure modifications). Its
+// Abort restores pages with plain writes instead of re-latching them —
+// re-latching would self-deadlock on the caller's own latches, and the
+// held latches already exclude every other writer.
+func (m *Manager) SystemHooksHeldLatches() access.SystemTxnHooks {
+	h := m.SystemHooks()
+	h.Abort = func(c access.TxnContext) error { return m.abort(c.(*Txn), false) }
+	return h
+}
 
 // Begin starts a transaction, logging RecBegin when a WAL is attached.
 func (m *Manager) Begin() (*Txn, error) {
@@ -241,15 +302,59 @@ func (m *Manager) FinishCommit(t *Txn, lsn wal.LSN) error {
 	return nil
 }
 
-// Abort rolls the transaction back: before images are applied in
-// reverse order, each restoration is logged as a compensation record
-// (a redo-only update whose after image is the restored bytes), then
-// RecAbort is logged and locks released. Because RecAbort is appended
-// only after every compensation record, recovery can treat an aborted
-// transaction like a committed no-op — replaying its updates and
-// compensations in log order — instead of re-applying stale before
-// images over pages later transactions may have rewritten.
-func (m *Manager) Abort(t *Txn) error {
+// clrContext is the TxnContext compensation records are logged under:
+// it continues the aborting transaction's LSN chain but registers
+// nothing for further undo, and flags itself as compensating so every
+// record logged through it carries the redo-only marker.
+type clrContext struct {
+	id   uint64
+	mu   sync.Mutex
+	last wal.LSN
+}
+
+func (c *clrContext) ID() uint64 { return c.id }
+
+func (c *clrContext) LastLSN() wal.LSN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+func (c *clrContext) Record(rec *wal.Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.last = rec.LSN
+}
+
+// Compensating implements access.CompensationContext.
+func (c *clrContext) Compensating() bool { return true }
+
+// Abort rolls the transaction back in reverse log order, then logs
+// RecAbort and releases its locks.
+//
+// Records with logical undo descriptors (key- and record-level heap and
+// index mutations) are undone by re-executing the inverse operation
+// through the installed UndoHandler — under page latches, logging each
+// step as a redo-only compensation. Restoring their before images
+// instead would be unsound: concurrent transactions interleave freely
+// on shared pages under per-key locking, and a stale image would wipe
+// their committed bytes.
+//
+// Records without descriptors (system transactions — file-directory
+// maintenance, index structure modifications — whose latches or locks
+// exclude interleaving writers for their whole lifetime) are restored
+// physically from before images, each restoration logged as a
+// compensation record. Because RecAbort is appended only after every
+// compensation, recovery can treat an aborted transaction like a
+// committed no-op — replaying its updates and compensations in log
+// order.
+func (m *Manager) Abort(t *Txn) error { return m.abort(t, true) }
+
+// abort implements Abort. latched selects whether physical restores
+// re-acquire page latches (normal aborts) or write directly because the
+// caller already holds every relevant latch exclusively (structure-
+// modification rollback).
+func (m *Manager) abort(t *Txn, latched bool) error {
 	t.mu.Lock()
 	if t.status != StatusActive {
 		t.mu.Unlock()
@@ -267,53 +372,9 @@ func (m *Manager) Abort(t *Txn) error {
 	// half-rolled-back state; callers must treat the engine as failed
 	// (the KV core poisons itself) or restart, at which point recovery
 	// undoes the still-in-flight transaction from the log.
-	if m.store != nil || m.log != nil {
-		buf := make([]byte, storage.PageSize)
-		restored := make([]byte, storage.PageSize)
-		for i := len(undo) - 1; i >= 0; i-- {
-			rec := undo[i]
-			if m.store == nil {
-				// Log-only mode: a plain redo-only compensation record.
-				clr := &wal.Record{
-					Txn:     t.id,
-					Type:    wal.RecUpdate,
-					PageID:  rec.PageID,
-					Offset:  rec.Offset,
-					After:   append([]byte(nil), rec.Before...),
-					PrevLSN: prev,
-				}
-				lsn, err := m.log.Append(clr)
-				if err != nil {
-					return err
-				}
-				prev = lsn
-				continue
-			}
-			if err := m.store.ReadPage(rec.PageID, buf); err != nil {
-				return fmt.Errorf("txn: undo read page %d: %w", rec.PageID, err)
-			}
-			copy(restored, buf)
-			p := storage.WrapPage(rec.PageID, restored)
-			copy(p.Data[rec.Offset:int(rec.Offset)+len(rec.Before)], rec.Before)
-			p.SetLSN(uint64(rec.LSN))
-			if m.log != nil {
-				// The compensation goes through the same fence-checked
-				// append as forward mutations, so a rollback touching a
-				// page for the first time after a checkpoint still logs
-				// the full image torn-page rebuild depends on.
-				clr, err := m.log.AppendPageUpdate(t.id, prev, rec.PageID, buf, restored)
-				if err != nil {
-					return err
-				}
-				if clr != nil {
-					prev = clr.LSN
-					p.SetLSN(uint64(clr.LSN))
-				}
-			}
-			if err := m.store.WritePage(rec.PageID, p.Data); err != nil {
-				return fmt.Errorf("txn: undo write page %d: %w", rec.PageID, err)
-			}
-		}
+	prev, err := m.rollback(t.id, undo, prev, latched)
+	if err != nil {
+		return err
 	}
 	if m.log != nil {
 		if _, err := m.log.Append(&wal.Record{Txn: t.id, Type: wal.RecAbort, PrevLSN: prev}); err != nil {
@@ -322,6 +383,141 @@ func (m *Manager) Abort(t *Txn) error {
 	}
 	m.finish(t)
 	return nil
+}
+
+// rollback undoes recs in reverse order on behalf of txnID, returning
+// the LSN chain tail for the closing RecAbort.
+func (m *Manager) rollback(txnID uint64, recs []*wal.Record, prev wal.LSN, latched bool) (wal.LSN, error) {
+	if m.store == nil && m.log == nil {
+		return prev, nil
+	}
+	clr := &clrContext{id: txnID}
+	buf := make([]byte, storage.PageSize)
+	for i := len(recs) - 1; i >= 0; i-- {
+		rec := recs[i]
+		switch {
+		case rec.RedoOnly():
+			// A compensation from an earlier, interrupted rollback of
+			// this transaction: never undone.
+		case rec.LogicalUndo():
+			h := m.undoHandler()
+			if h == nil {
+				return prev, fmt.Errorf("%w: record %d", ErrNoUndoHandler, rec.LSN)
+			}
+			clr.mu.Lock()
+			clr.last = prev
+			clr.mu.Unlock()
+			if err := h.UndoRecord(clr, rec); err != nil {
+				return prev, fmt.Errorf("txn: logical undo of record %d: %w", rec.LSN, err)
+			}
+			prev = clr.LastLSN()
+		case m.store == nil:
+			// Log-only mode: a plain redo-only compensation record.
+			lsn, err := m.log.Append(&wal.Record{
+				Txn:     txnID,
+				Type:    wal.RecUpdate,
+				PageID:  rec.PageID,
+				Offset:  rec.Offset,
+				After:   append([]byte(nil), rec.Before...),
+				PrevLSN: prev,
+				Undo:    wal.UndoNone,
+			})
+			if err != nil {
+				return prev, err
+			}
+			prev = lsn
+		default:
+			// Physical restore. The restore-and-log step runs under the
+			// page's latch (atomic with respect to latched writers)
+			// unless the caller already holds every relevant latch
+			// exclusively — re-latching would then self-deadlock, and
+			// the held latches provide the same exclusion.
+			restore := func(p *storage.Page) error {
+				copy(buf, p.Data)
+				copy(p.Data[rec.Offset:int(rec.Offset)+len(rec.Before)], rec.Before)
+				p.SetLSN(uint64(rec.LSN))
+				if m.log != nil {
+					// The compensation goes through the same fence-
+					// checked append as forward mutations, so a rollback
+					// touching a page for the first time after a
+					// checkpoint still logs the full image torn-page
+					// rebuild depends on.
+					cr, err := m.log.AppendPageUpdate(txnID, prev, rec.PageID, buf, p.Data, nil)
+					if err != nil {
+						return err
+					}
+					if cr != nil {
+						prev = cr.LSN
+						p.SetLSN(uint64(cr.LSN))
+					}
+				}
+				return nil
+			}
+			var err error
+			if latched {
+				err = storage.UpdatePageOn(m.store, rec.PageID, restore)
+			} else {
+				page := make([]byte, storage.PageSize)
+				if err = m.store.ReadPage(rec.PageID, page); err == nil {
+					p := storage.WrapPage(rec.PageID, page)
+					if err = restore(p); err == nil {
+						err = m.store.WritePage(rec.PageID, p.Data)
+					}
+				}
+			}
+			if err != nil {
+				return prev, fmt.Errorf("txn: undo page %d: %w", rec.PageID, err)
+			}
+		}
+	}
+	return prev, nil
+}
+
+// UndoLosers rolls back the in-flight transactions a crash left behind
+// whose records carry logical undo descriptors. Recovery's redo has
+// already repeated history, so the pages hold exactly the state the
+// losers left; each inverse operation runs through the normal latched
+// access paths, logs a redo-only compensation, and the transaction is
+// closed with RecAbort — a crash during this rollback therefore reruns
+// it idempotently (inverses tolerate having already been applied). The
+// log is forced at the end so the RecAborts are durable before traffic
+// starts.
+func (m *Manager) UndoLosers(losers []wal.LoserTxn) error {
+	if len(losers) == 0 {
+		return nil
+	}
+	if m.log == nil {
+		return ErrNoWAL
+	}
+	for _, lt := range losers {
+		prev := wal.ZeroLSN
+		if n := len(lt.Records); n > 0 {
+			prev = lt.Records[n-1].LSN
+		}
+		prev, err := m.rollback(lt.ID, lt.Records, prev, true)
+		if err != nil {
+			return fmt.Errorf("txn: rolling back crashed txn %d: %w", lt.ID, err)
+		}
+		if _, err := m.log.Append(&wal.Record{Txn: lt.ID, Type: wal.RecAbort, PrevLSN: prev}); err != nil {
+			return err
+		}
+		m.EnsureIDsAbove(lt.ID)
+	}
+	return m.log.Flush(m.log.NextLSN())
+}
+
+// EnsureIDsAbove advances the transaction-id allocator past id. The
+// opener calls it with the highest id the recovery scan saw: reusing a
+// crashed transaction's id would let a later recovery misclassify the
+// old incarnation's surviving records under the new incarnation's
+// commit status.
+func (m *Manager) EnsureIDsAbove(id uint64) {
+	for {
+		cur := m.next.Load()
+		if id <= cur || m.next.CompareAndSwap(cur, id) {
+			return
+		}
+	}
 }
 
 func (m *Manager) finish(t *Txn) {

@@ -2,6 +2,7 @@ package txn
 
 import (
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 // PageLogger exposes the manager as a storage.PageLogger, so the file
@@ -44,7 +45,20 @@ type pageTxn struct {
 // through the WAL's fence-checked path, which picks a minimal diff or —
 // for the page's first mutation after a checkpoint — a full page image.
 func (p *pageTxn) Update(id storage.PageID, before, after []byte) (uint64, bool, error) {
-	rec, err := p.m.log.AppendPageUpdate(p.t.ID(), p.t.LastLSN(), id, before, after)
+	return p.update(id, before, after, nil)
+}
+
+// UpdateRedoOnly implements storage.PageTxn: the record carries the
+// redo-only marker, so neither rollback nor crash recovery of an
+// in-flight system transaction ever restores its before image (which
+// could wipe records concurrent transactions interleaved on the page
+// after the latch was released).
+func (p *pageTxn) UpdateRedoOnly(id storage.PageID, before, after []byte) (uint64, bool, error) {
+	return p.update(id, before, after, wal.UndoNone)
+}
+
+func (p *pageTxn) update(id storage.PageID, before, after, undo []byte) (uint64, bool, error) {
+	rec, err := p.m.log.AppendPageUpdate(p.t.ID(), p.t.LastLSN(), id, before, after, undo)
 	if err != nil {
 		return 0, false, err
 	}

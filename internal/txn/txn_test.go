@@ -10,6 +10,7 @@ import (
 	"repro/internal/access"
 	"repro/internal/buffer"
 	"repro/internal/storage"
+	"repro/internal/undo"
 	"repro/internal/wal"
 )
 
@@ -175,7 +176,15 @@ func testEngine(t *testing.T) (*Manager, *access.HeapFile, *buffer.Manager, *wal
 	}
 	h.SetLog(l)
 	pool.SetBeforeEvict(l.BeforeEvict())
-	return NewManager(l, pool), h, pool, l
+	m := NewManager(l, pool)
+	// Heap mutations log logical undo descriptors; rollback executes
+	// them through the undo executor, exactly as the full engine wires
+	// it.
+	ex := undo.NewExecutor(pool, l)
+	ex.SetSystemTxns(m.SystemHooksHeldLatches())
+	m.SetUndoHandler(ex)
+	h.SetSystemTxns(m.SystemHooks())
+	return m, h, pool, l
 }
 
 func TestTxnCommit(t *testing.T) {
@@ -496,6 +505,9 @@ func TestAbortThenCrashRecovery(t *testing.T) {
 	pool.SetBeforeEvict(l.BeforeEvict())
 	m := NewManager(l, pool)
 	fm.SetLogger(m.PageLogger())
+	ex := undo.NewExecutor(pool, l)
+	ex.SetSystemTxns(m.SystemHooksHeldLatches())
+	m.SetUndoHandler(ex)
 
 	tx0, _ := m.Begin()
 	rid, err := h.Insert(tx0, []byte("baseline"))

@@ -1,0 +1,110 @@
+// Package undo executes logical rollback: it maps the undo descriptors
+// that heap and B+tree mutations attach to their WAL records back onto
+// the inverse operations, running them through the normal latched
+// access paths. The transaction manager calls it for live aborts; after
+// a crash it rolls back the in-flight "loser" transactions that
+// recovery's repeat-history redo reinstated.
+//
+// Logical undo is the half of ARIES that fine-grained locking forces:
+// redo stays physical (page images), but once transactions interleave
+// on shared pages, undo must re-execute inverse operations instead of
+// restoring stale before images.
+package undo
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Executor resolves and applies logical undo descriptors. It keeps a
+// registry of live B+tree handles (so rollback adjusts the same
+// in-memory entry counts the engine reads) and opens throwaway handles
+// for trees only named in the log — coherent by construction, because
+// trees read their root pointer from the latched metadata page rather
+// than caching it.
+type Executor struct {
+	pool *buffer.Manager
+	log  *wal.Log
+	sys  access.SystemTxnHooks
+
+	mu    sync.Mutex
+	trees map[storage.PageID]*index.BTree
+}
+
+// NewExecutor creates an executor over the pool and log.
+func NewExecutor(pool *buffer.Manager, log *wal.Log) *Executor {
+	return &Executor{pool: pool, log: log, trees: make(map[storage.PageID]*index.BTree)}
+}
+
+// SetSystemTxns supplies the system-transaction hooks wired into trees
+// the executor opens itself (splits during an undo re-insert must be
+// logged like any other structure modification).
+func (e *Executor) SetSystemTxns(s access.SystemTxnHooks) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sys = s
+}
+
+// Register makes a live tree handle the rollback target for its
+// metadata page id.
+func (e *Executor) Register(t *index.BTree) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.trees[t.MetaID()] = t
+}
+
+// Unregister removes a tree (dropped indexes).
+func (e *Executor) Unregister(metaID storage.PageID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.trees, metaID)
+}
+
+func (e *Executor) tree(metaID storage.PageID) (*index.BTree, error) {
+	e.mu.Lock()
+	if t, ok := e.trees[metaID]; ok {
+		e.mu.Unlock()
+		return t, nil
+	}
+	sys := e.sys
+	e.mu.Unlock()
+	t, err := index.Open(e.pool, metaID)
+	if err != nil {
+		return nil, err
+	}
+	t.SetLog(e.log)
+	t.SetSystemTxns(sys)
+	e.mu.Lock()
+	e.trees[metaID] = t
+	e.mu.Unlock()
+	return t, nil
+}
+
+// UndoRecord rolls one logged operation back under tx (a compensation
+// context: everything it logs carries the redo-only marker). It
+// implements txn.UndoHandler.
+func (e *Executor) UndoRecord(tx access.TxnContext, rec *wal.Record) error {
+	desc := rec.Undo
+	if len(desc) == 0 || rec.RedoOnly() {
+		return fmt.Errorf("undo: record %d has no logical undo", rec.LSN)
+	}
+	if handled, err := access.ApplyHeapUndo(e.pool, e.log, tx, desc); handled || err != nil {
+		return err
+	}
+	if _, metaID, _, _, ok, err := index.DecodeUndo(desc); err != nil {
+		return err
+	} else if ok {
+		t, err := e.tree(metaID)
+		if err != nil {
+			return err
+		}
+		return t.ApplyUndo(tx, desc)
+	}
+	return fmt.Errorf("undo: unknown descriptor kind %d (record %d)", desc[0], rec.LSN)
+}

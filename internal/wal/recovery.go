@@ -9,6 +9,16 @@ import (
 	"repro/internal/storage"
 )
 
+// LoserTxn is one in-flight transaction whose records carry logical
+// undo descriptors. Recover cannot roll it back itself — the inverse
+// operations live in the access layer — so it returns the records (in
+// log order) for the transaction manager to undo through the registered
+// undo handler once the access methods are open.
+type LoserTxn struct {
+	ID      uint64
+	Records []*Record // update records in log order
+}
+
 // RecoveryStats reports what recovery did.
 type RecoveryStats struct {
 	Scanned   int
@@ -24,13 +34,23 @@ type RecoveryStats struct {
 	// from the logged markings, so the opener should rebuild the free
 	// list even when redo itself had nothing to repair.
 	FreeImages int
+	// Losers holds the in-flight transactions that logged logical undo
+	// descriptors. Their updates were redone (repeating history); the
+	// caller must finish the rollback with Manager.UndoLosers after the
+	// heap/index layer is available.
+	Losers []LoserTxn
+	// MaxTxnID is the highest transaction id the scan saw. The opener
+	// seeds the transaction-id allocator above it so crashed ids are
+	// never reused (a reuse would let a later recovery misclassify the
+	// old incarnation's records under the new incarnation's status).
+	MaxTxnID uint64
 }
 
 // Changed reports whether recovery had to repair anything — callers use
 // it to decide whether crash-only follow-up work (free-list rebuild) is
 // warranted.
 func (st RecoveryStats) Changed() bool {
-	return st.Redone > 0 || st.Undone > 0 || st.Rebuilt > 0
+	return st.Redone > 0 || st.Undone > 0 || st.Rebuilt > 0 || len(st.Losers) > 0
 }
 
 // pageExtender is implemented by stores (the disk manager) that can
@@ -85,19 +105,27 @@ func readPageForRecovery(store storage.PageStore, id storage.PageID, buf []byte,
 //     record that could still matter is inside the scan) classifies
 //     transactions as committed, aborted, or in-flight, and collects
 //     update records.
-//  2. Redo: updates of committed AND cleanly-aborted transactions are
-//     reapplied in log order wherever the page LSN shows the write
-//     never reached the page (page.LSN < record.LSN). An aborted
+//  2. Redo repeats history: EVERY update is reapplied in log order
+//     wherever the page LSN shows the write never reached the page
+//     (page.LSN < record.LSN) — including updates of in-flight losers,
+//     so that the logical undo in step 3 operates on exactly the page
+//     state the crashed transactions left behind. An aborted
 //     transaction is safe to replay because the transaction manager
 //     appends RecAbort only after logging a compensation record for
 //     every undone update — replaying updates then compensations in
 //     order nets out to the rollback, without re-applying stale before
 //     images over bytes later transactions may have rewritten.
-//  3. Undo: updates of in-flight transactions (no commit or abort
-//     record) are reverted in reverse log order using before images.
-//     Compensation records of a crashed (incomplete) abort are undone
-//     first and their originals after, netting out to the original
-//     before-images.
+//  3. Undo: in-flight transactions whose records are all physically
+//     undoable (system transactions: file-directory maintenance, index
+//     structure modifications — their page records never interleave
+//     with other transactions') are reverted here in reverse log order
+//     using before images. Transactions with logical-undo records
+//     (per-key heap and index operations, which DO interleave on
+//     shared pages under fine-grained locking) are returned in
+//     Losers for Manager.UndoLosers to roll back through the access
+//     methods once they are open — each inverse operation is logged as
+//     a redo-only compensation and the transaction closed with a
+//     RecAbort, so a crash during recovery reruns to the same state.
 //
 // Pages touched by undo/redo are stamped with the record's LSN so that
 // recovery is idempotent: running it twice is a no-op.
@@ -108,6 +136,9 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 	var updates []*Record
 	err := l.Iterate(st.ScanFrom, func(rec *Record) error {
 		st.Scanned++
+		if rec.Txn > st.MaxTxnID {
+			st.MaxTxnID = rec.Txn
+		}
 		switch rec.Type {
 		case RecBegin:
 			status[rec.Txn] = RecBegin
@@ -125,6 +156,12 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 	})
 	if err != nil {
 		return st, fmt.Errorf("wal: analysis: %w", err)
+	}
+	logical := make(map[uint64]bool) // loser txns needing logical undo
+	for _, rec := range updates {
+		if status[rec.Txn] == RecBegin && rec.LogicalUndo() {
+			logical[rec.Txn] = true
+		}
 	}
 	for _, s := range status {
 		switch s {
@@ -146,11 +183,8 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 		return store.WritePage(rec.PageID, p.Data)
 	}
 
-	// Redo committed and cleanly-aborted work in log order.
+	// Redo in log order, repeating history for every transaction.
 	for _, rec := range updates {
-		if s := status[rec.Txn]; s != RecCommit && s != RecAbort {
-			continue
-		}
 		if err := readPageForRecovery(store, rec.PageID, buf, &st); err != nil {
 			return st, fmt.Errorf("wal: redo read page %d: %w", rec.PageID, err)
 		}
@@ -158,7 +192,8 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 		if p.LSN() >= uint64(rec.LSN) {
 			continue // already on the page
 		}
-		if rec.Offset == 0 && len(rec.After) > 0 && storage.PageType(rec.After[0]) == storage.PageTypeFree {
+		if s := status[rec.Txn]; (s == RecCommit || s == RecAbort) &&
+			rec.Offset == 0 && len(rec.After) > 0 && storage.PageType(rec.After[0]) == storage.PageTypeFree {
 			// A free marking the crash actually lost had to be
 			// replayed; only then is the allocator's list suspect
 			// (counted here, after the already-applied check, so clean
@@ -173,10 +208,11 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 		st.Redone++
 	}
 
-	// Undo in-flight losers in reverse log order.
+	// Physically undo in-flight losers without logical records, in
+	// reverse log order.
 	losers := updates[:0:0]
 	for _, rec := range updates {
-		if status[rec.Txn] == RecBegin {
+		if status[rec.Txn] == RecBegin && !logical[rec.Txn] {
 			losers = append(losers, rec)
 		}
 	}
@@ -186,6 +222,28 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 			return st, fmt.Errorf("wal: undo: %w", err)
 		}
 		st.Undone++
+	}
+
+	// Hand logical losers back for access-layer rollback, records in
+	// log order per transaction.
+	if len(logical) > 0 {
+		byTxn := make(map[uint64]*LoserTxn, len(logical))
+		var order []uint64
+		for _, rec := range updates {
+			if !logical[rec.Txn] {
+				continue
+			}
+			lt := byTxn[rec.Txn]
+			if lt == nil {
+				lt = &LoserTxn{ID: rec.Txn}
+				byTxn[rec.Txn] = lt
+				order = append(order, rec.Txn)
+			}
+			lt.Records = append(lt.Records, rec)
+		}
+		for _, id := range order {
+			st.Losers = append(st.Losers, *byTxn[id])
+		}
 	}
 	if err := store.Sync(); err != nil {
 		return st, err

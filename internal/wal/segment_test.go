@@ -206,7 +206,7 @@ func TestFullPageWriteAfterFence(t *testing.T) {
 	next := func(lsn LSN, mut func([]byte)) *Record {
 		before := append([]byte(nil), page...)
 		mut(page)
-		rec, err := l.AppendPageUpdate(1, 0, 42, before, page)
+		rec, err := l.AppendPageUpdate(1, 0, 42, before, page, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

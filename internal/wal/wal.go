@@ -81,10 +81,37 @@ type Record struct {
 	Before  []byte
 	After   []byte
 	PrevLSN LSN // previous record of the same transaction
+	// Undo is an opaque logical-undo descriptor attached by the access
+	// layer. Empty means the record is physically undoable (restore the
+	// before image); UndoNone marks a redo-only record (a compensation
+	// logged while rolling a logical operation back); anything else
+	// names the inverse operation (delete the inserted key, re-insert
+	// the deleted record, ...) that the access methods execute to undo
+	// it. Logical undo is what makes rollback safe once transactions
+	// interleave on shared pages: restoring a stale before image would
+	// wipe the bytes concurrent committed transactions wrote next to
+	// ours, while re-running the inverse operation under page latches
+	// touches exactly the entry being undone.
+	Undo []byte
 	// End is the LSN one past this record. It is set when the record is
 	// read back via Iterate (not persisted); log shippers use it as
 	// their resume watermark.
 	End LSN
+}
+
+// UndoNone is the redo-only undo descriptor: the record is never
+// undone, neither physically nor logically (compensation records).
+var UndoNone = []byte{0}
+
+// RedoOnly reports whether the record carries the redo-only marker.
+func (r *Record) RedoOnly() bool {
+	return len(r.Undo) == 1 && r.Undo[0] == 0
+}
+
+// LogicalUndo reports whether the record carries a logical-undo
+// descriptor (as opposed to physical before-image undo or redo-only).
+func (r *Record) LogicalUndo() bool {
+	return len(r.Undo) > 0 && !r.RedoOnly()
 }
 
 // DefaultSegmentBytes is the roll threshold used when OpenDir is given
@@ -146,6 +173,14 @@ type Log struct {
 	windowSkips    uint64     // windows skipped by the siblings gate
 	rolls          uint64     // segment rollovers performed
 	rollFails      uint64     // rollover attempts that failed (retried)
+
+	// retainFn, when set, reports the minimum LSN an external consumer
+	// (a replication shipper) still needs; checkpoint truncation keeps
+	// every segment at or above it even when the recovery-begin LSN has
+	// moved past, so slow replicas resume instead of hitting
+	// ErrSegmentGone and restarting from a full copy.
+	retainFn      func() LSN
+	retainedHolds uint64 // segments kept alive only by the retention hook
 }
 
 // Open opens (or initialises) a log over a single device: the
@@ -543,10 +578,12 @@ func (l *Log) Syncs() uint64 {
 
 // encode appends the wire form of rec (excluding LSN assignment) to dst.
 // Layout: u32 len | u32 crc | u64 txn | u8 type | u64 page | u16 off |
-// u32 blen | before | u32 alen | after | u64 prevLSN. len covers
-// everything after the len field itself.
+// u32 blen | before | u32 alen | after | u64 prevLSN | u16 ulen | undo.
+// len covers everything after the len field itself. The trailing undo
+// descriptor is optional on read (records written before logical undo
+// existed simply end after prevLSN).
 func encode(dst []byte, rec *Record) []byte {
-	body := make([]byte, 0, 35+len(rec.Before)+len(rec.After))
+	body := make([]byte, 0, 37+len(rec.Before)+len(rec.After)+len(rec.Undo))
 	var tmp [8]byte
 	binary.LittleEndian.PutUint64(tmp[:], rec.Txn)
 	body = append(body, tmp[:]...)
@@ -563,6 +600,9 @@ func encode(dst []byte, rec *Record) []byte {
 	body = append(body, rec.After...)
 	binary.LittleEndian.PutUint64(tmp[:], uint64(rec.PrevLSN))
 	body = append(body, tmp[:]...)
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(rec.Undo)))
+	body = append(body, tmp[:2]...)
+	body = append(body, rec.Undo...)
 
 	crc := crc32.Checksum(body, crcTable)
 	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(body))+4) // len includes crc
@@ -630,6 +670,17 @@ func (s *segment) readRecord(lsn, limit LSN) (*Record, LSN, error) {
 	rec.After = append([]byte(nil), body[p:p+int(alen)]...)
 	p += int(alen)
 	rec.PrevLSN = LSN(binary.LittleEndian.Uint64(body[p:]))
+	p += 8
+	if p+2 <= len(body) {
+		ulen := int(binary.LittleEndian.Uint16(body[p:]))
+		p += 2
+		if p+ulen > len(body) {
+			return nil, 0, ErrCorrupt
+		}
+		if ulen > 0 {
+			rec.Undo = append([]byte(nil), body[p:p+ulen]...)
+		}
+	}
 	next := lsn + LSN(4+total)
 	rec.End = next
 	return rec, next, nil
@@ -663,7 +714,13 @@ func (l *Log) appendLocked(rec *Record) LSN {
 // and torn pages stay rebuildable after old segments are truncated.
 //
 // Returns nil (no error) when before and after are identical.
-func (l *Log) AppendPageUpdate(txnID uint64, prevLSN LSN, pid storage.PageID, before, after []byte) (*Record, error) {
+//
+// undo optionally attaches a logical-undo descriptor (or the UndoNone
+// redo-only marker for compensation records); nil selects physical
+// before-image undo, which is only sound when no concurrent transaction
+// can interleave records on the same page (system transactions holding
+// the page latch or a structure-wide lock for their whole lifetime).
+func (l *Log) AppendPageUpdate(txnID uint64, prevLSN LSN, pid storage.PageID, before, after, undo []byte) (*Record, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	lo, hi := 0, len(before)
@@ -681,6 +738,7 @@ func (l *Log) AppendPageUpdate(txnID uint64, prevLSN LSN, pid storage.PageID, be
 		Before:  append([]byte(nil), before[lo:hi]...),
 		After:   append([]byte(nil), after[lo:hi]...),
 		PrevLSN: prevLSN,
+		Undo:    undo,
 	}
 	l.appendLocked(rec)
 	return rec, nil
@@ -1000,13 +1058,29 @@ func (l *Log) CompleteCheckpoint(ckpt, recoveryBegin LSN) error {
 		return err
 	}
 	// Truncate: drop segments whose every record lies below the
-	// recovery-begin LSN. The active segment is never dropped. Each
-	// segment leaves l.segs only after its file removal succeeded, so a
-	// removal failure keeps the log's view (OldestLSN, Size, Iterate)
-	// honest and the retry happens at the next checkpoint.
+	// recovery-begin LSN — and below the retention hook's min-shipped
+	// LSN, so a lagging log shipper keeps its unread suffix instead of
+	// being forced into a full resynchronisation. The manifest above
+	// still records the true recovery-begin LSN: retention only delays
+	// file removal, never recovery semantics. The active segment is
+	// never dropped. Each segment leaves l.segs only after its file
+	// removal succeeded, so a removal failure keeps the log's view
+	// (OldestLSN, Size, Iterate) honest and the retry happens at the
+	// next checkpoint.
+	truncateBelow := recoveryBegin
+	if l.retainFn != nil {
+		if keep := l.retainFn(); keep < truncateBelow {
+			truncateBelow = keep
+		}
+	}
 	var removable []*segment
-	for i := 0; i+1 < len(l.segs) && l.segs[i+1].base <= recoveryBegin; i++ {
+	for i := 0; i+1 < len(l.segs) && l.segs[i+1].base <= truncateBelow; i++ {
 		removable = append(removable, l.segs[i])
+	}
+	// Count (once per round) when the hook kept segments alive that
+	// recovery no longer needs.
+	if i := len(removable); i+1 < len(l.segs) && l.segs[i+1].base <= recoveryBegin {
+		l.retainedHolds++
 	}
 	l.mu.Unlock()
 	removed := 0
@@ -1064,6 +1138,27 @@ func (l *Log) Checkpoint() (LSN, error) {
 		return ZeroLSN, err
 	}
 	return lsn, nil
+}
+
+// SetRetention installs (or clears, with nil) the log-retention hook: a
+// provider of the minimum LSN still needed by external log consumers
+// (replication shippers). Checkpoint truncation never removes a segment
+// containing records at or above the reported LSN, so a slow replica
+// finds its resume point intact instead of receiving ErrSegmentGone.
+// The hook is called with the log mutex held and must not call back
+// into the log.
+func (l *Log) SetRetention(fn func() LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retainFn = fn
+}
+
+// RetentionHolds reports how many checkpoint truncation rounds were
+// (partially) held back by the retention hook.
+func (l *Log) RetentionHolds() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.retainedHolds
 }
 
 // LastCheckpoint returns the LSN of the most recent completed

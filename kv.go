@@ -10,10 +10,15 @@
 package sbdms
 
 import (
+	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/access"
 	"repro/internal/buffer"
@@ -30,27 +35,59 @@ var (
 	// ErrBatchMismatch is returned by PutBatch when keys and values
 	// have different lengths.
 	ErrBatchMismatch = errors.New("sbdms: batch keys/values length mismatch")
+	// ErrConflict is returned when an operation was chosen as a
+	// deadlock victim and rolled back; the operation had no effect and
+	// is safe to retry.
+	ErrConflict = errors.New("sbdms: transaction conflict (deadlock victim, retry)")
 )
+
+// IsConflict reports whether err is a retryable transaction conflict.
+// It matches by error string as well, because errors that crossed a
+// service binding (gob) arrive flattened.
+func IsConflict(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrConflict) || strings.Contains(err.Error(), "sbdms: transaction conflict")
+}
 
 // kvCore is the native key-value engine: a heap file for values plus a
 // unique B+tree index on keys. It is the workhorse behind the KV
 // service at every granularity; what changes between profiles is how
 // many service boundaries a call crosses before reaching it.
 //
+// Concurrency: there is no engine-wide lock. Callers run in parallel
+// and serialise only per KEY, through strict two-phase locks from the
+// shared lock manager (shared for point reads, exclusive for writes,
+// held until the transaction's outcome is durable); page-level
+// consistency below comes from the B+tree's latch crabbing and the
+// heap's page latches. Deadlock victims abort with ErrConflict and can
+// simply be retried. Scans take no key locks: they are non-transactional
+// and may observe keys of concurrent not-yet-committed transactions
+// (which can still abort), and keys inserted or deleted while the scan
+// runs may or may not appear.
+//
 // Every mutation runs under a transaction (one per operation, one per
 // batch) so the heap, the B+tree and — via the file manager's system
 // transactions — the page directory are all WAL-logged: a kill -9 at
 // any point recovers to a consistent store with exactly the committed
-// operations applied.
+// operations applied. Heap record removal is deferred until the commit
+// is durable (the transaction only unlinks the index entry), which is
+// what keeps rollbacks of concurrent transactions from fighting over
+// reused slots.
 type kvCore struct {
-	mu     sync.Mutex
-	heap   *access.HeapFile
-	idx    *index.BTree
-	txns   *txn.Manager // nil = unlogged (WAL disabled)
-	failed error        // fatal engine fault; all further mutations refused
+	heap  *access.HeapFile
+	idx   *index.BTree
+	txns  *txn.Manager     // nil = unlogged (WAL disabled)
+	locks *txn.LockManager // per-key 2PL; never nil
+	ids   func() uint64    // lock-owner ids for non-transactional ops
+
+	poisoned atomic.Bool // fast-path flag for failed != nil
+	failedMu sync.Mutex
+	failed   error // fatal engine fault; all further operations refused
 }
 
-func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, name string) (*kvCore, error) {
+func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, name string, recount bool) (*kvCore, error) {
 	heap, err := access.OpenHeap(name, fm, pool)
 	if err != nil {
 		return nil, err
@@ -60,12 +97,49 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager,
 		return nil, err
 	}
 	kv := &kvCore{heap: heap, idx: idx}
+	idx.SetFreer(fm.FreePagesLogged)
+	if txns != nil {
+		kv.locks = txns.Locks()
+		kv.ids = txns.ReserveID
+	} else {
+		lm := txn.NewLockManager()
+		var ctr atomic.Uint64
+		kv.locks = lm
+		kv.ids = func() uint64 { return ctr.Add(1) }
+	}
 	if log != nil && txns != nil {
 		heap.SetLog(log)
 		idx.SetLog(log)
+		heap.SetSystemTxns(txns.SystemHooks())
+		// Trees hold every touched page latch across their structure
+		// modifications, so their rollback must not re-latch.
+		idx.SetSystemTxns(txns.SystemHooksHeldLatches())
 		kv.txns = txns
+		// Per-operation entry counts are not logged (they would
+		// serialise every writer on the metadata page). Trust the
+		// persisted count only when the previous shutdown synced it
+		// (clean flag, consumed here); otherwise — or when recovery
+		// repaired anything — rebuild it from the leaf chain.
+		clean, err := idx.ConsumeCleanFlag()
+		if err != nil {
+			return nil, err
+		}
+		if recount || !clean {
+			if err := idx.Recount(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return kv, nil
+}
+
+// Close persists the in-memory index metadata (entry count) so a clean
+// reopen needs no recount.
+func (kv *kvCore) Close() error {
+	if kv.poisoned.Load() {
+		return nil
+	}
+	return kv.idx.SyncMeta()
 }
 
 // openKVIndex opens the KV B+tree, persisting its metadata page id in a
@@ -110,79 +184,139 @@ func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, metaFile string)
 
 func (kv *kvCore) key(k string) []byte { return access.EncodeKey(access.NewString(k)) }
 
-// begin starts the per-operation transaction (nil in unlogged mode).
-// kv.mu is held.
-func (kv *kvCore) begin() (*txn.Txn, error) {
-	if kv.failed != nil {
-		return nil, kv.failed
-	}
-	if kv.txns == nil {
-		return nil, nil
-	}
-	return kv.txns.Begin()
+// kvRes names a key's lock-manager resource.
+func kvRes(k string) string { return "kv/" + k }
+
+// --- record codec -------------------------------------------------------
+//
+// KV heap cells use a self-delimiting layout (u16 klen | key | u32 vlen
+// | value) so that padded in-place updates — which keep the cell length
+// and zero-fill the tail — decode cleanly: the undo of an in-place
+// update (restore the old cell bytes) then always fits, no matter how
+// concurrent transactions rearrange the rest of the page.
+
+func encodeKV(k string, v []byte) []byte {
+	out := make([]byte, 2+len(k)+4+len(v))
+	binary.LittleEndian.PutUint16(out, uint16(len(k)))
+	copy(out[2:], k)
+	binary.LittleEndian.PutUint32(out[2+len(k):], uint32(len(v)))
+	copy(out[2+len(k)+4:], v)
+	return out
 }
 
-// run executes op under kv.mu inside a fresh transaction. A failed op
-// is rolled back (before images restore every dirtied page) while the
-// core lock is still held; a successful op commits after the lock is
-// released, so concurrent committers can coalesce into one group-commit
-// sync instead of serialising their log forces behind kv.mu.
-//
-// A rollback or commit that itself fails (the device died mid-way)
-// poisons the engine: the pool may hold pages with unrecovered
-// uncommitted bytes, and further commits would legitimise them in the
-// log. Refusing all further mutations keeps the WAL trustworthy, so a
-// restart recovers exactly the committed state.
-func (kv *kvCore) run(op func(tx *txn.Txn) error) error {
-	kv.mu.Lock()
-	tx, err := kv.begin()
-	if err != nil {
-		kv.mu.Unlock()
-		return err
+var errBadKVRecord = errors.New("sbdms: corrupt kv record")
+
+func decodeKV(cell []byte) (string, []byte, error) {
+	if len(cell) < 6 {
+		return "", nil, errBadKVRecord
 	}
-	if err := op(tx); err != nil {
-		var aerr error
-		if tx != nil {
-			if aerr = kv.txns.Abort(tx); aerr == nil {
-				// The abort rewound the index pages (including the
-				// metadata page) via before images; resynchronise the
-				// tree's in-memory root/count with the restored bytes.
-				aerr = kv.idx.ReloadMeta()
-			}
-			if aerr != nil {
-				kv.failed = fmt.Errorf("sbdms: kv engine offline after failed rollback: %w", aerr)
-			}
-		}
-		kv.mu.Unlock()
-		if aerr != nil {
-			return fmt.Errorf("%w (rollback: %v)", err, aerr)
-		}
-		return err
+	klen := int(binary.LittleEndian.Uint16(cell))
+	if 2+klen+4 > len(cell) {
+		return "", nil, errBadKVRecord
 	}
-	if tx == nil {
-		kv.mu.Unlock()
+	k := string(cell[2 : 2+klen])
+	vlen := int(binary.LittleEndian.Uint32(cell[2+klen:]))
+	if 2+klen+4+vlen > len(cell) {
+		return "", nil, errBadKVRecord
+	}
+	return k, cell[2+klen+4 : 2+klen+4+vlen], nil
+}
+
+// --- failure guard ------------------------------------------------------
+
+func (kv *kvCore) checkFailed() error {
+	if !kv.poisoned.Load() {
 		return nil
 	}
-	// Append the commit record while still holding kv.mu: the next
-	// operation may build on this transaction's pages, so its commit
-	// record must precede theirs in the log — otherwise a crash could
-	// classify this transaction as in-flight and undo bytes a later
-	// committed transaction already acknowledged.
-	lsn, err := kv.txns.CommitAppend(tx)
-	if err != nil {
-		kv.failed = fmt.Errorf("sbdms: kv engine offline after failed commit: %w", err)
-		kv.mu.Unlock()
+	kv.failedMu.Lock()
+	defer kv.failedMu.Unlock()
+	return kv.failed
+}
+
+// poison takes the engine offline. A rollback or commit that itself
+// fails (the device died mid-way) leaves the pool holding pages with
+// unrecovered uncommitted bytes, and further commits would legitimise
+// them in the log. Refusing all further operations keeps the WAL
+// trustworthy, so a restart recovers exactly the committed state.
+func (kv *kvCore) poison(err error) error {
+	kv.failedMu.Lock()
+	defer kv.failedMu.Unlock()
+	if kv.failed == nil {
+		kv.failed = err
+		kv.poisoned.Store(true)
+	}
+	return kv.failed
+}
+
+// conflictWrap converts deadlock-victim errors into the retryable
+// public form.
+func conflictWrap(err error) error {
+	if errors.Is(err, txn.ErrDeadlock) {
+		return fmt.Errorf("%w: %v", ErrConflict, err)
+	}
+	return err
+}
+
+// lockKeys acquires exclusive key locks in sorted order (fewer
+// deadlocks between multi-key batches; singles are unaffected).
+func sortedUnique(keys []string) []string {
+	if len(keys) <= 1 {
+		return keys
+	}
+	out := append([]string(nil), keys...)
+	sort.Strings(out)
+	n := 0
+	for i, k := range out {
+		if i == 0 || out[n-1] != k {
+			out[n] = k
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// run executes op inside a fresh transaction holding exclusive locks on
+// keys. A failed op is rolled back logically (inverse operations under
+// page latches); a successful op commits through the group-commit path
+// — concurrent committers coalesce into one log sync. Locks are
+// released only once the outcome is durable (strict 2PL).
+func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn) error) error {
+	if err := kv.checkFailed(); err != nil {
 		return err
 	}
-	kv.mu.Unlock()
-	// Durability force outside the lock, so concurrent committers share
-	// one group-commit sync; the transaction stays registered until the
-	// force completes, so the commit_siblings gate sees it.
-	if err := kv.txns.FinishCommit(tx, lsn); err != nil {
-		kv.mu.Lock()
-		kv.failed = fmt.Errorf("sbdms: kv engine offline after failed commit force: %w", err)
-		kv.mu.Unlock()
+	if kv.txns == nil {
+		// Unlogged: key locks still serialise conflicting operations,
+		// there is just no undo or durability.
+		id := kv.ids()
+		defer kv.locks.ReleaseAll(id)
+		for _, k := range sortedUnique(keys) {
+			if err := kv.locks.Acquire(ctx, id, kvRes(k), txn.Exclusive); err != nil {
+				return conflictWrap(err)
+			}
+		}
+		return op(nil)
+	}
+	tx, err := kv.txns.Begin()
+	if err != nil {
 		return err
+	}
+	abort := func(cause error) error {
+		if aerr := kv.txns.Abort(tx); aerr != nil {
+			perr := kv.poison(fmt.Errorf("sbdms: kv engine offline after failed rollback: %w", aerr))
+			return fmt.Errorf("%w (rollback: %v)", cause, perr)
+		}
+		return cause
+	}
+	for _, k := range sortedUnique(keys) {
+		if err := tx.Lock(ctx, kvRes(k), txn.Exclusive); err != nil {
+			return abort(conflictWrap(err))
+		}
+	}
+	if err := op(tx); err != nil {
+		return abort(err)
+	}
+	if err := kv.txns.Commit(tx); err != nil {
+		return kv.poison(fmt.Errorf("sbdms: kv engine offline after failed commit: %w", err))
 	}
 	return nil
 }
@@ -196,28 +330,37 @@ func txctx(tx *txn.Txn) access.TxnContext {
 	return tx
 }
 
-// putLocked stores (or replaces) a key under tx; kv.mu is held.
-func (kv *kvCore) putLocked(tx *txn.Txn, k string, v []byte) error {
+// putTx stores (or replaces) a key under tx; the caller holds the key's
+// exclusive lock.
+func (kv *kvCore) putTx(tx *txn.Txn, k string, v []byte) error {
 	c := txctx(tx)
-	rec := access.EncodeRow(access.Row{access.NewString(k), access.NewBytes(v)})
+	rec := encodeKV(k, v)
 	rids, err := kv.idx.Search(kv.key(k))
 	if err != nil {
 		return err
 	}
 	if len(rids) > 0 {
-		nrid, err := kv.heap.Update(c, rids[0], rec)
+		old := rids[0]
+		ok, err := kv.heap.UpdateInPlace(c, old, rec)
 		if err != nil {
 			return err
 		}
-		if nrid != rids[0] {
-			if _, err := kv.idx.DeleteTx(c, kv.key(k), rids[0]); err != nil {
-				return err
-			}
-			if err := kv.idx.InsertTx(c, kv.key(k), nrid); err != nil {
-				return err
-			}
+		if ok {
+			return nil
 		}
-		return nil
+		// The value outgrew its cell: write a fresh record, repoint the
+		// index, and purge the old record once the commit is durable.
+		nrid, err := kv.heap.Insert(c, rec)
+		if err != nil {
+			return err
+		}
+		if _, err := kv.idx.DeleteTx(c, kv.key(k), old); err != nil {
+			return err
+		}
+		if err := kv.idx.InsertTx(c, kv.key(k), nrid); err != nil {
+			return err
+		}
+		return kv.heap.DeleteDeferred(c, old)
 	}
 	rid, err := kv.heap.Insert(c, rec)
 	if err != nil {
@@ -226,8 +369,9 @@ func (kv *kvCore) putLocked(tx *txn.Txn, k string, v []byte) error {
 	return kv.idx.InsertTx(c, kv.key(k), rid)
 }
 
-// deleteLocked removes a key under tx; kv.mu is held.
-func (kv *kvCore) deleteLocked(tx *txn.Txn, k string) error {
+// deleteTx removes a key under tx; the caller holds the key's exclusive
+// lock.
+func (kv *kvCore) deleteTx(tx *txn.Txn, k string) error {
 	c := txctx(tx)
 	rids, err := kv.idx.Search(kv.key(k))
 	if err != nil {
@@ -236,30 +380,31 @@ func (kv *kvCore) deleteLocked(tx *txn.Txn, k string) error {
 	if len(rids) == 0 {
 		return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 	}
-	if err := kv.heap.Delete(c, rids[0]); err != nil {
+	if _, err := kv.idx.DeleteTx(c, kv.key(k), rids[0]); err != nil {
 		return err
 	}
-	_, err = kv.idx.DeleteTx(c, kv.key(k), rids[0])
-	return err
+	return kv.heap.DeleteDeferred(c, rids[0])
 }
 
 // Put stores (or replaces) a key, durably when the WAL is enabled.
-func (kv *kvCore) Put(k string, v []byte) error {
-	return kv.run(func(tx *txn.Txn) error { return kv.putLocked(tx, k, v) })
+func (kv *kvCore) Put(ctx context.Context, k string, v []byte) error {
+	return kv.run(ctx, []string{k}, func(tx *txn.Txn) error { return kv.putTx(tx, k, v) })
 }
 
 // PutBatch stores several keys under one transaction: one WAL force
 // for the whole batch, and after a crash either all of the batch's
-// keys are recovered or none. With the WAL disabled there is no undo,
-// so a mid-batch failure leaves the earlier keys applied (unlogged
-// mode trades the atomicity guarantee away along with durability).
-func (kv *kvCore) PutBatch(keys []string, vals [][]byte) error {
+// keys are recovered or none. Locks are acquired in sorted key order,
+// so concurrent batches cannot deadlock each other. With the WAL
+// disabled there is no undo, so a mid-batch failure leaves the earlier
+// keys applied (unlogged mode trades the atomicity guarantee away
+// along with durability).
+func (kv *kvCore) PutBatch(ctx context.Context, keys []string, vals [][]byte) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("%w: %d keys, %d values", ErrBatchMismatch, len(keys), len(vals))
 	}
-	return kv.run(func(tx *txn.Txn) error {
+	return kv.run(ctx, keys, func(tx *txn.Txn) error {
 		for i := range keys {
-			if err := kv.putLocked(tx, keys[i], vals[i]); err != nil {
+			if err := kv.putTx(tx, keys[i], vals[i]); err != nil {
 				return err
 			}
 		}
@@ -267,14 +412,19 @@ func (kv *kvCore) PutBatch(keys []string, vals [][]byte) error {
 	})
 }
 
-// Get fetches a key's value. A poisoned engine refuses reads too: the
-// pool may hold half-rolled-back bytes a failed rollback left behind.
-func (kv *kvCore) Get(k string) ([]byte, error) {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	if kv.failed != nil {
-		return nil, kv.failed
+// Get fetches a key's value under a shared key lock (blocking out a
+// concurrent writer of the same key, and only of the same key). A
+// poisoned engine refuses reads too: the pool may hold
+// half-rolled-back bytes a failed rollback left behind.
+func (kv *kvCore) Get(ctx context.Context, k string) ([]byte, error) {
+	if err := kv.checkFailed(); err != nil {
+		return nil, err
 	}
+	id := kv.ids()
+	if err := kv.locks.Acquire(ctx, id, kvRes(k), txn.Shared); err != nil {
+		return nil, conflictWrap(err)
+	}
+	defer kv.locks.ReleaseAll(id)
 	rids, err := kv.idx.Search(kv.key(k))
 	if err != nil {
 		return nil, err
@@ -282,59 +432,76 @@ func (kv *kvCore) Get(k string) ([]byte, error) {
 	if len(rids) == 0 {
 		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 	}
-	rec, err := kv.heap.Get(rids[0])
+	cell, err := kv.heap.Get(rids[0])
 	if err != nil {
 		return nil, err
 	}
-	row, err := access.DecodeRow(rec)
+	_, v, err := decodeKV(cell)
 	if err != nil {
 		return nil, err
 	}
-	return row[1].Bytes, nil
+	return append([]byte(nil), v...), nil
 }
 
 // Delete removes a key.
-func (kv *kvCore) Delete(k string) error {
-	// In logged mode, pre-check existence so a miss stays a read-only
-	// operation instead of paying a begin/abort WAL round trip (in
-	// unlogged mode a miss costs nothing extra, so skip the second
-	// lookup). Racing writers are serialised by kv.mu, and
-	// deleteLocked re-checks under the same transaction.
+func (kv *kvCore) Delete(ctx context.Context, k string) error {
+	// In logged mode, pre-check existence under a shared lock so a miss
+	// stays a read-only operation instead of paying a begin/abort WAL
+	// round trip. deleteTx re-checks under the exclusive lock.
 	if kv.txns != nil {
-		kv.mu.Lock()
-		if kv.failed == nil {
-			if rids, err := kv.idx.Search(kv.key(k)); err == nil && len(rids) == 0 {
-				kv.mu.Unlock()
-				return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
-			}
+		if err := kv.checkFailed(); err != nil {
+			return err
 		}
-		kv.mu.Unlock()
+		id := kv.ids()
+		rids, err := func() ([]access.RID, error) {
+			if err := kv.locks.Acquire(ctx, id, kvRes(k), txn.Shared); err != nil {
+				return nil, conflictWrap(err)
+			}
+			defer kv.locks.ReleaseAll(id)
+			return kv.idx.Search(kv.key(k))
+		}()
+		if err == nil && len(rids) == 0 {
+			return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+		}
 	}
-	return kv.run(func(tx *txn.Txn) error { return kv.deleteLocked(tx, k) })
+	return kv.run(ctx, []string{k}, func(tx *txn.Txn) error { return kv.deleteTx(tx, k) })
 }
 
 // Scan returns up to n keys starting at (inclusive) the given key, in
-// order.
-func (kv *kvCore) Scan(from string, n int) ([]string, error) {
-	kv.mu.Lock()
-	defer kv.mu.Unlock()
-	if kv.failed != nil {
-		return nil, kv.failed
+// order. Scans take no key locks: they are non-transactional (keys of
+// in-flight transactions may appear and later abort), skip records
+// whose deferred removal lands mid-scan, and skip index entries whose
+// slot was already reused by another key.
+func (kv *kvCore) Scan(ctx context.Context, from string, n int) ([]string, error) {
+	if err := kv.checkFailed(); err != nil {
+		return nil, err
 	}
 	var out []string
 	err := kv.idx.Range(kv.key(from), nil, func(key []byte, rid access.RID) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if len(out) >= n {
 			return errStopScan
 		}
-		rec, err := kv.heap.Get(rid)
+		cell, err := kv.heap.Get(rid)
+		if err != nil {
+			if errors.Is(err, access.ErrNoSlot) {
+				return nil // deleted under the scan: skip
+			}
+			return err
+		}
+		k, _, err := decodeKV(cell)
 		if err != nil {
 			return err
 		}
-		row, err := access.DecodeRow(rec)
-		if err != nil {
-			return err
+		if !bytes.Equal(kv.key(k), key) {
+			// The slot was purged and reused by another key between the
+			// index read and the heap read: the index entry we followed
+			// is gone. Skip it, exactly like the deleted-slot case.
+			return nil
 		}
-		out = append(out, row[0].Str)
+		out = append(out, k)
 		return nil
 	})
 	if err != nil && !errors.Is(err, errStopScan) {
@@ -346,10 +513,7 @@ func (kv *kvCore) Scan(from string, n int) ([]string, error) {
 // Len returns the number of keys (0 when the engine is poisoned — the
 // in-memory count is no more trustworthy than the pages then).
 func (kv *kvCore) Len() uint64 {
-	kv.mu.Lock()
-	failed := kv.failed != nil
-	kv.mu.Unlock()
-	if failed {
+	if kv.poisoned.Load() {
 		return 0
 	}
 	return kv.idx.Len()

@@ -12,6 +12,7 @@ import (
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/undo"
 	"repro/internal/wal"
 )
 
@@ -108,6 +109,7 @@ type DB struct {
 	fm   *storage.FileManager
 	log  *wal.Log
 	txns *txn.Manager
+	undo *undo.Executor
 
 	engine *sql.Engine
 	kv     *kvCore
@@ -160,7 +162,11 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.disk = disk
 
-	// WAL + crash recovery before anything reads the disk.
+	// WAL + crash recovery before anything reads the disk. Recovery's
+	// redo repeats history; in-flight transactions with logical undo
+	// descriptors are collected here and rolled back below, once the
+	// transaction manager and access methods exist.
+	var recovered wal.RecoveryStats
 	if !opts.DisableWAL {
 		var l *wal.Log
 		switch {
@@ -178,6 +184,7 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sbdms: recovery: %w", err)
 		}
+		recovered = st
 		if st.Changed() || st.FreeImages > 0 {
 			// An actual crash was repaired, or the retained log holds
 			// free markings whose allocator list-links may not all
@@ -216,9 +223,24 @@ func Open(opts Options) (*DB, error) {
 	}
 	db.fm = fm
 	db.txns = txn.NewManager(db.log, db.pool)
+	db.txns.EnsureIDsAbove(recovered.MaxTxnID)
 	// From here on, directory and page-allocation updates run under
 	// WAL-logged system transactions.
 	fm.SetLogger(db.txns.PageLogger())
+	// Logical rollback executor: live aborts and crash-loser rollback
+	// both run inverse operations through it.
+	db.undo = undo.NewExecutor(db.pool, db.log)
+	db.undo.SetSystemTxns(db.txns.SystemHooksHeldLatches())
+	db.txns.SetUndoHandler(db.undo)
+	if len(recovered.Losers) > 0 {
+		// Finish recovery: the losers' effects were redone (repeat
+		// history); roll them back through the access methods, logging
+		// redo-only compensations and closing each with an abort
+		// record.
+		if err := db.txns.UndoLosers(recovered.Losers); err != nil {
+			return nil, fmt.Errorf("sbdms: rolling back in-flight transactions: %w", err)
+		}
+	}
 	if db.log != nil {
 		// Lone committers skip the group window unless enough sibling
 		// transactions are in flight to make batching worthwhile
@@ -234,10 +256,15 @@ func Open(opts Options) (*DB, error) {
 	if db.log != nil {
 		db.engine.SetWAL(db.log)
 	}
-	db.kv, err = newKVCore(fm, db.pool, db.txns, db.log, "__kv__")
+	db.engine.SetUndo(db.undo)
+	// The KV index recounts its entries unless the previous shutdown
+	// was provably clean (SyncMeta's clean flag) AND recovery repaired
+	// nothing.
+	db.kv, err = newKVCore(fm, db.pool, db.txns, db.log, "__kv__", recovered.Changed())
 	if err != nil {
 		return nil, err
 	}
+	db.undo.Register(db.kv.idx)
 	// Make the freshly formatted (or recovered) store durable before
 	// accepting traffic: every later mutation is WAL-logged, so this
 	// baseline is the only state recovery ever has to read from disk.
@@ -413,24 +440,72 @@ func (db *DB) Exec(ctx context.Context, query string) (*sql.Result, error) {
 }
 
 // Put stores a key-value pair through the configured service path.
-func (db *DB) Put(key string, val []byte) error { return db.kvPath.Put(key, val) }
+func (db *DB) Put(key string, val []byte) error {
+	return db.kvPath.Put(context.Background(), key, val)
+}
+
+// PutContext is Put with a context bounding lock waits: a write blocked
+// behind a conflicting transaction aborts cleanly when ctx is done.
+func (db *DB) PutContext(ctx context.Context, key string, val []byte) error {
+	return db.kvPath.Put(ctx, key, val)
+}
 
 // PutBatch stores several key-value pairs atomically under one
 // transaction through the configured service path: one WAL force per
 // batch, and all-or-nothing crash recovery.
-func (db *DB) PutBatch(keys []string, vals [][]byte) error { return db.kvPath.PutBatch(keys, vals) }
+func (db *DB) PutBatch(keys []string, vals [][]byte) error {
+	return db.kvPath.PutBatch(context.Background(), keys, vals)
+}
+
+// PutBatchContext is PutBatch with a context bounding lock waits.
+func (db *DB) PutBatchContext(ctx context.Context, keys []string, vals [][]byte) error {
+	return db.kvPath.PutBatch(ctx, keys, vals)
+}
 
 // Get fetches a value through the configured service path.
-func (db *DB) Get(key string) ([]byte, error) { return db.kvPath.Get(key) }
+func (db *DB) Get(key string) ([]byte, error) {
+	return db.kvPath.Get(context.Background(), key)
+}
+
+// GetContext is Get with a context bounding lock waits.
+func (db *DB) GetContext(ctx context.Context, key string) ([]byte, error) {
+	return db.kvPath.Get(ctx, key)
+}
 
 // DeleteKey removes a key through the configured service path.
-func (db *DB) DeleteKey(key string) error { return db.kvPath.Delete(key) }
+func (db *DB) DeleteKey(key string) error {
+	return db.kvPath.Delete(context.Background(), key)
+}
+
+// DeleteKeyContext is DeleteKey with a context bounding lock waits.
+func (db *DB) DeleteKeyContext(ctx context.Context, key string) error {
+	return db.kvPath.Delete(ctx, key)
+}
 
 // ScanKeys returns up to n keys from key onward.
-func (db *DB) ScanKeys(key string, n int) ([]string, error) { return db.kvPath.Scan(key, n) }
+func (db *DB) ScanKeys(key string, n int) ([]string, error) {
+	return db.kvPath.Scan(context.Background(), key, n)
+}
+
+// ScanKeysContext is ScanKeys with a cancellation context.
+func (db *DB) ScanKeysContext(ctx context.Context, key string, n int) ([]string, error) {
+	return db.kvPath.Scan(ctx, key, n)
+}
 
 // KVLen returns the number of stored keys.
 func (db *DB) KVLen() uint64 { return db.kvPath.Len() }
+
+// SetLogRetention installs a min-shipped-LSN provider on the WAL:
+// checkpoint truncation keeps every segment at or above the reported
+// LSN, so replication shippers (internal/replicate) that lag behind the
+// checkpoint cadence resume from their watermark instead of hitting
+// ErrSegmentGone and restarting from a full copy. Pass the shipper's
+// Shipped method; nil clears the hook. No-op without a WAL.
+func (db *DB) SetLogRetention(fn func() wal.LSN) {
+	if db.log != nil {
+		db.log.SetRetention(fn)
+	}
+}
 
 // Flush makes all buffered data durable.
 func (db *DB) Flush() error {
@@ -448,6 +523,13 @@ func (db *DB) Close(ctx context.Context) error {
 		close(db.ckptStop)
 		<-db.ckptDone
 		db.ckptStop = nil
+	}
+	// Persist the KV index entry count (not WAL-logged per operation)
+	// before the final flush so a clean reopen needs no recount.
+	if db.kv != nil {
+		if err := db.kv.Close(); err != nil {
+			return err
+		}
 	}
 	if err := db.Flush(); err != nil {
 		return err

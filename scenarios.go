@@ -46,14 +46,14 @@ type kvEchoBackend struct {
 
 func newMemKV() *kvEchoBackend { return &kvEchoBackend{m: make(map[string][]byte)} }
 
-func (b *kvEchoBackend) Put(k string, v []byte) error {
+func (b *kvEchoBackend) Put(_ context.Context, k string, v []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.m[k] = append([]byte(nil), v...)
 	return nil
 }
 
-func (b *kvEchoBackend) PutBatch(keys []string, vals [][]byte) error {
+func (b *kvEchoBackend) PutBatch(_ context.Context, keys []string, vals [][]byte) error {
 	if len(keys) != len(vals) {
 		return fmt.Errorf("%w: %d keys, %d values", ErrBatchMismatch, len(keys), len(vals))
 	}
@@ -65,7 +65,7 @@ func (b *kvEchoBackend) PutBatch(keys []string, vals [][]byte) error {
 	return nil
 }
 
-func (b *kvEchoBackend) Get(k string) ([]byte, error) {
+func (b *kvEchoBackend) Get(_ context.Context, k string) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if v, ok := b.m[k]; ok {
@@ -74,14 +74,14 @@ func (b *kvEchoBackend) Get(k string) ([]byte, error) {
 	return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 }
 
-func (b *kvEchoBackend) Delete(k string) error {
+func (b *kvEchoBackend) Delete(_ context.Context, k string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	delete(b.m, k)
 	return nil
 }
 
-func (b *kvEchoBackend) Scan(from string, n int) ([]string, error) {
+func (b *kvEchoBackend) Scan(_ context.Context, from string, n int) ([]string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	var out []string
@@ -195,7 +195,7 @@ func ScenarioSelection(ctx context.Context, db *DB, opsPerPhase int) (ScenarioRe
 	}
 	key := func(i int) string { return fmt.Sprintf("sel-%06d", i%256) }
 	for i := 0; i < 256; i++ {
-		if err := alt.Put(key(i), []byte("warm")); err != nil {
+		if err := alt.Put(ctx, key(i), []byte("warm")); err != nil {
 			return res, err
 		}
 	}
@@ -283,19 +283,19 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 		Vs [][]byte
 	}
 	lsvc := core.NewService("legacy-store", legacyContract)
-	lsvc.Handle("fetch", func(ctx context.Context, req any) (any, error) { return legacy.Get(req.(string)) })
+	lsvc.Handle("fetch", func(ctx context.Context, req any) (any, error) { return legacy.Get(ctx, req.(string)) })
 	lsvc.Handle("store", func(ctx context.Context, req any) (any, error) {
 		p := req.(legacyPut)
-		return true, legacy.Put(p.K, p.V)
+		return true, legacy.Put(ctx, p.K, p.V)
 	})
 	lsvc.Handle("storeMany", func(ctx context.Context, req any) (any, error) {
 		p := req.(legacyBatch)
-		return true, legacy.PutBatch(p.Ks, p.Vs)
+		return true, legacy.PutBatch(ctx, p.Ks, p.Vs)
 	})
-	lsvc.Handle("remove", func(ctx context.Context, req any) (any, error) { return true, legacy.Delete(req.(string)) })
+	lsvc.Handle("remove", func(ctx context.Context, req any) (any, error) { return true, legacy.Delete(ctx, req.(string)) })
 	lsvc.Handle("list", func(ctx context.Context, req any) (any, error) {
 		p := req.(legacyScan)
-		return legacy.Scan(p.From, p.N)
+		return legacy.Scan(ctx, p.From, p.N)
 	})
 	lsvc.Handle("size", func(ctx context.Context, req any) (any, error) { return legacy.Len(), nil })
 	core.WithPing(lsvc)

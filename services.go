@@ -210,13 +210,16 @@ func KVContract() *core.Contract {
 }
 
 // kvBackend is what a KV service delegates to: the native core or a
-// further service hop (layered/fine profiles).
+// further service hop (layered/fine profiles). Every operation takes a
+// context: lock waits inside the engine (per-key 2PL) observe its
+// cancellation, so a caller can bound how long it is willing to block
+// behind a conflicting transaction.
 type kvBackend interface {
-	Put(k string, v []byte) error
-	PutBatch(keys []string, vals [][]byte) error
-	Get(k string) ([]byte, error)
-	Delete(k string) error
-	Scan(from string, n int) ([]string, error)
+	Put(ctx context.Context, k string, v []byte) error
+	PutBatch(ctx context.Context, keys []string, vals [][]byte) error
+	Get(ctx context.Context, k string) ([]byte, error)
+	Delete(ctx context.Context, k string) error
+	Scan(ctx context.Context, from string, n int) ([]string, error)
 	Len() uint64
 }
 
@@ -228,35 +231,35 @@ func NewKVService(name string, backend kvBackend) *core.BaseService {
 		if !ok {
 			return nil, &core.RequestError{Op: "get", Want: "string", Got: core.TypeName(req)}
 		}
-		return backend.Get(k)
+		return backend.Get(ctx, k)
 	})
 	s.Handle("put", func(ctx context.Context, req any) (any, error) {
 		r, ok := req.(KVPutRequest)
 		if !ok {
 			return nil, &core.RequestError{Op: "put", Want: "sbdms.KVPutRequest", Got: core.TypeName(req)}
 		}
-		return true, backend.Put(r.Key, r.Val)
+		return true, backend.Put(ctx, r.Key, r.Val)
 	})
 	s.Handle("putBatch", func(ctx context.Context, req any) (any, error) {
 		r, ok := req.(KVBatchRequest)
 		if !ok {
 			return nil, &core.RequestError{Op: "putBatch", Want: "sbdms.KVBatchRequest", Got: core.TypeName(req)}
 		}
-		return true, backend.PutBatch(r.Keys, r.Vals)
+		return true, backend.PutBatch(ctx, r.Keys, r.Vals)
 	})
 	s.Handle("delete", func(ctx context.Context, req any) (any, error) {
 		k, ok := req.(string)
 		if !ok {
 			return nil, &core.RequestError{Op: "delete", Want: "string", Got: core.TypeName(req)}
 		}
-		return true, backend.Delete(k)
+		return true, backend.Delete(ctx, k)
 	})
 	s.Handle("scan", func(ctx context.Context, req any) (any, error) {
 		r, ok := req.(KVScanRequest)
 		if !ok {
 			return nil, &core.RequestError{Op: "scan", Want: "sbdms.KVScanRequest", Got: core.TypeName(req)}
 		}
-		return backend.Scan(r.Key, r.N)
+		return backend.Scan(ctx, r.Key, r.N)
 	})
 	s.Handle("len", func(ctx context.Context, req any) (any, error) {
 		return backend.Len(), nil
@@ -273,20 +276,20 @@ type KVClient struct{ inv core.Invoker }
 func NewKVClient(inv core.Invoker) *KVClient { return &KVClient{inv: inv} }
 
 // Put implements kvBackend.
-func (c *KVClient) Put(k string, v []byte) error {
-	_, err := c.inv.Invoke(bg, "put", KVPutRequest{Key: k, Val: v})
+func (c *KVClient) Put(ctx context.Context, k string, v []byte) error {
+	_, err := c.inv.Invoke(ctx, "put", KVPutRequest{Key: k, Val: v})
 	return err
 }
 
 // PutBatch implements kvBackend.
-func (c *KVClient) PutBatch(keys []string, vals [][]byte) error {
-	_, err := c.inv.Invoke(bg, "putBatch", KVBatchRequest{Keys: keys, Vals: vals})
+func (c *KVClient) PutBatch(ctx context.Context, keys []string, vals [][]byte) error {
+	_, err := c.inv.Invoke(ctx, "putBatch", KVBatchRequest{Keys: keys, Vals: vals})
 	return err
 }
 
 // Get implements kvBackend.
-func (c *KVClient) Get(k string) ([]byte, error) {
-	out, err := c.inv.Invoke(bg, "get", k)
+func (c *KVClient) Get(ctx context.Context, k string) ([]byte, error) {
+	out, err := c.inv.Invoke(ctx, "get", k)
 	if err != nil {
 		return nil, err
 	}
@@ -298,14 +301,14 @@ func (c *KVClient) Get(k string) ([]byte, error) {
 }
 
 // Delete implements kvBackend.
-func (c *KVClient) Delete(k string) error {
-	_, err := c.inv.Invoke(bg, "delete", k)
+func (c *KVClient) Delete(ctx context.Context, k string) error {
+	_, err := c.inv.Invoke(ctx, "delete", k)
 	return err
 }
 
 // Scan implements kvBackend.
-func (c *KVClient) Scan(from string, n int) ([]string, error) {
-	out, err := c.inv.Invoke(bg, "scan", KVScanRequest{Key: from, N: n})
+func (c *KVClient) Scan(ctx context.Context, from string, n int) ([]string, error) {
+	out, err := c.inv.Invoke(ctx, "scan", KVScanRequest{Key: from, N: n})
 	if err != nil {
 		return nil, err
 	}
