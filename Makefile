@@ -5,7 +5,7 @@ RACE_PKGS = ./internal/access/... ./internal/buffer/... ./internal/core/... \
             ./internal/index/... ./internal/storage/... ./internal/txn/... \
             ./internal/wal/...
 
-.PHONY: build test race bench crash checkpoint-crash stress vet all
+.PHONY: build test race bench crash checkpoint-crash stress isolation vet all
 
 all: vet build test
 
@@ -44,6 +44,19 @@ STRESS_PKGS = . ./internal/access/... ./internal/index/... ./internal/txn/...
 stress:
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(STRESS_RUN) $(STRESS_PKGS)
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(STRESS_RUN) $(STRESS_PKGS)
+
+# Isolation & fairness suite under the race detector, at a GOMAXPROCS
+# matrix: anomaly tests (torn atomic batches, phantoms, write skew,
+# lost updates) asserting each anomaly OCCURS at read-committed and is
+# IMPOSSIBLE at serializable; lock-manager FIFO fairness, grant-order
+# and no-barging tests; kill -9 mid-serializable-scan crash recovery
+# (no orphan gap locks, serially consistent replay).
+ISOLATION_RUN = 'TestIsolation|TestSerializableScan|TestLockFairness|TestLockFIFO|TestLockNoBarging|TestTryAcquire'
+ISOLATION_PKGS = . ./internal/txn/...
+
+isolation:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(ISOLATION_RUN) $(ISOLATION_PKGS)
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(ISOLATION_RUN) $(ISOLATION_PKGS)
 
 vet:
 	$(GO) vet ./...

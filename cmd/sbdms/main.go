@@ -40,6 +40,7 @@ func main() {
 	groupBytes := flag.Int("wal-group-bytes", 0, "end the WAL group window early past this many pending bytes")
 	syncEvery := flag.Bool("wal-sync-every-flush", false, "disable WAL group commit (sync on every flush)")
 	commitSiblings := flag.Int("wal-commit-siblings", 0, "min sibling txns to hold the group window open (0 = 1, <0 = always hold)")
+	scanIsolation := flag.String("scan-isolation", "read-committed", "range-scan isolation: read-committed|serializable (serializable = next-key locking, phantom-free scans)")
 	peers := flag.String("peers", "", "comma-separated peer addresses for registry gossip")
 	gossipEvery := flag.Duration("gossip", 2*time.Second, "gossip interval")
 	node := flag.String("node", "", "node tag for proximity selection")
@@ -56,6 +57,7 @@ func main() {
 		WALSyncEveryFlush:  *syncEvery,
 		WALSegmentBytes:    *segBytes,
 		CheckpointInterval: *ckptEvery,
+		ScanIsolation:      sbdms.ScanIsolation(*scanIsolation),
 	}
 	if err := run(*addr, *dataPath, *walPath, *walDir, opts, *peers, *gossipEvery, *node); err != nil {
 		fmt.Fprintln(os.Stderr, "sbdms:", err)

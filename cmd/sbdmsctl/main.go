@@ -8,6 +8,7 @@
 //	sbdmsctl -addr host:7070 sql "SELECT ..."    # run SQL via the query service
 //	sbdmsctl -addr host:7070 get <key>           # KV get via the kv service
 //	sbdmsctl -addr host:7070 put <key> <value>   # KV put
+//	sbdmsctl -addr host:7070 scan <from> [n]     # KV range scan (node's -scan-isolation applies)
 //	sbdmsctl -addr host:7070 status              # coordinator status
 package main
 
@@ -29,7 +30,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sbdmsctl [-addr host:port] services|ping|sql|get|put|status ...")
+		fmt.Fprintln(os.Stderr, "usage: sbdmsctl [-addr host:port] services|ping|sql|get|put|scan|status ...")
 		os.Exit(2)
 	}
 	if err := run(*addr, args); err != nil {
@@ -108,6 +109,29 @@ func run(addr string, args []string) error {
 			return err
 		}
 		fmt.Println("OK")
+		return nil
+	case "scan":
+		if len(args) < 2 {
+			return fmt.Errorf("scan needs a start key (\"\" for the beginning)")
+		}
+		n := 100
+		if len(args) > 2 {
+			if _, err := fmt.Sscanf(args[2], "%d", &n); err != nil {
+				return fmt.Errorf("scan limit %q: %w", args[2], err)
+			}
+		}
+		out, err := client.Call(ctx, "kv", "scan", sbdms.KVScanRequest{Key: args[1], N: n})
+		if err != nil {
+			return err
+		}
+		keys, ok := out.([]string)
+		if !ok {
+			return fmt.Errorf("unexpected reply %T", out)
+		}
+		for _, k := range keys {
+			fmt.Println(k)
+		}
+		fmt.Printf("-- %d keys\n", len(keys))
 		return nil
 	case "status":
 		out, err := client.Call(ctx, "coordinator", core.OpCoordStatus, nil)

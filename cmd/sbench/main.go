@@ -34,7 +34,7 @@ var (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|all")
+	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|g7|all")
 	ops := flag.Int("ops", 20000, "operations per measurement")
 	keys := flag.Int("keys", 2000, "key space size")
 	flag.Parse()
@@ -42,8 +42,9 @@ func main() {
 	runners := map[string]func(int, int) error{
 		"f1": runF1, "f2": runF2, "f5": runF5, "f6": runF6, "f7": runF7,
 		"g1": runG1, "g2": runG2, "g3": runG3, "g4": runG4, "g5": runG5, "g6": runG6,
+		"g7": runG7,
 	}
-	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6"}
+	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6", "g7"}
 	sel := strings.ToLower(*exp)
 	if sel == "all" {
 		for _, id := range order {
@@ -479,6 +480,37 @@ func runG5(ops, keys int) error {
 				float64(commits)/float64(l.Syncs()))
 			_ = dev.Close()
 		}
+	}
+	return nil
+}
+
+// G7: the serializable-scan tax — a mixed scan/write workload at
+// read-committed vs serializable. Scans sweep a filler range while
+// writers update keys inside it and commit atomic batches across it.
+// Columns to watch: the scan/write throughput and latency deltas
+// between the two isolation rows (the tax), the write p99 (X-lock wait
+// behind the scan stream's S locks — bounded by the FIFO lock
+// manager), and torn scans (> 0 at read-committed, always 0 at
+// serializable).
+func runG7(ops, keys int) error {
+	header("G7 — serializable-scan tax: next-key locking + FIFO lock fairness")
+	fillers := keys / 4
+	if fillers < 64 {
+		fillers = 64
+	}
+	writesPer := ops / 40
+	if writesPer < 50 {
+		writesPer = 50
+	}
+	const scanners, writers = 2, 4
+	fmt.Printf("-- %d scanners over %d fillers, %d writers x %d writes (1 in 4 an atomic cross-range batch) --\n",
+		scanners, fillers, writers, writesPer)
+	for _, iso := range []sbdms.ScanIsolation{sbdms.ReadCommitted, sbdms.Serializable} {
+		m, err := sbdms.ScanIsolationTax(iso, scanners, writers, fillers, writesPer, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(m)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -184,6 +185,169 @@ func ConcurrencyScaling(db *DB, g, keys, nops, readPct int, seed int64) Concurre
 		m.OpsPerSec = float64(m.Ops) / m.Elapsed.Seconds()
 	}
 	return m
+}
+
+// ScanTaxMeasurement is one cell of the G7 serializable-scan-tax
+// experiment: a mixed scan/write workload at one isolation level.
+// WriteP99 is the fairness probe — a write's latency is dominated by
+// how long its X (and gap) locks wait behind the scan stream's S locks,
+// so a fair FIFO lock manager bounds it while a barging one lets it
+// grow without bound. TornScans counts scans that observed one endpoint
+// of an atomic batch but not the other: expected > 0 at
+// read-committed, structurally 0 at serializable.
+type ScanTaxMeasurement struct {
+	Isolation                 ScanIsolation
+	Scanners                  int
+	Writers                   int
+	Scans                     int
+	Writes                    int
+	TornScans                 int
+	Conflicts                 int // deadlock-victim retries (scans and writes)
+	Failures                  int
+	Elapsed                   time.Duration
+	ScanP50, ScanP99          time.Duration
+	WriteP50, WriteP99        time.Duration
+	ScansPerSec, WritesPerSec float64
+}
+
+// String renders the measurement as a result-table row.
+func (m ScanTaxMeasurement) String() string {
+	return fmt.Sprintf("%-14s scan: %6d ops %8.0f/s p50=%-9v p99=%-9v  write: %6d ops %8.0f/s p50=%-9v p99=%-9v  torn=%-3d conflicts=%-4d fail=%d",
+		m.Isolation, m.Scans, m.ScansPerSec, m.ScanP50, m.ScanP99,
+		m.Writes, m.WritesPerSec, m.WriteP50, m.WriteP99,
+		m.TornScans, m.Conflicts, m.Failures)
+}
+
+func pctl(lat []time.Duration, p int) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[len(lat)*p/100]
+}
+
+// ScanIsolationTax runs the G7 workload at one isolation level:
+// `scanners` goroutines repeatedly scan a filler range while `writers`
+// goroutines interleave single-key puts into that range with atomic
+// two-endpoint batches across it (the phantom probe). It reports scan
+// and write latency distributions, throughput, and how many scans saw
+// a torn batch.
+func ScanIsolationTax(iso ScanIsolation, scanners, writers, fillers, writesPer int, seed int64) (ScanTaxMeasurement, error) {
+	m := ScanTaxMeasurement{Isolation: iso, Scanners: scanners, Writers: writers}
+	db, err := Open(Options{
+		Granularity:   Monolithic,
+		BufferFrames:  2048,
+		ScanIsolation: iso,
+	})
+	if err != nil {
+		return m, err
+	}
+	defer db.Close(context.Background())
+	for i := 0; i < fillers; i++ {
+		if err := db.Put(fmt.Sprintf("g7-m-%06d", i), []byte("filler-value")); err != nil {
+			return m, err
+		}
+	}
+
+	var mu sync.Mutex
+	var scanLat, writeLat []time.Duration
+	var torn, conflicts, failures, scans, writes int64
+	var writersLive atomic.Int64
+	writersLive.Store(int64(writers))
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer writersLive.Add(-1)
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			val := []byte("g7-write-value-0123456789")
+			for i := 0; i < writesPer; i++ {
+				var err error
+				t0 := time.Now()
+				if i%4 == 0 {
+					// Atomic batch spanning the scanned range: the
+					// endpoints bracket every filler, so a torn view is
+					// detectable by any scan.
+					r := int64(w)*int64(writesPer) + int64(i)
+					keys := []string{fmt.Sprintf("g7-a-%012d", r), fmt.Sprintf("g7-z-%012d", r)}
+					err = db.PutBatch(keys, [][]byte{val, val})
+				} else {
+					err = db.Put(fmt.Sprintf("g7-m-%06d", rng.Intn(fillers)), val)
+				}
+				if IsConflict(err) {
+					atomic.AddInt64(&conflicts, 1)
+					i-- // retry the slot: conflicts are part of the tax, not lost work
+					continue
+				}
+				d := time.Since(t0)
+				if err != nil {
+					atomic.AddInt64(&failures, 1)
+					continue
+				}
+				atomic.AddInt64(&writes, 1)
+				mu.Lock()
+				writeLat = append(writeLat, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	for s := 0; s < scanners; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for writersLive.Load() > 0 {
+				t0 := time.Now()
+				keys, err := db.ScanKeys("g7-", 1_000_000)
+				d := time.Since(t0)
+				if IsConflict(err) {
+					atomic.AddInt64(&conflicts, 1)
+					continue
+				}
+				if err != nil {
+					atomic.AddInt64(&failures, 1)
+					continue
+				}
+				atomic.AddInt64(&scans, 1)
+				// A batch is torn when exactly one endpoint is visible.
+				seen := map[string]int{}
+				for _, k := range keys {
+					if strings.HasPrefix(k, "g7-a-") {
+						seen[k[len("g7-a-"):]]++
+					}
+					if strings.HasPrefix(k, "g7-z-") {
+						seen[k[len("g7-z-"):]]++
+					}
+				}
+				for _, n := range seen {
+					if n == 1 {
+						atomic.AddInt64(&torn, 1)
+						break
+					}
+				}
+				mu.Lock()
+				scanLat = append(scanLat, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	m.Elapsed = time.Since(start)
+	m.Scans = int(scans)
+	m.Writes = int(writes)
+	m.TornScans = int(torn)
+	m.Conflicts = int(conflicts)
+	m.Failures = int(failures)
+	m.ScanP50, m.ScanP99 = pctl(scanLat, 50), pctl(scanLat, 99)
+	m.WriteP50, m.WriteP99 = pctl(writeLat, 50), pctl(writeLat, 99)
+	if m.Elapsed > 0 {
+		m.ScansPerSec = float64(m.Scans) / m.Elapsed.Seconds()
+		m.WritesPerSec = float64(m.Writes) / m.Elapsed.Seconds()
+	}
+	return m, nil
 }
 
 // MeasureTCPRoundTrip measures the real cost of one service invocation

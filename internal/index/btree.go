@@ -583,6 +583,16 @@ func (t *BTree) Insert(key []byte, rid access.RID) error {
 // uniqueness must hold a key-level lock across the operation — the
 // tree serialises conflicting page access, not conflicting keys.
 func (t *BTree) InsertTx(tx access.TxnContext, key []byte, rid access.RID) error {
+	return t.InsertTxGap(tx, key, rid, nil)
+}
+
+// InsertTxGap is InsertTx with a next-key hook for serializable range
+// scans: just before the leaf mutation, gap (when non-nil) runs under
+// the exclusive leaf latch with the entry that will follow (key, rid)
+// in the index. An error from the hook abandons the insert (no
+// mutation; preemptive splits performed on the way down stand — they
+// are independent system transactions) and is returned verbatim.
+func (t *BTree) InsertTxGap(tx access.TxnContext, key []byte, rid access.RID, gap GapCheck) error {
 	ck := compositeKey(key, rid)
 	if len(ck) > MaxKeySize {
 		return fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLarge, len(ck), MaxKeySize)
@@ -603,7 +613,7 @@ func (t *BTree) InsertTx(tx access.TxnContext, key []byte, rid access.RID) error
 		}
 	}
 	for {
-		done, inserted, err := t.insertAttempt(tx, key, rid, ck)
+		done, inserted, err := t.insertAttempt(tx, key, rid, ck, gap)
 		if err != nil {
 			return err
 		}
@@ -618,7 +628,7 @@ func (t *BTree) InsertTx(tx access.TxnContext, key []byte, rid access.RID) error
 
 // insertAttempt runs one exclusive crab descent. done=false means a
 // root split was performed and the descent must restart.
-func (t *BTree) insertAttempt(tx access.TxnContext, key []byte, rid access.RID, ck []byte) (done, inserted bool, err error) {
+func (t *BTree) insertAttempt(tx access.TxnContext, key []byte, rid access.RID, ck []byte, gap GapCheck) (done, inserted bool, err error) {
 	metaF, rootID, err := t.metaLatch(false)
 	if err != nil {
 		return false, false, err
@@ -673,6 +683,12 @@ func (t *BTree) insertAttempt(tx access.TxnContext, key []byte, rid access.RID, 
 	if pos < len(cur.n.keys) && bytes.Equal(cur.n.keys[pos], ck) {
 		t.unlatch(cur)
 		return true, false, nil // exact duplicate (same key+rid): no-op
+	}
+	if gap != nil {
+		if err := t.gapCheckAt(cur, pos, gap); err != nil {
+			t.unlatch(cur)
+			return false, false, err
+		}
 	}
 	cur.n.keys = append(cur.n.keys, nil)
 	copy(cur.n.keys[pos+1:], cur.n.keys[pos:])
@@ -856,6 +872,16 @@ func (t *BTree) Delete(key []byte, rid access.RID) (bool, error) {
 // key right between the shared descent and the exclusive re-latch, the
 // delete follows the chain right — splits only ever move keys right.
 func (t *BTree) DeleteTx(tx access.TxnContext, key []byte, rid access.RID) (bool, error) {
+	return t.DeleteTxGap(tx, key, rid, nil)
+}
+
+// DeleteTxGap is DeleteTx with a next-key hook for serializable range
+// scans: when the entry is found, gap (when non-nil) runs under the
+// exclusive leaf latch with the entry's successor BEFORE the removal,
+// so the caller can lock the gap the delete is about to widen. An
+// error from the hook abandons the delete (no mutation) and is
+// returned verbatim.
+func (t *BTree) DeleteTxGap(tx access.TxnContext, key []byte, rid access.RID, gap GapCheck) (bool, error) {
 	ck := compositeKey(key, rid)
 	leaf, err := t.descendToLeaf(ck)
 	if err != nil {
@@ -870,6 +896,12 @@ func (t *BTree) DeleteTx(tx access.TxnContext, key []byte, rid access.RID) (bool
 	for {
 		pos := sort.Search(len(cur.n.keys), func(i int) bool { return bytes.Compare(cur.n.keys[i], ck) >= 0 })
 		if pos < len(cur.n.keys) && bytes.Equal(cur.n.keys[pos], ck) {
+			if gap != nil {
+				if err := t.gapCheckAt(cur, pos+1, gap); err != nil {
+					t.unlatch(cur)
+					return false, err
+				}
+			}
 			cur.n.keys = append(cur.n.keys[:pos], cur.n.keys[pos+1:]...)
 			err := t.write(tx, cur, func() []byte { return undoIndexDelete(t.metaID, key, rid) })
 			t.unlatch(cur)
@@ -915,6 +947,120 @@ func (t *BTree) Range(lo, hi []byte, fn func(key []byte, rid access.RID) error) 
 		}
 		return fn(key, rid)
 	})
+}
+
+// RangeLatched walks entries with key >= lo (nil = from the start) in
+// key order, invoking fn UNDER the covering leaf's shared latch for
+// each entry, and once more with eof=true (nil key) under the last
+// leaf's latch when the index is exhausted. Unlike Range, consecutive
+// leaves are latch-coupled (the next leaf is latched before the current
+// one is released), so between two consecutive fn calls no writer can
+// slip an entry into the gap — the property next-key locking scans
+// need: the successor is surfaced, and can be locked, before the leaf
+// latch that proves it IS the successor is released.
+//
+// fn must not block on anything a latch holder could wait on (in
+// particular it must only take locks conditionally — TryAcquire, never
+// Acquire) and must not re-enter the tree. Returning a non-nil error
+// releases the latch and aborts the walk with that error; callers
+// restart a new walk after resolving whatever made fn bail out.
+func (t *BTree) RangeLatched(lo []byte, fn func(key []byte, rid access.RID, eof bool) error) error {
+	var clo []byte
+	if lo != nil {
+		clo, _ = keyPrefixBounds(lo)
+	}
+	leaf, err := t.descendToLeaf(clo)
+	if err != nil {
+		return err
+	}
+	for {
+		start := 0
+		if clo != nil {
+			start = sort.Search(len(leaf.n.keys), func(i int) bool { return bytes.Compare(leaf.n.keys[i], clo) >= 0 })
+		}
+		for i := start; i < len(leaf.n.keys); i++ {
+			key, rid, err := splitComposite(leaf.n.keys[i])
+			if err == nil {
+				err = fn(key, rid, false)
+			}
+			if err != nil {
+				t.unlatch(leaf)
+				return err
+			}
+		}
+		if leaf.n.next == storage.InvalidPageID {
+			err := fn(nil, access.RID{}, true)
+			t.unlatch(leaf)
+			return err
+		}
+		// Latch-couple onto the next leaf BEFORE releasing this one
+		// (left-to-right, same order as splits — no deadlock), closing
+		// the window where an insert could land in this leaf's tail gap
+		// unseen by both this call and the next.
+		next, err := t.latch(leaf.n.next, false)
+		t.unlatch(leaf)
+		if err != nil {
+			return err
+		}
+		clo = nil
+		leaf = next
+	}
+}
+
+// GapCheck is the next-key hook of InsertTxGap/DeleteTxGap: it runs
+// under the exclusive latch of the leaf about to be mutated, with the
+// mutation point's successor entry (eof=true, nil key at end of index).
+// It must not block (conditional lock attempts only); a non-nil return
+// abandons the attempt without mutating anything, and the error is
+// surfaced to the caller, which typically waits for the lock off-latch
+// and retries.
+type GapCheck func(key []byte, rid access.RID, eof bool) error
+
+// successorFrom walks the leaf chain from id (shared latches, coupled
+// left-to-right past empty leaves) and returns the first entry, or
+// eof=true if the chain ends. The caller keeps its own latch on the
+// preceding leaf, so the returned entry is the true successor for as
+// long as that latch is held.
+func (t *BTree) successorFrom(id storage.PageID) (ck []byte, eof bool, err error) {
+	for id != storage.InvalidPageID {
+		r, err := t.latch(id, false)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(r.n.keys) > 0 {
+			ck = append([]byte(nil), r.n.keys[0]...)
+			t.unlatch(r)
+			return ck, false, nil
+		}
+		id = r.n.next
+		t.unlatch(r)
+	}
+	return nil, true, nil
+}
+
+// gapCheckAt resolves the successor of position pos in the latched leaf
+// (falling through to the chain when pos is past the last entry) and
+// runs the hook on it.
+func (t *BTree) gapCheckAt(cur *nref, pos int, gap GapCheck) error {
+	if pos < len(cur.n.keys) {
+		key, rid, err := splitComposite(cur.n.keys[pos])
+		if err != nil {
+			return err
+		}
+		return gap(key, rid, false)
+	}
+	ck, eof, err := t.successorFrom(cur.n.next)
+	if err != nil {
+		return err
+	}
+	if eof {
+		return gap(nil, access.RID{}, true)
+	}
+	key, rid, err := splitComposite(ck)
+	if err != nil {
+		return err
+	}
+	return gap(key, rid, false)
 }
 
 // rangeScan walks composite keys in [clo, chi) (nil = unbounded).

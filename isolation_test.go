@@ -1,0 +1,577 @@
+package sbdms
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// The isolation-anomaly suite: each test provokes one classic anomaly —
+// torn atomic batches / phantoms, write skew across a scanned range,
+// lost updates — and asserts it OCCURS at read-committed and is
+// IMPOSSIBLE at serializable (either the serial outcome or a retryable
+// conflict). Run under -race; `make isolation` runs it at GOMAXPROCS 1
+// and 4.
+
+// openIsoDB opens a WAL-enabled in-memory DB at the given scan
+// isolation.
+func openIsoDB(t *testing.T, iso ScanIsolation) *DB {
+	t.Helper()
+	db, err := Open(Options{
+		Device:        storage.NewMemDevice(),
+		LogDevice:     storage.NewMemDevice(),
+		Granularity:   Monolithic,
+		BufferFrames:  256,
+		ScanIsolation: iso,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// --- torn atomic batches (phantoms within one scan) ---------------------
+
+// runTornBatchRounds drives an atomic PutBatch — its first and last
+// keys placed at opposite ends of a filler range, with per-round middle
+// keys between, so the batch takes long enough for a scan to land
+// inside it — against a concurrent full-range scanner. A scan that
+// reports one endpoint of the batch but not the other has read a state
+// no serial execution produces (an uncommitted prefix, or a torn view
+// of the committed batch). Returns (torn, clean) scan counts over at
+// most `rounds` rounds, stopping early once stopAt torn scans were
+// seen.
+func runTornBatchRounds(t *testing.T, db *DB, rounds, stopAt int) (torn, clean int) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		if err := db.Put(fmt.Sprintf("ph-m-%04d", i), []byte("filler")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rounds && torn < stopAt; r++ {
+		lo := fmt.Sprintf("ph-a-%06d", r) // sorts before every filler
+		hi := fmt.Sprintf("ph-z-%06d", r) // sorts after every filler
+		keys := []string{lo}
+		for i := 0; i < 30; i++ {
+			keys = append(keys, fmt.Sprintf("ph-n-%06d-%02d", r, i))
+		}
+		keys = append(keys, hi)
+		vals := make([][]byte, len(keys))
+		for i := range vals {
+			vals[i] = []byte("v")
+		}
+		started := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			close(started)
+			for {
+				err := db.PutBatch(keys, vals)
+				if err == nil {
+					return
+				}
+				if !IsConflict(err) {
+					t.Errorf("PutBatch: %v", err)
+					return
+				}
+			}
+		}()
+		<-started
+		for scanning := true; scanning; {
+			select {
+			case <-done:
+				scanning = false // one final scan below observes the commit
+			default:
+			}
+			keys, err := db.ScanKeys("ph-", 100000)
+			if err != nil {
+				if IsConflict(err) {
+					continue // serializable deadlock victim: retry
+				}
+				t.Fatal(err)
+			}
+			sawLo, sawHi := false, false
+			for _, k := range keys {
+				if k == lo {
+					sawLo = true
+				}
+				if k == hi {
+					sawHi = true
+				}
+			}
+			if sawLo != sawHi {
+				torn++
+			} else {
+				clean++
+			}
+		}
+	}
+	return torn, clean
+}
+
+// TestIsolationTornBatchReadCommitted: without key locks a scan can
+// observe one half of an atomic batch — either an uncommitted insert
+// (dirty read) or a torn view of the committed pair (phantom). The
+// anomaly must be OBSERVABLE: if read-committed scans were accidentally
+// serialized, this test fails and the isolation knob is meaningless.
+func TestIsolationTornBatchReadCommitted(t *testing.T) {
+	db := openIsoDB(t, ReadCommitted)
+	defer db.Close(context.Background())
+	torn, _ := runTornBatchRounds(t, db, 500, 3)
+	if torn == 0 {
+		t.Fatal("read-committed scans never observed a torn atomic batch; the anomaly this knob exists for is gone")
+	}
+	t.Logf("read-committed: %d torn scans observed", torn)
+}
+
+// TestIsolationTornBatchSerializable: next-key locking makes every scan
+// an atomic snapshot — across every interleaving, a scan sees both keys
+// of the pair or neither.
+func TestIsolationTornBatchSerializable(t *testing.T) {
+	db := openIsoDB(t, Serializable)
+	defer db.Close(context.Background())
+	torn, clean := runTornBatchRounds(t, db, 40, 1)
+	if torn != 0 {
+		t.Fatalf("serializable scan observed %d torn atomic batches", torn)
+	}
+	if clean == 0 {
+		t.Fatal("no scans completed")
+	}
+	t.Logf("serializable: %d scans, all atomic", clean)
+}
+
+// --- phantom reads (repeatable range) -----------------------------------
+
+// TestIsolationPhantomReadCommitted: two scans of the same range with a
+// committed insert between them differ — the classic phantom. This is
+// expected (and demonstrated deterministically) at read-committed.
+func TestIsolationPhantomReadCommitted(t *testing.T) {
+	db := openIsoDB(t, ReadCommitted)
+	defer db.Close(context.Background())
+	for i := 0; i < 10; i++ {
+		if err := db.Put(fmt.Sprintf("rng-%02d", i*2), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, err := db.ScanKeys("rng-", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("rng-05", []byte("phantom")); err != nil {
+		t.Fatal(err)
+	}
+	second, err := db.ScanKeys("rng-", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != len(first)+1 {
+		t.Fatalf("phantom not observed: first=%d second=%d", len(first), len(second))
+	}
+}
+
+// TestIsolationPhantomSerializable: a reader that keeps its scan locks
+// (a read-only transaction over the range) sees the identical result on
+// a second scan; the conflicting writer blocks until the reader is
+// done, then lands.
+func TestIsolationPhantomSerializable(t *testing.T) {
+	db := openIsoDB(t, Serializable)
+	defer db.Close(context.Background())
+	for i := 0; i < 10; i++ {
+		if err := db.Put(fmt.Sprintf("rng-%02d", i*2), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	owner := db.kv.ids() // one lock owner = one reading transaction
+	first, err := db.kv.scanKeysLocked(ctx, owner, "rng-", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A writer inserting into the scanned range must block on the gap.
+	wrote := make(chan error, 1)
+	go func() { wrote <- db.Put("rng-05", []byte("phantom")) }()
+	select {
+	case err := <-wrote:
+		t.Fatalf("writer landed inside a range a transaction is still reading: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	second, err := db.kv.scanKeysLocked(ctx, owner, "rng-", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("phantom at serializable: first=%d second=%d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("range changed under scan locks: %q vs %q", first[i], second[i])
+		}
+	}
+	db.kv.locks.ReleaseAll(owner) // end of the reading transaction
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("writer after reader finished: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer never unblocked after scan locks were released")
+	}
+}
+
+// TestIsolationSerializableEmptyKey: "" is a legal key; a serializable
+// scan must return and lock it like any other (regression: the
+// restart-skip cursor used "" as a sentinel and silently dropped it).
+func TestIsolationSerializableEmptyKey(t *testing.T) {
+	db := openIsoDB(t, Serializable)
+	defer db.Close(context.Background())
+	for _, k := range []string{"", "a", "b"} {
+		if err := db.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := db.ScanKeys("", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 || keys[0] != "" || keys[1] != "a" || keys[2] != "b" {
+		t.Fatalf("serializable scan = %q, want [\"\" \"a\" \"b\"]", keys)
+	}
+}
+
+// TestIsolationInsertKeepsScanLockOnSuccessor: a transaction that
+// scanned a range and then inserts into it upgrades its own S lock on
+// the new key's successor for the instant next-key check. That upgrade
+// must NOT be released after the insert — the transaction's read lock
+// on the successor rides on it, and releasing would let a concurrent
+// writer rewrite a key the transaction already read (regression: the
+// instant-release path destroyed upgraded locks).
+func TestIsolationInsertKeepsScanLockOnSuccessor(t *testing.T) {
+	db := openIsoDB(t, Serializable)
+	defer db.Close(context.Background())
+	for _, k := range []string{"a", "b", "c"} {
+		if err := db.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	tx, err := db.kv.txns.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.kv.scanKeysLocked(ctx, tx.ID(), "a", 10); err != nil {
+		t.Fatal(err)
+	}
+	// Insert inside the scanned range: successor of "aa" is "b", which
+	// the scan S-locked — the hook upgrades it in place.
+	if err := db.kv.locks.Acquire(ctx, tx.ID(), kvRes("aa"), txn.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.kv.putTx(ctx, tx, tx.ID(), "aa", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent delete of the successor must stay blocked until the
+	// transaction commits.
+	deleted := make(chan error, 1)
+	go func() { deleted <- db.DeleteKey("b") }()
+	select {
+	case err := <-deleted:
+		t.Fatalf("writer touched a key inside a live transaction's scanned range: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := db.kv.txns.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-deleted:
+		if err != nil {
+			t.Fatalf("delete after commit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delete never unblocked after the transaction committed")
+	}
+}
+
+// --- write skew across a scanned range ----------------------------------
+
+// TestIsolationWriteSkew models the textbook constraint "at most one
+// on-call guard": each transaction scans the guard range and inserts
+// its own guard key only if the range is empty. Both transactions are
+// forced through the scan phase before either writes (the worst-case
+// interleaving). Serially at most one insert can happen; write skew is
+// both committing their inserts.
+func TestIsolationWriteSkew(t *testing.T) {
+	t.Run("read-committed-observes", func(t *testing.T) {
+		db := openIsoDB(t, ReadCommitted)
+		defer db.Close(context.Background())
+		skew := 0
+		for r := 0; r < 20 && skew == 0; r++ {
+			prefix := fmt.Sprintf("wsk-r%03d-", r)
+			var barrier, done sync.WaitGroup
+			barrier.Add(2)
+			done.Add(2)
+			for g := 0; g < 2; g++ {
+				g := g
+				go func() {
+					defer done.Done()
+					keys, err := db.ScanKeys(prefix, 100)
+					if err != nil {
+						t.Error(err)
+					}
+					count := 0
+					for _, k := range keys {
+						if strings.HasPrefix(k, prefix) {
+							count++
+						}
+					}
+					barrier.Done()
+					barrier.Wait() // both scanned before either writes
+					if count == 0 {
+						if err := db.Put(fmt.Sprintf("%sguard-%d", prefix, g), []byte("v")); err != nil {
+							t.Error(err)
+						}
+					}
+				}()
+			}
+			done.Wait()
+			keys, err := db.ScanKeys(prefix, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			guards := 0
+			for _, k := range keys {
+				if strings.HasPrefix(k, prefix) {
+					guards++
+				}
+			}
+			if guards > 1 {
+				skew++
+			}
+		}
+		if skew == 0 {
+			t.Fatal("read-committed scan+put never produced write skew; the anomaly should be observable")
+		}
+	})
+
+	t.Run("serializable-prevents", func(t *testing.T) {
+		db := openIsoDB(t, Serializable)
+		defer db.Close(context.Background())
+		ctx := context.Background()
+		for r := 0; r < 20; r++ {
+			prefix := fmt.Sprintf("wsk-r%03d-", r)
+			var barrier, done sync.WaitGroup
+			barrier.Add(2)
+			done.Add(2)
+			for g := 0; g < 2; g++ {
+				g := g
+				go func() {
+					defer done.Done()
+					// One real transaction: scan locks and the write all
+					// belong to tx and release at commit/abort.
+					tx, err := db.kv.txns.Begin()
+					if err != nil {
+						t.Error(err)
+						barrier.Done()
+						return
+					}
+					keys, err := db.kv.scanKeysLocked(ctx, tx.ID(), prefix, 100)
+					barrier.Done()
+					if err != nil {
+						_ = db.kv.txns.Abort(tx)
+						return
+					}
+					count := 0
+					for _, k := range keys {
+						if strings.HasPrefix(k, prefix) {
+							count++
+						}
+					}
+					barrier.Wait()
+					if count > 0 {
+						_ = db.kv.txns.Abort(tx) // nothing to do
+						return
+					}
+					gk := fmt.Sprintf("%sguard-%d", prefix, g)
+					if err := db.kv.locks.Acquire(ctx, tx.ID(), kvRes(gk), txn.Exclusive); err != nil {
+						_ = db.kv.txns.Abort(tx) // deadlock victim: serial outcome preserved
+						return
+					}
+					if err := db.kv.putTx(ctx, tx, tx.ID(), gk, []byte("v")); err != nil {
+						_ = db.kv.txns.Abort(tx)
+						return
+					}
+					if err := db.kv.txns.Commit(tx); err != nil {
+						t.Error(err)
+					}
+				}()
+			}
+			done.Wait()
+			keys, err := db.ScanKeys(prefix, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			guards := 0
+			for _, k := range keys {
+				if strings.HasPrefix(k, prefix) {
+					guards++
+				}
+			}
+			if guards > 1 {
+				t.Fatalf("round %d: write skew at serializable — %d guards committed", r, guards)
+			}
+		}
+	})
+}
+
+// --- lost updates -------------------------------------------------------
+
+// TestIsolationLostUpdate: concurrent read-modify-write increments of
+// one counter key. Unlocked get-then-put loses updates; a transaction
+// that keeps its read lock and upgrades cannot (upgrades that deadlock
+// abort and retry — the increment is never silently dropped).
+func TestIsolationLostUpdate(t *testing.T) {
+	const writers, increments = 4, 25
+
+	readCounter := func(t *testing.T, db *DB) int {
+		v, err := db.Get("cnt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := strconv.Atoi(string(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	t.Run("read-committed-observes", func(t *testing.T) {
+		db := openIsoDB(t, ReadCommitted)
+		defer db.Close(context.Background())
+		lost := false
+		for round := 0; round < 10 && !lost; round++ {
+			if err := db.Put("cnt", []byte("0")); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < increments; i++ {
+						v, err := db.Get("cnt")
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						n, _ := strconv.Atoi(string(v))
+						runtime.Gosched() // widen the read-to-write window
+						if err := db.Put("cnt", []byte(strconv.Itoa(n+1))); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if readCounter(t, db) < writers*increments {
+				lost = true
+			}
+		}
+		if !lost {
+			t.Fatal("unlocked read-modify-write never lost an update across 10 rounds")
+		}
+	})
+
+	t.Run("serializable-prevents", func(t *testing.T) {
+		db := openIsoDB(t, Serializable)
+		defer db.Close(context.Background())
+		if err := db.Put("cnt", []byte("0")); err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		var conflicts atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < increments; i++ {
+					for { // retry deadlock victims: 2PL guarantees no LOST updates, not no conflicts
+						tx, err := db.kv.txns.Begin()
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						abortRetry := func(err error) bool {
+							_ = db.kv.txns.Abort(tx)
+							if IsConflict(conflictWrap(err)) {
+								conflicts.Add(1)
+								return true
+							}
+							t.Error(err)
+							return false
+						}
+						if err := tx.Lock(ctx, kvRes("cnt"), txn.Shared); err != nil {
+							if abortRetry(err) {
+								continue
+							}
+							return
+						}
+						rids, err := db.kv.idx.Search(db.kv.key("cnt"))
+						if err != nil || len(rids) == 0 {
+							t.Errorf("counter vanished: %v", err)
+							_ = db.kv.txns.Abort(tx)
+							return
+						}
+						cell, err := db.kv.heap.Get(rids[0])
+						if err != nil {
+							t.Error(err)
+							_ = db.kv.txns.Abort(tx)
+							return
+						}
+						_, v, err := decodeKV(cell)
+						if err != nil {
+							t.Error(err)
+							_ = db.kv.txns.Abort(tx)
+							return
+						}
+						n, _ := strconv.Atoi(string(v))
+						// Upgrade read lock to write lock: the other
+						// reader-upgrader deadlocks and retries.
+						if err := tx.Lock(ctx, kvRes("cnt"), txn.Exclusive); err != nil {
+							if abortRetry(err) {
+								continue
+							}
+							return
+						}
+						if err := db.kv.putTx(ctx, tx, tx.ID(), "cnt", []byte(strconv.Itoa(n+1))); err != nil {
+							if abortRetry(err) {
+								continue
+							}
+							return
+						}
+						if err := db.kv.txns.Commit(tx); err != nil {
+							t.Error(err)
+							return
+						}
+						break
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if got := readCounter(t, db); got != writers*increments {
+			t.Fatalf("lost updates at serializable: counter = %d, want %d (%d conflicts retried)",
+				got, writers*increments, conflicts.Load())
+		}
+		t.Logf("serializable: %d increments, %d upgrade deadlocks retried", writers*increments, conflicts.Load())
+	})
+}

@@ -51,6 +51,42 @@ func IsConflict(err error) bool {
 	return errors.Is(err, ErrConflict) || strings.Contains(err.Error(), "sbdms: transaction conflict")
 }
 
+// ScanIsolation selects the transactional strength of range scans
+// (Options.ScanIsolation).
+type ScanIsolation string
+
+// Scan isolation levels.
+const (
+	// ReadCommitted scans take no key locks: they read each leaf
+	// atomically under its shared latch but may observe keys of
+	// concurrent not-yet-committed transactions and torn views of
+	// atomic batches (phantoms). The default, and the PR-4 behaviour.
+	ReadCommitted ScanIsolation = "read-committed"
+	// Serializable scans use ARIES/IM-style next-key locking: the scan
+	// S-locks every returned key plus the key just past the range end
+	// (or an end-of-index sentinel), holding them until the scan (or
+	// the owning transaction) completes, while writers take next-key
+	// gap locks before inserting into or deleting from a range. Every
+	// scan is then equivalent to an atomic snapshot: phantoms and torn
+	// batch views are impossible, at the cost of scans blocking
+	// conflicting writers (and vice versa) and of retryable
+	// ErrConflict deadlock aborts.
+	Serializable ScanIsolation = "serializable"
+)
+
+// normalizeIsolation maps the zero value to the default and rejects
+// unknown levels.
+func normalizeIsolation(iso ScanIsolation) (ScanIsolation, error) {
+	switch iso {
+	case "":
+		return ReadCommitted, nil
+	case ReadCommitted, Serializable:
+		return iso, nil
+	default:
+		return "", fmt.Errorf("sbdms: unknown scan isolation %q", iso)
+	}
+}
+
 // kvCore is the native key-value engine: a heap file for values plus a
 // unique B+tree index on keys. It is the workhorse behind the KV
 // service at every granularity; what changes between profiles is how
@@ -62,10 +98,15 @@ func IsConflict(err error) bool {
 // held until the transaction's outcome is durable); page-level
 // consistency below comes from the B+tree's latch crabbing and the
 // heap's page latches. Deadlock victims abort with ErrConflict and can
-// simply be retried. Scans take no key locks: they are non-transactional
-// and may observe keys of concurrent not-yet-committed transactions
-// (which can still abort), and keys inserted or deleted while the scan
-// runs may or may not appear.
+// simply be retried. Scan isolation is selectable (Options.
+// ScanIsolation): at read-committed (the default) scans take no key
+// locks — they may observe keys of concurrent not-yet-committed
+// transactions (which can still abort), and keys inserted or deleted
+// while the scan runs may or may not appear. At serializable, scans
+// take next-key locks (S on every returned key plus the successor past
+// the range end) and writers take gap locks on the successor of every
+// key they insert or delete, so each scan is an atomic snapshot — no
+// phantoms, no torn views of atomic batches.
 //
 // Every mutation runs under a transaction (one per operation, one per
 // batch) so the heap, the B+tree and — via the file manager's system
@@ -82,12 +123,14 @@ type kvCore struct {
 	locks *txn.LockManager // per-key 2PL; never nil
 	ids   func() uint64    // lock-owner ids for non-transactional ops
 
+	serializable bool // next-key locking on scans and writers
+
 	poisoned atomic.Bool // fast-path flag for failed != nil
 	failedMu sync.Mutex
 	failed   error // fatal engine fault; all further operations refused
 }
 
-func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, name string, recount bool) (*kvCore, error) {
+func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, name string, recount bool, iso ScanIsolation) (*kvCore, error) {
 	heap, err := access.OpenHeap(name, fm, pool)
 	if err != nil {
 		return nil, err
@@ -96,7 +139,7 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager,
 	if err != nil {
 		return nil, err
 	}
-	kv := &kvCore{heap: heap, idx: idx}
+	kv := &kvCore{heap: heap, idx: idx, serializable: iso == Serializable}
 	idx.SetFreer(fm.FreePagesLogged)
 	if txns != nil {
 		kv.locks = txns.Locks()
@@ -186,6 +229,40 @@ func (kv *kvCore) key(k string) []byte { return access.EncodeKey(access.NewStrin
 
 // kvRes names a key's lock-manager resource.
 func kvRes(k string) string { return "kv/" + k }
+
+// kvEOFRes is the end-of-index sentinel resource: serializable scans
+// that run off the right edge of the index S-lock it, and inserts of a
+// key with no successor X-lock it, so "append past everything" still
+// conflicts with "scanned to the end". The "\x00" keeps it disjoint
+// from every kvRes name ("kv/...").
+const kvEOFRes = "kv\x00eof"
+
+// stringKeyTag is the type byte access.EncodeKey prefixes string keys
+// with; decodeKeyBytes uses it to recover the user key from an index
+// entry without a heap read.
+var stringKeyTag = access.EncodeKey(access.NewString(""))[0]
+
+// decodeKeyBytes recovers the user key string from its order-preserving
+// index encoding.
+func decodeKeyBytes(enc []byte) (string, error) {
+	if len(enc) < 1 || enc[0] != stringKeyTag {
+		return "", fmt.Errorf("%w: index key with tag %v", errBadKVRecord, enc)
+	}
+	return string(enc[1:]), nil
+}
+
+// gapRes names the lock resource of a successor surfaced by a B+tree
+// gap hook (the end-of-index sentinel for eof).
+func gapRes(nextKey []byte, eof bool) (string, error) {
+	if eof {
+		return kvEOFRes, nil
+	}
+	k, err := decodeKeyBytes(nextKey)
+	if err != nil {
+		return "", err
+	}
+	return kvRes(k), nil
+}
 
 // --- record codec -------------------------------------------------------
 //
@@ -279,8 +356,10 @@ func sortedUnique(keys []string) []string {
 // keys. A failed op is rolled back logically (inverse operations under
 // page latches); a successful op commits through the group-commit path
 // — concurrent committers coalesce into one log sync. Locks are
-// released only once the outcome is durable (strict 2PL).
-func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn) error) error {
+// released only once the outcome is durable (strict 2PL). op receives
+// the lock-owner id next-key gap locks are taken under (the
+// transaction's id, or a reserved id in unlogged mode).
+func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn, owner uint64) error) error {
 	if err := kv.checkFailed(); err != nil {
 		return err
 	}
@@ -294,7 +373,9 @@ func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn) e
 				return conflictWrap(err)
 			}
 		}
-		return op(nil)
+		// conflictWrap also covers gap-lock deadlocks inside op (next-key
+		// locking at serializable isolation): they are retryable too.
+		return conflictWrap(op(nil, id))
 	}
 	tx, err := kv.txns.Begin()
 	if err != nil {
@@ -312,8 +393,10 @@ func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn) e
 			return abort(conflictWrap(err))
 		}
 	}
-	if err := op(tx); err != nil {
-		return abort(err)
+	if err := op(tx, tx.ID()); err != nil {
+		// A deadlock on a gap lock inside op (next-key locking) is as
+		// retryable as one on the key locks above.
+		return abort(conflictWrap(err))
 	}
 	if err := kv.txns.Commit(tx); err != nil {
 		return kv.poison(fmt.Errorf("sbdms: kv engine offline after failed commit: %w", err))
@@ -330,9 +413,102 @@ func txctx(tx *txn.Txn) access.TxnContext {
 	return tx
 }
 
+// errGapBlocked is returned by a next-key GapCheck whose conditional
+// lock attempt failed: the caller must drop its latches, wait for the
+// recorded lock off-latch, and retry the whole tree operation (the
+// successor may have changed by then).
+var errGapBlocked = errors.New("sbdms: next-key lock busy")
+
+// gapLockHook builds the next-key GapCheck shared by insertIndex and
+// deleteIndex: it X-locks the successor for owner, conditionally (the
+// hook runs under a leaf latch — it must never block). A lock the hook
+// had to take FRESH is recorded in *instant when the caller wants to
+// release it right after the mutation; an upgrade of an S the owner
+// already holds (a transactional scan's read lock on the successor) is
+// NEVER recorded there — the sole-holder upgrade grant itself proves no
+// other scanner has read across the gap, and the lock must survive to
+// commit or the owner's scan would lose its read lock with it.
+func (kv *kvCore) gapLockHook(owner uint64, pending, instant *string) index.GapCheck {
+	return func(nextKey []byte, _ access.RID, eof bool) error {
+		res, err := gapRes(nextKey, eof)
+		if err != nil {
+			return err
+		}
+		m, held := kv.locks.Held(owner, res)
+		if held && m == txn.Exclusive {
+			return nil // already ours: a batch neighbour, a delete's gap lock, or a prior blocked attempt
+		}
+		if !kv.locks.TryAcquire(owner, res, txn.Exclusive) {
+			*pending = res
+			return errGapBlocked
+		}
+		if instant != nil && !held {
+			*instant = res
+		}
+		return nil
+	}
+}
+
+// insertIndex adds (k, rid) to the index. At serializable isolation the
+// insert takes an ARIES/IM next-key lock: the successor of the new key
+// is X-locked under the leaf latch for the INSTANT of the insert, which
+// conflicts with (and only with) a scan that has already read across
+// the gap the new key lands in. When the conditional attempt fails the
+// leaf latch is dropped, the lock is awaited off-latch and the insert
+// retried.
+func (kv *kvCore) insertIndex(ctx context.Context, c access.TxnContext, owner uint64, k string, rid access.RID) error {
+	if !kv.serializable {
+		return kv.idx.InsertTx(c, kv.key(k), rid)
+	}
+	for {
+		var pending, instant string
+		err := kv.idx.InsertTxGap(c, kv.key(k), rid, kv.gapLockHook(owner, &pending, &instant))
+		if instant != "" {
+			// Instant duration: the entry is in the index, so scans now
+			// meet the key's own (transaction-duration) lock instead.
+			_ = kv.locks.Release(owner, instant)
+		}
+		if !errors.Is(err, errGapBlocked) {
+			return err
+		}
+		if lerr := kv.locks.Acquire(ctx, owner, pending, txn.Exclusive); lerr != nil {
+			return lerr
+		}
+		// KEEP the lock across the retry (the Held fast path accepts
+		// it; it releases with the owner's locks at commit). Releasing
+		// before retrying would hand it straight back to the scan
+		// stream and livelock the writer: under sustained scans there
+		// is always a next S request queued, so the conditional attempt
+		// would fail forever.
+	}
+}
+
+// deleteIndex removes (k, rid) from the index. At serializable
+// isolation the delete X-locks the successor for COMMIT duration: the
+// gap it widens stays impassable to scans until the delete's outcome is
+// decided, so an abort's re-insert can never materialise a key inside
+// a range a scan already read.
+func (kv *kvCore) deleteIndex(ctx context.Context, c access.TxnContext, owner uint64, k string, rid access.RID) (bool, error) {
+	if !kv.serializable {
+		return kv.idx.DeleteTx(c, kv.key(k), rid)
+	}
+	for {
+		var pending string
+		ok, err := kv.idx.DeleteTxGap(c, kv.key(k), rid, kv.gapLockHook(owner, &pending, nil))
+		if !errors.Is(err, errGapBlocked) {
+			return ok, err
+		}
+		if lerr := kv.locks.Acquire(ctx, owner, pending, txn.Exclusive); lerr != nil {
+			return false, lerr
+		}
+		// Keep it: on retry the Held fast path accepts it, and it stays
+		// until commit like a first-attempt gap lock.
+	}
+}
+
 // putTx stores (or replaces) a key under tx; the caller holds the key's
-// exclusive lock.
-func (kv *kvCore) putTx(tx *txn.Txn, k string, v []byte) error {
+// exclusive lock. owner is the id gap locks are taken under.
+func (kv *kvCore) putTx(ctx context.Context, tx *txn.Txn, owner uint64, k string, v []byte) error {
 	c := txctx(tx)
 	rec := encodeKV(k, v)
 	rids, err := kv.idx.Search(kv.key(k))
@@ -350,14 +526,17 @@ func (kv *kvCore) putTx(tx *txn.Txn, k string, v []byte) error {
 		}
 		// The value outgrew its cell: write a fresh record, repoint the
 		// index, and purge the old record once the commit is durable.
+		// The repoint is a delete+insert of the same key, so at
+		// serializable the delete's commit-duration gap lock covers the
+		// window where the key is absent from the index.
 		nrid, err := kv.heap.Insert(c, rec)
 		if err != nil {
 			return err
 		}
-		if _, err := kv.idx.DeleteTx(c, kv.key(k), old); err != nil {
+		if _, err := kv.deleteIndex(ctx, c, owner, k, old); err != nil {
 			return err
 		}
-		if err := kv.idx.InsertTx(c, kv.key(k), nrid); err != nil {
+		if err := kv.insertIndex(ctx, c, owner, k, nrid); err != nil {
 			return err
 		}
 		return kv.heap.DeleteDeferred(c, old)
@@ -366,12 +545,12 @@ func (kv *kvCore) putTx(tx *txn.Txn, k string, v []byte) error {
 	if err != nil {
 		return err
 	}
-	return kv.idx.InsertTx(c, kv.key(k), rid)
+	return kv.insertIndex(ctx, c, owner, k, rid)
 }
 
 // deleteTx removes a key under tx; the caller holds the key's exclusive
-// lock.
-func (kv *kvCore) deleteTx(tx *txn.Txn, k string) error {
+// lock. owner is the id gap locks are taken under.
+func (kv *kvCore) deleteTx(ctx context.Context, tx *txn.Txn, owner uint64, k string) error {
 	c := txctx(tx)
 	rids, err := kv.idx.Search(kv.key(k))
 	if err != nil {
@@ -380,7 +559,7 @@ func (kv *kvCore) deleteTx(tx *txn.Txn, k string) error {
 	if len(rids) == 0 {
 		return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 	}
-	if _, err := kv.idx.DeleteTx(c, kv.key(k), rids[0]); err != nil {
+	if _, err := kv.deleteIndex(ctx, c, owner, k, rids[0]); err != nil {
 		return err
 	}
 	return kv.heap.DeleteDeferred(c, rids[0])
@@ -388,7 +567,9 @@ func (kv *kvCore) deleteTx(tx *txn.Txn, k string) error {
 
 // Put stores (or replaces) a key, durably when the WAL is enabled.
 func (kv *kvCore) Put(ctx context.Context, k string, v []byte) error {
-	return kv.run(ctx, []string{k}, func(tx *txn.Txn) error { return kv.putTx(tx, k, v) })
+	return kv.run(ctx, []string{k}, func(tx *txn.Txn, owner uint64) error {
+		return kv.putTx(ctx, tx, owner, k, v)
+	})
 }
 
 // PutBatch stores several keys under one transaction: one WAL force
@@ -402,9 +583,9 @@ func (kv *kvCore) PutBatch(ctx context.Context, keys []string, vals [][]byte) er
 	if len(keys) != len(vals) {
 		return fmt.Errorf("%w: %d keys, %d values", ErrBatchMismatch, len(keys), len(vals))
 	}
-	return kv.run(ctx, keys, func(tx *txn.Txn) error {
+	return kv.run(ctx, keys, func(tx *txn.Txn, owner uint64) error {
 		for i := range keys {
-			if err := kv.putTx(tx, keys[i], vals[i]); err != nil {
+			if err := kv.putTx(ctx, tx, owner, keys[i], vals[i]); err != nil {
 				return err
 			}
 		}
@@ -464,17 +645,37 @@ func (kv *kvCore) Delete(ctx context.Context, k string) error {
 			return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 		}
 	}
-	return kv.run(ctx, []string{k}, func(tx *txn.Txn) error { return kv.deleteTx(tx, k) })
+	return kv.run(ctx, []string{k}, func(tx *txn.Txn, owner uint64) error {
+		return kv.deleteTx(ctx, tx, owner, k)
+	})
 }
 
 // Scan returns up to n keys starting at (inclusive) the given key, in
-// order. Scans take no key locks: they are non-transactional (keys of
-// in-flight transactions may appear and later abort), skip records
-// whose deferred removal lands mid-scan, and skip index entries whose
-// slot was already reused by another key.
+// order. Its guarantees follow the configured isolation level:
+//
+//   - read-committed (default): no key locks. The scan is
+//     non-transactional — keys of in-flight transactions may appear and
+//     later abort, keys inserted or deleted while the scan runs may or
+//     may not appear, records whose deferred removal lands mid-scan and
+//     index entries whose slot was already reused are skipped.
+//   - serializable: next-key locking. The scan S-locks each returned
+//     key plus the successor past the range end (end-of-index sentinel
+//     at the right edge), all held until the scan returns, and writers
+//     gap-lock the successor of every inserted/deleted key — the result
+//     is an atomic snapshot. Conflicting writers block the scan (and a
+//     deadlock surfaces as retryable ErrConflict).
 func (kv *kvCore) Scan(ctx context.Context, from string, n int) ([]string, error) {
 	if err := kv.checkFailed(); err != nil {
 		return nil, err
+	}
+	if kv.serializable {
+		id := kv.ids()
+		defer kv.locks.ReleaseAll(id)
+		out, err := kv.scanKeysLocked(ctx, id, from, n)
+		if err != nil {
+			return nil, conflictWrap(err)
+		}
+		return out, nil
 	}
 	var out []string
 	err := kv.idx.Range(kv.key(from), nil, func(key []byte, rid access.RID) error {
@@ -508,6 +709,77 @@ func (kv *kvCore) Scan(ctx context.Context, from string, n int) ([]string, error
 		return nil, err
 	}
 	return out, nil
+}
+
+// scanKeysLocked is the serializable scan body: a next-key-locked walk
+// whose S locks are taken under the covering leaf latch (conditionally
+// — TryAcquire never blocks a latch holder) and belong to owner when it
+// returns. The CALLER releases them: the public Scan drops them as the
+// scan completes (the scan is its own transaction), while a
+// transactional caller holds them to commit for full strict 2PL.
+//
+// When a conditional lock attempt fails — the entry is X-locked by an
+// in-flight writer — the leaf latch is dropped, the lock is awaited
+// off-latch, and the walk RESTARTS from just after the last returned
+// key: the blocker may have been an uncommitted delete whose rollback
+// restores a key inside the gap the scan was about to cross, so the
+// whole gap must be re-read once the outcome is decided. Keys already
+// returned are S-locked and therefore stable; restarts never revisit
+// them.
+func (kv *kvCore) scanKeysLocked(ctx context.Context, owner uint64, from string, n int) ([]string, error) {
+	var out []string
+	lo := kv.key(from)
+	skip, haveSkip := "", false // last returned key ("" is a legal key: flag, not sentinel)
+	for {
+		var pending string
+		err := kv.idx.RangeLatched(lo, func(key []byte, _ access.RID, eof bool) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if eof {
+				// Ran off the right edge: seal the range end with the
+				// end-of-index sentinel so a later append still conflicts.
+				if !kv.locks.TryAcquire(owner, kvEOFRes, txn.Shared) {
+					pending = kvEOFRes
+					return errGapBlocked
+				}
+				return errStopScan
+			}
+			k, err := decodeKeyBytes(key)
+			if err != nil {
+				return err
+			}
+			if haveSkip && k == skip {
+				return nil // restart cursor: already returned and locked
+			}
+			if !kv.locks.TryAcquire(owner, kvRes(k), txn.Shared) {
+				pending = kvRes(k)
+				return errGapBlocked
+			}
+			if len(out) >= n {
+				// The (n+1)th key: the next-key lock sealing the range
+				// end. Locked but not returned.
+				return errStopScan
+			}
+			out = append(out, k)
+			return nil
+		})
+		if errors.Is(err, errGapBlocked) {
+			if lerr := kv.locks.Acquire(ctx, owner, pending, txn.Shared); lerr != nil {
+				return nil, lerr
+			}
+			if len(out) > 0 {
+				lo, skip, haveSkip = kv.key(out[len(out)-1]), out[len(out)-1], true
+			} else {
+				lo, skip, haveSkip = kv.key(from), "", false
+			}
+			continue
+		}
+		if err != nil && !errors.Is(err, errStopScan) {
+			return nil, err
+		}
+		return out, nil
+	}
 }
 
 // Len returns the number of keys (0 when the engine is poisoned — the

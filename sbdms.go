@@ -62,6 +62,14 @@ type Options struct {
 	// quiescing writers (0 = no background checkpoints; DB.Checkpoint
 	// remains available).
 	CheckpointInterval time.Duration
+	// ScanIsolation selects the isolation level of KV range scans
+	// (default ReadCommitted, the historical behaviour). Serializable
+	// turns on next-key locking: scans become atomic snapshots —
+	// phantom-free — and writers take gap locks on the successor of
+	// every inserted or deleted key. The knob applies at every service
+	// granularity: the scan path of the KV/record services reaches the
+	// same native core.
+	ScanIsolation ScanIsolation
 	// Granularity selects the service decomposition (default Layered).
 	Granularity Granularity
 	// BufferFrames sizes the buffer pool (default 256).
@@ -141,6 +149,11 @@ func Open(opts Options) (*DB, error) {
 	if opts.EventHistory <= 0 {
 		opts.EventHistory = 1024
 	}
+	iso, err := normalizeIsolation(opts.ScanIsolation)
+	if err != nil {
+		return nil, err
+	}
+	opts.ScanIsolation = iso
 	ctx := context.Background()
 
 	db := &DB{opts: opts}
@@ -260,7 +273,7 @@ func Open(opts Options) (*DB, error) {
 	// The KV index recounts its entries unless the previous shutdown
 	// was provably clean (SyncMeta's clean flag) AND recovery repaired
 	// nothing.
-	db.kv, err = newKVCore(fm, db.pool, db.txns, db.log, "__kv__", recovered.Changed())
+	db.kv, err = newKVCore(fm, db.pool, db.txns, db.log, "__kv__", recovered.Changed(), opts.ScanIsolation)
 	if err != nil {
 		return nil, err
 	}
@@ -482,12 +495,17 @@ func (db *DB) DeleteKeyContext(ctx context.Context, key string) error {
 	return db.kvPath.Delete(ctx, key)
 }
 
-// ScanKeys returns up to n keys from key onward.
+// ScanKeys returns up to n keys from key onward, at the isolation
+// level Options.ScanIsolation selected: read-committed scans are
+// lock-free best-effort views; serializable scans are next-key-locked
+// atomic snapshots and may return ErrConflict (retryable) when chosen
+// as a deadlock victim against concurrent writers.
 func (db *DB) ScanKeys(key string, n int) ([]string, error) {
 	return db.kvPath.Scan(context.Background(), key, n)
 }
 
-// ScanKeysContext is ScanKeys with a cancellation context.
+// ScanKeysContext is ScanKeys with a cancellation context bounding lock
+// waits (serializable scans block behind conflicting writers).
 func (db *DB) ScanKeysContext(ctx context.Context, key string, n int) ([]string, error) {
 	return db.kvPath.Scan(ctx, key, n)
 }

@@ -81,6 +81,10 @@ func (b *kvEchoBackend) Delete(_ context.Context, k string) error {
 	return nil
 }
 
+// Scan returns an unordered best-effort view: the stand-in provider is
+// a plain map and serves read-committed-style scans regardless of the
+// engine's ScanIsolation — scenario availability checks only count
+// operations, they never assert snapshot semantics across providers.
 func (b *kvEchoBackend) Scan(_ context.Context, from string, n int) ([]string, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()

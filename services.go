@@ -201,6 +201,9 @@ func KVContract() *core.Contract {
 			{Name: "put", In: "sbdms.KVPutRequest", Out: "bool", Semantic: "kv.put"},
 			{Name: "putBatch", In: "sbdms.KVBatchRequest", Out: "bool", Semantic: "kv.putBatch"},
 			{Name: "delete", In: "string", Out: "bool", Semantic: "kv.delete"},
+			// Scan honours the engine's configured ScanIsolation: at
+			// serializable the result is an atomic (phantom-free)
+			// snapshot; at read-committed it is a best-effort view.
 			{Name: "scan", In: "sbdms.KVScanRequest", Out: "[]string", Semantic: "kv.scan"},
 			{Name: "len", In: "nil", Out: "uint64", Semantic: "kv.len"},
 		},
@@ -211,9 +214,10 @@ func KVContract() *core.Contract {
 
 // kvBackend is what a KV service delegates to: the native core or a
 // further service hop (layered/fine profiles). Every operation takes a
-// context: lock waits inside the engine (per-key 2PL) observe its
-// cancellation, so a caller can bound how long it is willing to block
-// behind a conflicting transaction.
+// context: lock waits inside the engine (per-key 2PL, and at
+// serializable isolation the next-key locks scans and writers take)
+// observe its cancellation, so a caller can bound how long it is
+// willing to block behind a conflicting transaction.
 type kvBackend interface {
 	Put(ctx context.Context, k string, v []byte) error
 	PutBatch(ctx context.Context, keys []string, vals [][]byte) error
