@@ -5,9 +5,9 @@ RACE_PKGS = ./internal/access/... ./internal/buffer/... ./internal/core/... \
             ./internal/index/... ./internal/storage/... ./internal/txn/... \
             ./internal/wal/...
 
-.PHONY: build test race bench crash checkpoint-crash stress isolation vet all
+.PHONY: build test race bench crash checkpoint-crash stress isolation vet lint all
 
-all: vet build test
+all: vet lint build test
 
 build:
 	$(GO) build ./...
@@ -60,3 +60,17 @@ isolation:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: sbdmslint machine-checks the engine's concurrency
+# and durability invariants (latch ordering, WAL-before-mutate, pin
+# pairing, durability error checks, context plumbing — see
+# INVARIANTS.md). staticcheck and govulncheck run when installed; the
+# build container has no network, so they are advisory extras rather
+# than gates.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/sbdmslint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed: skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed: skipping"; fi

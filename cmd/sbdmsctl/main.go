@@ -49,7 +49,7 @@ func run(addr string, args []string) error {
 		// A one-shot gossip exchange returns the remote registry
 		// without registering anything of our own.
 		local := core.NewRegistry(nil)
-		if _, err := netbind.Sync(local, "ctl", client); err != nil {
+		if _, err := netbind.Sync(ctx, local, "ctl", client); err != nil {
 			return err
 		}
 		for _, reg := range local.All() {

@@ -1,0 +1,73 @@
+// Command sbdmslint runs the engine-invariant analyzer suite
+// (internal/lint) over package patterns and reports violations in the
+// usual path:line:col format. It exits 1 when any diagnostic survives
+// suppression, so `make lint` and CI fail on a violated invariant.
+//
+// Usage:
+//
+//	sbdmslint [-analyzers] [packages]
+//
+// With no patterns it checks ./... from the current directory. The
+// suite: latchorder, walbeforemutate, pinpaired, errcheckdurability,
+// ctxflow — see INVARIANTS.md for the rule behind each. Findings are
+// suppressed by a `//lint:ignore <analyzer> <justification>` comment on
+// the flagged line or the line above; the justification is mandatory
+// and its absence is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	listOnly := flag.Bool("analyzers", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader := lint.NewLoader(cwd)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		p := loader.Fset().Position(d.Pos)
+		name := p.Filename
+		if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", name, p.Line, p.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sbdmslint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbdmslint:", err)
+	os.Exit(2)
+}

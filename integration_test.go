@@ -62,7 +62,7 @@ func TestRemoteNodeEndToEnd(t *testing.T) {
 
 	// Service listing via one-shot gossip (what sbdmsctl does).
 	local := core.NewRegistry(nil)
-	if _, err := netbind.Sync(local, "ctl", client); err != nil {
+	if _, err := netbind.Sync(context.Background(), local, "ctl", client); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := local.Lookup("query"); err != nil {
@@ -104,7 +104,7 @@ func TestTwoNodeGossipAndRemoteSelection(t *testing.T) {
 	// propagate; check the query service instead.
 	peer := netbind.NewClient(srvB.Addr())
 	defer peer.Close()
-	if _, err := netbind.Sync(dbA.Kernel().Registry(), srvA.Addr(), peer); err != nil {
+	if _, err := netbind.Sync(context.Background(), dbA.Kernel().Registry(), srvA.Addr(), peer); err != nil {
 		t.Fatal(err)
 	}
 	// A's registry keeps its own kv (names collide — local wins), and

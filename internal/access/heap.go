@@ -183,6 +183,7 @@ func MutatePageUndo(pool *buffer.Manager, log *wal.Log, tx TxnContext, pid stora
 			// The mutation could not be logged: put the page back
 			// exactly as it was (we hold the latch and the before
 			// image), so the failure leaves no unlogged change behind.
+			//lint:ignore walbeforemutate restoring the exact before image after a failed append is the WAL discipline, not a bypass of it
 			copy(page.Data, before)
 			_ = pool.UnpinLatched(pid, true, false)
 			return err

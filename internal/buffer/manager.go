@@ -532,6 +532,7 @@ func (m *Manager) NewPageLatched(t storage.PageType) (*Frame, error) {
 	fi, ok := s.table[f.ID]
 	if !ok {
 		s.mu.Unlock()
+		_ = m.Unpin(f.ID, false)
 		return nil, fmt.Errorf("buffer: fresh page %d vanished", f.ID)
 	}
 	latch := s.frames[fi].latch

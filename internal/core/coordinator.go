@@ -370,6 +370,7 @@ func (c *Coordinator) startLoop() {
 		}
 		ticker := time.NewTicker(c.cfg.ProbePeriod)
 		defer ticker.Stop()
+		//lint:ignore ctxflow the probe loop is a background daemon with no caller; cancellation arrives via the stop channel, and each probe bounds itself with its own timeout
 		ctx := context.Background()
 		for {
 			select {

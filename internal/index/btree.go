@@ -105,9 +105,12 @@ func Create(pool *buffer.Manager, unique bool) (*BTree, storage.PageID, error) {
 	}
 	root := &node{id: rootF.ID, leaf: true}
 	if err := root.encode(rootF.Page()); err != nil {
+		_ = pool.Unpin(rootF.ID, false)
+		_ = pool.Unpin(meta.ID, false)
 		return nil, 0, err
 	}
 	if err := pool.Unpin(rootF.ID, true); err != nil {
+		_ = pool.Unpin(meta.ID, false)
 		return nil, 0, err
 	}
 	t := &BTree{pool: pool, metaID: meta.ID, unique: unique}

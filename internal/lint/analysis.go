@@ -1,0 +1,83 @@
+// Package lint is a self-contained static-analysis framework plus the
+// suite of engine-invariant analyzers behind cmd/sbdmslint. It mirrors
+// the shape of golang.org/x/tools/go/analysis (Analyzer, Pass,
+// Diagnostic, analysistest-style golden packages) but is built on the
+// standard library only — go/ast, go/types, go/parser — so the module
+// keeps its zero-dependency property.
+//
+// The analyzers encode invariants of the SBDMS engine that otherwise
+// live only in comments and reviewers' heads:
+//
+//   - latchorder: never block on the lock manager while holding a page
+//     latch; TryAcquire is the only legal lock call under a latch.
+//   - walbeforemutate: writes to pinned page bytes must flow through a
+//     logged helper, never raw slice stores.
+//   - pinpaired: every Pin/PinLatched/NewPageLatched is matched by an
+//     Unpin on all return paths, including error returns.
+//   - errcheckdurability: results of WAL appends/flushes, lock
+//     acquisition, and commit must not be discarded.
+//   - ctxflow: blocking engine entry points thread context.Context; no
+//     context.Background() in request paths under internal/.
+//
+// See INVARIANTS.md at the repository root for the prose statement of
+// each rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the import path of the package under analysis.
+	PkgPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Analyzers returns the full sbdmslint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LatchOrderAnalyzer,
+		WALBeforeMutateAnalyzer,
+		PinPairedAnalyzer,
+		ErrcheckDurabilityAnalyzer,
+		CtxFlowAnalyzer,
+	}
+}

@@ -1,0 +1,33 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer has a golden package under testdata/src/<name> whose
+// // want comments pin down exactly which lines it flags — positive
+// hits, the sanctioned shapes it must stay silent on, and a honoured
+// //lint:ignore suppression.
+
+func TestLatchOrder(t *testing.T) {
+	linttest.Run(t, "latchorder", lint.LatchOrderAnalyzer)
+}
+
+func TestWALBeforeMutate(t *testing.T) {
+	linttest.Run(t, "walbeforemutate", lint.WALBeforeMutateAnalyzer)
+}
+
+func TestPinPaired(t *testing.T) {
+	linttest.Run(t, "pinpaired", lint.PinPairedAnalyzer)
+}
+
+func TestErrcheckDurability(t *testing.T) {
+	linttest.Run(t, "errcheckdurability", lint.ErrcheckDurabilityAnalyzer)
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, "ctxflow", lint.CtxFlowAnalyzer)
+}

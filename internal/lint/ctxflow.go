@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CtxFlowAnalyzer enforces context plumbing through the engine's
+// blocking paths. Blocking entry points (anything that can park on the
+// lock manager) must accept and thread a context.Context so callers can
+// bound waits and cancel requests; minting a fresh
+// context.Background() deep inside a request path severs that chain.
+//
+// Three rules:
+//
+//  1. A function that already receives a context.Context must not call
+//     context.Background()/context.TODO() — thread the parameter.
+//  2. The ctx argument to LockManager.Acquire / Txn.Lock must not be a
+//     fresh context.Background()/context.TODO() call.
+//  3. In packages under internal/, any context.Background()/TODO() in
+//     non-test code is flagged: request paths must thread the caller's
+//     context, and genuine background daemons (tickers, gossip loops)
+//     carry a justified //lint:ignore ctxflow directive instead.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: "blocking engine entry points accept and thread context.Context; " +
+		"no context.Background() inside request paths under internal/",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	info := pass.TypesInfo
+	internal := strings.Contains(pass.PkgPath, "/internal/") || strings.HasPrefix(pass.PkgPath, "internal/")
+
+	// isFreshCtx reports whether e is a direct context.Background() or
+	// context.TODO() call.
+	isFreshCtx := func(e ast.Expr) (name string, ok bool) {
+		call, isCall := ast.Unparen(e).(*ast.CallExpr)
+		if !isCall {
+			return "", false
+		}
+		fn := calleeFunc(info, call)
+		if isPkgFunc(fn, "context", "Background") {
+			return "context.Background", true
+		}
+		if isPkgFunc(fn, "context", "TODO") {
+			return "context.TODO", true
+		}
+		return "", false
+	}
+
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		isTest := strings.HasSuffix(fname, "_test.go")
+
+		// Rule 1 + 3: walk each function body tracking whether any
+		// enclosing function (decl or literal) has a ctx parameter.
+		var walk func(n ast.Node, haveCtx bool)
+		walk = func(n ast.Node, haveCtx bool) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch v := m.(type) {
+				case *ast.FuncDecl:
+					if m == n {
+						return true
+					}
+					return false
+				case *ast.FuncLit:
+					if m == n {
+						return true
+					}
+					walk(v.Body, haveCtx || hasCtxParam(info, v.Type))
+					return false
+				case *ast.CallExpr:
+					if name, ok := isFreshCtx(v); ok {
+						switch {
+						case haveCtx:
+							pass.Reportf(v.Pos(),
+								"%s() inside a function that already receives a context.Context: thread the parameter", name)
+						case internal && !isTest:
+							pass.Reportf(v.Pos(),
+								"%s() in engine code under internal/: request paths must thread the caller's context "+
+									"(background daemons: suppress with a justified //lint:ignore ctxflow)", name)
+						}
+					}
+					// Rule 2: fresh context handed straight to a blocking
+					// lock call, anywhere in the tree.
+					fn := calleeFunc(info, v)
+					if (isMethodOn(fn, txnPath, "LockManager", "Acquire") ||
+						isMethodOn(fn, txnPath, "Txn", "Lock")) && len(v.Args) > 0 {
+						if name, ok := isFreshCtx(v.Args[0]); ok {
+							pass.Reportf(v.Args[0].Pos(),
+								"%s() passed to blocking %s: thread the request context so the wait can be cancelled",
+								name, fn.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walk(fd, hasCtxParam(info, fd.Type))
+		}
+
+		// Package-level var initialisers (e.g. var bg = context.Background())
+		// inside internal/ are rule-3 findings too.
+		if internal && !isTest {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, val := range vs.Values {
+						if name, ok := isFreshCtx(val); ok {
+							pass.Reportf(val.Pos(),
+								"%s() in engine code under internal/: request paths must thread the caller's context "+
+									"(background daemons: suppress with a justified //lint:ignore ctxflow)", name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

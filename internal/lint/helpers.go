@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// Import paths of the engine packages whose APIs the analyzers key on.
+const (
+	bufferPath = "repro/internal/buffer"
+	indexPath  = "repro/internal/index"
+	txnPath    = "repro/internal/txn"
+	walPath    = "repro/internal/wal"
+)
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil when the callee is not a named function (e.g. a call through a
+// function-typed variable or field).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// recvTypeName returns the package path and type name of a method's
+// receiver (pointers dereferenced), or ok=false for plain functions.
+func recvTypeName(fn *types.Func) (pkgPath, typeName string, ok bool) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	return named.Obj().Pkg().Path(), named.Obj().Name(), true
+}
+
+// isMethodOn reports whether fn is the named method on pkgPath.typeName.
+func isMethodOn(fn *types.Func, pkgPath, typeName, method string) bool {
+	if fn == nil || fn.Name() != method {
+		return false
+	}
+	p, t, ok := recvTypeName(fn)
+	return ok && p == pkgPath && t == typeName
+}
+
+// isPkgFunc reports whether fn is the named package-level function.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if sig, _ := fn.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// isNamedType reports whether t (pointers dereferenced) is the named
+// type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool { return isNamedType(t, "context", "Context") }
+
+// hasCtxParam reports whether a function type declares a
+// context.Context parameter.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders an expression to canonical source form, used to
+// compare pin arguments against unpin arguments syntactically.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// objOf resolves an expression to the variable object it names, seeing
+// through parens.
+func objOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// funcBodies yields every function body in the file along with its
+// type: declarations and function literals alike. Literals are yielded
+// separately, so per-function analyses must not descend into nested
+// *ast.FuncLit when walking a body.
+func funcBodies(f *ast.File, visit func(ft *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				visit(fn.Type, fn.Body)
+			}
+		case *ast.FuncLit:
+			visit(fn.Type, fn.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals — the per-function walk used by analyzers whose state is
+// function-local.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m != n {
+			if _, isLit := m.(*ast.FuncLit); isLit {
+				return false
+			}
+		}
+		return fn(m)
+	})
+}

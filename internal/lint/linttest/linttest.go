@@ -1,0 +1,162 @@
+// Package linttest is the golden-file test harness for the sbdmslint
+// analyzers, in the spirit of go/analysis/analysistest: each analyzer
+// has packages under internal/lint/testdata/src whose lines carry
+// // want "regexp" comments naming the diagnostics the analyzer must
+// produce there — no more, no less. The testdata directory is
+// invisible to the go tool, so seeded violations never break the build;
+// the harness type-checks those packages against the real engine
+// packages so the analyzers' type-based matching is exercised for real.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	loadOnce sync.Once
+	loader   *lint.Loader
+	loadErr  error
+)
+
+// sharedLoader returns a process-wide loader with the whole module
+// (and its stdlib closure) already type-checked, so each golden
+// package only pays for its own files.
+func sharedLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loadOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			loadErr = err
+			return
+		}
+		loader = lint.NewLoader(root)
+		_, loadErr = loader.Load("./...")
+	})
+	if loadErr != nil {
+		t.Fatalf("linttest: loading module: %v", loadErr)
+	}
+	return loader
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// want is one expected diagnostic.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// LoadGolden type-checks the golden package at testdata/src/<rel>
+// (relative to the module's internal/lint directory) against the
+// shared loader's cache, for tests that assert on lint.Run output
+// directly instead of through // want comments.
+func LoadGolden(t *testing.T, rel string) *lint.Package {
+	t.Helper()
+	l := sharedLoader(t)
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", filepath.FromSlash(rel))
+	pkg, err := l.LoadDir(dir, "repro/internal/lint/testdata/"+rel)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return pkg
+}
+
+// Run type-checks the golden package at testdata/src/<rel> (relative to
+// the module's internal/lint directory) and applies the analyzers,
+// comparing diagnostics against the package's // want comments.
+func Run(t *testing.T, rel string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkg := LoadGolden(t, rel)
+
+	wants := collectWants(t, pkg)
+	diags, err := lint.Run([]*lint.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", filepath.Base(p.Filename), p.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses the // want "re" ["re"...] comments of a package.
+func collectWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(body, "want ") {
+					continue
+				}
+				rest := strings.TrimSpace(body[len("want "):])
+				pos := pkg.Fset.Position(c.Pos())
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q", pos.Filename, pos.Line, q)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return wants
+}

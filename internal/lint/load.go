@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Loader type-checks packages from source. It resolves the package
+// graph with `go list -deps` (which emits dependencies before
+// dependents) and checks every package — standard library included — in
+// that order, feeding each result to later imports through a cache.
+// This avoids any dependency on compiler export data, so the loader
+// works with nothing but the go tool and the stdlib go/* packages.
+type Loader struct {
+	// Dir is the module root the go tool runs in.
+	Dir string
+
+	fset  *token.FileSet
+	cache map[string]*types.Package
+}
+
+// NewLoader creates a loader rooted at dir (the module root).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:   dir,
+		fset:  token.NewFileSet(),
+		cache: map[string]*types.Package{},
+	}
+}
+
+// Fset returns the file set shared by all packages the loader checks.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	Standard   bool
+	ImportMap  map[string]string
+}
+
+// cacheImporter resolves imports from the loader cache, applying the
+// per-package ImportMap so stdlib-vendored paths (e.g. golang.org/x/net
+// inside package net) land on their vendored identity.
+type cacheImporter struct {
+	pkgs map[string]*types.Package
+	imap map[string]string
+}
+
+func (c *cacheImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if r, ok := c.imap[path]; ok {
+		path = r
+	}
+	if p, ok := c.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("lint: package %q not yet type-checked", path)
+}
+
+var _ types.Importer = (*cacheImporter)(nil)
+
+// goList runs the go tool in the loader dir and decodes its output.
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.Bytes(), nil
+}
+
+// Load type-checks the packages matched by patterns (plus every
+// dependency, cached for reuse) and returns the matched, non-stdlib
+// packages in deterministic order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	// Which packages did the patterns actually match?
+	raw, err := l.goList(append([]string{"list"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	matched := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line != "" {
+			matched[strings.TrimSpace(line)] = true
+		}
+	}
+
+	// Full dependency universe in topological order (deps first).
+	raw, err = l.goList(append([]string{"list", "-deps", "-json=Dir,ImportPath,GoFiles,Standard,ImportMap"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var univ []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		univ = append(univ, &p)
+	}
+
+	var out []*Package
+	for _, p := range univ {
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		if matched[p.ImportPath] && !p.Standard {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// check parses and type-checks one listed package, memoising the result.
+func (l *Loader) check(p *listPkg) (*Package, error) {
+	if tp, ok := l.cache[p.ImportPath]; ok {
+		return &Package{ImportPath: p.ImportPath, Dir: p.Dir, Fset: l.fset, Types: tp}, nil
+	}
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	imp := &cacheImporter{pkgs: l.cache, imap: p.ImportMap}
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(p.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
+	}
+	l.cache[p.ImportPath] = tp
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tp,
+		TypesInfo:  info,
+	}, nil
+}
+
+// LoadDir parses and type-checks every .go file in dir as one package
+// under the given synthetic import path. Imports must already be in the
+// loader cache (call Load first for the surrounding module), which is
+// how analyzer golden packages under testdata — invisible to the go
+// tool — get type-checked against the real engine packages.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %v", e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := newTypesInfo()
+	imp := &cacheImporter{pkgs: l.cache}
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tp,
+		TypesInfo:  info,
+	}, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

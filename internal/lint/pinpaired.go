@@ -1,0 +1,536 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinPairedAnalyzer checks that every buffer pin is matched by an unpin
+// on all return paths, including error returns. A leaked pin wedges a
+// frame in the pool forever: the page can never be evicted, and under
+// load the pool runs out of frames and every later Pin fails. The
+// analyzer enumerates the paths through each function (bounded, loop
+// bodies taken at most once) and reports pins that some path abandons.
+//
+// A pinned frame that escapes the function — returned, stored into a
+// struct, or passed (as the frame itself) to another call — is treated
+// as managed elsewhere and not tracked further; method calls on the
+// frame (f.Page(), f.ID, f.Data) do not count as escapes.
+var PinPairedAnalyzer = &Analyzer{
+	Name: "pinpaired",
+	Doc: "every Pin/PinLatched/NewPage/NewPageLatched has a matching Unpin on all " +
+		"return paths, including error returns",
+	Run: runPinPaired,
+}
+
+// maxPinStates bounds path enumeration; functions that exceed it are
+// skipped rather than half-reported.
+const maxPinStates = 256
+
+// pinSite is one pin call in a function.
+type pinSite struct {
+	pos      token.Pos
+	method   string
+	frameVar *types.Var          // variable bound to the *buffer.Frame (nil if discarded)
+	idArg    string              // canonical text of the page-id argument, "" for NewPage*
+	aliases  map[*types.Var]bool // variables holding frameVar.ID
+	reported bool
+}
+
+// pinState is the set of open pins along one path. pendVar/pendSite
+// model the Go error idiom for exactly one statement: after
+// f, err := pool.Pin(id), the branch where err != nil is the branch
+// where the pin never happened.
+type pinState struct {
+	open     map[*pinSite]bool
+	pendVar  *types.Var
+	pendSite *pinSite
+}
+
+func (s *pinState) clone() pinState {
+	c := pinState{
+		open:     make(map[*pinSite]bool, len(s.open)),
+		pendVar:  s.pendVar,
+		pendSite: s.pendSite,
+	}
+	for k, v := range s.open {
+		c.open[k] = v
+	}
+	return c
+}
+
+// takePending consumes the one-statement error association.
+func (s *pinState) takePending() (*types.Var, *pinSite) {
+	v, site := s.pendVar, s.pendSite
+	s.pendVar, s.pendSite = nil, nil
+	return v, site
+}
+
+// pinChecker analyzes one function body.
+type pinChecker struct {
+	pass    *Pass
+	info    *types.Info
+	states  int  // processed-state budget
+	aborted bool // too many paths: give up without reporting
+	leaks   []*pinSite
+}
+
+func runPinPaired(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(ft *ast.FuncType, body *ast.BlockStmt) {
+			c := &pinChecker{pass: pass, info: pass.TypesInfo}
+			outs := c.exec(body.List, pinState{open: map[*pinSite]bool{}})
+			for _, st := range outs {
+				c.leakCheck(st)
+			}
+			if !c.aborted {
+				for _, site := range c.leaks {
+					pass.Reportf(site.pos,
+						"frame pinned by %s may not be unpinned on every return path (including error returns)", site.method)
+				}
+			}
+		})
+	}
+	return nil
+}
+
+// classifyPin resolves call to a pinning method name, if it is one.
+func classifyPin(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	for _, m := range []string{"Pin", "PinLatched", "NewPage", "NewPageLatched"} {
+		if isMethodOn(fn, bufferPath, "Manager", m) {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+// isUnpinCall resolves call to an unpinning method, if it is one.
+func isUnpinCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return isMethodOn(fn, bufferPath, "Manager", "Unpin") ||
+		isMethodOn(fn, bufferPath, "Manager", "UnpinLatched")
+}
+
+func (c *pinChecker) leakCheck(st pinState) {
+	for site := range st.open {
+		if !site.reported {
+			site.reported = true
+			c.leaks = append(c.leaks, site)
+		}
+	}
+}
+
+// release applies an unpin call to the state: the site whose id the
+// call names is closed; an unrecognized id closes everything (we cannot
+// prove which pin it pairs with, and guessing would invent leaks).
+func (c *pinChecker) release(st pinState, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := exprString(c.pass.Fset, call.Args[0])
+	var matched *pinSite
+	for site := range st.open {
+		if site.idArg != "" && arg == site.idArg {
+			matched = site
+			break
+		}
+		if site.frameVar != nil && arg == site.frameVar.Name()+".ID" {
+			matched = site
+			break
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+			if v := objOf(c.info, id); v != nil && site.aliases[v] {
+				matched = site
+				break
+			}
+		}
+	}
+	if matched != nil {
+		delete(st.open, matched)
+		return
+	}
+	for site := range st.open {
+		delete(st.open, site)
+	}
+}
+
+// escape drops a site whose frame now lives beyond this function.
+func escape(st pinState, site *pinSite) { delete(st.open, site) }
+
+// siteOf finds the open site owning a frame variable.
+func siteOf(st pinState, v *types.Var) *pinSite {
+	for site := range st.open {
+		if site.frameVar == v {
+			return site
+		}
+	}
+	return nil
+}
+
+// scan processes one statement's expressions in order: unpin calls
+// close sites, then any use of an open frame variable outside a
+// selector (f.ID, f.Data, f.Page()) counts as an escape. Nested
+// function literals escape every frame they capture — a closure that
+// unpins (deferred cleanup) or uses the frame manages it from now on.
+func (c *pinChecker) scan(st pinState, n ast.Node, skip map[ast.Node]bool) {
+	if n == nil {
+		return
+	}
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[m] = stack[len(stack)-1]
+		}
+		stack = append(stack, m)
+		return true
+	})
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		if skip[m] {
+			return false
+		}
+		switch v := m.(type) {
+		case *ast.CallExpr:
+			if isUnpinCall(c.info, v) {
+				c.release(st, v)
+			}
+		case *ast.FuncLit:
+			ast.Inspect(v.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if obj := objOf(c.info, id); obj != nil {
+						if site := siteOf(st, obj); site != nil {
+							escape(st, site)
+						}
+					}
+				}
+				if call, ok := inner.(*ast.CallExpr); ok && isUnpinCall(c.info, call) {
+					c.release(st, call)
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			obj := objOf(c.info, v)
+			if obj == nil {
+				return true
+			}
+			site := siteOf(st, obj)
+			if site == nil {
+				return true
+			}
+			if sel, ok := parents[m].(*ast.SelectorExpr); ok && sel.X == m {
+				return true // f.ID / f.Data / f.Page(): not an escape
+			}
+			if as, ok := parents[m].(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if lhs == m {
+						return true // reassignment of the variable itself
+					}
+				}
+			}
+			escape(st, site)
+		}
+		return true
+	})
+}
+
+// exec runs a statement list from one entry state and returns the set
+// of fall-through states. Return statements check for leaks and
+// terminate their path.
+func (c *pinChecker) exec(stmts []ast.Stmt, st pinState) []pinState {
+	states := []pinState{st}
+	for _, stmt := range stmts {
+		var next []pinState
+		for _, s := range states {
+			next = append(next, c.execStmt(stmt, s)...)
+		}
+		states = next
+		c.states += len(states)
+		if c.states > maxPinStates {
+			c.aborted = true
+			return nil
+		}
+		if len(states) == 0 {
+			return nil // every path terminated
+		}
+	}
+	return states
+}
+
+func (c *pinChecker) execStmt(stmt ast.Stmt, st pinState) []pinState {
+	if c.aborted {
+		return nil
+	}
+	pendVar, pendSite := st.takePending()
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		skip := map[ast.Node]bool{}
+		// Bind a pin: f, err := pool.Pin(id).
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				if method, isPin := classifyPin(c.info, call); isPin {
+					site := &pinSite{pos: call.Pos(), method: method, aliases: map[*types.Var]bool{}}
+					if len(call.Args) > 0 && (method == "Pin" || method == "PinLatched") {
+						site.idArg = exprString(c.pass.Fset, call.Args[0])
+					}
+					if len(s.Lhs) > 0 {
+						if id, okID := s.Lhs[0].(*ast.Ident); okID && id.Name != "_" {
+							site.frameVar = objOf(c.info, s.Lhs[0])
+						}
+					}
+					if site.frameVar == nil && site.idArg == "" {
+						// A NewPage frame bound to _: nothing can ever
+						// name it for Unpin. Reported directly, not via
+						// the leak list (which would report it twice).
+						c.pass.Reportf(call.Pos(),
+							"frame pinned by %s is discarded and can never be unpinned", method)
+					} else {
+						// _, err := pool.Pin(id) is fine: the frame is
+						// releasable through Unpin(id, ...).
+						st.open[site] = true
+						if len(s.Lhs) >= 2 {
+							if errv := objOf(c.info, s.Lhs[1]); errv != nil && isErrorType(errv.Type()) {
+								st.pendVar, st.pendSite = errv, site
+							}
+						}
+					}
+					skip[call] = true
+				}
+			}
+		}
+		// Record id aliases: id := f.ID.
+		for i, rhs := range s.Rhs {
+			sel, ok := ast.Unparen(rhs).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "ID" || i >= len(s.Lhs) {
+				continue
+			}
+			base := objOf(c.info, sel.X)
+			if base == nil {
+				continue
+			}
+			if site := siteOf(st, base); site != nil {
+				if alias := objOf(c.info, s.Lhs[i]); alias != nil {
+					site.aliases[alias] = true
+				}
+			}
+		}
+		c.scan(st, s, skip)
+		return []pinState{st}
+
+	case *ast.ReturnStmt:
+		c.scan(st, s, nil)
+		c.leakCheck(st)
+		return nil
+
+	case *ast.BlockStmt:
+		return c.exec(s.List, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			outs := c.execStmt(s.Init, st)
+			if len(outs) != 1 {
+				return outs
+			}
+			st = outs[0]
+			pendVar, pendSite = st.takePending()
+		}
+		c.scan(st, s.Cond, nil)
+		// The error idiom: on the branch where the pin call's error is
+		// non-nil, the pin never happened.
+		if pendSite != nil && st.open[pendSite] {
+			if op, ok := errNilCond(c.info, s.Cond, pendVar); ok {
+				failSt := st.clone()
+				delete(failSt.open, pendSite)
+				okSt := st
+				thenSt, contSt := failSt, okSt
+				if op == token.EQL { // if err == nil { ... }
+					thenSt, contSt = okSt, failSt
+				}
+				thenOuts := c.exec(s.Body.List, thenSt)
+				if s.Else != nil {
+					return append(thenOuts, c.execStmt(s.Else, contSt)...)
+				}
+				return append(thenOuts, contSt)
+			}
+		}
+		thenOuts := c.exec(s.Body.List, st.clone())
+		if s.Else != nil {
+			return append(thenOuts, c.execStmt(s.Else, st)...)
+		}
+		return append(thenOuts, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			outs := c.execStmt(s.Init, st)
+			if len(outs) != 1 {
+				return outs
+			}
+			st = outs[0]
+		}
+		c.scan(st, s.Cond, nil)
+		bodyOuts := c.exec(s.Body.List, st.clone())
+		if s.Cond == nil {
+			// for {}: falls through only via break, which terminates
+			// paths conservatively; keep the pre-loop state anyway.
+			return append(bodyOuts, st)
+		}
+		return append(bodyOuts, st)
+
+	case *ast.RangeStmt:
+		c.scan(st, s.X, nil)
+		bodyOuts := c.exec(s.Body.List, st.clone())
+		return append(bodyOuts, st)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			outs := c.execStmt(s.Init, st)
+			if len(outs) != 1 {
+				return outs
+			}
+			st = outs[0]
+		}
+		c.scan(st, s.Tag, nil)
+		return c.execClauses(s.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			outs := c.execStmt(s.Init, st)
+			if len(outs) != 1 {
+				return outs
+			}
+			st = outs[0]
+		}
+		c.scan(st, s.Assign, nil)
+		return c.execClauses(s.Body, st)
+
+	case *ast.SelectStmt:
+		return c.execClauses(s.Body, st)
+
+	case *ast.DeferStmt:
+		// A deferred unpin is guaranteed at exit: treat it as released
+		// from here on. A deferred closure is scanned the same way.
+		if isUnpinCall(c.info, s.Call) {
+			c.release(st, s.Call)
+			return []pinState{st}
+		}
+		c.scan(st, s.Call, nil)
+		return []pinState{st}
+
+	case *ast.GoStmt:
+		c.scan(st, s.Call, nil)
+		return []pinState{st}
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if method, isPin := classifyPin(c.info, call); isPin {
+				c.pass.Reportf(call.Pos(),
+					"frame pinned by %s is discarded and can never be unpinned", method)
+				return []pinState{st}
+			}
+			if isTerminalCall(c.info, call) {
+				c.scan(st, s, nil)
+				return nil
+			}
+		}
+		c.scan(st, s, nil)
+		return []pinState{st}
+
+	case *ast.BranchStmt:
+		// break/continue/goto: drop the path rather than guess where it
+		// lands — reporting here would fabricate leaks.
+		return nil
+
+	case *ast.LabeledStmt:
+		return c.execStmt(s.Stmt, st)
+
+	case *ast.DeclStmt:
+		c.scan(st, s, nil)
+		return []pinState{st}
+
+	default:
+		c.scan(st, stmt, nil)
+		return []pinState{st}
+	}
+}
+
+// execClauses runs each case/comm clause of a switch or select from the
+// shared entry state; a missing default keeps the fall-past state live.
+func (c *pinChecker) execClauses(body *ast.BlockStmt, st pinState) []pinState {
+	var outs []pinState
+	hasDefault := false
+	for _, clause := range body.List {
+		switch cl := clause.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				c.scan(st, e, nil)
+			}
+			outs = append(outs, c.exec(cl.Body, st.clone())...)
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				c.scan(st, cl.Comm, nil)
+			}
+			outs = append(outs, c.exec(cl.Body, st.clone())...)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st)
+	}
+	return outs
+}
+
+// errNilCond matches `errVar != nil` / `errVar == nil` conditions and
+// returns the comparison operator.
+func errNilCond(info *types.Info, cond ast.Expr, errVar *types.Var) (token.Token, bool) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return 0, false
+	}
+	isNil := func(e ast.Expr) bool {
+		id, isIdent := ast.Unparen(e).(*ast.Ident)
+		return isIdent && id.Name == "nil"
+	}
+	var v ast.Expr
+	switch {
+	case isNil(be.Y):
+		v = be.X
+	case isNil(be.X):
+		v = be.Y
+	default:
+		return 0, false
+	}
+	if obj := objOf(info, v); obj != nil && obj == errVar {
+		return be.Op, true
+	}
+	return 0, false
+}
+
+// isTerminalCall reports whether the call never returns (panic and the
+// usual fatal helpers).
+func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "panic" {
+			return true
+		}
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Fatal", "Fatalf", "Fatalln", "FailNow", "Exit", "Goexit", "Skip", "Skipf", "SkipNow":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectiveAnalyzer is the reserved analyzer name under which malformed
+// //lint:ignore directives are reported: a suppression must name a real
+// analyzer and carry a non-empty justification.
+const DirectiveAnalyzer = "lintdirective"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos           token.Pos
+	file          string
+	line          int
+	analyzer      string
+	justification string
+}
+
+// parseDirectives extracts //lint:ignore directives from a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := directive{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+			fields := strings.Fields(text)
+			if len(fields) > 0 {
+				d.analyzer = fields[0]
+				d.justification = strings.TrimSpace(strings.Join(fields[1:], " "))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics sorted by position: suppressed findings are dropped, and
+// malformed suppression directives are themselves reported under
+// DirectiveAnalyzer.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Directives may name any analyzer in the suite, not just the ones
+	// in this run (tests run analyzers one at a time).
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	var fset *token.FileSet
+	var directives []directive
+	for _, pkg := range pkgs {
+		fset = pkg.Fset
+		for _, f := range pkg.Files {
+			directives = append(directives, parseDirectives(pkg.Fset, f)...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.ImportPath,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+
+	// A directive on the flagged line, or the line directly above it,
+	// suppresses diagnostics of the named analyzer.
+	suppressed := func(d Diagnostic) bool {
+		p := fset.Position(d.Pos)
+		for _, dir := range directives {
+			if dir.file == p.Filename && dir.analyzer == d.Analyzer &&
+				dir.justification != "" &&
+				(dir.line == p.Line || dir.line == p.Line-1) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if !suppressed(d) {
+			out = append(out, d)
+		}
+	}
+
+	// The suppression mechanism is itself linted: an unknown analyzer
+	// name or a missing justification is a finding, so silencing a rule
+	// always costs a written-down reason.
+	for _, dir := range directives {
+		switch {
+		case dir.analyzer == "":
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: DirectiveAnalyzer,
+				Message: "malformed //lint:ignore: want //lint:ignore <analyzer> <justification>"})
+		case !known[dir.analyzer]:
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: DirectiveAnalyzer,
+				Message: fmt.Sprintf("//lint:ignore names unknown analyzer %q", dir.analyzer)})
+		case dir.justification == "":
+			out = append(out, Diagnostic{Pos: dir.pos, Analyzer: DirectiveAnalyzer,
+				Message: fmt.Sprintf("//lint:ignore %s needs a justification", dir.analyzer)})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := fset.Position(out[i].Pos), fset.Position(out[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestDirectiveLinting checks that the suppression mechanism is itself
+// linted: malformed //lint:ignore directives are reported under the
+// lintdirective pseudo-analyzer AND fail to suppress, while a
+// well-formed one both suppresses and stays silent. Asserted
+// programmatically because the findings land on the directive comments
+// themselves, where a // want comment cannot sit.
+func TestDirectiveLinting(t *testing.T) {
+	pkg := linttest.LoadGolden(t, "directives")
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.ErrcheckDurabilityAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var discards, directive []lint.Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "errcheckdurability":
+			discards = append(discards, d)
+		case lint.DirectiveAnalyzer:
+			directive = append(directive, d)
+		default:
+			t.Errorf("unexpected analyzer %q: %s", d.Analyzer, d.Message)
+		}
+	}
+
+	// The three discards under malformed directives survive; the one
+	// under the well-formed directive is suppressed.
+	if len(discards) != 3 {
+		t.Errorf("got %d unsuppressed discards, want 3: %+v", len(discards), discards)
+	}
+
+	// Each malformed directive is a finding of its own.
+	wantSubstrings := []string{
+		"malformed //lint:ignore",
+		`unknown analyzer "nosuchanalyzer"`,
+		"needs a justification",
+	}
+	if len(directive) != len(wantSubstrings) {
+		t.Fatalf("got %d directive findings, want %d: %+v", len(directive), len(wantSubstrings), directive)
+	}
+	for i, want := range wantSubstrings {
+		if !strings.Contains(directive[i].Message, want) {
+			t.Errorf("directive finding %d = %q, want substring %q", i, directive[i].Message, want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Golden package for the ctxflow analyzer. Its synthetic import path
+// lives under internal/, so rule 3 (no fresh contexts in engine code)
+// applies exactly as it does to the real engine packages.
+package ctxflow
+
+import (
+	"context"
+
+	"repro/internal/txn"
+)
+
+// mintsDespiteParam: rule 1 — a function that already receives a
+// context must thread it, not mint a fresh one.
+func mintsDespiteParam(ctx context.Context, lm *txn.LockManager) error {
+	bg := context.Background() // want `context\.Background\(\) inside a function that already receives a context\.Context`
+	return lm.Acquire(bg, 1, "r", txn.Shared)
+}
+
+// todoDespiteParam: context.TODO is the same evasion.
+func todoDespiteParam(ctx context.Context) context.Context {
+	return context.TODO() // want `context\.TODO\(\) inside a function that already receives a context\.Context`
+}
+
+// freshToBlockingCall: rule 2 fires on the argument position, rule 3
+// on the call itself — both land on this line.
+func freshToBlockingCall(lm *txn.LockManager) error {
+	return lm.Acquire(context.Background(), 7, "res", txn.Exclusive) // want `context\.Background\(\) in engine code under internal/` `context\.Background\(\) passed to blocking Acquire`
+}
+
+// packageLevelFresh: rule 3 reaches package-level initialisers too.
+var packageLevelFresh = context.Background() // want `context\.Background\(\) in engine code under internal/`
+
+// nestedLiteral: a literal with its own ctx parameter is a context
+// boundary (rule 1 inside), and the argument minting the context for
+// it is engine code minting a fresh context (rule 3 outside).
+func nestedLiteral() {
+	go func(ctx context.Context) {
+		_ = context.Background() // want `context\.Background\(\) inside a function that already receives a context\.Context`
+	}(context.Background()) // want `context\.Background\(\) in engine code under internal/`
+}
+
+// threadsProperly: the sanctioned shape produces nothing.
+func threadsProperly(ctx context.Context, lm *txn.LockManager, tx *txn.Txn) error {
+	if err := lm.Acquire(ctx, 1, "r", txn.Shared); err != nil {
+		return err
+	}
+	return tx.Lock(ctx, "k", txn.Exclusive)
+}
+
+// suppressedDaemon: genuine background daemons carry a justified
+// suppression instead of a parameter.
+func suppressedDaemon(stop chan struct{}) {
+	//lint:ignore ctxflow the probe loop is a background daemon with no caller; the stop channel cancels it
+	ctx := context.Background()
+	select {
+	case <-stop:
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,26 @@
+// Golden package for the lintdirective checks: the suppression
+// mechanism is itself linted, so silencing a rule always costs a
+// written-down reason. This package is asserted programmatically (see
+// run_test.go) because the findings land on the directive comments
+// themselves, where a // want comment cannot sit.
+package directives
+
+import "repro/internal/wal"
+
+// bad: each malformed directive is a finding, and none of them
+// suppress the discard they sit on.
+func bad(log *wal.Log) {
+	//lint:ignore
+	log.Flush(0)
+	//lint:ignore nosuchanalyzer the analyzer name is wrong
+	log.Flush(1)
+	//lint:ignore errcheckdurability
+	log.Flush(2)
+}
+
+// good: a well-formed directive suppresses the finding and is itself
+// silent.
+func good(log *wal.Log) {
+	//lint:ignore errcheckdurability the demo drops the flush error to exercise suppression
+	log.Flush(3)
+}

@@ -1,0 +1,113 @@
+// Golden package for the latchorder analyzer: no blocking
+// LockManager.Acquire or Txn.Lock while a page latch is held;
+// TryAcquire is the only legal lock call under a latch.
+package latchorder
+
+import (
+	"context"
+
+	"repro/internal/access"
+	"repro/internal/buffer"
+	"repro/internal/index"
+	"repro/internal/storage"
+	"repro/internal/txn"
+)
+
+// blocksUnderLatch: a blocking lock wait between PinLatched and
+// UnpinLatched can stall every reader of the page.
+func blocksUnderLatch(ctx context.Context, pool *buffer.Manager, lm *txn.LockManager, id storage.PageID) error {
+	f, err := pool.PinLatched(id, true)
+	if err != nil {
+		return err
+	}
+	_ = f.Data
+	if err := lm.Acquire(ctx, 1, "r", txn.Shared); err != nil { // want `blocking LockManager\.Acquire while a page latch may be held`
+		return err
+	}
+	return pool.UnpinLatched(id, true, true)
+}
+
+// txnLockUnderLatch: Txn.Lock parks on the same lock manager.
+func txnLockUnderLatch(ctx context.Context, pool *buffer.Manager, tx *txn.Txn, id storage.PageID) error {
+	if _, err := pool.PinLatched(id, false); err != nil {
+		return err
+	}
+	lerr := tx.Lock(ctx, "k", txn.Exclusive) // want `blocking Txn\.Lock while a page latch may be held`
+	if uerr := pool.UnpinLatched(id, false, false); uerr != nil {
+		return uerr
+	}
+	return lerr
+}
+
+// tryUnderLatch: the conditional attempt is the legal form under a
+// latch.
+func tryUnderLatch(pool *buffer.Manager, lm *txn.LockManager, id storage.PageID) (bool, error) {
+	if _, err := pool.PinLatched(id, false); err != nil {
+		return false, err
+	}
+	got := lm.TryAcquire(1, "r", txn.Shared)
+	return got, pool.UnpinLatched(id, false, false)
+}
+
+// releasesFirst: blocking is fine once the latch is gone.
+func releasesFirst(ctx context.Context, pool *buffer.Manager, lm *txn.LockManager, id storage.PageID) error {
+	if _, err := pool.PinLatched(id, false); err != nil {
+		return err
+	}
+	if err := pool.UnpinLatched(id, false, false); err != nil {
+		return err
+	}
+	return lm.Acquire(ctx, 1, "r", txn.Shared)
+}
+
+// scanCallback: RangeLatched runs its callback under the leaf latch,
+// so a blocking Acquire inside it is flagged wherever it hides.
+func scanCallback(ctx context.Context, t *index.BTree, lm *txn.LockManager) error {
+	return t.RangeLatched(nil, func(key []byte, rid access.RID, eof bool) error {
+		return lm.Acquire(ctx, 1, string(key), txn.Shared) // want `blocking LockManager\.Acquire inside a callback that runs under a leaf latch`
+	})
+}
+
+// goodScanCallback: the conditional form with an off-latch retry
+// contract produces nothing.
+func goodScanCallback(t *index.BTree, lm *txn.LockManager) error {
+	return t.RangeLatched(nil, func(key []byte, rid access.RID, eof bool) error {
+		if !lm.TryAcquire(1, string(key), txn.Shared) {
+			return context.Canceled // caller drops latches and retries
+		}
+		return nil
+	})
+}
+
+// gapHookConstructor: a literal returned as an index.GapCheck runs
+// under the leaf latch at its eventual call site.
+func gapHookConstructor(ctx context.Context, lm *txn.LockManager) index.GapCheck {
+	return func(key []byte, rid access.RID, eof bool) error {
+		if lm.TryAcquire(1, "g", txn.Exclusive) {
+			return nil
+		}
+		return lm.Acquire(ctx, 1, "g", txn.Exclusive) // want `blocking LockManager\.Acquire inside a callback that runs under a leaf latch`
+	}
+}
+
+// gapHookAssigned: same through an assignment to a GapCheck variable.
+func gapHookAssigned(ctx context.Context, tx *txn.Txn) index.GapCheck {
+	var g index.GapCheck
+	g = func(key []byte, rid access.RID, eof bool) error {
+		return tx.Lock(ctx, "g", txn.Shared) // want `blocking Txn\.Lock inside a callback that runs under a leaf latch`
+	}
+	return g
+}
+
+// suppressedBlock: a justified suppression is honoured.
+func suppressedBlock(ctx context.Context, pool *buffer.Manager, lm *txn.LockManager, id storage.PageID) error {
+	if _, err := pool.PinLatched(id, false); err != nil {
+		return err
+	}
+	//lint:ignore latchorder single-frame pool in this test harness: no other reader can exist to stall
+	err := lm.Acquire(ctx, 1, "r", txn.Shared)
+	if uerr := pool.UnpinLatched(id, false, false); uerr != nil {
+		return uerr
+	}
+	return err
+}

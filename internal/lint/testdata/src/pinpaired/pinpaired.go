@@ -1,0 +1,118 @@
+// Golden package for the pinpaired analyzer: every Pin/PinLatched/
+// NewPage/NewPageLatched must have a matching Unpin on all return
+// paths, including error returns.
+package pinpaired
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/storage"
+)
+
+// leakOnSecondPinError: the classic leak — the second Pin's error
+// return abandons the first frame.
+func leakOnSecondPinError(pool *buffer.Manager, a, b storage.PageID) error {
+	fa, err := pool.Pin(a) // want `frame pinned by Pin may not be unpinned on every return path`
+	if err != nil {
+		return err
+	}
+	fb, err := pool.Pin(b)
+	if err != nil {
+		return err // fa is still pinned here
+	}
+	_ = fa.Data
+	_ = fb.Data
+	_ = pool.Unpin(fb.ID, false)
+	return pool.Unpin(fa.ID, false)
+}
+
+// pairedOnSecondPinError is the fixed shape: the error path unpins
+// what it already holds.
+func pairedOnSecondPinError(pool *buffer.Manager, a, b storage.PageID) error {
+	fa, err := pool.Pin(a)
+	if err != nil {
+		return err
+	}
+	fb, err := pool.Pin(b)
+	if err != nil {
+		_ = pool.Unpin(fa.ID, false)
+		return err
+	}
+	_ = fb.Data
+	_ = pool.Unpin(fb.ID, false)
+	return pool.Unpin(fa.ID, false)
+}
+
+// leakOnEarlyReturn: one branch returns without releasing.
+func leakOnEarlyReturn(pool *buffer.Manager, id storage.PageID, skip bool) error {
+	f, err := pool.Pin(id) // want `frame pinned by Pin may not be unpinned on every return path`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil // leaks f
+	}
+	return pool.Unpin(f.ID, false)
+}
+
+// deferredUnpin is the idiomatic safe shape: released on every path.
+func deferredUnpin(pool *buffer.Manager, id storage.PageID) ([]byte, error) {
+	f, err := pool.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = pool.Unpin(f.ID, false) }()
+	return append([]byte(nil), f.Data...), nil
+}
+
+// discardedNewPage: a NewPage frame bound to nothing can never be
+// named for Unpin.
+func discardedNewPage(pool *buffer.Manager) {
+	pool.NewPage(storage.PageTypeRaw) // want `frame pinned by NewPage is discarded and can never be unpinned`
+}
+
+// blankNewPage: same through a blank assignment.
+func blankNewPage(pool *buffer.Manager) {
+	_, _ = pool.NewPage(storage.PageTypeRaw) // want `frame pinned by NewPage is discarded and can never be unpinned`
+}
+
+// pinByID: a blank frame var is fine when the page id can name the
+// frame for Unpin.
+func pinByID(pool *buffer.Manager, id storage.PageID) error {
+	if _, err := pool.Pin(id); err != nil {
+		return err
+	}
+	return pool.Unpin(id, false)
+}
+
+// escapesToCaller: a returned frame is managed by the caller, not a
+// leak here.
+func escapesToCaller(pool *buffer.Manager, id storage.PageID) (*buffer.Frame, error) {
+	f, err := pool.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// aliasedID: an id copied out of the frame still pairs the Unpin.
+func aliasedID(pool *buffer.Manager, id storage.PageID) error {
+	f, err := pool.Pin(id)
+	if err != nil {
+		return err
+	}
+	fid := f.ID
+	_ = f.Data
+	return pool.Unpin(fid, false)
+}
+
+// suppressedLeak: the analyzer accepts a justified //lint:ignore on
+// the line above the pin.
+func suppressedLeak(pool *buffer.Manager, id storage.PageID) error {
+	//lint:ignore pinpaired the warm-up path wedges this frame on purpose so the eviction test has a victim
+	f, err := pool.Pin(id)
+	if err != nil {
+		return err
+	}
+	_ = f.Data
+	return nil
+}

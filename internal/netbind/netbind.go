@@ -83,6 +83,8 @@ type Server struct {
 	registry *core.Registry
 	ln       net.Listener
 	addr     string
+	ctx      context.Context // root context for dispatched invocations
+	cancel   context.CancelFunc
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -105,6 +107,8 @@ func Serve(registry *core.Registry, addr string) (*Server, error) {
 		addr:     ln.Addr().String(),
 		conns:    make(map[net.Conn]bool),
 	}
+	//lint:ignore ctxflow the server's root context: every dispatched invocation derives from it, and Close cancels it
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -166,7 +170,7 @@ func (s *Server) dispatch(req *request) *response {
 	if err != nil {
 		return &response{Err: err.Error()}
 	}
-	out, err := reg.Invoker.Invoke(context.Background(), req.Op, req.Payload.V)
+	out, err := reg.Invoker.Invoke(s.ctx, req.Op, req.Payload.V)
 	if err != nil {
 		return &response{Err: err.Error()}
 	}
@@ -213,6 +217,7 @@ func (s *Server) Close() error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	s.cancel() // unblock in-flight invocations waiting on locks
 	err := s.ln.Close()
 	for _, c := range conns {
 		_ = c.Close()
@@ -310,15 +315,16 @@ func (c *Client) InvokerFor(service string) core.Invoker {
 
 // Sync performs one gossip exchange with a peer server: our snapshot
 // goes out, the peer's snapshot merges back in. Returns how many peer
-// entries were applied locally.
-func Sync(registry *core.Registry, selfAddr string, peer *Client) (int, error) {
+// entries were applied locally. The context bounds the exchange (its
+// deadline becomes the connection deadline).
+func Sync(ctx context.Context, registry *core.Registry, selfAddr string, peer *Client) (int, error) {
 	entries := registry.Snapshot(0)
 	for _, e := range entries {
 		if e.Address == "" {
 			e.Address = selfAddr
 		}
 	}
-	out, err := peer.Call(context.Background(), registrySyncService, "sync", syncRequest{
+	out, err := peer.Call(ctx, registrySyncService, "sync", syncRequest{
 		From:    selfAddr,
 		Entries: entries,
 	})
@@ -343,6 +349,8 @@ type Gossiper struct {
 	registry *core.Registry
 	self     string
 	peers    []*Client
+	ctx      context.Context // root context for gossip exchanges
+	cancel   context.CancelFunc
 	stop     chan struct{}
 	done     chan struct{}
 }
@@ -363,6 +371,8 @@ func (g *Gossiper) Start(interval time.Duration) {
 	}
 	g.stop = make(chan struct{})
 	g.done = make(chan struct{})
+	//lint:ignore ctxflow the gossip daemon's root context: Stop cancels it, aborting any exchange in flight
+	g.ctx, g.cancel = context.WithCancel(context.Background())
 	go func() {
 		defer close(g.done)
 		ticker := time.NewTicker(interval)
@@ -373,7 +383,7 @@ func (g *Gossiper) Start(interval time.Duration) {
 				return
 			case <-ticker.C:
 				for _, p := range g.peers {
-					_, _ = Sync(g.registry, g.self, p)
+					_, _ = Sync(g.ctx, g.registry, g.self, p)
 				}
 			}
 		}
@@ -385,6 +395,7 @@ func (g *Gossiper) Stop() {
 	if g.stop == nil {
 		return
 	}
+	g.cancel()
 	close(g.stop)
 	<-g.done
 	g.stop = nil

@@ -159,7 +159,7 @@ func TestGossipSync(t *testing.T) {
 
 	peerB := NewClient(srvB.Addr())
 	defer peerB.Close()
-	if _, err := Sync(regA, srvA.Addr(), peerB); err != nil {
+	if _, err := Sync(context.Background(), regA, srvA.Addr(), peerB); err != nil {
 		t.Fatal(err)
 	}
 	// A now knows svcB.
@@ -187,14 +187,14 @@ func TestGossipTombstonePropagation(t *testing.T) {
 	regB, srvB := serve(t, newEchoService(t, "svcB", "test.Echo"))
 	peerB := NewClient(srvB.Addr())
 	defer peerB.Close()
-	if _, err := Sync(regA, srvA.Addr(), peerB); err != nil {
+	if _, err := Sync(context.Background(), regA, srvA.Addr(), peerB); err != nil {
 		t.Fatal(err)
 	}
 	// B drops svcB; next sync must remove it from A.
 	if err := regB.Deregister("svcB"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Sync(regA, srvA.Addr(), peerB); err != nil {
+	if _, err := Sync(context.Background(), regA, srvA.Addr(), peerB); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := regA.Lookup("svcB"); err == nil {

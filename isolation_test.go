@@ -2,6 +2,7 @@ package sbdms
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -245,6 +246,111 @@ func TestIsolationSerializableEmptyKey(t *testing.T) {
 	if len(keys) != 3 || keys[0] != "" || keys[1] != "a" || keys[2] != "b" {
 		t.Fatalf("serializable scan = %q, want [\"\" \"a\" \"b\"]", keys)
 	}
+}
+
+// TestIsolationGetMissGapLock: a serializable Get of an ABSENT key
+// must take the same next-key lock a one-key scan starting there
+// would — S on the miss position's successor, or on the end-of-index
+// sentinel when the key sorts past everything. Regression: Get used
+// to lock only the key itself, so "Get(k) → not found" held nothing
+// that conflicts with an in-flight writer of the gap, and the miss
+// was not a repeatable read.
+func TestIsolationGetMissGapLock(t *testing.T) {
+	t.Run("serializable-miss-waits-on-gap", func(t *testing.T) {
+		db := openIsoDB(t, Serializable)
+		defer db.Close(context.Background())
+		for _, k := range []string{"a", "c"} {
+			if err := db.Put(k, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Model an in-flight writer holding the gap: X on the successor
+		// of absent "b", under an owner id that never commits here.
+		ctx := context.Background()
+		owner := db.kv.ids()
+		if err := db.kv.locks.Acquire(ctx, owner, kvRes("c"), txn.Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel()
+		if _, err := db.GetContext(short, "b"); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Get of absent key did not wait on the miss gap: %v", err)
+		}
+		// Same at the right edge: absent "zz" has no successor, so the
+		// end-of-index sentinel seals the miss.
+		if err := db.kv.locks.Acquire(ctx, owner, kvEOFRes, txn.Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		short2, cancel2 := context.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel2()
+		if _, err := db.GetContext(short2, "zz"); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("Get past the last key did not wait on the eof sentinel: %v", err)
+		}
+		db.kv.locks.ReleaseAll(owner)
+		// Gap free again: both misses complete and still report not-found.
+		if _, err := db.Get("b"); !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("Get(b) = %v, want ErrKeyNotFound", err)
+		}
+		if _, err := db.Get("zz"); !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("Get(zz) = %v, want ErrKeyNotFound", err)
+		}
+	})
+	t.Run("miss-gap-lock-blocks-insert", func(t *testing.T) {
+		db := openIsoDB(t, Serializable)
+		defer db.Close(context.Background())
+		for _, k := range []string{"a", "c"} {
+			if err := db.Put(k, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Take exactly the lock a serializable Get("b") miss takes, and
+		// hold it: an insert of "b" must block on its instant next-key
+		// X of the same successor until the reader's locks drain.
+		ctx := context.Background()
+		reader := db.kv.ids()
+		if err := db.kv.lockMissGap(ctx, reader, "b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, held := db.kv.locks.Held(reader, kvRes("c")); !held {
+			t.Fatal("miss gap lock did not land on the successor")
+		}
+		inserted := make(chan error, 1)
+		go func() { inserted <- db.Put("b", []byte("v")) }()
+		select {
+		case err := <-inserted:
+			t.Fatalf("insert crossed a gap a Get miss had locked: %v", err)
+		case <-time.After(50 * time.Millisecond):
+		}
+		db.kv.locks.ReleaseAll(reader)
+		select {
+		case err := <-inserted:
+			if err != nil {
+				t.Fatalf("insert after release: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("insert never unblocked after the miss gap lock was released")
+		}
+	})
+	t.Run("read-committed-miss-does-not-block", func(t *testing.T) {
+		db := openIsoDB(t, ReadCommitted)
+		defer db.Close(context.Background())
+		for _, k := range []string{"a", "c"} {
+			if err := db.Put(k, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ctx := context.Background()
+		owner := db.kv.ids()
+		if err := db.kv.locks.Acquire(ctx, owner, kvRes("c"), txn.Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		defer db.kv.locks.ReleaseAll(owner)
+		short, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel()
+		if _, err := db.GetContext(short, "b"); !errors.Is(err, ErrKeyNotFound) {
+			t.Fatalf("read-committed miss must not take gap locks: %v", err)
+		}
+	})
 }
 
 // TestIsolationInsertKeepsScanLockOnSuccessor: a transaction that

@@ -135,7 +135,7 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager,
 	if err != nil {
 		return nil, err
 	}
-	idx, err := openKVIndex(fm, pool, name+".meta")
+	idx, err := openKVIndex(fm, pool, txns, log, name+".meta")
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +187,7 @@ func (kv *kvCore) Close() error {
 
 // openKVIndex opens the KV B+tree, persisting its metadata page id in a
 // one-page file so the index survives restarts.
-func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, metaFile string) (*index.BTree, error) {
+func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, metaFile string) (*index.BTree, error) {
 	if fm.Exists(metaFile) {
 		pid, err := fm.FirstPage(metaFile)
 		if err != nil {
@@ -214,12 +214,30 @@ func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, metaFile string)
 	if err != nil {
 		return nil, err
 	}
-	f, err := pool.Pin(pid)
-	if err != nil {
-		return nil, err
+	// The pointer write must be WAL-logged: the directory entry for
+	// metaFile is logged by the file manager's system transaction, so
+	// after a crash recovery recreates the file — but a raw store here
+	// would leave the page's only meaningful bytes with no redo record,
+	// and no later mutation ever logs this page again. A short system
+	// transaction gives the write a before/after image of its own.
+	write := func(p *storage.Page) error {
+		binary.LittleEndian.PutUint64(p.Payload(), uint64(metaID))
+		return nil
 	}
-	binary.LittleEndian.PutUint64(f.Page().Payload(), uint64(metaID))
-	if err := pool.Unpin(pid, true); err != nil {
+	if txns != nil && log != nil {
+		sys := txns.SystemHooks()
+		stx, err := sys.Begin()
+		if err != nil {
+			return nil, err
+		}
+		if err := access.MutatePage(pool, log, stx, pid, write); err != nil {
+			_ = sys.Abort(stx)
+			return nil, err
+		}
+		if err := sys.Commit(stx); err != nil {
+			return nil, err
+		}
+	} else if err := pool.UpdatePage(pid, write); err != nil {
 		return nil, err
 	}
 	return idx, nil
@@ -611,7 +629,25 @@ func (kv *kvCore) Get(ctx context.Context, k string) ([]byte, error) {
 		return nil, err
 	}
 	if len(rids) == 0 {
-		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+		if kv.serializable {
+			// A miss must be as repeatable as a hit. The key's own S lock
+			// (held above) only conflicts with writers of k itself AFTER
+			// they lock the key — but "k is absent" is a fact about the
+			// GAP, and the gap is guarded by its successor. Lock it like a
+			// one-key scan would, then re-check: the lock may have been
+			// awaited off-latch behind an in-flight writer whose outcome
+			// (e.g. a delete's rollback) can materialise k.
+			if err := kv.lockMissGap(ctx, id, k); err != nil {
+				return nil, conflictWrap(err)
+			}
+			rids, err = kv.idx.Search(kv.key(k))
+			if err != nil {
+				return nil, err
+			}
+		}
+		if len(rids) == 0 {
+			return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+		}
 	}
 	cell, err := kv.heap.Get(rids[0])
 	if err != nil {
@@ -779,6 +815,47 @@ func (kv *kvCore) scanKeysLocked(ctx context.Context, owner uint64, from string,
 			return nil, err
 		}
 		return out, nil
+	}
+}
+
+// lockMissGap seals a serializable Get of an ABSENT key: it S-locks
+// the miss position's successor (or the end-of-index sentinel when k
+// would sort past everything), exactly the next-key lock a one-key
+// scan starting at k would take. An insert of k must X-lock that same
+// successor for the instant of its insert, so the insert blocks until
+// this reader's locks drain — without this lock, two Gets of a missing
+// key in one serializable transaction could disagree. The lock is
+// taken conditionally under the leaf latch; on refusal the latch is
+// dropped, the lock awaited off-latch, and the probe retried, because
+// the successor may have changed while we waited (TryAcquire's
+// held-strongly fast path accepts the kept lock on the retry).
+func (kv *kvCore) lockMissGap(ctx context.Context, owner uint64, k string) error {
+	for {
+		var pending string
+		err := kv.idx.RangeLatched(kv.key(k), func(key []byte, _ access.RID, eof bool) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			res, err := gapRes(key, eof)
+			if err != nil {
+				return err
+			}
+			if !kv.locks.TryAcquire(owner, res, txn.Shared) {
+				pending = res
+				return errGapBlocked
+			}
+			return errStopScan
+		})
+		if errors.Is(err, errGapBlocked) {
+			if lerr := kv.locks.Acquire(ctx, owner, pending, txn.Shared); lerr != nil {
+				return lerr
+			}
+			continue
+		}
+		if err != nil && !errors.Is(err, errStopScan) {
+			return err
+		}
+		return nil
 	}
 }
 
