@@ -5,7 +5,7 @@ RACE_PKGS = ./internal/access/... ./internal/buffer/... ./internal/core/... \
             ./internal/index/... ./internal/storage/... ./internal/txn/... \
             ./internal/wal/...
 
-.PHONY: build test race bench crash checkpoint-crash stress isolation vet lint all
+.PHONY: build test race bench bench-snapshot crash checkpoint-crash stress isolation mvcc vet lint all
 
 all: vet lint build test
 
@@ -21,10 +21,19 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'BufferContention|WALCommit' -benchtime 0.5s .
 
+# Perf flywheel: regenerate the committed scan-interference evidence.
+# G6 (concurrency scaling) and G7 (locked-scan tax vs MVCC snapshot
+# scans) each rewrite their BENCH_<EXP>.json snapshot in the repo
+# root; diff them against the committed copies to see a change's
+# effect on writer-p99 interference.
+bench-snapshot:
+	$(GO) run ./cmd/sbench -exp g6 -json .
+	$(GO) run ./cmd/sbench -exp g7 -json . -keys 8000
+
 # Crash-recovery suite: kill -9, dropped write-backs, torn page writes,
 # batched transactions — run under the race detector.
 crash:
-	$(GO) test -race -run 'TestKVCrashRecovery|TestAbortThenCrashRecovery|TestEngineCrashRecovery' \
+	$(GO) test -race -run 'TestKVCrashRecovery|TestAbortThenCrashRecovery|TestEngineCrashRecovery|TestCrashMidVacuum' \
 		-count=1 . ./internal/txn/... ./internal/sql/...
 
 # Checkpoint-aware crash suite: kill -9 mid-fuzzy-checkpoint, torn page
@@ -57,6 +66,16 @@ ISOLATION_PKGS = . ./internal/txn/...
 isolation:
 	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(ISOLATION_RUN) $(ISOLATION_PKGS)
 	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(ISOLATION_RUN) $(ISOLATION_PKGS)
+
+# MVCC snapshot-read suite under the race detector, at a GOMAXPROCS
+# matrix: consistent-cut snapshot scans against concurrent atomic
+# batches, write-write conflict aborts, vacuum horizon safety, and the
+# snapshot-scan vs write-storm vs continuous-vacuum stress test.
+MVCC_RUN = 'TestMVCC'
+
+mvcc:
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(MVCC_RUN) .
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(MVCC_RUN) .
 
 vet:
 	$(GO) vet ./...

@@ -32,6 +32,7 @@ func main() {
 	walDir := flag.String("wal-dir", "", "segmented WAL directory (wal.NNNNNN files, truncated by checkpoints; takes precedence over -wal)")
 	segBytes := flag.Int("wal-segment-bytes", 0, "WAL segment roll threshold in bytes (0 = 4 MiB)")
 	ckptEvery := flag.Duration("checkpoint-interval", 0, "background fuzzy-checkpoint period (0 = off); bounds recovery time and WAL size")
+	vacEvery := flag.Duration("vacuum-interval", 0, "background MVCC vacuum period (0 = off); reclaims dead versions behind the snapshot horizon")
 	granularity := flag.String("granularity", "layered", "service granularity: monolithic|coarse|layered|fine")
 	frames := flag.Int("frames", 256, "buffer pool frames")
 	policy := flag.String("policy", "lru", "buffer replacement policy: lru|clock|2q")
@@ -57,6 +58,7 @@ func main() {
 		WALSyncEveryFlush:  *syncEvery,
 		WALSegmentBytes:    *segBytes,
 		CheckpointInterval: *ckptEvery,
+		VacuumInterval:     *vacEvery,
 		ScanIsolation:      sbdms.ScanIsolation(*scanIsolation),
 	}
 	if err := run(*addr, *dataPath, *walPath, *walDir, opts, *peers, *gossipEvery, *node); err != nil {

@@ -5,6 +5,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -31,7 +32,42 @@ var (
 	flagG1WAL       = flag.Bool("g1-wal", false, "run the G1 sweep with the WAL enabled (storage-vs-granularity ablation)")
 	flagSegBytes    = flag.Int("wal-segment-bytes", 0, "WAL segment roll threshold for g1 (0 = 4 MiB)")
 	flagCkptEvery   = flag.Duration("checkpoint-interval", 0, "background fuzzy-checkpoint period for g1 (0 = off)")
+	flagJSONDir     = flag.String("json", ".", "directory for BENCH_<EXP>.json reports (empty = disabled)")
 )
+
+// benchRows accumulates the structured rows of the experiment
+// currently running; main flushes them to BENCH_<EXP>.json after each
+// runner, so every sbench invocation leaves machine-readable evidence
+// beside the printed tables (the ROADMAP perf flywheel). Durations
+// serialize as nanoseconds.
+var benchRows []any
+
+func record(row any) { benchRows = append(benchRows, row) }
+
+func writeReport(dir, exp string, ops, keys int) error {
+	rows := benchRows
+	benchRows = nil
+	if dir == "" || len(rows) == 0 {
+		return nil
+	}
+	rep := struct {
+		Experiment string `json:"experiment"`
+		Timestamp  string `json:"timestamp"`
+		Ops        int    `json:"ops"`
+		Keys       int    `json:"keys"`
+		Rows       []any  `json:"rows"`
+	}{strings.ToUpper(exp), time.Now().UTC().Format(time.RFC3339), ops, keys, rows}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+strings.ToUpper(exp)+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|g7|all")
@@ -48,7 +84,7 @@ func main() {
 	sel := strings.ToLower(*exp)
 	if sel == "all" {
 		for _, id := range order {
-			if err := runners[id](*ops, *keys); err != nil {
+			if err := runExp(runners[id], id, *ops, *keys); err != nil {
 				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 				os.Exit(1)
 			}
@@ -60,10 +96,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", sel)
 		os.Exit(2)
 	}
-	if err := r(*ops, *keys); err != nil {
+	if err := runExp(r, sel, *ops, *keys); err != nil {
 		fmt.Fprintf(os.Stderr, "experiment %s: %v\n", sel, err)
 		os.Exit(1)
 	}
+}
+
+func runExp(r func(int, int) error, id string, ops, keys int) error {
+	benchRows = nil
+	if err := r(ops, keys); err != nil {
+		return err
+	}
+	return writeReport(*flagJSONDir, id, ops, keys)
 }
 
 func header(title string) {
@@ -108,6 +152,10 @@ func runF1(ops, keys int) error {
 			return err
 		}
 		fmt.Printf("%-34s %s\n", label, m)
+		record(struct {
+			Label string `json:"label"`
+			sbdms.KVMeasurement
+		}{label, m})
 	}
 	return nil
 }
@@ -154,6 +202,12 @@ func runF2(ops, keys int) error {
 		}
 		el := time.Since(start)
 		fmt.Printf("%-72s %6d runs  %10.0f q/s  (%d rows)\n", q, n, float64(n)/el.Seconds(), rows)
+		record(struct {
+			Query       string  `json:"query"`
+			Runs        int     `json:"runs"`
+			QueriesPerS float64 `json:"queriesPerSec"`
+			Rows        int     `json:"rows"`
+		}{q, n, float64(n) / el.Seconds(), rows})
 	}
 	return nil
 }
@@ -176,7 +230,11 @@ func runScenario(name string, run func(context.Context, *sbdms.DB, int) (sbdms.S
 	avail := float64(res.OpsBefore+res.OpsDuring+res.OpsAfter) /
 		float64(res.OpsBefore+res.OpsDuring+res.OpsAfter+res.Failures) * 100
 	fmt.Printf("  availability across the change: %.2f%%\n", avail)
-	_ = name
+	record(struct {
+		Scenario        string  `json:"scenario"`
+		AvailabilityPct float64 `json:"availabilityPct"`
+		sbdms.ScenarioResult
+	}{name, avail, res})
 	return nil
 }
 
@@ -222,6 +280,10 @@ func runG1(ops, keys int) error {
 		}
 		for _, m := range ms {
 			fmt.Println(m)
+			record(struct {
+				Workload string `json:"workload"`
+				sbdms.KVMeasurement
+			}{mix.name, m})
 		}
 	}
 	return nil
@@ -253,6 +315,12 @@ func runG2(ops, keys int) error {
 		services := db.Kernel().Registry().Len()
 		fmt.Printf("%s thr=%10.0f op/s p99=%-10v services=%d bufferHitRate=%.1f%%\n",
 			cfg.label, m.OpsPerSec, m.P99, services, st.HitRate()*100)
+		record(struct {
+			Label         string  `json:"label"`
+			Services      int     `json:"services"`
+			BufferHitRate float64 `json:"bufferHitRate"`
+			sbdms.KVMeasurement
+		}{strings.TrimSpace(cfg.label), services, st.HitRate(), m})
 		_ = db.Close(context.Background())
 	}
 	return nil
@@ -299,6 +367,11 @@ func runG3(ops, keys int) error {
 		}
 		el := time.Since(start)
 		fmt.Printf("%s %6d calls  mean=%v\n", c.label, n, (el / time.Duration(n)).Round(time.Microsecond))
+		record(struct {
+			Label  string        `json:"label"`
+			Calls  int           `json:"calls"`
+			MeanNs time.Duration `json:"meanNs"`
+		}{strings.TrimSpace(c.label), n, el / time.Duration(n)})
 	}
 	return nil
 }
@@ -345,6 +418,11 @@ func runG4(ops, keys int) error {
 		}
 		el := time.Since(start)
 		fmt.Printf("%s %8d calls  %7.1f ns/call\n", p.label, n, float64(el.Nanoseconds())/float64(n))
+		record(struct {
+			Path      string  `json:"path"`
+			Calls     int     `json:"calls"`
+			NsPerCall float64 `json:"nsPerCall"`
+		}{strings.TrimSpace(p.label), n, float64(el.Nanoseconds()) / float64(n)})
 	}
 	return nil
 }
@@ -411,6 +489,13 @@ func runG5(ops, keys int) error {
 			el := time.Since(start)
 			fmt.Printf("shards=%-2d goroutines=%-2d %8d pin/unpin  %12.0f op/s\n",
 				pool.NumShards(), g, per*g, float64(per*g)/el.Seconds())
+			record(struct {
+				Section    string  `json:"section"`
+				Shards     int     `json:"shards"`
+				Goroutines int     `json:"goroutines"`
+				Ops        int     `json:"ops"`
+				OpsPerSec  float64 `json:"opsPerSec"`
+			}{"pin-unpin", pool.NumShards(), g, per * g, float64(per*g) / el.Seconds()})
 		}
 	}
 
@@ -478,6 +563,16 @@ func runG5(ops, keys int) error {
 			fmt.Printf("%s committers=%-2d %7d commits  %10.0f commit/s  %6d syncs (%.1f commits/sync)\n",
 				mode.label, g, commits, float64(commits)/el.Seconds(), l.Syncs(),
 				float64(commits)/float64(l.Syncs()))
+			record(struct {
+				Section        string  `json:"section"`
+				Mode           string  `json:"mode"`
+				Committers     int     `json:"committers"`
+				Commits        int     `json:"commits"`
+				CommitsPerSec  float64 `json:"commitsPerSec"`
+				Syncs          uint64  `json:"syncs"`
+				CommitsPerSync float64 `json:"commitsPerSync"`
+			}{"wal-commit", strings.TrimSpace(mode.label), g, commits,
+				float64(commits) / el.Seconds(), l.Syncs(), float64(commits) / float64(l.Syncs())})
 			_ = dev.Close()
 		}
 	}
@@ -502,16 +597,32 @@ func runG7(ops, keys int) error {
 	if writesPer < 50 {
 		writesPer = 50
 	}
+	// Scans are paced (one long analytical scan per duty cycle per
+	// scanner) so every row issues the same scan load and the writer
+	// latencies compare lock interference, not CPU saturation.
 	const scanners, writers = 2, 4
-	fmt.Printf("-- %d scanners over %d fillers, %d writers x %d writes (1 in 4 an atomic cross-range batch) --\n",
-		scanners, fillers, writers, writesPer)
+	const pace = 25 * time.Millisecond
+	fmt.Printf("-- %d scanners (1 scan / %v each) over %d fillers, %d writers x %d writes (1 in 4 an atomic cross-range batch) --\n",
+		scanners, pace, fillers, writers, writesPer)
 	for _, iso := range []sbdms.ScanIsolation{sbdms.ReadCommitted, sbdms.Serializable} {
-		m, err := sbdms.ScanIsolationTax(iso, scanners, writers, fillers, writesPer, 1)
+		m, err := sbdms.ScanIsolationTaxPaced(iso, pace, scanners, writers, fillers, writesPer, 1)
 		if err != nil {
 			return err
 		}
 		fmt.Println(m)
+		record(m)
 	}
+	// The MVCC row: snapshot scans read one consistent commit-timestamp
+	// cut without lock-manager traffic, so the writer p99 the locked
+	// serializable row inflates (X waits behind the scan stream's S and
+	// gap locks) collapses while torn stays 0 — the scan/write
+	// interference the snapshot read path removes.
+	m, err := sbdms.ScanSnapshotTax(sbdms.Serializable, pace, scanners, writers, fillers, writesPer, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m)
+	record(m)
 	return nil
 }
 
@@ -549,6 +660,10 @@ func runG6(ops, keys int) error {
 				speedup = m.OpsPerSec / base
 			}
 			fmt.Printf("%s  speedup=%.2fx\n", m, speedup)
+			record(struct {
+				Speedup float64 `json:"speedup"`
+				sbdms.ConcurrencyMeasurement
+			}{speedup, m})
 		}
 	}
 	return nil

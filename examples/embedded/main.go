@@ -129,6 +129,14 @@ func (s *memStore) Scan(_ context.Context, from string, n int) ([]string, error)
 	}
 	return out, nil
 }
+
+// The standby holds one version per key, so snapshot reads degrade to
+// the plain operations.
+func (s *memStore) GetSnapshot(ctx context.Context, k string) ([]byte, error) { return s.Get(ctx, k) }
+func (s *memStore) ScanKeysSnapshot(ctx context.Context, from string, n int) ([]string, error) {
+	return s.Scan(ctx, from, n)
+}
+
 func (s *memStore) Len() uint64 { return uint64(len(s.m)) }
 
 func deployStandby(ctx context.Context, db *sbdms.DB, backend *memStore) error {

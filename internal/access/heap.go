@@ -388,6 +388,31 @@ func (h *HeapFile) Get(rid RID) ([]byte, error) {
 	return out, nil
 }
 
+// StampBytes overwrites len(val) bytes at offset off within the cell
+// at rid, WAL-logged with a logical undo that restores the old bytes.
+// It is the version-header mutation primitive: commit stamping writes
+// a begin timestamp over the uncommitted mark, and the vacuum severs a
+// chain by stamping a version's prev link. The caller's key lock (or
+// the vacuum's TryAcquire) must exclude concurrent writers of the same
+// logical record; the page latch inside the mutation protocol makes
+// the byte splice atomic against unrelated neighbours.
+func (h *HeapFile) StampBytes(tx TxnContext, rid RID, off int, val []byte) error {
+	var old []byte
+	return h.mutatePage(tx, rid.Page, func() []byte { return UndoHeapField(rid, off, old) }, func(p *storage.Page) error {
+		sp := Slotted(p)
+		cell, err := sp.Get(int(rid.Slot))
+		if err != nil {
+			return err
+		}
+		if off+len(val) > len(cell) {
+			return fmt.Errorf("%w: stamp %d+%d past cell end %d", ErrBadUndo, off, len(val), len(cell))
+		}
+		old = append([]byte(nil), cell[off:off+len(val)]...)
+		copy(cell[off:], val)
+		return nil
+	})
+}
+
 // Delete removes the record at rid immediately, with a logical undo
 // that restores the record bytes into the same slot. Immediate deletion
 // is only rollback-safe when the caller's locking prevents any OTHER

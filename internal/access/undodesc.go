@@ -52,6 +52,13 @@ const (
 	// UndoKindIndexDelete undoes a B+tree delete: re-insert (key, rid).
 	// Applied by internal/index.
 	UndoKindIndexDelete byte = 6
+	// UndoKindHeapField undoes a fixed-width in-cell field stamp
+	// (version-header begin/prev mutations): rewrite the old bytes at
+	// the recorded offset within the cell at (page, slot).
+	UndoKindHeapField byte = 7
+	// UndoKindIndexRepoint undoes a B+tree entry repoint: restore the
+	// entry's old RID suffix. Applied by internal/index.
+	UndoKindIndexRepoint byte = 8
 )
 
 // ErrBadUndo is returned for malformed or unknown undo descriptors.
@@ -95,6 +102,16 @@ func UndoHeapUpdate(rid RID, oldRec []byte) []byte {
 	return encodeRIDDesc(UndoKindHeapUpdate, rid, oldRec)
 }
 
+// UndoHeapField builds the descriptor undoing a field stamp: the old
+// bytes are rewritten at off within the cell at rid. Wire payload:
+// u16 off | old bytes.
+func UndoHeapField(rid RID, off int, old []byte) []byte {
+	payload := make([]byte, 2+len(old))
+	binary.LittleEndian.PutUint16(payload, uint16(off))
+	copy(payload[2:], old)
+	return encodeRIDDesc(UndoKindHeapField, rid, payload)
+}
+
 // ApplyHeapUndo executes the inverse heap operation named by desc,
 // logging the page mutation as a redo-only compensation under tx (which
 // should force the redo-only marker via the RedoOnlyLogger interface).
@@ -109,7 +126,7 @@ func ApplyHeapUndo(pool *buffer.Manager, log *wal.Log, tx TxnContext, desc []byt
 		return false, fmt.Errorf("%w: empty", ErrBadUndo)
 	}
 	kind := desc[0]
-	if kind < UndoKindHeapInsert || kind > UndoKindHeapUpdate {
+	if (kind < UndoKindHeapInsert || kind > UndoKindHeapUpdate) && kind != UndoKindHeapField {
 		return false, nil
 	}
 	rid, payload, err := decodeRIDDesc(desc)
@@ -133,6 +150,26 @@ func ApplyHeapUndo(pool *buffer.Manager, log *wal.Log, tx TxnContext, desc []byt
 				return nil // compensation already applied
 			}
 			return sp.Update(int(rid.Slot), payload)
+		case UndoKindHeapField:
+			if len(payload) < 2 {
+				return fmt.Errorf("%w: short field payload", ErrBadUndo)
+			}
+			off := int(binary.LittleEndian.Uint16(payload))
+			old := payload[2:]
+			cell, err := sp.Get(int(rid.Slot))
+			if err != nil {
+				// The slot vanished: a later durable compensation of this
+				// same rollback already removed the version. Idempotent.
+				if errors.Is(err, ErrNoSlot) {
+					return nil
+				}
+				return err
+			}
+			if off+len(old) > len(cell) {
+				return fmt.Errorf("%w: field stamp past cell end", ErrBadUndo)
+			}
+			copy(cell[off:], old)
+			return nil
 		}
 		return fmt.Errorf("%w: kind %d", ErrBadUndo, kind)
 	})

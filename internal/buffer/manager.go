@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -97,6 +98,12 @@ type shard struct {
 	// dirty page is written back; the WAL uses it to enforce
 	// write-ahead ordering.
 	beforeEvict func(storage.PageID, uint64) error
+
+	// retired is set (under mu) when a Resize re-sharded the pool and
+	// this stripe no longer owns any frames: a caller that resolved
+	// the stripe through an older shardSet must drop the lock and
+	// re-resolve through the current one.
+	retired bool
 }
 
 // shardStride rounds each shard up to a whole number of cache lines
@@ -124,6 +131,15 @@ type paddedShard struct {
 // benchmarks that record the stripe layout.
 func ShardStride() int { return shardStride }
 
+// shardSet is one immutable generation of the pool's stripe layout:
+// the shard array and the page-to-shard mask. Resize may replace the
+// whole set (re-sharding); readers resolve pages through an atomic
+// pointer and re-resolve when they catch a retired stripe.
+type shardSet struct {
+	shards []*shard
+	mask   uint64 // len(shards)-1; shard count is a power of two
+}
+
 // Manager is the buffer manager service: a bounded cache of page
 // frames over a storage.PageStore, partitioned into lock-striped
 // shards so that independent pages can be pinned and unpinned without
@@ -133,8 +149,16 @@ func ShardStride() int { return shardStride }
 type Manager struct {
 	store      storage.PageStore
 	policyName string
-	shards     []*shard
-	mask       uint64 // len(shards)-1; shard count is a power of two
+	set        atomic.Pointer[shardSet]
+
+	// hookMu guards hook, the write-ahead callback that re-sharding
+	// must copy onto freshly built stripes.
+	hookMu sync.Mutex
+	hook   func(storage.PageID, uint64) error
+
+	// resizeMu serialises Resize calls (each locks every stripe of the
+	// current generation; two interleaved would deadlock).
+	resizeMu sync.Mutex
 }
 
 // Shard-count defaults: one stripe per minFramesPerShard frames, so
@@ -188,7 +212,7 @@ func New(store storage.PageStore, nframes int, policy Policy) *Manager {
 	}
 	m := newManager(store, nframes, nshards, policy.Name())
 	m.policyName = policy.Name()
-	m.shards[0].policy = policy
+	m.set.Load().shards[0].policy = policy
 	return m
 }
 
@@ -213,16 +237,15 @@ func newManager(store storage.PageStore, nframes, nshards int, policyName string
 	m := &Manager{
 		store:      store,
 		policyName: NewPolicy(policyName).Name(),
-		shards:     make([]*shard, nshards),
-		mask:       uint64(nshards - 1),
 	}
 	// One contiguous allocation at a fixed line-multiple stride with a
 	// spare line of padding per shard, so stripes never false-share
 	// regardless of the base address alignment and the layout is
 	// reproducible for the contention benchmarks.
 	backing := make([]paddedShard, nshards)
+	set := &shardSet{shards: make([]*shard, nshards), mask: uint64(nshards - 1)}
 	base, rem := nframes/nshards, nframes%nshards
-	for i := range m.shards {
+	for i := range set.shards {
 		n := base
 		if i < rem {
 			n++
@@ -237,42 +260,94 @@ func newManager(store storage.PageStore, nframes, nshards int, policyName string
 			s.frames[fi].latch = new(sync.RWMutex)
 			s.free = append(s.free, fi)
 		}
-		m.shards[i] = s
+		set.shards[i] = s
 	}
+	m.set.Store(set)
 	return m
 }
 
-// shardFor maps a page to its stripe with a Fibonacci hash, so that
-// sequentially allocated pages spread across shards.
+// shardFor maps a page to its stripe (in the current generation) with
+// a Fibonacci hash, so that sequentially allocated pages spread across
+// shards. The result is only stable under the stripe's own lock with
+// retired unset — mutating callers go through lockShard.
 func (m *Manager) shardFor(id storage.PageID) *shard {
+	set := m.set.Load()
+	return set.shards[shardIdx(id, set.mask)]
+}
+
+// shardIdx maps a page to a stripe index under the given mask with a
+// Fibonacci hash, so that sequentially allocated pages spread evenly.
+func shardIdx(id storage.PageID, mask uint64) uint64 {
 	h := uint64(id) * 0x9e3779b97f4a7c15
-	return m.shards[(h>>32)&m.mask]
+	return (h >> 32) & mask
+}
+
+// lockShard returns the stripe owning id, locked. When a concurrent
+// Resize retired the stripe between the lookup and the lock, the
+// lookup retries against the new generation.
+func (m *Manager) lockShard(id storage.PageID) *shard {
+	for {
+		s := m.shardFor(id)
+		s.mu.Lock()
+		if !s.retired {
+			return s
+		}
+		s.mu.Unlock()
+	}
+}
+
+// eachShardLocked runs fn over every stripe of the live generation,
+// locking each in turn. When a Resize retires the generation
+// mid-walk, the walk restarts over the new one — reset (optional)
+// runs before each attempt so accumulating callers can start over.
+func (m *Manager) eachShardLocked(reset func(), fn func(s *shard) error) error {
+retry:
+	for {
+		set := m.set.Load()
+		if reset != nil {
+			reset()
+		}
+		for _, s := range set.shards {
+			s.mu.Lock()
+			if s.retired {
+				s.mu.Unlock()
+				continue retry
+			}
+			err := fn(s)
+			s.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 }
 
 // SetBeforeEvict installs the write-ahead hook invoked before dirty
-// write-back.
+// write-back. Re-sharding carries it onto new stripes.
 func (m *Manager) SetBeforeEvict(f func(storage.PageID, uint64) error) {
-	for _, s := range m.shards {
-		s.mu.Lock()
+	m.hookMu.Lock()
+	m.hook = f
+	m.hookMu.Unlock()
+	_ = m.eachShardLocked(nil, func(s *shard) error {
 		s.beforeEvict = f
-		s.mu.Unlock()
-	}
+		return nil
+	})
 }
 
 // PolicyName reports the active replacement policy.
 func (m *Manager) PolicyName() string { return m.policyName }
 
 // NumShards returns the number of lock stripes.
-func (m *Manager) NumShards() int { return len(m.shards) }
+func (m *Manager) NumShards() int { return len(m.set.Load().shards) }
 
 // PoolSize returns the total number of frames across all shards.
 func (m *Manager) PoolSize() int {
 	total := 0
-	for _, s := range m.shards {
-		s.mu.Lock()
+	_ = m.eachShardLocked(func() { total = 0 }, func(s *shard) error {
 		total += len(s.frames)
-		s.mu.Unlock()
-	}
+		return nil
+	})
 	return total
 }
 
@@ -280,31 +355,30 @@ func (m *Manager) PoolSize() int {
 // shards.
 func (m *Manager) Stats() Stats {
 	var agg Stats
-	for _, s := range m.shards {
-		s.mu.Lock()
+	_ = m.eachShardLocked(func() { agg = Stats{} }, func(s *shard) error {
 		agg.add(s.stats)
-		s.mu.Unlock()
-	}
+		return nil
+	})
 	return agg
 }
 
 // ShardStats returns a per-shard snapshot of the pool counters, for
-// monitoring stripe balance.
+// monitoring stripe balance. After a re-sharding Resize the counters
+// of dissolved stripes live on, aggregated into stripe 0 of the new
+// layout.
 func (m *Manager) ShardStats() []Stats {
-	out := make([]Stats, len(m.shards))
-	for i, s := range m.shards {
-		s.mu.Lock()
-		out[i] = s.stats
-		s.mu.Unlock()
-	}
+	var out []Stats
+	_ = m.eachShardLocked(func() { out = out[:0] }, func(s *shard) error {
+		out = append(out, s.stats)
+		return nil
+	})
 	return out
 }
 
 // Pin brings the page into the pool (loading it if absent), increments
 // its pin count and returns a frame handle.
 func (m *Manager) Pin(id storage.PageID) (*Frame, error) {
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	defer s.mu.Unlock()
 	if fi, ok := s.table[id]; ok {
 		f := &s.frames[fi]
@@ -339,8 +413,7 @@ func (m *Manager) NewPage(t storage.PageType) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	defer s.mu.Unlock()
 	fi, err := s.obtainFrameLocked()
 	if err != nil {
@@ -407,8 +480,7 @@ func (s *shard) flushFrameLocked(fi int) error {
 // Unpin decrements the pin count, recording whether the caller dirtied
 // the page.
 func (m *Manager) Unpin(id storage.PageID, dirty bool) error {
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	defer s.mu.Unlock()
 	fi, ok := s.table[id]
 	if !ok || s.frames[fi].pins == 0 {
@@ -453,8 +525,7 @@ func (m *Manager) PinLatched(id storage.PageID, exclusive bool) (*Frame, error) 
 
 // pinWithLatch pins the page and returns its frame latch.
 func (m *Manager) pinWithLatch(id storage.PageID) (*Frame, *sync.RWMutex, error) {
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	if fi, ok := s.table[id]; ok {
 		f := &s.frames[fi]
 		f.pins++
@@ -492,8 +563,7 @@ func (m *Manager) pinWithLatch(id storage.PageID) (*Frame, *sync.RWMutex, error)
 // NewPageLatched) and drops the pin, recording whether the caller
 // dirtied the page. exclusive must match the acquisition mode.
 func (m *Manager) UnpinLatched(id storage.PageID, exclusive, dirty bool) error {
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	defer s.mu.Unlock()
 	fi, ok := s.table[id]
 	if !ok || s.frames[fi].pins == 0 {
@@ -527,8 +597,7 @@ func (m *Manager) NewPageLatched(t storage.PageType) (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := m.shardFor(f.ID)
-	s.mu.Lock()
+	s := m.lockShard(f.ID)
 	fi, ok := s.table[f.ID]
 	if !ok {
 		s.mu.Unlock()
@@ -562,16 +631,15 @@ func (m *Manager) UpdatePage(id storage.PageID, fn func(p *storage.Page) error) 
 // minimum recLSN to advance the WAL truncation horizon.
 func (m *Manager) DirtyPages() []storage.DirtyPageInfo {
 	var out []storage.DirtyPageInfo
-	for _, s := range m.shards {
-		s.mu.Lock()
+	_ = m.eachShardLocked(func() { out = out[:0] }, func(s *shard) error {
 		for fi := range s.frames {
 			f := &s.frames[fi]
 			if f.valid && f.dirty {
 				out = append(out, storage.DirtyPageInfo{ID: f.id, RecLSN: f.recLSN})
 			}
 		}
-		s.mu.Unlock()
-	}
+		return nil
+	})
 	return out
 }
 
@@ -599,10 +667,9 @@ func (m *Manager) FlushPages(ids []storage.PageID) error {
 
 // flushUnpinned flushes one page once its pin count drains to zero.
 func (m *Manager) flushUnpinned(id storage.PageID) error {
-	s := m.shardFor(id)
 	deadline := time.Now().Add(flushPinWait)
 	for attempt := 0; ; attempt++ {
-		s.mu.Lock()
+		s := m.lockShard(id)
 		fi, ok := s.table[id]
 		if !ok || !s.frames[fi].dirty {
 			s.mu.Unlock()
@@ -631,8 +698,7 @@ const flushPinWait = 2 * time.Second
 
 // FlushPage writes the page back if it is resident and dirty.
 func (m *Manager) FlushPage(id storage.PageID) error {
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	defer s.mu.Unlock()
 	fi, ok := s.table[id]
 	if !ok {
@@ -647,25 +713,25 @@ func (m *Manager) FlushPage(id storage.PageID) error {
 // FlushAll writes back every dirty resident page, shard by shard, and
 // syncs the store.
 func (m *Manager) FlushAll() error {
-	for _, s := range m.shards {
-		s.mu.Lock()
+	err := m.eachShardLocked(nil, func(s *shard) error {
 		for fi := range s.frames {
 			if s.frames[fi].valid && s.frames[fi].dirty {
 				if err := s.flushFrameLocked(fi); err != nil {
-					s.mu.Unlock()
 					return err
 				}
 			}
 		}
-		s.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 	return m.store.Sync()
 }
 
 // Resident reports whether a page currently occupies a frame.
 func (m *Manager) Resident(id storage.PageID) bool {
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	defer s.mu.Unlock()
 	_, ok := s.table[id]
 	return ok
@@ -673,8 +739,7 @@ func (m *Manager) Resident(id storage.PageID) bool {
 
 // PinCount returns the pin count of a resident page (0 if absent).
 func (m *Manager) PinCount(id storage.PageID) int {
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	defer s.mu.Unlock()
 	if fi, ok := s.table[id]; ok {
 		return s.frames[fi].pins
@@ -682,40 +747,41 @@ func (m *Manager) PinCount(id storage.PageID) int {
 	return 0
 }
 
-// Resize changes the total pool size at runtime, holding every shard
-// lock so the operation is atomic with respect to pins. Each shard
-// keeps at least one frame, so the effective minimum is NumShards.
-// Shrinking flushes and drops unpinned frames; it fails with ErrPinned
-// when the pinned pages cannot fit in n frames (a shard whose pinned
-// pages exceed its share borrows frames from shards with slack). This
-// is how the coordinator honours low-memory alerts (Section 3.7:
-// component properties adjusted "according to the current architecture
-// constraints").
+// Resize changes the total pool size at runtime. Sizes of at least one
+// frame per stripe are repacked in place: each stripe keeps at least
+// one frame and at least its pinned pages, borrowing slack from
+// lightly pinned stripes. When n is below the stripe count, or the
+// pinned pages are too skewed for the current stripes, the pool
+// re-shards instead of refusing: a new stripe generation (the largest
+// power-of-two count that fits n and the pinned layout, down to one)
+// is built, resident frames move across — live pins and held page
+// latches stay valid because the frame's latch pointer and data slice
+// travel with it — unpinned overflow is flushed and dropped, and the
+// old stripes are retired. Resize fails with ErrPinned only when more
+// than n pages are pinned outright. This is how the coordinator
+// honours low-memory alerts (Section 3.7: component properties
+// adjusted "according to the current architecture constraints").
 func (m *Manager) Resize(n int) error {
-	ns := len(m.shards)
-	if n < ns {
-		n = ns
+	if n < 1 {
+		n = 1
 	}
-	for _, s := range m.shards {
+	m.resizeMu.Lock()
+	defer m.resizeMu.Unlock()
+	// Only Resize swaps the set and resizeMu is held, so this load is
+	// the canonical current generation.
+	shards := m.set.Load().shards
+	for _, s := range shards {
 		s.mu.Lock()
 	}
 	defer func() {
-		for _, s := range m.shards {
+		for _, s := range shards {
 			s.mu.Unlock()
 		}
 	}()
 
-	// Even split, then borrow frames for shards whose pinned pages
-	// exceed their share.
-	base, rem := n/ns, n%ns
-	targets := make([]int, ns)
-	pinned := make([]int, ns)
+	pinned := make([]int, len(shards))
 	totalPinned := 0
-	for i, s := range m.shards {
-		targets[i] = base
-		if i < rem {
-			targets[i]++
-		}
+	for i, s := range shards {
 		for fi := range s.frames {
 			if s.frames[fi].valid && s.frames[fi].pins > 0 {
 				pinned[i]++
@@ -726,8 +792,35 @@ func (m *Manager) Resize(n int) error {
 	if totalPinned > n {
 		return fmt.Errorf("%w: %d pinned > %d frames", ErrPinned, totalPinned, n)
 	}
+	if n >= len(shards) {
+		if targets, ok := splitTargets(n, pinned); ok {
+			for i, s := range shards {
+				if err := s.resizeLocked(targets[i], m.policyName); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return m.reshardLocked(shards, n)
+}
+
+// splitTargets distributes n frames over the stripes: an even split,
+// raised to each stripe's pinned-page count where the share falls
+// short, with the excess borrowed back from stripes that have slack
+// above max(pinned, 1). ok is false when the pinned layout cannot fit
+// n frames at this stripe count (Σ max(pinnedᵢ, 1) > n), in which
+// case Resize re-shards to fewer stripes.
+func splitTargets(n int, pinned []int) (targets []int, ok bool) {
+	ns := len(pinned)
+	base, rem := n/ns, n%ns
+	targets = make([]int, ns)
 	need := 0
 	for i := range targets {
+		targets[i] = base
+		if i < rem {
+			targets[i]++
+		}
 		if pinned[i] > targets[i] {
 			need += pinned[i] - targets[i]
 			targets[i] = pinned[i]
@@ -750,13 +843,124 @@ func (m *Manager) Resize(n int) error {
 			need -= take
 		}
 	}
-	if need > 0 {
-		return fmt.Errorf("%w: pinned pages too skewed for %d frames over %d shards", ErrPinned, n, ns)
-	}
-	for i, s := range m.shards {
-		if err := s.resizeLocked(targets[i], m.policyName); err != nil {
-			return err
+	return targets, need == 0
+}
+
+// reshardLocked rebuilds the pool as a fresh stripe generation of n
+// total frames; the caller holds every stripe lock of the old
+// generation. The new stripe count is the largest power of two, at
+// most the old count and at most n, whose pinned-page distribution
+// fits n frames — one stripe always does, since totalPinned <= n was
+// already checked. Resident frames move across by value (latch
+// pointer and data slice travel with the frame, keeping live pins and
+// held latches valid); unpinned frames that no longer fit are flushed
+// through the write-ahead hook and dropped. On success the new
+// generation is installed and the old stripes retired; on a
+// write-back error the old generation stays in force untouched.
+func (m *Manager) reshardLocked(old []*shard, n int) error {
+	var resident []frame
+	for _, s := range old {
+		for fi := range s.frames {
+			if s.frames[fi].valid {
+				resident = append(resident, s.frames[fi])
+			}
 		}
+	}
+
+	ns := len(old)
+	if n < ns {
+		ns = n
+	}
+	ns = floorPow2(ns)
+	var targets []int
+	var mask uint64
+	for {
+		mask = uint64(ns - 1)
+		cnt := make([]int, ns)
+		for i := range resident {
+			if resident[i].pins > 0 {
+				cnt[shardIdx(resident[i].id, mask)]++
+			}
+		}
+		var ok bool
+		if targets, ok = splitTargets(n, cnt); ok {
+			break
+		}
+		ns /= 2
+	}
+
+	m.hookMu.Lock()
+	hook := m.hook
+	m.hookMu.Unlock()
+
+	backing := make([]paddedShard, ns)
+	set := &shardSet{shards: make([]*shard, ns), mask: mask}
+	for i := range set.shards {
+		s := &backing[i].shard
+		s.store = m.store
+		s.frames = make([]frame, 0, targets[i])
+		s.table = make(map[storage.PageID]int, targets[i])
+		s.policy = NewPolicy(m.policyName)
+		s.beforeEvict = hook
+		set.shards[i] = s
+	}
+
+	// Place pinned frames first (they cannot be dropped and are what
+	// the targets were sized for), then fill the remaining room with
+	// unpinned residents. Unpinned overflow is flushed and dropped;
+	// a flush that half-succeeds before an error is harmless, the old
+	// frame stays dirty and is written again later.
+	var agg Stats
+	for _, s := range old {
+		agg.add(s.stats)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := range resident {
+			f := &resident[i]
+			if (f.pins > 0) == (pass == 1) {
+				continue
+			}
+			si := shardIdx(f.id, mask)
+			s := set.shards[si]
+			if len(s.frames) < targets[si] {
+				s.table[f.id] = len(s.frames)
+				s.frames = append(s.frames, *f)
+				continue
+			}
+			if f.dirty {
+				if hook != nil {
+					lsn := storage.WrapPage(f.id, f.data).LSN()
+					if err := hook(f.id, lsn); err != nil {
+						return fmt.Errorf("buffer: write-ahead hook for page %d: %w", f.id, err)
+					}
+				}
+				if err := m.store.WritePage(f.id, f.data); err != nil {
+					return err
+				}
+				agg.Flushes++
+			}
+			agg.Evictions++
+		}
+	}
+
+	for i, s := range set.shards {
+		for len(s.frames) < targets[i] {
+			s.free = append(s.free, len(s.frames))
+			s.frames = append(s.frames, frame{data: make([]byte, storage.PageSize), latch: new(sync.RWMutex)})
+		}
+		for fi := range s.frames {
+			if s.frames[fi].valid {
+				s.policy.Inserted(fi)
+			}
+		}
+	}
+	// The counters of dissolved stripes live on, aggregated into
+	// stripe 0 of the new layout (see ShardStats).
+	set.shards[0].stats = agg
+
+	m.set.Store(set)
+	for _, s := range old {
+		s.retired = true
 	}
 	return nil
 }
@@ -821,8 +1025,7 @@ func (m *Manager) Allocate() (storage.PageID, error) { return m.store.Allocate()
 // Deallocate implements storage.PageStore: the page is dropped from the
 // pool (it must be unpinned) and freed in the store.
 func (m *Manager) Deallocate(id storage.PageID) error {
-	s := m.shardFor(id)
-	s.mu.Lock()
+	s := m.lockShard(id)
 	if fi, ok := s.table[id]; ok {
 		if s.frames[fi].pins > 0 {
 			s.mu.Unlock()

@@ -113,7 +113,7 @@ func TestShardedResizeBorrowsForPinSkew(t *testing.T) {
 	m := NewSharded(d, 64, 4, "lru")
 	// Find pages that all hash to one shard, and pin more of them than
 	// an even post-shrink split would allow.
-	target := m.shards[0]
+	target := m.set.Load().shards[0]
 	var pinnedIDs []storage.PageID
 	for len(pinnedIDs) < 5 {
 		id, err := d.Allocate()
@@ -162,6 +162,190 @@ func TestShardedResizeBorrowsForPinSkew(t *testing.T) {
 	}
 	for _, id := range held {
 		_ = m.Unpin(id, false)
+	}
+}
+
+// TestResizeReshardsBelowShardCount: shrinking below one frame per
+// stripe dissolves stripes instead of refusing, while live pins and
+// held page latches stay valid across the generation swap and evicted
+// overflow is flushed, not lost.
+func TestResizeReshardsBelowShardCount(t *testing.T) {
+	d, err := storage.OpenDisk(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewSharded(d, 64, 8, "lru")
+	ids := allocPages(t, d, 16)
+	for _, id := range ids {
+		f, err := m.Pin(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		binaryPutID(f.Page().Payload(), uint64(id))
+		if err := m.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinID := ids[0]
+	if _, err := m.Pin(pinID); err != nil {
+		t.Fatal(err)
+	}
+	latchID := ids[1]
+	lf, err := m.PinLatched(latchID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := m.Stats()
+	if err := m.Resize(3); err != nil {
+		t.Fatalf("Resize(3) on 8 stripes: %v", err)
+	}
+	if m.PoolSize() != 3 {
+		t.Fatalf("PoolSize = %d, want 3", m.PoolSize())
+	}
+	if got := m.NumShards(); got > 3 {
+		t.Fatalf("NumShards = %d after Resize(3), want a dissolved layout", got)
+	}
+	after := m.Stats()
+	if after.Hits < before.Hits || after.Misses < before.Misses {
+		t.Fatalf("stats lost in re-shard: before %+v after %+v", before, after)
+	}
+	if m.PinCount(pinID) != 1 {
+		t.Fatalf("pinned page %d lost its frame in re-shard", pinID)
+	}
+	// The latch acquired on the old generation still guards the moved
+	// frame; mutate through it and release via the new generation.
+	binaryPutID(lf.Page().Payload(), uint64(latchID))
+	if err := m.UnpinLatched(latchID, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unpin(pinID, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.PageSize)
+	for _, id := range ids {
+		if err := d.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if got := binaryGetID(storage.WrapPage(id, buf).Payload()); got != uint64(id) {
+			t.Fatalf("page %d lost its payload across re-shard (stamp %d)", id, got)
+		}
+	}
+}
+
+// TestResizeReshardsOnPinSkew: pins that no split over the current
+// stripes can fit are repacked by dissolving stripes rather than
+// refused with ErrPinned.
+func TestResizeReshardsOnPinSkew(t *testing.T) {
+	d, err := storage.OpenDisk(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewSharded(d, 64, 4, "lru")
+	target := m.set.Load().shards[0]
+	var pinnedIDs []storage.PageID
+	for len(pinnedIDs) < 3 {
+		id, err := d.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.shardFor(id) != target {
+			continue
+		}
+		if _, err := m.Pin(id); err != nil {
+			t.Fatal(err)
+		}
+		pinnedIDs = append(pinnedIDs, id)
+	}
+	// 4 frames over 4 stripes leaves no slack for 3 pins on one
+	// stripe (every other stripe needs a frame of its own).
+	if err := m.Resize(4); err != nil {
+		t.Fatalf("Resize with skew beyond stripe slack: %v", err)
+	}
+	if m.PoolSize() != 4 {
+		t.Fatalf("PoolSize = %d, want 4", m.PoolSize())
+	}
+	if m.NumShards() >= 4 {
+		t.Fatalf("NumShards = %d, want re-shard below 4", m.NumShards())
+	}
+	for _, id := range pinnedIDs {
+		if m.PinCount(id) != 1 {
+			t.Fatalf("pinned page %d lost its frame", id)
+		}
+		if err := m.Unpin(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The shrunken pool still serves traffic.
+	if _, err := m.Pin(pinnedIDs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unpin(pinnedIDs[0], false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReshardConcurrentSwap races pin traffic against generation
+// swaps (run with -race): every round shrinks an 8-stripe pool below
+// one frame per stripe mid-flight, then grows it back.
+func TestReshardConcurrentSwap(t *testing.T) {
+	d, err := storage.OpenDisk(storage.NewMemDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := allocPages(t, d, 64)
+	for r := 0; r < 10; r++ {
+		m := NewSharded(d, 64, 8, "lru")
+		var wg sync.WaitGroup
+		errCh := make(chan error, 8)
+		stop := make(chan struct{})
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					id := ids[rng.Intn(len(ids))]
+					if _, err := m.Pin(id); err != nil {
+						if errors.Is(err, ErrPoolExhausted) {
+							continue
+						}
+						errCh <- err
+						return
+					}
+					if err := m.Unpin(id, false); err != nil {
+						errCh <- err
+						return
+					}
+					_ = m.Stats()
+				}
+			}(int64(r*8 + w + 1))
+		}
+		if err := m.Resize(5); err != nil && !errors.Is(err, ErrPinned) {
+			t.Fatal(err)
+		}
+		if err := m.Resize(64); err != nil && !errors.Is(err, ErrPinned) {
+			t.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		close(errCh)
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if pc := m.PinCount(id); pc != 0 {
+				t.Fatalf("page %d ends with pin count %d", id, pc)
+			}
+		}
 	}
 }
 

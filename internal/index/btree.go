@@ -930,6 +930,59 @@ func (t *BTree) DeleteTxGap(tx access.TxnContext, key []byte, rid access.RID, ga
 	}
 }
 
+// RepointTx replaces the RID suffix of the unique tree's entry for key
+// — (key, oldRID) becomes (key, newRID) — in place, logging the leaf
+// mutation with a logical undo (repoint back). The version-chained KV
+// core uses it to swing a key's index entry onto a freshly appended
+// head version without a delete+insert pair (which would open a
+// phantom gap for serializable scans and double-log the leaf).
+//
+// In-place replacement preserves the leaf's sort invariant: the tree
+// is unique, so the entry's neighbours belong to other user keys and
+// compare on the user-key prefix alone. A parent separator equal to
+// the old composite key may now exceed the new one in its RID suffix;
+// descents by full composite key tolerate that with the same
+// move-right chase deletes use (splits and stale separators only ever
+// leave the target further right). Reports false when no entry for
+// (key, oldRID) exists.
+func (t *BTree) RepointTx(tx access.TxnContext, key []byte, oldRID, newRID access.RID) (bool, error) {
+	ckOld := compositeKey(key, oldRID)
+	ckNew := compositeKey(key, newRID)
+	if len(ckNew) > MaxKeySize {
+		return false, fmt.Errorf("%w: %d bytes (max %d)", ErrKeyTooLarge, len(ckNew), MaxKeySize)
+	}
+	leaf, err := t.descendToLeaf(ckOld)
+	if err != nil {
+		return false, err
+	}
+	id := leaf.id
+	t.unlatch(leaf)
+	cur, err := t.latch(id, true)
+	if err != nil {
+		return false, err
+	}
+	for {
+		pos := sort.Search(len(cur.n.keys), func(i int) bool { return bytes.Compare(cur.n.keys[i], ckOld) >= 0 })
+		if pos < len(cur.n.keys) && bytes.Equal(cur.n.keys[pos], ckOld) {
+			cur.n.keys[pos] = ckNew
+			err := t.write(tx, cur, func() []byte { return undoIndexRepoint(t.metaID, key, oldRID, newRID) })
+			t.unlatch(cur)
+			return err == nil, err
+		}
+		if cur.n.next == storage.InvalidPageID ||
+			(len(cur.n.keys) > 0 && bytes.Compare(ckOld, cur.n.keys[len(cur.n.keys)-1]) < 0) {
+			t.unlatch(cur)
+			return false, nil
+		}
+		next, err := t.latch(cur.n.next, true)
+		t.unlatch(cur)
+		if err != nil {
+			return false, err
+		}
+		cur = next
+	}
+}
+
 // Range iterates entries with lo <= key < hi (nil bounds are
 // unbounded), in key order, calling fn with the user key and RID. Each
 // leaf's matching entries are copied out under the shared leaf latch

@@ -35,6 +35,40 @@ func undoIndexDelete(metaID storage.PageID, key []byte, rid access.RID) []byte {
 	return encodeIndexDesc(access.UndoKindIndexDelete, metaID, key, rid)
 }
 
+// undoIndexRepoint builds the descriptor undoing a repoint of key from
+// oldRID to newRID: repoint back. Wire form extends the common header
+// with the old RID:
+// kind | u64 metaPage | u64 newPage | u16 newSlot | u64 oldPage |
+// u16 oldSlot | key.
+func undoIndexRepoint(metaID storage.PageID, key []byte, oldRID, newRID access.RID) []byte {
+	out := make([]byte, 29, 29+len(key))
+	out[0] = access.UndoKindIndexRepoint
+	binary.LittleEndian.PutUint64(out[1:], uint64(metaID))
+	binary.LittleEndian.PutUint64(out[9:], uint64(newRID.Page))
+	binary.LittleEndian.PutUint16(out[17:], newRID.Slot)
+	binary.LittleEndian.PutUint64(out[19:], uint64(oldRID.Page))
+	binary.LittleEndian.PutUint16(out[27:], oldRID.Slot)
+	return append(out, key...)
+}
+
+// decodeRepoint parses an UndoKindIndexRepoint descriptor.
+func decodeRepoint(desc []byte) (metaID storage.PageID, key []byte, oldRID, newRID access.RID, err error) {
+	if len(desc) < 29 {
+		return 0, nil, access.RID{}, access.RID{}, fmt.Errorf("%w: short repoint descriptor", ErrCorrupt)
+	}
+	metaID = storage.PageID(binary.LittleEndian.Uint64(desc[1:]))
+	newRID = access.RID{
+		Page: storage.PageID(binary.LittleEndian.Uint64(desc[9:])),
+		Slot: binary.LittleEndian.Uint16(desc[17:]),
+	}
+	oldRID = access.RID{
+		Page: storage.PageID(binary.LittleEndian.Uint64(desc[19:])),
+		Slot: binary.LittleEndian.Uint16(desc[27:]),
+	}
+	key = append([]byte(nil), desc[29:]...)
+	return metaID, key, oldRID, newRID, nil
+}
+
 // DecodeUndo splits an index undo descriptor. It reports ok=false for
 // non-index kinds.
 func DecodeUndo(desc []byte) (kind byte, metaID storage.PageID, key []byte, rid access.RID, ok bool, err error) {
@@ -42,6 +76,10 @@ func DecodeUndo(desc []byte) (kind byte, metaID storage.PageID, key []byte, rid 
 		return 0, 0, nil, access.RID{}, false, fmt.Errorf("%w: empty undo descriptor", ErrCorrupt)
 	}
 	kind = desc[0]
+	if kind == access.UndoKindIndexRepoint {
+		metaID, key, _, newRID, err := decodeRepoint(desc)
+		return kind, metaID, key, newRID, err == nil, err
+	}
 	if kind != access.UndoKindIndexInsert && kind != access.UndoKindIndexDelete {
 		return kind, 0, nil, access.RID{}, false, nil
 	}
@@ -79,6 +117,15 @@ func (t *BTree) ApplyUndo(tx access.TxnContext, desc []byte) error {
 		_, err = t.DeleteTx(tx, key, rid)
 	case access.UndoKindIndexDelete:
 		err = t.InsertTx(tx, key, rid)
+	case access.UndoKindIndexRepoint:
+		// Repoint back: newRID -> oldRID. A repoint whose entry already
+		// reads oldRID (a durable compensation applied it) finds no
+		// (key, newRID) entry and reports false — idempotent.
+		var oldRID, newRID access.RID
+		_, key, oldRID, newRID, err = decodeRepoint(desc)
+		if err == nil {
+			_, err = t.RepointTx(tx, key, newRID, oldRID)
+		}
 	}
 	return err
 }

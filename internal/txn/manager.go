@@ -2,6 +2,7 @@ package txn
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -59,6 +60,8 @@ type Txn struct {
 	lastLSN   wal.LSN
 	undo      []*wal.Record
 	committed []func()
+	stamps    []func(ts uint64) error
+	commitTS  uint64
 }
 
 // ID implements access.TxnContext.
@@ -89,6 +92,37 @@ func (t *Txn) OnCommitted(f func()) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.committed = append(t.committed, f)
+}
+
+// OnCommitTS registers a stamping callback: at commit, after a commit
+// timestamp is allocated but BEFORE the commit record is appended, the
+// callback runs with that timestamp while the transaction is still
+// active — so the page mutations it performs (stamping version begin
+// fields) are logged with undo descriptors and roll back with the
+// transaction if anything fails. The MVCC KV core registers one per
+// version it created; a transaction with no stamps commits without
+// consuming a timestamp.
+func (t *Txn) OnCommitTS(f func(ts uint64) error) {
+	t.mu.Lock()
+	t.stamps = append(t.stamps, f)
+	t.mu.Unlock()
+}
+
+func (t *Txn) takeStamps() []func(ts uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.stamps
+	t.stamps = nil
+	return out
+}
+
+// CommitTS returns the commit timestamp stamped on the transaction's
+// versions (0 when the transaction registered no stamps or has not
+// committed).
+func (t *Txn) CommitTS() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.commitTS
 }
 
 func (t *Txn) takeCommitted() []func() {
@@ -132,11 +166,12 @@ type UndoHandler interface {
 // begin/commit/abort are logged and commit forces the log; without one,
 // transactions still provide locking and in-memory undo.
 type Manager struct {
-	log   *wal.Log          // may be nil
-	store storage.PageStore // for undo application; may be nil without log
-	locks *LockManager
-	next  atomic.Uint64
-	undo  atomic.Pointer[UndoHandler]
+	log    *wal.Log          // may be nil
+	store  storage.PageStore // for undo application; may be nil without log
+	locks  *LockManager
+	oracle *Oracle
+	next   atomic.Uint64
+	undo   atomic.Pointer[UndoHandler]
 
 	mu     sync.Mutex
 	active map[uint64]*Txn
@@ -152,15 +187,19 @@ type Manager struct {
 // for lock-only operation.
 func NewManager(log *wal.Log, store storage.PageStore) *Manager {
 	return &Manager{
-		log:   log,
-		store: store,
-		locks: NewLockManager(),
+		log:    log,
+		store:  store,
+		locks:  NewLockManager(),
+		oracle: NewOracle(),
 		active: make(map[uint64]*Txn),
 	}
 }
 
 // Locks exposes the lock manager.
 func (m *Manager) Locks() *LockManager { return m.locks }
+
+// Oracle exposes the commit-timestamp oracle (MVCC snapshot reads).
+func (m *Manager) Oracle() *Oracle { return m.oracle }
 
 // SetUndoHandler installs the logical-undo executor. Must be set before
 // any transaction logging logical undo descriptors can abort.
@@ -241,16 +280,53 @@ func (m *Manager) Commit(t *Txn) error { return m.commit(t, true) }
 func (m *Manager) CommitLazy(t *Txn) error { return m.commit(t, false) }
 
 func (m *Manager) commit(t *Txn, flush bool) error {
+	// MVCC commit stamping: allocate the commit timestamp and stamp it
+	// over every version the transaction created WHILE the transaction
+	// is still active — the stamp mutations are WAL-logged with undo
+	// descriptors, so an abort (or crash) reverts them with everything
+	// else. Only after the commit record is durable does Complete let
+	// the oracle's visibility frontier advance past the timestamp.
+	stamps := t.takeStamps()
+	var ts uint64
+	if len(stamps) > 0 {
+		ts = m.oracle.AllocateCommitTS()
+		for _, f := range stamps {
+			if err := f(ts); err != nil {
+				// Roll back: stamps applied so far carry undo and revert
+				// with the transaction. Complete only after a clean
+				// rollback — a failed one leaves stamped versions in
+				// doubt, and the frontier must not advance over them.
+				if aerr := m.Abort(t); aerr != nil {
+					return fmt.Errorf("txn: commit stamping: %w (abort: %v)", err, aerr)
+				}
+				m.oracle.Complete(ts)
+				return fmt.Errorf("txn: commit stamping: %w", err)
+			}
+		}
+		t.mu.Lock()
+		t.commitTS = ts
+		t.mu.Unlock()
+	}
 	lsn, err := m.CommitAppend(t)
 	if err != nil {
+		// The commit record may not be in the log: the timestamp stays
+		// outstanding so no snapshot ever reads the stamped versions,
+		// and the caller must treat the engine as failed.
 		return err
 	}
-	// On-commit hooks require durability even on the lazy path.
-	if !flush && len(t.takeCommittedPeek()) == 0 {
+	// On-commit hooks require durability even on the lazy path; so does
+	// releasing a commit timestamp to readers.
+	if !flush && ts == 0 && len(t.takeCommittedPeek()) == 0 {
 		m.finish(t)
 		return nil
 	}
-	return m.FinishCommit(t, lsn)
+	if err := m.FinishCommit(t, lsn); err != nil {
+		return err // ts (if any) deliberately stays outstanding
+	}
+	if ts != 0 {
+		m.oracle.Complete(ts)
+	}
+	return nil
 }
 
 // takeCommittedPeek reports pending on-commit hooks without consuming
@@ -276,11 +352,19 @@ func (m *Manager) CommitAppend(t *Txn) (wal.LSN, error) {
 	}
 	t.status = StatusCommitted
 	prev := t.lastLSN
+	ts := t.commitTS
 	t.mu.Unlock()
 	if m.log == nil {
 		return wal.ZeroLSN, nil
 	}
-	return m.log.Append(&wal.Record{Txn: t.id, Type: wal.RecCommit, PrevLSN: prev})
+	rec := &wal.Record{Txn: t.id, Type: wal.RecCommit, PrevLSN: prev}
+	if ts != 0 {
+		// Embed the commit timestamp so recovery can restore the
+		// oracle's clock above every stamped version on disk.
+		rec.After = make([]byte, 8)
+		binary.LittleEndian.PutUint64(rec.After, ts)
+	}
+	return m.log.Append(rec)
 }
 
 // FinishCommit forces the log through the commit record appended by
@@ -598,7 +682,7 @@ func (m *Manager) Checkpoint() (wal.LSN, error) {
 
 	lsn, err := m.log.Append(&wal.Record{
 		Type:  wal.RecCheckpoint,
-		After: wal.EncodeCheckpoint(wal.CheckpointData{Fence: fence, ATT: att, DPT: dpt}),
+		After: wal.EncodeCheckpoint(wal.CheckpointData{Fence: fence, ATT: att, DPT: dpt, Clock: m.oracle.Clock()}),
 	})
 	if err != nil {
 		return wal.ZeroLSN, err

@@ -1,0 +1,186 @@
+package txn
+
+import (
+	"sort"
+	"sync"
+)
+
+// Oracle allocates monotonically increasing commit timestamps and
+// tracks which of them are still outstanding (allocated but not yet
+// durably committed), plus the set of live snapshots reading below
+// them. Together those two sets define the MVCC visibility frontier:
+//
+//   - VisibleTS: the highest timestamp every new snapshot may read.
+//     It trails min(outstanding)-1 so a snapshot never observes a
+//     version whose commit record is not yet durable — committing
+//     transactions stamp their versions on the pages BEFORE forcing
+//     the commit record, and only Complete (called after the force)
+//     lets readers past them.
+//   - Horizon: the highest timestamp no live snapshot can still need.
+//     The vacuum reclaims versions strictly below the newest version
+//     that is committed at or below the horizon; a reader at
+//     readTS >= Horizon stops its chain walk at or before that pivot
+//     version and never follows a reclaimed link.
+//
+// Timestamps live strictly below MarkBit: a version header whose begin
+// field has MarkBit set instead carries the writing transaction's id
+// and is invisible to every snapshot until commit stamps it.
+type Oracle struct {
+	mu          sync.Mutex
+	clock       uint64              // last allocated commit timestamp
+	outstanding map[uint64]struct{} // allocated, not yet completed
+	snaps       map[uint64]int      // snapshot readTS -> refcount
+}
+
+// NewOracle creates a timestamp oracle with the clock at zero.
+func NewOracle() *Oracle {
+	return &Oracle{
+		outstanding: make(map[uint64]struct{}),
+		snaps:       make(map[uint64]int),
+	}
+}
+
+// Clock returns the most recently allocated commit timestamp.
+func (o *Oracle) Clock() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.clock
+}
+
+// EnsureClockAbove advances the clock to at least ts. The opener calls
+// it with the highest commit timestamp recovery saw (commit records
+// and the checkpoint's persisted clock), so a restarted engine never
+// re-issues a timestamp that already stamps durable versions.
+func (o *Oracle) EnsureClockAbove(ts uint64) {
+	o.mu.Lock()
+	if ts > o.clock {
+		o.clock = ts
+	}
+	o.mu.Unlock()
+}
+
+// AllocateCommitTS hands out the next commit timestamp and marks it
+// outstanding: VisibleTS stays below it until Complete reports the
+// commit durable (or abandoned). Every allocation MUST be paired with
+// exactly one Complete, except when the commit's durability is in
+// doubt (a failed log force poisons the engine) — leaving the
+// timestamp outstanding then is deliberate: no snapshot may ever read
+// a version whose commit record might not survive a crash.
+func (o *Oracle) AllocateCommitTS() uint64 {
+	o.mu.Lock()
+	o.clock++
+	ts := o.clock
+	o.outstanding[ts] = struct{}{}
+	o.mu.Unlock()
+	return ts
+}
+
+// Complete removes ts from the outstanding set, letting VisibleTS
+// advance past it. Called after the commit record is durable, or when
+// the allocating transaction aborted (its stamps are rolled back, so
+// the gap timestamp is harmless).
+func (o *Oracle) Complete(ts uint64) {
+	o.mu.Lock()
+	delete(o.outstanding, ts)
+	o.mu.Unlock()
+}
+
+// visibleLocked computes the snapshot frontier with o.mu held.
+func (o *Oracle) visibleLocked() uint64 {
+	v := o.clock
+	for ts := range o.outstanding {
+		if ts-1 < v {
+			v = ts - 1
+		}
+	}
+	return v
+}
+
+// VisibleTS returns the read timestamp a snapshot taken now receives:
+// every version stamped at or below it belongs to a durably committed
+// transaction.
+func (o *Oracle) VisibleTS() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.visibleLocked()
+}
+
+// Snapshot is a registered read view: every version committed at or
+// below ReadTS is visible, everything younger (or uncommitted) is not.
+// The registration pins the vacuum horizon at or below ReadTS until
+// Close; Close is idempotent.
+type Snapshot struct {
+	// ReadTS is the snapshot's visibility bound.
+	ReadTS uint64
+	// ActiveTxns lists the commit timestamps that were allocated but
+	// not yet complete when the snapshot was taken (all above ReadTS);
+	// diagnostics only — visibility needs just ReadTS.
+	ActiveTxns []uint64
+
+	o      *Oracle
+	closed bool
+	mu     sync.Mutex
+}
+
+// Snapshot registers and returns a new read view at the current
+// visibility frontier.
+func (o *Oracle) Snapshot() *Snapshot {
+	o.mu.Lock()
+	ts := o.visibleLocked()
+	o.snaps[ts]++
+	var act []uint64
+	for t := range o.outstanding {
+		act = append(act, t)
+	}
+	o.mu.Unlock()
+	sort.Slice(act, func(i, j int) bool { return act[i] < act[j] })
+	return &Snapshot{ReadTS: ts, ActiveTxns: act, o: o}
+}
+
+// Close deregisters the snapshot, releasing its hold on the vacuum
+// horizon. Safe to call more than once.
+func (s *Snapshot) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.o.mu.Lock()
+	if n := s.o.snaps[s.ReadTS]; n <= 1 {
+		delete(s.o.snaps, s.ReadTS)
+	} else {
+		s.o.snaps[s.ReadTS] = n - 1
+	}
+	s.o.mu.Unlock()
+}
+
+// Horizon returns the oldest timestamp any live or future snapshot
+// could still read: min over registered snapshots' ReadTS and the
+// current VisibleTS. The vacuum may unlink any version superseded by a
+// newer version that is committed at or below the horizon — no reader
+// at readTS >= Horizon ever walks past that newer version, and every
+// registered reader's readTS is >= Horizon by construction.
+func (o *Oracle) Horizon() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h := o.visibleLocked()
+	for ts := range o.snaps {
+		if ts < h {
+			h = ts
+		}
+	}
+	return h
+}
+
+// ActiveSnapshots reports how many snapshot registrations are live.
+func (o *Oracle) ActiveSnapshots() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := 0
+	for _, c := range o.snaps {
+		n += c
+	}
+	return n
+}

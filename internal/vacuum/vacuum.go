@@ -1,0 +1,441 @@
+// Package vacuum reclaims dead MVCC versions from a version-chained
+// key-value heap.
+//
+// Writers never remove anything: an update links a new version in
+// front of the old one and a delete links a tombstone, so chains grow
+// until something prunes them. The vacuum is that something — a
+// cooperative scavenger that walks the index, finds versions no
+// current or future snapshot can ever resolve to, and frees their heap
+// slots.
+//
+// # Safety argument
+//
+// The oracle's Horizon() is a timestamp at or below the read timestamp
+// of every registered snapshot, and below the timestamp any FUTURE
+// snapshot can receive (the visibility frontier only advances). A
+// reader at readTS >= horizon resolves a chain to its newest version
+// with begin <= readTS. Therefore, within one chain, the newest
+// version at or below the horizon — the pivot — is the oldest version
+// any reader can still resolve to; everything linked behind it is
+// unreachable and reclaimable. Two refinements:
+//
+//   - If the pivot itself is a tombstone (and not the chain head), the
+//     pivot is reclaimable too: a reader resolving to it concludes
+//     "absent", and a reader that walks past a severed chain end
+//     concludes exactly the same.
+//   - If the chain HEAD is a committed tombstone at or below the
+//     horizon, every possible reader concludes "absent" — the whole
+//     key is dead: its ghost index entry and every slot in its chain
+//     go.
+//
+// # Interaction with the lock protocol
+//
+// The vacuum takes each key's exclusive lock, conditionally
+// (TryAcquire), before touching its chain, and skips keys it cannot
+// lock. That excludes writers (which hold the X lock while their
+// version is uncommitted) and serializable scanners (which hold S
+// locks on returned keys and on ghost entries sealing their next-key
+// gaps). Under the X lock every version in the chain is committed, so
+// the pivot computation is stable. Snapshot readers take no locks at
+// all — they may race a reclamation and land on a freed slot, which
+// the KV layer's bounded retry handles (the safety argument above
+// guarantees the version they were after was unreachable anyway).
+//
+// Removing a whole-key ghost needs no gap locks even at serializable
+// isolation: the ghost is invisible to every read path, so deleting
+// its index entry does not change the visible key space; a scanner's
+// next-key lock simply lands on the following entry instead.
+//
+// # Crash safety
+//
+// Each key's reclamation is one transaction: sever the chain (stamp
+// the pivot's prev pointer to nil) and then delete the tail slots, or
+// delete the index entry and then every slot. All mutations carry
+// logical undo that restores exact (page, slot) cells, so an abort or
+// a crash mid-transaction rebuilds the chain bit-for-bit; a crash
+// after the lazy commit record is durable replays the reclamation.
+// Either way no live version is lost and no dead slot leaks.
+package vacuum
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/access"
+	"repro/internal/index"
+	"repro/internal/txn"
+)
+
+// maxChain bounds a version-chain walk; a longer chain means a cycle
+// (corruption), not a workload.
+const maxChain = 1 << 20
+
+// Config wires a vacuum to one keyspace's storage structures.
+type Config struct {
+	Heap  *access.HeapFile
+	Index *index.BTree
+	Locks *txn.LockManager
+	// Txns, when set, runs each key's reclamation as a WAL-logged
+	// transaction. Nil means unlogged mode: mutations apply
+	// immediately with no undo (matching the engine's DisableWAL
+	// semantics).
+	Txns   *txn.Manager
+	Oracle *txn.Oracle
+	// Resource maps an index key to its lock-manager resource name —
+	// it must agree exactly with the naming the writers use.
+	Resource func(key []byte) (string, error)
+	// NextID allocates lock-owner ids for the per-key X locks (the
+	// locks are owned by the vacuum pass, not by the reclamation
+	// transaction, and released only after its outcome settles).
+	NextID func() uint64
+	// ScanFrom is the lowest index key of the keyspace.
+	ScanFrom []byte
+	// OnKeyRemoved, if set, is called once per whole-key removal,
+	// after the removal committed (the KV layer keeps a ghost counter
+	// for O(1) Len and must see every ghost leave the index).
+	OnKeyRemoved func()
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Heap == nil:
+		return errors.New("vacuum: nil heap")
+	case c.Index == nil:
+		return errors.New("vacuum: nil index")
+	case c.Locks == nil:
+		return errors.New("vacuum: nil lock manager")
+	case c.Oracle == nil:
+		return errors.New("vacuum: nil oracle")
+	case c.Resource == nil:
+		return errors.New("vacuum: nil resource mapping")
+	case c.NextID == nil:
+		return errors.New("vacuum: nil id allocator")
+	}
+	return nil
+}
+
+// Stats reports what one pass (or, accumulated, a Runner's lifetime)
+// did.
+type Stats struct {
+	Horizon    uint64 // reclamation horizon of the (last) pass
+	Keys       int    // index entries examined
+	Candidates int    // entries whose chains might hold dead versions
+	// SkippedBusy counts candidates whose key lock was held (a writer
+	// or serializable scanner was active); they stay for a later pass.
+	SkippedBusy int
+	// SkippedUncommitted counts chains where an uncommitted version
+	// surfaced despite the X lock. That indicates a protocol violation
+	// somewhere; the vacuum leaves such chains strictly alone.
+	SkippedUncommitted int
+	KeysRemoved        int // whole keys (ghost entry + full chain) removed
+	VersionsReclaimed  int // heap slots freed, including removed keys'
+}
+
+func (s *Stats) add(o Stats) {
+	s.Horizon = o.Horizon
+	s.Keys += o.Keys
+	s.Candidates += o.Candidates
+	s.SkippedBusy += o.SkippedBusy
+	s.SkippedUncommitted += o.SkippedUncommitted
+	s.KeysRemoved += o.KeysRemoved
+	s.VersionsReclaimed += o.VersionsReclaimed
+}
+
+type version struct {
+	rid  access.RID
+	meta access.VersionMeta
+}
+
+// Run executes one vacuum pass: pin the horizon, sweep the index for
+// candidate chains, and reclaim each candidate under its key lock.
+// Keys whose locks are busy are skipped, not waited for — the vacuum
+// must never sit in a writer's way.
+func Run(c Config) (Stats, error) {
+	var st Stats
+	if err := c.validate(); err != nil {
+		return st, err
+	}
+	st.Horizon = c.Oracle.Horizon()
+
+	// Sweep: collect candidate keys. The pre-filter reads only the
+	// chain head, without any lock — a stale verdict is fine, because
+	// the authoritative re-read happens under the key's X lock. A head
+	// that is committed, live and chainless has nothing to reclaim; a
+	// concurrently-freed head (ErrNoSlot) means another actor already
+	// handled the key.
+	type candidate struct {
+		key []byte
+		res string
+	}
+	var cands []candidate
+	err := c.Index.Range(c.ScanFrom, nil, func(key []byte, rid access.RID) error {
+		st.Keys++
+		cell, err := c.Heap.Get(rid)
+		if err != nil {
+			if errors.Is(err, access.ErrNoSlot) {
+				return nil
+			}
+			return err
+		}
+		m, _, err := access.DecodeVersion(cell)
+		if err != nil {
+			return fmt.Errorf("vacuum: head of chain at %v: %w", rid, err)
+		}
+		dead := m.Committed() && m.Tombstone() && m.Begin <= st.Horizon
+		if !m.HasPrev() && !dead {
+			return nil
+		}
+		res, err := c.Resource(key)
+		if err != nil {
+			return err
+		}
+		cands = append(cands, candidate{append([]byte(nil), key...), res})
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	st.Candidates = len(cands)
+
+	for _, cd := range cands {
+		if err := c.vacuumKey(cd.key, cd.res, &st); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// vacuumKey reclaims one key's dead versions under its exclusive lock.
+func (c Config) vacuumKey(key []byte, res string, st *Stats) error {
+	owner := c.NextID()
+	if !c.Locks.TryAcquire(owner, res, txn.Exclusive) {
+		st.SkippedBusy++
+		return nil
+	}
+	defer c.Locks.ReleaseAll(owner)
+
+	// Re-read under the lock: the chain is now stable (writers need
+	// this X lock) and fully committed.
+	rids, err := c.Index.Search(key)
+	if err != nil {
+		return err
+	}
+	if len(rids) == 0 {
+		return nil // key vanished between sweep and lock
+	}
+	var chain []version
+	rid := rids[0]
+	for {
+		cell, err := c.Heap.Get(rid)
+		if err != nil {
+			return fmt.Errorf("vacuum: chain read at %v: %w", rid, err)
+		}
+		m, _, err := access.DecodeVersion(cell)
+		if err != nil {
+			return fmt.Errorf("vacuum: chain decode at %v: %w", rid, err)
+		}
+		if !m.Committed() {
+			st.SkippedUncommitted++
+			return nil
+		}
+		chain = append(chain, version{rid, m})
+		if !m.HasPrev() {
+			break
+		}
+		if len(chain) >= maxChain {
+			return fmt.Errorf("vacuum: version chain from %v exceeds %d links", rids[0], maxChain)
+		}
+		rid = m.Prev
+	}
+
+	// The pivot is the newest version at or below the horizon: the
+	// oldest version any live or future reader can resolve to.
+	pivot := -1
+	for i, v := range chain {
+		if v.meta.Begin <= st.Horizon {
+			pivot = i
+			break
+		}
+	}
+	if pivot < 0 {
+		return nil // whole chain above the horizon; all reachable
+	}
+	if pivot == 0 && chain[0].meta.Tombstone() {
+		// Committed tombstone head at or below the horizon: every
+		// reader answers "absent". The whole key goes.
+		if err := c.removeKey(key, chain, st); err != nil {
+			return err
+		}
+		return nil
+	}
+	keep := pivot
+	if chain[pivot].meta.Tombstone() {
+		// A non-head tombstone pivot is itself unreachable-in-effect:
+		// resolving to it and walking past a severed chain end both
+		// answer "absent".
+		keep = pivot - 1
+	}
+	if keep == len(chain)-1 {
+		return nil // no tail behind the keeper
+	}
+	return c.truncate(chain, keep, st)
+}
+
+// begin opens the reclamation transaction (nil in unlogged mode — the
+// explicit nils avoid a typed-nil TxnContext).
+func (c Config) begin() (*txn.Txn, access.TxnContext, error) {
+	if c.Txns == nil {
+		return nil, nil, nil
+	}
+	tx, err := c.Txns.Begin()
+	if err != nil {
+		return nil, nil, err
+	}
+	return tx, tx, nil
+}
+
+func (c Config) finish(tx *txn.Txn, opErr error) error {
+	if tx == nil {
+		return opErr
+	}
+	if opErr != nil {
+		if aerr := c.Txns.Abort(tx); aerr != nil {
+			return fmt.Errorf("%w (abort: %v)", opErr, aerr)
+		}
+		return opErr
+	}
+	// Lazy commit: the reclamation needs no immediate durability — if
+	// the commit record is lost to a crash, recovery rolls the
+	// transaction back and a later pass redoes the work.
+	return c.Txns.CommitLazy(tx)
+}
+
+// removeKey deletes a dead key: its index entry and every chain slot,
+// in one transaction. Index entry first — from that moment scans skip
+// the key, which is exactly the answer its tombstone head already
+// dictated.
+func (c Config) removeKey(key []byte, chain []version, st *Stats) error {
+	tx, ctx, err := c.begin()
+	if err != nil {
+		return err
+	}
+	err = func() error {
+		ok, err := c.Index.DeleteTx(ctx, key, chain[0].rid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("vacuum: index entry for %q vanished under its exclusive lock", key)
+		}
+		for _, v := range chain {
+			if err := c.Heap.Delete(ctx, v.rid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err := c.finish(tx, err); err != nil {
+		return err
+	}
+	st.KeysRemoved++
+	st.VersionsReclaimed += len(chain)
+	if c.OnKeyRemoved != nil {
+		c.OnKeyRemoved()
+	}
+	return nil
+}
+
+// truncate severs the chain after chain[keep] and frees the tail, in
+// one transaction. Sever first: once the keeper's prev pointer is nil,
+// no reader can walk into a slot this transaction is about to free,
+// and recovery's redo repeats the same order.
+func (c Config) truncate(chain []version, keep int, st *Stats) error {
+	tx, ctx, err := c.begin()
+	if err != nil {
+		return err
+	}
+	err = func() error {
+		none := access.EncodePrevRID(access.RID{})
+		if err := c.Heap.StampBytes(ctx, chain[keep].rid, access.VersionPrevOff, none); err != nil {
+			return err
+		}
+		for _, v := range chain[keep+1:] {
+			if err := c.Heap.Delete(ctx, v.rid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	if err := c.finish(tx, err); err != nil {
+		return err
+	}
+	st.VersionsReclaimed += len(chain) - keep - 1
+	return nil
+}
+
+// Runner drives periodic vacuum passes in the background.
+type Runner struct {
+	cfg   Config
+	every time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+
+	mu      sync.Mutex
+	totals  Stats
+	passes  int
+	lastErr error
+}
+
+// NewRunner builds a runner; Start launches it.
+func NewRunner(cfg Config, every time.Duration) *Runner {
+	return &Runner{
+		cfg:   cfg,
+		every: every,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the background loop.
+func (r *Runner) Start() {
+	go r.loop()
+}
+
+// Stop halts the loop and waits for an in-flight pass to finish.
+func (r *Runner) Stop() {
+	close(r.stop)
+	<-r.done
+}
+
+// loop runs passes on a fixed period until Stop. A failed pass is
+// recorded (Totals) and retried next tick — transient contention must
+// not kill the scavenger.
+func (r *Runner) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			st, err := Run(r.cfg)
+			r.mu.Lock()
+			r.totals.add(st)
+			r.passes++
+			r.lastErr = err
+			r.mu.Unlock()
+		}
+	}
+}
+
+// Totals reports accumulated stats, the pass count, and the last
+// pass's error (nil when it succeeded).
+func (r *Runner) Totals() (Stats, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.totals, r.passes, r.lastErr
+}

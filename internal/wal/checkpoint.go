@@ -36,6 +36,11 @@ type CheckpointData struct {
 	Fence LSN
 	ATT   []CkptTxn
 	DPT   []CkptPage
+	// Clock is the commit-timestamp oracle's clock at checkpoint time.
+	// It is read after the fence, so it bounds the timestamp of every
+	// commit record the checkpoint licenses truncating away; recovery
+	// restores the oracle at or above it.
+	Clock uint64
 }
 
 // EncodeCheckpoint serialises the tables into a checkpoint record's
@@ -63,6 +68,8 @@ func EncodeCheckpoint(d CheckpointData) []byte {
 		binary.LittleEndian.PutUint64(tmp[:], uint64(p.RecLSN))
 		out = append(out, tmp[:]...)
 	}
+	binary.LittleEndian.PutUint64(tmp[:], d.Clock)
+	out = append(out, tmp[:]...)
 	return out
 }
 
@@ -103,6 +110,11 @@ func DecodeCheckpoint(buf []byte) (CheckpointData, error) {
 			RecLSN: LSN(binary.LittleEndian.Uint64(buf[8:])),
 		})
 		buf = buf[16:]
+	}
+	// Clock trails the tables; records written before it existed simply
+	// omit it and decode to zero.
+	if len(buf) >= 8 {
+		d.Clock = binary.LittleEndian.Uint64(buf)
 	}
 	return d, nil
 }

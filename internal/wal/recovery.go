@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -44,6 +45,13 @@ type RecoveryStats struct {
 	// never reused (a reuse would let a later recovery misclassify the
 	// old incarnation's records under the new incarnation's status).
 	MaxTxnID uint64
+	// MaxCommitTS is the highest commit timestamp the scan saw — from
+	// commit records carrying a stamped timestamp and from checkpoint
+	// records' oracle clock (which covers commits the checkpoint
+	// licensed truncating out of the scan range). The opener seeds the
+	// timestamp oracle above it so no version on disk can outrank a
+	// post-recovery commit.
+	MaxCommitTS uint64
 }
 
 // Changed reports whether recovery had to repair anything — callers use
@@ -144,12 +152,21 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 			status[rec.Txn] = RecBegin
 		case RecCommit:
 			status[rec.Txn] = RecCommit
+			if len(rec.After) >= 8 {
+				if ts := binary.LittleEndian.Uint64(rec.After); ts > st.MaxCommitTS {
+					st.MaxCommitTS = ts
+				}
+			}
 		case RecAbort:
 			status[rec.Txn] = RecAbort
 		case RecUpdate:
 			updates = append(updates, rec)
 			if _, ok := status[rec.Txn]; !ok {
 				status[rec.Txn] = RecBegin
+			}
+		case RecCheckpoint:
+			if d, derr := DecodeCheckpoint(rec.After); derr == nil && d.Clock > st.MaxCommitTS {
+				st.MaxCommitTS = d.Clock
 			}
 		}
 		return nil

@@ -381,7 +381,7 @@ func TestIsolationInsertKeepsScanLockOnSuccessor(t *testing.T) {
 	if err := db.kv.locks.Acquire(ctx, tx.ID(), kvRes("aa"), txn.Exclusive); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.kv.putTx(ctx, tx, tx.ID(), "aa", []byte("v")); err != nil {
+	if err := db.kv.putTx(ctx, tx, tx.ID(), tx, "aa", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
 	// A concurrent delete of the successor must stay blocked until the
@@ -510,7 +510,7 @@ func TestIsolationWriteSkew(t *testing.T) {
 						_ = db.kv.txns.Abort(tx) // deadlock victim: serial outcome preserved
 						return
 					}
-					if err := db.kv.putTx(ctx, tx, tx.ID(), gk, []byte("v")); err != nil {
+					if err := db.kv.putTx(ctx, tx, tx.ID(), tx, gk, []byte("v")); err != nil {
 						_ = db.kv.txns.Abort(tx)
 						return
 					}
@@ -637,13 +637,13 @@ func TestIsolationLostUpdate(t *testing.T) {
 							_ = db.kv.txns.Abort(tx)
 							return
 						}
-						cell, err := db.kv.heap.Get(rids[0])
+						_, body, err := db.kv.headVersion(rids[0])
 						if err != nil {
 							t.Error(err)
 							_ = db.kv.txns.Abort(tx)
 							return
 						}
-						_, v, err := decodeKV(cell)
+						_, v, err := decodeKV(body)
 						if err != nil {
 							t.Error(err)
 							_ = db.kv.txns.Abort(tx)
@@ -658,7 +658,7 @@ func TestIsolationLostUpdate(t *testing.T) {
 							}
 							return
 						}
-						if err := db.kv.putTx(ctx, tx, tx.ID(), "cnt", []byte(strconv.Itoa(n+1))); err != nil {
+						if err := db.kv.putTx(ctx, tx, tx.ID(), tx, "cnt", []byte(strconv.Itoa(n+1))); err != nil {
 							if abortRetry(err) {
 								continue
 							}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/storage"
 	"repro/internal/txn"
+	"repro/internal/vacuum"
 	"repro/internal/wal"
 )
 
@@ -112,10 +113,10 @@ func normalizeIsolation(iso ScanIsolation) (ScanIsolation, error) {
 // batch) so the heap, the B+tree and — via the file manager's system
 // transactions — the page directory are all WAL-logged: a kill -9 at
 // any point recovers to a consistent store with exactly the committed
-// operations applied. Heap record removal is deferred until the commit
-// is durable (the transaction only unlinks the index entry), which is
-// what keeps rollbacks of concurrent transactions from fighting over
-// reused slots.
+// operations applied. Heap slots are never removed inline: deletes
+// append a tombstone version and vacuum reclaims dead versions later,
+// which is what keeps rollbacks of concurrent transactions from
+// fighting over reused slots.
 type kvCore struct {
 	heap  *access.HeapFile
 	idx   *index.BTree
@@ -123,7 +124,20 @@ type kvCore struct {
 	locks *txn.LockManager // per-key 2PL; never nil
 	ids   func() uint64    // lock-owner ids for non-transactional ops
 
+	// oracle allocates commit timestamps and hands out snapshot read
+	// points. Logged mode shares the transaction manager's oracle (so
+	// recovery can reseed its clock); unlogged mode runs a private one.
+	oracle *txn.Oracle
+
 	serializable bool // next-key locking on scans and writers
+
+	// dead counts committed tombstone heads: index entries whose key is
+	// logically deleted but whose ghost entry anchors the version chain
+	// until vacuum reclaims it. Len subtracts it from the entry count.
+	dead      atomic.Int64
+	deadStale bool            // persisted dead count untrusted; recount after loser undo
+	metaPid   storage.PageID  // the index meta-pointer page (dead count lives at payload[8:16])
+	pool      *buffer.Manager // for syncing the dead count on clean close
 
 	poisoned atomic.Bool // fast-path flag for failed != nil
 	failedMu sync.Mutex
@@ -135,21 +149,24 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager,
 	if err != nil {
 		return nil, err
 	}
-	idx, err := openKVIndex(fm, pool, txns, log, name+".meta")
+	idx, metaPid, persistedDead, err := openKVIndex(fm, pool, txns, log, name+".meta")
 	if err != nil {
 		return nil, err
 	}
-	kv := &kvCore{heap: heap, idx: idx, serializable: iso == Serializable}
+	kv := &kvCore{heap: heap, idx: idx, serializable: iso == Serializable, metaPid: metaPid, pool: pool}
 	idx.SetFreer(fm.FreePagesLogged)
 	if txns != nil {
 		kv.locks = txns.Locks()
 		kv.ids = txns.ReserveID
+		kv.oracle = txns.Oracle()
 	} else {
 		lm := txn.NewLockManager()
 		var ctr atomic.Uint64
 		kv.locks = lm
 		kv.ids = func() uint64 { return ctr.Add(1) }
+		kv.oracle = txn.NewOracle()
 	}
+	kv.deadStale = true
 	if log != nil && txns != nil {
 		heap.SetLog(log)
 		idx.SetLog(log)
@@ -162,7 +179,11 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager,
 		// serialise every writer on the metadata page). Trust the
 		// persisted count only when the previous shutdown synced it
 		// (clean flag, consumed here); otherwise — or when recovery
-		// repaired anything — rebuild it from the leaf chain.
+		// repaired anything — rebuild it from the leaf chain. The dead
+		// (tombstone-head) count rides the same gate, except that its
+		// rebuild must wait for loser rollback (recountDead, called by
+		// the opener) because tombstone-ness of a head is only decided
+		// once in-flight deletes are rolled back.
 		clean, err := idx.ConsumeCleanFlag()
 		if err != nil {
 			return nil, err
@@ -171,48 +192,105 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager,
 			if err := idx.Recount(); err != nil {
 				return nil, err
 			}
+		} else {
+			kv.dead.Store(int64(persistedDead))
+			kv.deadStale = false
 		}
 	}
 	return kv, nil
 }
 
-// Close persists the in-memory index metadata (entry count) so a clean
-// reopen needs no recount.
+// Close persists the in-memory index metadata (entry count) and the
+// tombstone-head count so a clean reopen needs no recount.
 func (kv *kvCore) Close() error {
 	if kv.poisoned.Load() {
 		return nil
 	}
-	return kv.idx.SyncMeta()
+	if err := kv.idx.SyncMeta(); err != nil {
+		return err
+	}
+	return kv.syncDead()
+}
+
+// syncDead writes the dead (tombstone-head) count next to the index
+// meta pointer. Like the index entry count it is written unlogged and
+// trusted only behind the index clean flag.
+func (kv *kvCore) syncDead() error {
+	if kv.metaPid == storage.InvalidPageID {
+		return nil
+	}
+	return kv.pool.UpdatePage(kv.metaPid, func(p *storage.Page) error {
+		binary.LittleEndian.PutUint64(p.Payload()[8:], uint64(kv.dead.Load()))
+		return nil
+	})
+}
+
+// recountDead rebuilds the tombstone-head count from the live index.
+// The opener calls it after loser rollback whenever the persisted count
+// could not be trusted (unclean shutdown, recovery repairs, unlogged
+// mode): only then is every head's tombstone flag settled.
+func (kv *kvCore) recountDead() error {
+	if !kv.deadStale {
+		return nil
+	}
+	var dead int64
+	err := kv.idx.Range(kv.key(""), nil, func(_ []byte, rid access.RID) error {
+		cell, err := kv.heap.Get(rid)
+		if err != nil {
+			if errors.Is(err, access.ErrNoSlot) {
+				return nil
+			}
+			return err
+		}
+		meta, _, err := access.DecodeVersion(cell)
+		if err != nil {
+			return err
+		}
+		if meta.Committed() && meta.Tombstone() {
+			dead++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	kv.dead.Store(dead)
+	kv.deadStale = false
+	return nil
 }
 
 // openKVIndex opens the KV B+tree, persisting its metadata page id in a
-// one-page file so the index survives restarts.
-func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, metaFile string) (*index.BTree, error) {
+// one-page file so the index survives restarts. The pointer page also
+// carries the tombstone-head count at payload[8:16] (synced on clean
+// close, trusted only behind the index clean flag).
+func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, metaFile string) (*index.BTree, storage.PageID, uint64, error) {
 	if fm.Exists(metaFile) {
 		pid, err := fm.FirstPage(metaFile)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 		f, err := pool.Pin(pid)
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 		metaID := storage.PageID(binary.LittleEndian.Uint64(f.Page().Payload()))
+		dead := binary.LittleEndian.Uint64(f.Page().Payload()[8:])
 		if err := pool.Unpin(pid, false); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
-		return index.Open(pool, metaID)
+		idx, err := index.Open(pool, metaID)
+		return idx, pid, dead, err
 	}
 	idx, metaID, err := index.Create(pool, true)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	if err := fm.Create(metaFile); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	pid, err := fm.AppendPage(metaFile, storage.PageTypeRaw)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	// The pointer write must be WAL-logged: the directory entry for
 	// metaFile is logged by the file manager's system transaction, so
@@ -228,19 +306,19 @@ func openKVIndex(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manage
 		sys := txns.SystemHooks()
 		stx, err := sys.Begin()
 		if err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 		if err := access.MutatePage(pool, log, stx, pid, write); err != nil {
 			_ = sys.Abort(stx)
-			return nil, err
+			return nil, 0, 0, err
 		}
 		if err := sys.Commit(stx); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 	} else if err := pool.UpdatePage(pid, write); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	return idx, nil
+	return idx, pid, 0, nil
 }
 
 func (kv *kvCore) key(k string) []byte { return access.EncodeKey(access.NewString(k)) }
@@ -284,11 +362,15 @@ func gapRes(nextKey []byte, eof bool) (string, error) {
 
 // --- record codec -------------------------------------------------------
 //
-// KV heap cells use a self-delimiting layout (u16 klen | key | u32 vlen
-// | value) so that padded in-place updates — which keep the cell length
-// and zero-fill the tail — decode cleanly: the undo of an in-place
-// update (restore the old cell bytes) then always fits, no matter how
-// concurrent transactions rearrange the rest of the page.
+// A KV heap cell is a version: a 20-byte header (access.VersionMeta —
+// begin timestamp, predecessor RID, tombstone flag) followed by the
+// self-delimiting record layout (u16 klen | key | u32 vlen | value).
+// Writers never overwrite a committed version: a put appends a new
+// version whose header links the previous head, a delete appends a
+// bare tombstone header, and the index entry is repointed to the new
+// head in place. The chain runs newest→oldest, begin timestamps
+// non-increasing along it, which is what lets snapshot readers walk to
+// the newest version at or below their read point without any locks.
 
 func encodeKV(k string, v []byte) []byte {
 	out := make([]byte, 2+len(k)+4+len(v))
@@ -315,6 +397,41 @@ func decodeKV(cell []byte) (string, []byte, error) {
 		return "", nil, errBadKVRecord
 	}
 	return k, cell[2+klen+4 : 2+klen+4+vlen], nil
+}
+
+// stamper receives the deferred begin-timestamp writes of a mutation:
+// each registered function rewrites one new version's begin field with
+// the commit timestamp, atomically making every version of the
+// transaction visible at the same point in commit order. In logged mode
+// the transaction itself is the stamper (the stamps run inside commit,
+// WAL-logged with field undo); unlogged mode collects them in a
+// stampSet and runs them as soon as the operation succeeds.
+type stamper interface {
+	OnCommitTS(func(ts uint64) error)
+}
+
+type stampSet struct{ fns []func(uint64) error }
+
+func (s *stampSet) OnCommitTS(f func(uint64) error) { s.fns = append(s.fns, f) }
+
+// registerStamp defers stamping rid's begin field until the commit
+// timestamp is known.
+func (kv *kvCore) registerStamp(tx *txn.Txn, st stamper, rid access.RID) {
+	c := txctx(tx)
+	st.OnCommitTS(func(ts uint64) error {
+		return kv.heap.StampBytes(c, rid, access.VersionBeginOff, access.EncodeBeginTS(ts))
+	})
+}
+
+// onOutcome runs f when the mutation's outcome is decided: at commit in
+// logged mode (and never on abort), immediately in unlogged mode (which
+// has no rollback to wait out).
+func onOutcome(tx *txn.Txn, f func()) {
+	if tx != nil {
+		tx.OnCommitted(f)
+		return
+	}
+	f()
 }
 
 // --- failure guard ------------------------------------------------------
@@ -377,13 +494,15 @@ func sortedUnique(keys []string) []string {
 // released only once the outcome is durable (strict 2PL). op receives
 // the lock-owner id next-key gap locks are taken under (the
 // transaction's id, or a reserved id in unlogged mode).
-func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn, owner uint64) error) error {
+func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn, owner uint64, st stamper) error) error {
 	if err := kv.checkFailed(); err != nil {
 		return err
 	}
 	if kv.txns == nil {
 		// Unlogged: key locks still serialise conflicting operations,
-		// there is just no undo or durability.
+		// there is just no undo or durability. Version stamps run as
+		// soon as the operation succeeds, before the locks release, so
+		// a snapshot reader still sees each operation atomically.
 		id := kv.ids()
 		defer kv.locks.ReleaseAll(id)
 		for _, k := range sortedUnique(keys) {
@@ -393,7 +512,20 @@ func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn, o
 		}
 		// conflictWrap also covers gap-lock deadlocks inside op (next-key
 		// locking at serializable isolation): they are retryable too.
-		return conflictWrap(op(nil, id))
+		st := &stampSet{}
+		if err := conflictWrap(op(nil, id, st)); err != nil {
+			return err
+		}
+		if len(st.fns) > 0 {
+			ts := kv.oracle.AllocateCommitTS()
+			for _, f := range st.fns {
+				if err := f(ts); err != nil {
+					return kv.poison(fmt.Errorf("sbdms: kv engine offline after failed version stamp: %w", err))
+				}
+			}
+			kv.oracle.Complete(ts)
+		}
+		return nil
 	}
 	tx, err := kv.txns.Begin()
 	if err != nil {
@@ -411,7 +543,10 @@ func (kv *kvCore) run(ctx context.Context, keys []string, op func(tx *txn.Txn, o
 			return abort(conflictWrap(err))
 		}
 	}
-	if err := op(tx, tx.ID()); err != nil {
+	// The transaction doubles as the stamper: stamps run inside commit,
+	// after the commit timestamp is allocated, while undo is still
+	// possible.
+	if err := op(tx, tx.ID(), tx); err != nil {
 		// A deadlock on a gap lock inside op (next-key locking) is as
 		// retryable as one on the key locks above.
 		return abort(conflictWrap(err))
@@ -501,74 +636,77 @@ func (kv *kvCore) insertIndex(ctx context.Context, c access.TxnContext, owner ui
 	}
 }
 
-// deleteIndex removes (k, rid) from the index. At serializable
-// isolation the delete X-locks the successor for COMMIT duration: the
-// gap it widens stays impassable to scans until the delete's outcome is
-// decided, so an abort's re-insert can never materialise a key inside
-// a range a scan already read.
-func (kv *kvCore) deleteIndex(ctx context.Context, c access.TxnContext, owner uint64, k string, rid access.RID) (bool, error) {
-	if !kv.serializable {
-		return kv.idx.DeleteTx(c, kv.key(k), rid)
-	}
-	for {
-		var pending string
-		ok, err := kv.idx.DeleteTxGap(c, kv.key(k), rid, kv.gapLockHook(owner, &pending, nil))
-		if !errors.Is(err, errGapBlocked) {
-			return ok, err
-		}
-		if lerr := kv.locks.Acquire(ctx, owner, pending, txn.Exclusive); lerr != nil {
-			return false, lerr
-		}
-		// Keep it: on retry the Held fast path accepts it, and it stays
-		// until commit like a first-attempt gap lock.
-	}
-}
-
 // putTx stores (or replaces) a key under tx; the caller holds the key's
 // exclusive lock. owner is the id gap locks are taken under.
-func (kv *kvCore) putTx(ctx context.Context, tx *txn.Txn, owner uint64, k string, v []byte) error {
+//
+// A put never overwrites: it appends a new version cell whose begin
+// field carries the uncommitted mark (readers skip it) and whose prev
+// field links the old head, then repoints the key's index entry to the
+// new cell in place. The begin field is stamped with the commit
+// timestamp via st when the outcome is decided. Only a brand-new key
+// inserts an index entry — and therefore only inserts need the
+// serializable next-key gap protocol; replacing the head of an existing
+// entry (including a tombstone ghost) never changes the key space.
+func (kv *kvCore) putTx(ctx context.Context, tx *txn.Txn, owner uint64, st stamper, k string, v []byte) error {
 	c := txctx(tx)
 	rec := encodeKV(k, v)
 	rids, err := kv.idx.Search(kv.key(k))
 	if err != nil {
 		return err
 	}
-	if len(rids) > 0 {
-		old := rids[0]
-		ok, err := kv.heap.UpdateInPlace(c, old, rec)
+	if len(rids) == 0 {
+		rid, err := kv.heap.Insert(c, access.EncodeVersion(access.VersionMeta{Begin: access.VersionMark | owner}, rec))
 		if err != nil {
 			return err
 		}
-		if ok {
-			return nil
-		}
-		// The value outgrew its cell: write a fresh record, repoint the
-		// index, and purge the old record once the commit is durable.
-		// The repoint is a delete+insert of the same key, so at
-		// serializable the delete's commit-duration gap lock covers the
-		// window where the key is absent from the index.
-		nrid, err := kv.heap.Insert(c, rec)
-		if err != nil {
+		if err := kv.insertIndex(ctx, c, owner, k, rid); err != nil {
 			return err
 		}
-		if _, err := kv.deleteIndex(ctx, c, owner, k, old); err != nil {
-			return err
-		}
-		if err := kv.insertIndex(ctx, c, owner, k, nrid); err != nil {
-			return err
-		}
-		return kv.heap.DeleteDeferred(c, old)
+		kv.registerStamp(tx, st, rid)
+		return nil
 	}
-	rid, err := kv.heap.Insert(c, rec)
+	old := rids[0]
+	oldCell, err := kv.heap.Get(old)
 	if err != nil {
 		return err
 	}
-	return kv.insertIndex(ctx, c, owner, k, rid)
+	oldMeta, _, err := access.DecodeVersion(oldCell)
+	if err != nil {
+		return err
+	}
+	nrid, err := kv.heap.Insert(c, access.EncodeVersion(access.VersionMeta{Begin: access.VersionMark | owner, Prev: old}, rec))
+	if err != nil {
+		return err
+	}
+	ok, err := kv.idx.RepointTx(c, kv.key(k), old, nrid)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: index entry for %q vanished under its exclusive lock", errBadKVRecord, k)
+	}
+	kv.registerStamp(tx, st, nrid)
+	if oldMeta.Tombstone() {
+		// Resurrecting a deleted key: its ghost entry goes live again.
+		// (An uncommitted tombstone head is necessarily our own — the
+		// key's exclusive lock rules out other writers — so the paired
+		// dead++ of that delete nets out at commit.)
+		onOutcome(tx, func() { kv.dead.Add(-1) })
+	}
+	return nil
 }
 
 // deleteTx removes a key under tx; the caller holds the key's exclusive
-// lock. owner is the id gap locks are taken under.
-func (kv *kvCore) deleteTx(ctx context.Context, tx *txn.Txn, owner uint64, k string) error {
+// lock.
+//
+// A delete appends a bare tombstone version linking the old head and
+// repoints the index entry to it — the entry itself stays, anchoring
+// the version chain for snapshot readers and standing in as the ghost
+// record that blocks resurrection while scans hold its S lock. Vacuum
+// removes the entry once no snapshot can see any version of the key.
+// Because the key space never shrinks here, deletes need no next-key
+// gap lock at serializable isolation.
+func (kv *kvCore) deleteTx(ctx context.Context, tx *txn.Txn, owner uint64, st stamper, k string) error {
 	c := txctx(tx)
 	rids, err := kv.idx.Search(kv.key(k))
 	if err != nil {
@@ -577,16 +715,44 @@ func (kv *kvCore) deleteTx(ctx context.Context, tx *txn.Txn, owner uint64, k str
 	if len(rids) == 0 {
 		return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 	}
-	if _, err := kv.deleteIndex(ctx, c, owner, k, rids[0]); err != nil {
+	old := rids[0]
+	oldCell, err := kv.heap.Get(old)
+	if err != nil {
 		return err
 	}
-	return kv.heap.DeleteDeferred(c, rids[0])
+	oldMeta, _, err := access.DecodeVersion(oldCell)
+	if err != nil {
+		return err
+	}
+	if oldMeta.Tombstone() {
+		// Already deleted (a committed ghost, or our own earlier delete
+		// in this batch — the exclusive lock rules out anyone else's).
+		return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+	}
+	nrid, err := kv.heap.Insert(c, access.EncodeVersion(access.VersionMeta{
+		Begin: access.VersionMark | owner,
+		Prev:  old,
+		Flags: access.VersionTombstone,
+	}, nil))
+	if err != nil {
+		return err
+	}
+	ok, err := kv.idx.RepointTx(c, kv.key(k), old, nrid)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: index entry for %q vanished under its exclusive lock", errBadKVRecord, k)
+	}
+	kv.registerStamp(tx, st, nrid)
+	onOutcome(tx, func() { kv.dead.Add(1) })
+	return nil
 }
 
 // Put stores (or replaces) a key, durably when the WAL is enabled.
 func (kv *kvCore) Put(ctx context.Context, k string, v []byte) error {
-	return kv.run(ctx, []string{k}, func(tx *txn.Txn, owner uint64) error {
-		return kv.putTx(ctx, tx, owner, k, v)
+	return kv.run(ctx, []string{k}, func(tx *txn.Txn, owner uint64, st stamper) error {
+		return kv.putTx(ctx, tx, owner, st, k, v)
 	})
 }
 
@@ -601,9 +767,9 @@ func (kv *kvCore) PutBatch(ctx context.Context, keys []string, vals [][]byte) er
 	if len(keys) != len(vals) {
 		return fmt.Errorf("%w: %d keys, %d values", ErrBatchMismatch, len(keys), len(vals))
 	}
-	return kv.run(ctx, keys, func(tx *txn.Txn, owner uint64) error {
+	return kv.run(ctx, keys, func(tx *txn.Txn, owner uint64, st stamper) error {
 		for i := range keys {
-			if err := kv.putTx(ctx, tx, owner, keys[i], vals[i]); err != nil {
+			if err := kv.putTx(ctx, tx, owner, st, keys[i], vals[i]); err != nil {
 				return err
 			}
 		}
@@ -649,15 +815,43 @@ func (kv *kvCore) Get(ctx context.Context, k string) ([]byte, error) {
 			return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 		}
 	}
-	cell, err := kv.heap.Get(rids[0])
+	meta, rest, err := kv.headVersion(rids[0])
 	if err != nil {
 		return nil, err
 	}
-	_, v, err := decodeKV(cell)
+	if meta.Tombstone() {
+		// A ghost entry: the key is deleted. The S lock held on the key
+		// itself already blocks a resurrection until we return, so no
+		// gap lock is needed for miss repeatability — the ghost IS the
+		// lockable record.
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+	}
+	_, v, err := decodeKV(rest)
 	if err != nil {
 		return nil, err
 	}
 	return append([]byte(nil), v...), nil
+}
+
+// headVersion reads a key's head version cell and walks — defensively —
+// past uncommitted marks to the newest committed version. Under the
+// key's lock the head is always committed (writers stamp before their
+// locks release), so the walk normally terminates at the head itself.
+func (kv *kvCore) headVersion(rid access.RID) (access.VersionMeta, []byte, error) {
+	for {
+		cell, err := kv.heap.Get(rid)
+		if err != nil {
+			return access.VersionMeta{}, nil, err
+		}
+		meta, rest, err := access.DecodeVersion(cell)
+		if err != nil {
+			return access.VersionMeta{}, nil, err
+		}
+		if meta.Committed() || !meta.HasPrev() {
+			return meta, rest, nil
+		}
+		rid = meta.Prev
+	}
 }
 
 // Delete removes a key.
@@ -670,19 +864,27 @@ func (kv *kvCore) Delete(ctx context.Context, k string) error {
 			return err
 		}
 		id := kv.ids()
-		rids, err := func() ([]access.RID, error) {
+		absent, err := func() (bool, error) {
 			if err := kv.locks.Acquire(ctx, id, kvRes(k), txn.Shared); err != nil {
-				return nil, conflictWrap(err)
+				return false, conflictWrap(err)
 			}
 			defer kv.locks.ReleaseAll(id)
-			return kv.idx.Search(kv.key(k))
+			rids, err := kv.idx.Search(kv.key(k))
+			if err != nil || len(rids) == 0 {
+				return len(rids) == 0 && err == nil, err
+			}
+			meta, _, err := kv.headVersion(rids[0])
+			if err != nil {
+				return false, err
+			}
+			return meta.Tombstone(), nil
 		}()
-		if err == nil && len(rids) == 0 {
+		if err == nil && absent {
 			return fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 		}
 	}
-	return kv.run(ctx, []string{k}, func(tx *txn.Txn, owner uint64) error {
-		return kv.deleteTx(ctx, tx, owner, k)
+	return kv.run(ctx, []string{k}, func(tx *txn.Txn, owner uint64, st stamper) error {
+		return kv.deleteTx(ctx, tx, owner, st, k)
 	})
 }
 
@@ -724,11 +926,18 @@ func (kv *kvCore) Scan(ctx context.Context, from string, n int) ([]string, error
 		cell, err := kv.heap.Get(rid)
 		if err != nil {
 			if errors.Is(err, access.ErrNoSlot) {
-				return nil // deleted under the scan: skip
+				return nil // vacuumed under the scan: skip
 			}
 			return err
 		}
-		k, _, err := decodeKV(cell)
+		meta, rest, err := access.DecodeVersion(cell)
+		if err != nil {
+			return err
+		}
+		if meta.Tombstone() {
+			return nil // deleted (possibly by an in-flight delete): skip
+		}
+		k, _, err := decodeKV(rest)
 		if err != nil {
 			return err
 		}
@@ -768,7 +977,7 @@ func (kv *kvCore) scanKeysLocked(ctx context.Context, owner uint64, from string,
 	skip, haveSkip := "", false // last returned key ("" is a legal key: flag, not sentinel)
 	for {
 		var pending string
-		err := kv.idx.RangeLatched(lo, func(key []byte, _ access.RID, eof bool) error {
+		err := kv.idx.RangeLatched(lo, func(key []byte, rid access.RID, eof bool) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -791,6 +1000,21 @@ func (kv *kvCore) scanKeysLocked(ctx context.Context, owner uint64, from string,
 			if !kv.locks.TryAcquire(owner, kvRes(k), txn.Shared) {
 				pending = kvRes(k)
 				return errGapBlocked
+			}
+			// Ghost check under the granted S lock (so the head is
+			// committed): a tombstone-headed entry is a deleted key.
+			// It is skipped but its lock is KEPT — the locked ghost
+			// seals its gap against resurrection exactly like a
+			// returned key's lock, so it does not count toward n.
+			meta, _, err := kv.headVersion(rid)
+			if err != nil {
+				if errors.Is(err, access.ErrNoSlot) {
+					return nil // vacuumed just before we locked it
+				}
+				return err
+			}
+			if meta.Tombstone() {
+				return nil
 			}
 			if len(out) >= n {
 				// The (n+1)th key: the next-key lock sealing the range
@@ -859,13 +1083,189 @@ func (kv *kvCore) lockMissGap(ctx context.Context, owner uint64, k string) error
 	}
 }
 
-// Len returns the number of keys (0 when the engine is poisoned — the
-// in-memory count is no more trustworthy than the pages then).
+// Len returns the number of live keys: index entries minus committed
+// tombstone ghosts (0 when the engine is poisoned — the in-memory count
+// is no more trustworthy than the pages then).
 func (kv *kvCore) Len() uint64 {
 	if kv.poisoned.Load() {
 		return 0
 	}
-	return kv.idx.Len()
+	n := kv.idx.Len()
+	if d := kv.dead.Load(); d > 0 {
+		if uint64(d) >= n {
+			return 0
+		}
+		n -= uint64(d)
+	}
+	return n
+}
+
+// --- snapshot reads -----------------------------------------------------
+
+// maxSnapshotRetries bounds the head-rereads a snapshot point read pays
+// when vacuum purges and reuses the slot it just resolved. Each retry
+// re-searches the index; the version visible to the snapshot is inside
+// the vacuum horizon and can never itself be reclaimed, so the loop
+// only spins while OTHER keys churn through the same slot.
+const maxSnapshotRetries = 64
+
+// GetSnapshot fetches the value of k that was current at the newest
+// consistent read point, without taking any key locks: the read walks
+// the B+tree under shared latches, follows the key's version chain to
+// the newest version visible at the snapshot, and never blocks on (or
+// blocks) concurrent writers. Uncommitted versions are invisible; a
+// visible tombstone is ErrKeyNotFound.
+func (kv *kvCore) GetSnapshot(ctx context.Context, k string) ([]byte, error) {
+	if err := kv.checkFailed(); err != nil {
+		return nil, err
+	}
+	// Register the snapshot BEFORE resolving the key: from here on
+	// vacuum's horizon cannot pass readTS, so every version this read
+	// could return is pinned in place.
+	snap := kv.oracle.Snapshot()
+	defer snap.Close()
+	for i := 0; i < maxSnapshotRetries; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rids, err := kv.idx.Search(kv.key(k))
+		if err != nil {
+			return nil, err
+		}
+		if len(rids) == 0 {
+			return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+		}
+		v, ok, retry, err := kv.readVisible(k, rids[0], snap.ReadTS)
+		if err != nil {
+			return nil, err
+		}
+		if retry {
+			continue // slot vacuumed+reused under us: re-resolve the head
+		}
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
+		}
+		return v, nil
+	}
+	return nil, fmt.Errorf("sbdms: snapshot read of %q did not stabilise", k)
+}
+
+// ScanKeysSnapshot returns up to n keys from (inclusive) in order, as
+// of one consistent read point: every key decision — present, absent,
+// deleted — is made against the same snapshot timestamp, so the result
+// is an atomic cut of the key space no matter how many transactions
+// commit mid-scan. Like GetSnapshot it takes no key locks and cannot
+// conflict with writers.
+func (kv *kvCore) ScanKeysSnapshot(ctx context.Context, from string, n int) ([]string, error) {
+	if err := kv.checkFailed(); err != nil {
+		return nil, err
+	}
+	snap := kv.oracle.Snapshot()
+	defer snap.Close()
+	var out []string
+	err := kv.idx.Range(kv.key(from), nil, func(key []byte, rid access.RID) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if len(out) >= n {
+			return errStopScan
+		}
+		k, err := decodeKeyBytes(key)
+		if err != nil {
+			return err
+		}
+		// A retry outcome here means the entry's whole chain was
+		// reclaimed (the key was dead at the horizon ≤ readTS) and the
+		// slot reused — absent at this snapshot, so skipping is exact.
+		_, ok, _, err := kv.readVisible(k, rid, snap.ReadTS)
+		if err != nil {
+			return err
+		}
+		if ok {
+			out = append(out, k)
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStopScan) {
+		return nil, err
+	}
+	return out, nil
+}
+
+// readVisible walks the version chain from rid to the newest version
+// visible at readTS. ok reports a live visible version (val is a
+// copy); retry reports that the chain under this rid was reclaimed by
+// vacuum and the caller must re-resolve the key's head (or, for scans,
+// may treat the key as absent — see the callers for why both are
+// exact).
+func (kv *kvCore) readVisible(k string, rid access.RID, readTS uint64) (val []byte, ok, retry bool, err error) {
+	for {
+		cell, err := kv.heap.Get(rid)
+		if err != nil {
+			if errors.Is(err, access.ErrNoSlot) {
+				return nil, false, true, nil
+			}
+			return nil, false, false, err
+		}
+		meta, rest, err := access.DecodeVersion(cell)
+		if err != nil {
+			return nil, false, true, nil // reused slot: not a version of this key any more
+		}
+		if !meta.VisibleAt(readTS) {
+			if !meta.HasPrev() {
+				// Every version is younger than the snapshot (or still
+				// uncommitted): the key did not exist at readTS.
+				return nil, false, false, nil
+			}
+			rid = meta.Prev
+			continue
+		}
+		if meta.Tombstone() {
+			return nil, false, false, nil
+		}
+		gk, v, err := decodeKV(rest)
+		if err != nil || gk != k {
+			return nil, false, true, nil // slot reuse raced the read
+		}
+		return append([]byte(nil), v...), true, false, nil
+	}
 }
 
 var errStopScan = errors.New("sbdms: stop scan")
+
+// --- vacuum ------------------------------------------------------------
+
+// vacuumConfig wires the version scavenger to this keyspace: same
+// heap, index, lock naming and oracle the writers use, so the
+// vacuum's per-key X locks and horizon computation compose with the
+// engine's own protocols.
+func (kv *kvCore) vacuumConfig() vacuum.Config {
+	return vacuum.Config{
+		Heap:   kv.heap,
+		Index:  kv.idx,
+		Locks:  kv.locks,
+		Txns:   kv.txns,
+		Oracle: kv.oracle,
+		Resource: func(key []byte) (string, error) {
+			k, err := decodeKeyBytes(key)
+			if err != nil {
+				return "", err
+			}
+			return kvRes(k), nil
+		},
+		NextID:   kv.ids,
+		ScanFrom: kv.key(""),
+		// A removed key takes its committed tombstone head with it:
+		// the ghost counter must drop with the index entry or Len
+		// double-subtracts.
+		OnKeyRemoved: func() { kv.dead.Add(-1) },
+	}
+}
+
+// Vacuum runs one reclamation pass over the keyspace.
+func (kv *kvCore) Vacuum() (vacuum.Stats, error) {
+	if err := kv.checkFailed(); err != nil {
+		return vacuum.Stats{}, err
+	}
+	return vacuum.Run(kv.vacuumConfig())
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/storage"
 	"repro/internal/txn"
 	"repro/internal/undo"
+	"repro/internal/vacuum"
 	"repro/internal/wal"
 )
 
@@ -62,6 +63,12 @@ type Options struct {
 	// quiescing writers (0 = no background checkpoints; DB.Checkpoint
 	// remains available).
 	CheckpointInterval time.Duration
+	// VacuumInterval runs the background MVCC vacuum on this period:
+	// version chains are pruned to the oldest version any live or
+	// future snapshot can still resolve to, and fully-dead keys
+	// (committed tombstones below the horizon) leave the index (0 = no
+	// background vacuum; DB.Vacuum remains available).
+	VacuumInterval time.Duration
 	// ScanIsolation selects the isolation level of KV range scans
 	// (default ReadCommitted, the historical behaviour). Serializable
 	// turns on next-key locking: scans become atomic snapshots —
@@ -124,6 +131,8 @@ type DB struct {
 
 	ckptStop chan struct{} // stops the background checkpointer
 	ckptDone chan struct{}
+
+	vac *vacuum.Runner // background MVCC vacuum (nil when disabled)
 
 	ckptMu    sync.Mutex
 	ckptFails uint64 // background checkpoints that returned an error
@@ -237,6 +246,11 @@ func Open(opts Options) (*DB, error) {
 	db.fm = fm
 	db.txns = txn.NewManager(db.log, db.pool)
 	db.txns.EnsureIDsAbove(recovered.MaxTxnID)
+	// Reseed the commit-timestamp clock above every stamped version on
+	// disk (from commit records in the retained log and the checkpoint's
+	// clock snapshot), so no post-recovery commit can outrank a
+	// recovered version.
+	db.txns.Oracle().EnsureClockAbove(recovered.MaxCommitTS)
 	// From here on, directory and page-allocation updates run under
 	// WAL-logged system transactions.
 	fm.SetLogger(db.txns.PageLogger())
@@ -278,6 +292,11 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.undo.Register(db.kv.idx)
+	// Tombstone-head accounting waits for loser rollback (above): only
+	// then is every head's tombstone flag settled.
+	if err := db.kv.recountDead(); err != nil {
+		return nil, fmt.Errorf("sbdms: recounting tombstones: %w", err)
+	}
 	// Make the freshly formatted (or recovered) store durable before
 	// accepting traffic: every later mutation is WAL-logged, so this
 	// baseline is the only state recovery ever has to read from disk.
@@ -300,6 +319,10 @@ func Open(opts Options) (*DB, error) {
 		db.ckptStop = make(chan struct{})
 		db.ckptDone = make(chan struct{})
 		go db.checkpointLoop(opts.CheckpointInterval)
+	}
+	if opts.VacuumInterval > 0 {
+		db.vac = vacuum.NewRunner(db.kv.vacuumConfig(), opts.VacuumInterval)
+		db.vac.Start()
 	}
 	return db, nil
 }
@@ -510,6 +533,52 @@ func (db *DB) ScanKeysContext(ctx context.Context, key string, n int) ([]string,
 	return db.kvPath.Scan(ctx, key, n)
 }
 
+// GetSnapshot reads key at one consistent MVCC snapshot: the newest
+// version committed before the call, without taking any key locks —
+// it never blocks behind writers and never sees their uncommitted
+// versions.
+func (db *DB) GetSnapshot(key string) ([]byte, error) {
+	return db.kvPath.GetSnapshot(context.Background(), key)
+}
+
+// GetSnapshotContext is GetSnapshot with a cancellation context (the
+// read itself is lock-free; the context bounds service-path hops).
+func (db *DB) GetSnapshotContext(ctx context.Context, key string) ([]byte, error) {
+	return db.kvPath.GetSnapshot(ctx, key)
+}
+
+// ScanKeysSnapshot returns up to n keys from key onward as of one
+// consistent MVCC snapshot, regardless of Options.ScanIsolation: the
+// scan takes no key locks, never blocks behind writers, and never
+// returns ErrConflict.
+func (db *DB) ScanKeysSnapshot(key string, n int) ([]string, error) {
+	return db.kvPath.ScanKeysSnapshot(context.Background(), key, n)
+}
+
+// ScanKeysSnapshotContext is ScanKeysSnapshot with a cancellation
+// context.
+func (db *DB) ScanKeysSnapshotContext(ctx context.Context, key string, n int) ([]string, error) {
+	return db.kvPath.ScanKeysSnapshot(ctx, key, n)
+}
+
+// Vacuum runs one synchronous MVCC reclamation pass over the KV
+// keyspace (independent of any background runner): dead versions —
+// those no live or future snapshot can resolve to — are unlinked and
+// their heap slots freed, and fully-dead keys leave the index.
+func (db *DB) Vacuum() (vacuum.Stats, error) {
+	return db.kv.Vacuum()
+}
+
+// VacuumStatus reports the background vacuum's accumulated stats,
+// pass count and last error. Zero values when no background vacuum is
+// configured.
+func (db *DB) VacuumStatus() (vacuum.Stats, int, error) {
+	if db.vac == nil {
+		return vacuum.Stats{}, 0, nil
+	}
+	return db.vac.Totals()
+}
+
 // KVLen returns the number of stored keys.
 func (db *DB) KVLen() uint64 { return db.kvPath.Len() }
 
@@ -537,6 +606,10 @@ func (db *DB) Flush() error {
 
 // Close flushes and stops the instance.
 func (db *DB) Close(ctx context.Context) error {
+	if db.vac != nil {
+		db.vac.Stop()
+		db.vac = nil
+	}
 	if db.ckptStop != nil {
 		close(db.ckptStop)
 		<-db.ckptDone

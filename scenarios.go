@@ -97,6 +97,18 @@ func (b *kvEchoBackend) Scan(_ context.Context, from string, n int) ([]string, e
 	return out, nil
 }
 
+// GetSnapshot on the stand-in provider is a plain Get: the map holds a
+// single version per key, so the latest committed state is the only
+// snapshot it can serve.
+func (b *kvEchoBackend) GetSnapshot(ctx context.Context, k string) ([]byte, error) {
+	return b.Get(ctx, k)
+}
+
+// ScanKeysSnapshot likewise degrades to the best-effort Scan.
+func (b *kvEchoBackend) ScanKeysSnapshot(ctx context.Context, from string, n int) ([]string, error) {
+	return b.Scan(ctx, from, n)
+}
+
 func (b *kvEchoBackend) Len() uint64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -270,6 +282,11 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 			{Name: "storeMany", In: "sbdms.legacyBatch", Out: "bool", Semantic: "kv.putBatch"},
 			{Name: "remove", In: "string", Out: "bool", Semantic: "kv.delete"},
 			{Name: "list", In: "sbdms.legacyScan", Out: "[]string", Semantic: "kv.scan"},
+			// The legacy store is single-version: its current state IS
+			// its newest stable snapshot, so the snapshot-read semantics
+			// map onto plain (lock-free) reads under alien names.
+			{Name: "peek", In: "string", Out: "[]byte", Semantic: "kv.getSnapshot"},
+			{Name: "listStable", In: "sbdms.legacyScan", Out: "[]string", Semantic: "kv.scanSnapshot"},
 			{Name: "size", In: "nil", Out: "uint64", Semantic: "kv.len"},
 		},
 		Description: core.Description{Summary: "legacy store with incompatible interface (Figure 7)"},
@@ -298,6 +315,11 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 	})
 	lsvc.Handle("remove", func(ctx context.Context, req any) (any, error) { return true, legacy.Delete(ctx, req.(string)) })
 	lsvc.Handle("list", func(ctx context.Context, req any) (any, error) {
+		p := req.(legacyScan)
+		return legacy.Scan(ctx, p.From, p.N)
+	})
+	lsvc.Handle("peek", func(ctx context.Context, req any) (any, error) { return legacy.Get(ctx, req.(string)) })
+	lsvc.Handle("listStable", func(ctx context.Context, req any) (any, error) {
 		p := req.(legacyScan)
 		return legacy.Scan(ctx, p.From, p.N)
 	})

@@ -205,6 +205,10 @@ func KVContract() *core.Contract {
 			// serializable the result is an atomic (phantom-free)
 			// snapshot; at read-committed it is a best-effort view.
 			{Name: "scan", In: "sbdms.KVScanRequest", Out: "[]string", Semantic: "kv.scan"},
+			// The snapshot variants read one consistent MVCC cut without
+			// taking key locks, at any configured ScanIsolation.
+			{Name: "getSnapshot", In: "string", Out: "[]byte", Semantic: "kv.getSnapshot"},
+			{Name: "scanSnapshot", In: "sbdms.KVScanRequest", Out: "[]string", Semantic: "kv.scanSnapshot"},
 			{Name: "len", In: "nil", Out: "uint64", Semantic: "kv.len"},
 		},
 		Description: core.Description{Summary: "record-level key-value access over heap and B+tree"},
@@ -224,6 +228,8 @@ type kvBackend interface {
 	Get(ctx context.Context, k string) ([]byte, error)
 	Delete(ctx context.Context, k string) error
 	Scan(ctx context.Context, from string, n int) ([]string, error)
+	GetSnapshot(ctx context.Context, k string) ([]byte, error)
+	ScanKeysSnapshot(ctx context.Context, from string, n int) ([]string, error)
 	Len() uint64
 }
 
@@ -264,6 +270,20 @@ func NewKVService(name string, backend kvBackend) *core.BaseService {
 			return nil, &core.RequestError{Op: "scan", Want: "sbdms.KVScanRequest", Got: core.TypeName(req)}
 		}
 		return backend.Scan(ctx, r.Key, r.N)
+	})
+	s.Handle("getSnapshot", func(ctx context.Context, req any) (any, error) {
+		k, ok := req.(string)
+		if !ok {
+			return nil, &core.RequestError{Op: "getSnapshot", Want: "string", Got: core.TypeName(req)}
+		}
+		return backend.GetSnapshot(ctx, k)
+	})
+	s.Handle("scanSnapshot", func(ctx context.Context, req any) (any, error) {
+		r, ok := req.(KVScanRequest)
+		if !ok {
+			return nil, &core.RequestError{Op: "scanSnapshot", Want: "sbdms.KVScanRequest", Got: core.TypeName(req)}
+		}
+		return backend.ScanKeysSnapshot(ctx, r.Key, r.N)
 	})
 	s.Handle("len", func(ctx context.Context, req any) (any, error) {
 		return backend.Len(), nil
@@ -323,6 +343,32 @@ func (c *KVClient) Scan(ctx context.Context, from string, n int) ([]string, erro
 	return ks, nil
 }
 
+// GetSnapshot implements kvBackend.
+func (c *KVClient) GetSnapshot(ctx context.Context, k string) ([]byte, error) {
+	out, err := c.inv.Invoke(ctx, "getSnapshot", k)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := out.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("sbdms: getSnapshot returned %T", out)
+	}
+	return b, nil
+}
+
+// ScanKeysSnapshot implements kvBackend.
+func (c *KVClient) ScanKeysSnapshot(ctx context.Context, from string, n int) ([]string, error) {
+	out, err := c.inv.Invoke(ctx, "scanSnapshot", KVScanRequest{Key: from, N: n})
+	if err != nil {
+		return nil, err
+	}
+	ks, ok := out.([]string)
+	if !ok {
+		return nil, fmt.Errorf("sbdms: scanSnapshot returned %T", out)
+	}
+	return ks, nil
+}
+
 // Len implements kvBackend.
 func (c *KVClient) Len() uint64 {
 	out, err := c.inv.Invoke(bg, "len", nil)
@@ -350,7 +396,7 @@ func NewRecordService(name string, backend kvBackend) *core.BaseService {
 	s := core.NewService(name, RecordContract())
 	inner := NewKVService(name+"-inner", backend)
 	// Delegate every op to the same handlers as a KV service.
-	for _, op := range []string{"get", "put", "putBatch", "delete", "scan", "len"} {
+	for _, op := range []string{"get", "put", "putBatch", "delete", "scan", "getSnapshot", "scanSnapshot", "len"} {
 		op := op
 		s.Handle(op, func(ctx context.Context, req any) (any, error) {
 			return inner.Invoke(ctx, op, req)
