@@ -5,7 +5,7 @@ RACE_PKGS = ./internal/access/... ./internal/buffer/... ./internal/core/... \
             ./internal/index/... ./internal/storage/... ./internal/txn/... \
             ./internal/wal/...
 
-.PHONY: build test race bench bench-snapshot crash checkpoint-crash stress isolation mvcc vet lint all
+.PHONY: build test race bench bench-snapshot soak-short crash checkpoint-crash stress isolation mvcc vet lint all
 
 all: vet lint build test
 
@@ -29,6 +29,15 @@ bench:
 bench-snapshot:
 	$(GO) run ./cmd/sbench -exp g6 -json .
 	$(GO) run ./cmd/sbench -exp g7 -json . -keys 8000
+	$(GO) run ./cmd/sbench -exp g9 -json . -keys 4000 -ops 8000 -soak-writers 8
+
+# Seconds-scale G9 write-path soak for CI: every gate variant (append
+# gap-lock downgrade, optimistic descent, background checkpoint flush)
+# runs its append-heavy and uniform-mixed phases over a file-backed
+# engine with checkpoints and vacuum throughout; torn-scan and
+# isolation-anomaly counters must be zero. No JSON is written.
+soak-short:
+	$(GO) run ./cmd/sbench -exp g9 -json '' -keys 500 -ops 1500 -soak-writers 4
 
 # Crash-recovery suite: kill -9, dropped write-backs, torn page writes,
 # batched transactions — run under the race detector.
@@ -38,9 +47,11 @@ crash:
 
 # Checkpoint-aware crash suite: kill -9 mid-fuzzy-checkpoint, torn page
 # after segment truncation (full-page-write rebuild), crash during
-# segment rollover, bounded-WAL proof, free-list reclamation.
+# segment rollover, bounded-WAL proof, free-list reclamation, and the
+# background-flusher windows (cold write-back with no covering
+# checkpoint record; async checkpoint record without completion).
 checkpoint-crash:
-	$(GO) test -race -run 'TestKVCrashRecoveryMidFuzzyCheckpoint|TestKVCrashRecoveryTornPageAfterTruncation|TestKVCrashRecoveryMidSegmentRollover|TestKVWALBoundedBySegmentTruncation|TestFreedPagesReclaimed|TestFuzzyCheckpoint' \
+	$(GO) test -race -run 'TestKVCrashRecoveryMidFuzzyCheckpoint|TestKVCrashRecoveryTornPageAfterTruncation|TestKVCrashRecoveryMidSegmentRollover|TestKVCrashRecoveryBackgroundWriteback|TestKVCrashRecoveryAsyncCheckpoint|TestKVWALBoundedBySegmentTruncation|TestFreedPagesReclaimed|TestFuzzyCheckpoint' \
 		-count=1 . ./internal/txn/...
 
 # Concurrent stress suite under the race detector, at a GOMAXPROCS

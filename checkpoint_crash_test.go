@@ -239,7 +239,7 @@ func TestKVCrashRecoveryMidFuzzyCheckpoint(t *testing.T) {
 				// the crashing checkpoint has a predecessor to fall back
 				// to and truncation is already in play.
 				st := runKVCrashWorkload(db, 250, 80, int64(crashAfter)+7, nil)
-				if _, err := db.Checkpoint(); err != nil {
+				if _, err := db.CheckpointSync(); err != nil {
 					t.Fatalf("baseline checkpoint: %v", err)
 				}
 				st2 := runKVCrashWorkload(db, 250, 80, int64(crashAfter)+13, nil)
@@ -257,7 +257,7 @@ func TestKVCrashRecoveryMidFuzzyCheckpoint(t *testing.T) {
 				// Phase 2: the data device dies during the checkpoint's
 				// dirty-page flush.
 				fault.CrashAfterWrites(crashAfter, tear)
-				if _, err := db.Checkpoint(); err == nil && fault.Crashed() {
+				if _, err := db.CheckpointSync(); err == nil && fault.Crashed() {
 					t.Fatal("checkpoint reported success on a dead device")
 				}
 				abandon(db)
@@ -283,7 +283,7 @@ func TestKVCrashRecoveryTornPageAfterTruncation(t *testing.T) {
 	// old segments (with the pages' original first-touch full images)
 	// are gone.
 	st := runKVCrashWorkload(db, 400, 100, 31, nil)
-	if _, err := db.Checkpoint(); err != nil {
+	if _, err := db.CheckpointSync(); err != nil {
 		t.Fatal(err)
 	}
 	if db.Log().OldestSegment() == 1 {
@@ -451,7 +451,7 @@ func TestFuzzyCheckpointUnderConcurrentTraffic(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 10; i++ {
-		if _, err := db.Checkpoint(); err != nil {
+		if _, err := db.CheckpointSync(); err != nil {
 			t.Errorf("checkpoint %d under traffic: %v", i, err)
 			break
 		}
@@ -497,7 +497,7 @@ func TestKVWALBoundedBySegmentTruncation(t *testing.T) {
 				st.deleted[k] = true
 			}
 		}
-		if _, err := db.Checkpoint(); err != nil {
+		if _, err := db.CheckpointSync(); err != nil {
 			t.Fatalf("checkpoint round %d: %v", round, err)
 		}
 		if n := uint64(db.Log().SegmentCount()); n > maxSegments {
@@ -530,4 +530,132 @@ func TestKVWALBoundedBySegmentTruncation(t *testing.T) {
 	// And the bounded log still recovers the full committed state.
 	abandon(db)
 	verifySegmentedRecovered(t, dataDev, logDir, st)
+}
+
+// mergeCrashState folds a later workload's outcome into st.
+func mergeCrashState(st, part *crashState) {
+	for k, v := range part.live {
+		st.live[k] = v
+		delete(st.deleted, k)
+	}
+	for k := range part.deleted {
+		if _, ok := part.live[k]; !ok {
+			delete(st.live, k)
+			st.deleted[k] = true
+		}
+	}
+}
+
+// TestKVCrashRecoveryBackgroundWritebackBeforeCheckpoint crashes inside
+// the window the background checkpoint flusher opens: cold dirty pages
+// are written back opportunistically between checkpoints, then the
+// system dies BEFORE any checkpoint record covers them. The write-back
+// shares eviction's write-ahead hook, so every persisted page's log
+// records are durable first, and the dirty-page table forgets a page
+// (clearing its recLSN) only after its bytes land — a checkpoint
+// snapshotted after the write-back can therefore never advance
+// recovery-begin past a mutation that exists only in the log. Here no
+// such checkpoint ever runs: the manifest still names the baseline
+// checkpoint, and recovery must replay the whole suffix across the
+// written-back pages — including one whose in-flight write the crash
+// tore in half.
+func TestKVCrashRecoveryBackgroundWritebackBeforeCheckpoint(t *testing.T) {
+	dataDev := storage.NewMemDevice()
+	logDir := wal.NewMemSegmentDir()
+	db := openSegmentedCrashDB(t, dataDev, logDir)
+
+	// History plus a clean baseline checkpoint, so recovery has a fence
+	// to fall back to and truncation has already discarded old segments.
+	st := runKVCrashWorkload(db, 300, 80, 61, nil)
+	if _, err := db.CheckpointSync(); err != nil {
+		t.Fatalf("baseline checkpoint: %v", err)
+	}
+	st2 := runKVCrashWorkload(db, 200, 80, 67, nil)
+	mergeCrashState(st, st2)
+
+	// The flusher's opportunistic pass, forced deterministically: every
+	// cold (unpinned) dirty frame is written back.
+	before := db.Pool().DirtyPages()
+	if len(before) == 0 {
+		t.Fatal("workload left no dirty pages to write back")
+	}
+	n, err := db.Pool().WriteBackCold(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("cold write-back wrote nothing")
+	}
+
+	// Pick a page the pass wrote back (dirty before, clean after): its
+	// write is "in flight" at the crash and gets torn below.
+	stillDirty := map[storage.PageID]bool{}
+	for _, d := range db.Pool().DirtyPages() {
+		stillDirty[d.ID] = true
+	}
+	victim := storage.InvalidPageID
+	for _, d := range before {
+		if d.RecLSN > 0 && !stillDirty[d.ID] {
+			victim = d.ID
+			break
+		}
+	}
+	abandon(db)
+	if victim != storage.InvalidPageID {
+		junk := make([]byte, storage.PageSize/2)
+		for i := range junk {
+			junk[i] = 0x5A
+		}
+		if _, err := dataDev.WriteAt(junk, int64(victim)*storage.PageSize+storage.PageSize/2); err != nil {
+			t.Fatal(err)
+		}
+		if !tornPageOnDevice(t, dataDev) {
+			t.Fatal("victim page still verifies; the tear did nothing")
+		}
+	}
+
+	// Recovery replays from the baseline checkpoint's recovery-begin:
+	// the suffix's full page images rebuild the torn victim, redo is
+	// idempotent over the pages the write-back already persisted, and
+	// nothing committed is lost.
+	verifySegmentedRecovered(t, dataDev, logDir, st)
+}
+
+// TestKVCrashRecoveryAsyncCheckpointWithoutCompletion covers the other
+// edge of the background window: an asynchronous checkpoint's record is
+// durable in the log and the call has returned, but the device dies
+// before the background flusher can flush the dirty-page snapshot.
+// CompleteCheckpoint never runs, so the manifest must NOT advance past
+// a snapshot that never became durable, truncation must not discard the
+// history recovery still needs, and reopening falls back to the
+// previous checkpoint.
+func TestKVCrashRecoveryAsyncCheckpointWithoutCompletion(t *testing.T) {
+	inner := storage.NewMemDevice()
+	fault := storage.NewFaultDevice(inner)
+	logDir := wal.NewMemSegmentDir()
+	db := openSegmentedCrashDB(t, fault, logDir)
+
+	st := runKVCrashWorkload(db, 250, 80, 71, nil)
+	if _, err := db.CheckpointSync(); err != nil {
+		t.Fatalf("baseline checkpoint: %v", err)
+	}
+	oldest := db.Log().OldestSegment()
+	st2 := runKVCrashWorkload(db, 200, 80, 73, nil)
+	mergeCrashState(st, st2)
+	if len(db.Pool().DirtyPages()) == 0 {
+		t.Fatal("workload left no dirty pages; the checkpoint has nothing to flush")
+	}
+
+	// The data device dies, then an async checkpoint is requested: its
+	// records land in the (healthy) log and the call returns success,
+	// but the background flush of the snapshot hits the dead device.
+	fault.CrashAfterWrites(0, 0)
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatalf("async checkpoint enqueue: %v", err)
+	}
+	abandon(db) // drains the flusher; its completion fails on the dead device
+	if got := db.Log().OldestSegment(); got != oldest {
+		t.Fatalf("truncation advanced (%d -> %d) on a checkpoint whose snapshot never flushed", oldest, got)
+	}
+	verifySegmentedRecovered(t, inner, logDir, st)
 }

@@ -1,6 +1,7 @@
 // Command sbench regenerates every experiment of EXPERIMENTS.md and
 // prints the result tables. Run all experiments with no arguments, or
-// select one with -exp (f1, f2, f5, f6, f7, g1, g2, g3, g4, g5, g6).
+// select one with -exp (f1, f2, f5, f6, f7, g1, g2, g3, g4, g5, g6,
+// g7, g9).
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -33,6 +35,15 @@ var (
 	flagSegBytes    = flag.Int("wal-segment-bytes", 0, "WAL segment roll threshold for g1 (0 = 4 MiB)")
 	flagCkptEvery   = flag.Duration("checkpoint-interval", 0, "background fuzzy-checkpoint period for g1 (0 = off)")
 	flagJSONDir     = flag.String("json", ".", "directory for BENCH_<EXP>.json reports (empty = disabled)")
+
+	// G9 write-path fix gates: the baseline soak configuration. The g9
+	// runner additionally runs one fallback soak per fix (the gate
+	// flipped off relative to this baseline) so BENCH_G9.json always
+	// carries before/after row pairs on the same host.
+	flagOptDescent  = flag.Bool("optimistic-descent", true, "g9 baseline: optimistic B+tree insert descents (false = exclusive crab descents)")
+	flagAppendDown  = flag.Bool("append-downgrade", true, "g9 baseline: release awaited append gap locks once the entry is visible (false = hold to commit)")
+	flagInlineCkpt  = flag.Bool("inline-checkpoint-flush", false, "g9 baseline: flush the checkpoint dirty-page snapshot on the caller instead of the background flusher")
+	flagSoakWriters = flag.Int("soak-writers", 8, "g9 concurrent writer goroutines")
 )
 
 // benchRows accumulates the structured rows of the experiment
@@ -50,13 +61,32 @@ func writeReport(dir, exp string, ops, keys int) error {
 	if dir == "" || len(rows) == 0 {
 		return nil
 	}
-	rep := struct {
-		Experiment string `json:"experiment"`
+	// The host block keeps trajectory comparisons across machines
+	// honest: a 1-core CI runner and a 32-core workstation measure very
+	// different things, and the JSON says which one produced the rows.
+	type hostInfo struct {
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		NumCPU     int    `json:"numCPU"`
+		GoVersion  string `json:"goVersion"`
+		OS         string `json:"os"`
+		Arch       string `json:"arch"`
 		Timestamp  string `json:"timestamp"`
-		Ops        int    `json:"ops"`
-		Keys       int    `json:"keys"`
-		Rows       []any  `json:"rows"`
-	}{strings.ToUpper(exp), time.Now().UTC().Format(time.RFC3339), ops, keys, rows}
+	}
+	rep := struct {
+		Experiment string   `json:"experiment"`
+		Timestamp  string   `json:"timestamp"`
+		Host       hostInfo `json:"host"`
+		Ops        int      `json:"ops"`
+		Keys       int      `json:"keys"`
+		Rows       []any    `json:"rows"`
+	}{strings.ToUpper(exp), time.Now().UTC().Format(time.RFC3339), hostInfo{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}, ops, keys, rows}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -70,7 +100,7 @@ func writeReport(dir, exp string, ops, keys int) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|g7|all")
+	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|g7|g9|all")
 	ops := flag.Int("ops", 20000, "operations per measurement")
 	keys := flag.Int("keys", 2000, "key space size")
 	flag.Parse()
@@ -78,9 +108,9 @@ func main() {
 	runners := map[string]func(int, int) error{
 		"f1": runF1, "f2": runF2, "f5": runF5, "f6": runF6, "f7": runF7,
 		"g1": runG1, "g2": runG2, "g3": runG3, "g4": runG4, "g5": runG5, "g6": runG6,
-		"g7": runG7,
+		"g7": runG7, "g9": runG9,
 	}
-	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6", "g7"}
+	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6", "g7", "g9"}
 	sel := strings.ToLower(*exp)
 	if sel == "all" {
 		for _, id := range order {
@@ -623,6 +653,55 @@ func runG7(ops, keys int) error {
 	}
 	fmt.Println(m)
 	record(m)
+	return nil
+}
+
+// G9: the write-path soak — a long mixed workload at serializable
+// isolation with fuzzy checkpoints, WAL truncation and MVCC vacuum
+// running throughout, run once at the baseline fix gates and once per
+// fallback (one gate flipped off). Rows to compare, each a labeled
+// pair on the same host: append-heavy Put throughput with the append
+// gap-lock downgrade on vs off, uniform-mixed throughput with
+// optimistic vs exclusive insert descents, and write/checkpoint p99
+// with the background vs inline checkpoint flush. Torn-scan and
+// anomaly counters must be zero on every row — the fixes must not
+// trade serializability for speed.
+func runG9(ops, keys int) error {
+	header("G9 — write-path soak: optimistic descents, background checkpoint flusher, append gap-lock downgrade")
+	base := sbdms.SoakConfig{
+		Keys:                  keys,
+		Writers:               *flagSoakWriters,
+		AppendOps:             ops,
+		MixedOps:              ops,
+		Seed:                  1,
+		OptimisticDescent:     *flagOptDescent,
+		AppendDowngrade:       *flagAppendDown,
+		InlineCheckpointFlush: *flagInlineCkpt,
+	}
+	fmt.Printf("-- %d writers, %d append ops + %d mixed ops per run, %d preloaded keys, checkpoints+vacuum throughout --\n",
+		base.Writers, ops, ops, keys)
+	variants := []struct {
+		name   string
+		mutate func(*sbdms.SoakConfig)
+	}{
+		{"baseline (all fixes on)", func(c *sbdms.SoakConfig) {}},
+		{"fallback: append-downgrade off", func(c *sbdms.SoakConfig) { c.AppendDowngrade = false }},
+		{"fallback: optimistic-descent off", func(c *sbdms.SoakConfig) { c.OptimisticDescent = false }},
+		{"fallback: inline checkpoint flush", func(c *sbdms.SoakConfig) { c.InlineCheckpointFlush = true }},
+	}
+	for _, v := range variants {
+		cfg := base
+		v.mutate(&cfg)
+		fmt.Printf("-- %s --\n", v.name)
+		ms, err := sbdms.Soak(cfg)
+		if err != nil {
+			return err
+		}
+		for _, m := range ms {
+			fmt.Println(m)
+			record(m)
+		}
+	}
 	return nil
 }
 

@@ -109,7 +109,17 @@ func openCrashDB(t *testing.T, dataDev, logDev storage.Device) *DB {
 
 // abandon simulates kill -9: background services stop, but nothing is
 // flushed or closed. Whatever reached the devices is all that survives.
-func abandon(db *DB) { _ = db.Kernel().Stop(context.Background()) }
+// The checkpoint flusher goroutine must die too — a live flusher would
+// keep writing the "dead" process's pages to a device the recovered DB
+// is reading — and its sticky error (often the injected crash itself)
+// is deliberately dropped.
+func abandon(db *DB) {
+	_ = db.Kernel().Stop(context.Background())
+	if db.txns != nil {
+		err := db.txns.StopCheckpointFlusher()
+		_ = err // crash simulation: flush errors are expected here
+	}
+}
 
 // TestKVCrashRecoveryKill9 is the acceptance scenario: a pure-KV
 // workload (no SQL traffic) over a tiny pool, killed without any flush.

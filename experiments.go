@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -12,6 +14,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netbind"
+	"repro/internal/storage"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -400,6 +404,407 @@ func scanTax(iso ScanIsolation, snapshot bool, pace time.Duration, scanners, wri
 		m.WritesPerSec = float64(m.Writes) / m.Elapsed.Seconds()
 	}
 	return m, nil
+}
+
+// SoakConfig configures one run of the G9 write-path soak: a long
+// mixed workload at serializable isolation with fuzzy checkpoints,
+// segment truncation and MVCC vacuum running throughout, exercised
+// once per write-path fix gate so BENCH_G9.json records before/after
+// row pairs on the same host.
+type SoakConfig struct {
+	// Keys sizes the preloaded uniform key space (the g9-m- fillers the
+	// mixed phase updates and scans).
+	Keys int
+	// Writers is the number of concurrent writer goroutines per phase.
+	Writers int
+	// AppendOps and MixedOps are the total committed writes of the
+	// append-heavy and uniform-mixed phases.
+	AppendOps, MixedOps int
+	// ValSize is the value payload size.
+	ValSize int
+	// CheckpointEvery paces the explicit fuzzy-checkpoint ticker that
+	// runs during both phases (0 = 50ms).
+	CheckpointEvery time.Duration
+	// VacuumEvery paces the background MVCC vacuum (0 = 100ms).
+	VacuumEvery time.Duration
+	Seed        int64
+
+	// The three write-path fix gates. True/false/false is the fast
+	// configuration; each fallback row of BENCH_G9.json flips one.
+	OptimisticDescent     bool
+	AppendDowngrade       bool
+	InlineCheckpointFlush bool
+}
+
+func (c *SoakConfig) defaults() {
+	if c.Keys <= 0 {
+		c.Keys = 5000
+	}
+	if c.Writers <= 0 {
+		c.Writers = 8
+	}
+	if c.AppendOps <= 0 {
+		c.AppendOps = 8000
+	}
+	if c.MixedOps <= 0 {
+		c.MixedOps = 8000
+	}
+	if c.ValSize <= 0 {
+		c.ValSize = 64
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 50 * time.Millisecond
+	}
+	if c.VacuumEvery <= 0 {
+		c.VacuumEvery = 100 * time.Millisecond
+	}
+}
+
+// SoakMeasurement is one (config, phase) row of the G9 soak.
+type SoakMeasurement struct {
+	// Phase is "append-heavy" (fresh keys inserted past the right edge
+	// of the index, all writers contending the end-of-index gap) or
+	// "uniform-mixed" (Zipfian updates, scattered fresh inserts and
+	// point reads over the preloaded key space).
+	Phase string
+	// Label names the fix gate this row belongs to in a before/after
+	// pair, e.g. "append-downgrade=on".
+	Label string
+	// Gate settings of the run, recorded per row for honesty.
+	OptimisticDescent, AppendDowngrade bool
+	InlineCheckpointFlush              bool
+
+	Writers             int
+	Ops                 int // committed writes
+	Elapsed             time.Duration
+	OpsPerSec           float64
+	P50, P99            time.Duration // writer-observed write latency
+	Conflicts           int           // retryable deadlock-victim aborts (retried)
+	Failures            int
+	Scans               int // verifier scans completed
+	TornScans           int // scans seeing one endpoint of an atomic pair: must be 0
+	Anomalies           int // other isolation anomalies (duplicate keys in one scan): must be 0
+	Checkpoints         int
+	CkptP50, CkptP99    time.Duration // DB.Checkpoint caller stall
+	DescentFallbacks    uint64        // optimistic descents that fell back to X-crab
+	VacuumKeysReclaimed uint64
+}
+
+// String renders the measurement as a result-table row.
+func (m SoakMeasurement) String() string {
+	return fmt.Sprintf("%-13s %-25s writers=%-2d ops=%-7d thr=%9.0f op/s p50=%-9v p99=%-9v ckpt(n=%d p99=%v) torn=%d anom=%d conflicts=%d fail=%d fallbacks=%d",
+		m.Phase, m.Label, m.Writers, m.Ops, m.OpsPerSec, m.P50, m.P99,
+		m.Checkpoints, m.CkptP99, m.TornScans, m.Anomalies, m.Conflicts, m.Failures, m.DescentFallbacks)
+}
+
+// Soak runs the G9 write-path soak once at the given fix gates and
+// returns one measurement per phase. The whole run happens on one DB
+// instance: preload, then an append-heavy phase (every writer inserts
+// globally increasing fresh keys, so at serializable isolation all of
+// them take the end-of-index next-key gap lock), then a uniform-mixed
+// phase (Zipfian updates of preloaded keys, uniformly scattered fresh
+// inserts — the optimistic-descent showcase — and point reads). A
+// checkpoint ticker and the background vacuum run throughout, so WAL
+// truncation, opportunistic write-back and version reclamation all
+// happen under load; a verifier goroutine continuously scans an
+// atomic-pair probe range and counts torn pairs and duplicate-key
+// anomalies, both of which must be zero at serializable isolation.
+func Soak(cfg SoakConfig) ([]SoakMeasurement, error) {
+	cfg.defaults()
+	// File-backed data and WAL: the costs the three fixes remove —
+	// holding a gap lock across a commit fsync, stalling the checkpoint
+	// caller on a dirty-page flush — only exist when syncs are real.
+	dir, err := os.MkdirTemp("", "sbdms-g9-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	dev, err := storage.OpenFileDevice(filepath.Join(dir, "data.db"))
+	if err != nil {
+		return nil, err
+	}
+	segs, err := wal.NewFileSegmentDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		return nil, err
+	}
+	db, err := Open(Options{
+		Device:                   dev,
+		LogDir:                   segs,
+		Granularity:              Monolithic,
+		BufferFrames:             4096,
+		ScanIsolation:            Serializable,
+		WALSegmentBytes:          1 << 20,
+		VacuumInterval:           cfg.VacuumEvery,
+		DisableOptimisticDescent: !cfg.OptimisticDescent,
+		DisableAppendDowngrade:   !cfg.AppendDowngrade,
+		InlineCheckpointFlush:    cfg.InlineCheckpointFlush,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close(context.Background())
+	val := make([]byte, cfg.ValSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < cfg.Keys; i++ {
+		if err := db.Put(fmt.Sprintf("g9-m-%08d", i), val); err != nil {
+			return nil, err
+		}
+	}
+
+	row := func(phase, label string) SoakMeasurement {
+		return SoakMeasurement{
+			Phase:                 phase,
+			Label:                 label,
+			OptimisticDescent:     cfg.OptimisticDescent,
+			AppendDowngrade:       cfg.AppendDowngrade,
+			InlineCheckpointFlush: cfg.InlineCheckpointFlush,
+			Writers:               cfg.Writers,
+		}
+	}
+
+	var appendCtr atomic.Int64 // globally increasing append suffix
+	appendPhase := func(m *SoakMeasurement) error {
+		return soakPhase(db, cfg, m, func(_ *rand.Rand, i int) error {
+			// Fresh key past everything: "z" sorts after every other g9
+			// prefix, so the insert's next-key gap is the end-of-index
+			// sentinel — the lock the downgrade is about.
+			return db.Put(fmt.Sprintf("g9-z-%016d", appendCtr.Add(1)), val)
+		})
+	}
+	mixedPhase := func(m *SoakMeasurement) error {
+		return soakPhase(db, cfg, m, func(rng *rand.Rand, i int) error {
+			switch r := rng.Intn(10); {
+			case r < 4: // Zipfian-ish update of a hot preloaded key
+				hot := rng.Intn(cfg.Keys/8 + 1)
+				return db.Put(fmt.Sprintf("g9-m-%08d", hot), val)
+			case r < 7: // uniformly scattered fresh insert (descent showcase)
+				return db.Put(fmt.Sprintf("g9-f-%08x", rng.Uint32()), val)
+			case r < 9: // point read
+				_, err := db.Get(fmt.Sprintf("g9-m-%08d", rng.Intn(cfg.Keys)))
+				if err != nil && isNotFound(err) {
+					return nil
+				}
+				return err
+			default: // delete + reinsert churn feeding the vacuum
+				k := fmt.Sprintf("g9-m-%08d", rng.Intn(cfg.Keys))
+				if err := db.DeleteKey(k); err != nil && !isNotFound(err) {
+					return err
+				}
+				return db.Put(k, val)
+			}
+		})
+	}
+
+	out := make([]SoakMeasurement, 0, 2)
+	for _, ph := range []struct {
+		name  string
+		label string
+		ops   int
+		run   func(*SoakMeasurement) error
+	}{
+		{"append-heavy", "append-downgrade=" + onOff(cfg.AppendDowngrade), cfg.AppendOps, appendPhase},
+		{"uniform-mixed", "optimistic-descent=" + onOff(cfg.OptimisticDescent) + " checkpoint-flush=" + flushMode(cfg.InlineCheckpointFlush), cfg.MixedOps, mixedPhase},
+	} {
+		m := row(ph.name, ph.label)
+		m.Ops = ph.ops
+		fb0 := db.kv.idx.DescentFallbacks()
+		if err := ph.run(&m); err != nil {
+			return nil, err
+		}
+		m.DescentFallbacks = db.kv.idx.DescentFallbacks() - fb0
+		out = append(out, m)
+	}
+	stats, _, err := db.VacuumStatus()
+	if err == nil {
+		for i := range out {
+			out[i].VacuumKeysReclaimed = uint64(stats.KeysRemoved)
+		}
+	}
+	return out, nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func flushMode(inline bool) string {
+	if inline {
+		return "inline"
+	}
+	return "background"
+}
+
+// soakPhase drives one measured soak phase: cfg.Writers goroutines
+// split m.Ops writes of op between them while a checkpoint ticker, the
+// pair prober and the torn-scan verifier run alongside. Writer latency
+// percentiles, checkpoint-caller stalls and anomaly counters land in m.
+func soakPhase(db *DB, cfg SoakConfig, m *SoakMeasurement, op func(rng *rand.Rand, i int) error) error {
+	per := m.Ops / cfg.Writers
+	if per < 1 {
+		per = 1
+	}
+	m.Ops = per * cfg.Writers
+	var mu sync.Mutex
+	var wlat, clat []time.Duration
+	var conflicts, failures, scans, torn, anomalies, ckpts int64
+	var opErr error
+	stop := make(chan struct{})
+
+	var bg sync.WaitGroup
+	// Checkpoint ticker: fuzzy checkpoints (and the truncation they
+	// license) keep running under full write load; the recorded stall is
+	// the caller-visible cost the background flusher is meant to remove.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		t := time.NewTicker(cfg.CheckpointEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				t0 := time.Now()
+				if _, err := db.Checkpoint(); err != nil {
+					continue // busy device: next tick retries
+				}
+				d := time.Since(t0)
+				atomic.AddInt64(&ckpts, 1)
+				mu.Lock()
+				clat = append(clat, d)
+				mu.Unlock()
+			}
+		}
+	}()
+	// Pair prober: atomic two-key batches into a dedicated probe range.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		val := []byte("g9-pair")
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			keys := []string{fmt.Sprintf("g9-pa-%09d", i), fmt.Sprintf("g9-pb-%09d", i)}
+			err := db.PutBatch(keys, [][]byte{val, val})
+			if IsConflict(err) {
+				continue
+			}
+			if err != nil {
+				atomic.AddInt64(&failures, 1)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Verifier: serializable scans over the probe range; a pair with
+	// exactly one visible endpoint is a torn batch, a duplicate key in
+	// one scan is an anomaly. Both must stay zero.
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			keys, err := db.ScanKeys("g9-pa-", 1_000_000)
+			if IsConflict(err) {
+				continue
+			}
+			if err != nil {
+				atomic.AddInt64(&failures, 1)
+				return
+			}
+			atomic.AddInt64(&scans, 1)
+			seen := map[string]int{}
+			dup := false
+			prev := ""
+			for _, k := range keys {
+				if k == prev {
+					dup = true
+				}
+				prev = k
+				if strings.HasPrefix(k, "g9-pa-") {
+					seen[k[len("g9-pa-"):]]++
+				}
+				if strings.HasPrefix(k, "g9-pb-") {
+					seen[k[len("g9-pb-"):]]++
+				}
+			}
+			for _, n := range seen {
+				if n == 1 {
+					atomic.AddInt64(&torn, 1)
+					break
+				}
+			}
+			if dup {
+				atomic.AddInt64(&anomalies, 1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for i := 0; i < per; i++ {
+				t0 := time.Now()
+				err := op(rng, w*per+i)
+				if IsConflict(err) {
+					atomic.AddInt64(&conflicts, 1)
+					i-- // retry the slot: conflicts are tax, not lost work
+					continue
+				}
+				d := time.Since(t0)
+				if err != nil {
+					atomic.AddInt64(&failures, 1)
+					mu.Lock()
+					if opErr == nil {
+						opErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				wlat = append(wlat, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	m.Elapsed = time.Since(start)
+	close(stop)
+	bg.Wait()
+
+	if opErr != nil {
+		return opErr
+	}
+	m.Conflicts = int(conflicts)
+	m.Failures = int(failures)
+	m.Scans = int(scans)
+	m.TornScans = int(torn)
+	m.Anomalies = int(anomalies)
+	m.Checkpoints = int(ckpts)
+	m.P50, m.P99 = pctl(wlat, 50), pctl(wlat, 99)
+	m.CkptP50, m.CkptP99 = pctl(clat, 50), pctl(clat, 99)
+	if m.Elapsed > 0 {
+		m.OpsPerSec = float64(m.Ops) / m.Elapsed.Seconds()
+	}
+	return nil
 }
 
 // MeasureTCPRoundTrip measures the real cost of one service invocation

@@ -85,11 +85,38 @@ type BTree struct {
 	unique bool
 	count  atomic.Int64
 
+	// vers holds the descent version counters of the optimistic insert
+	// protocol: every structural change to an interior node (separator
+	// insert, split, root swap) bumps the node's slot under the X latch
+	// that performs it. Slots are shared by PageID hash — a collision
+	// can only invalidate an optimistic descent spuriously (the counter
+	// is monotone), never hide a real change.
+	vers      [descentVersSlots]atomic.Uint64
+	optOff    atomic.Bool   // true disables the optimistic insert descent
+	fallbacks atomic.Uint64 // optimistic descents that fell back to X-crab
+
 	mu    sync.Mutex // guards log/sys/freer configuration
 	log   *wal.Log
 	sys   access.SystemTxnHooks
 	freer func([]storage.PageID) error
 }
+
+// descentVersSlots sizes the striped version-counter table. 256 slots
+// keep false sharing low while bounding the memory cost per tree.
+const descentVersSlots = 256
+
+func (t *BTree) versSlot(id storage.PageID) *atomic.Uint64 {
+	return &t.vers[uint64(id)%descentVersSlots]
+}
+
+// SetOptimisticDescent toggles the optimistic insert descent (on by
+// default). Off, every insert uses the exclusive crab descent.
+func (t *BTree) SetOptimisticDescent(on bool) { t.optOff.Store(!on) }
+
+// DescentFallbacks returns how many optimistic insert descents failed
+// version validation (or found an unsafe leaf) and fell back to the
+// exclusive crab descent.
+func (t *BTree) DescentFallbacks() uint64 { return t.fallbacks.Load() }
 
 // Create allocates a new empty tree and returns it with its metadata
 // page id (persist that id in the catalog to reopen the tree).
@@ -448,11 +475,19 @@ func (t *BTree) unlatch(r *nref) {
 }
 
 // write re-encodes the node into its latched frame and logs the
-// transition under tx with the given undo supplier.
+// transition under tx with the given undo supplier. Interior-node
+// writes bump the node's descent version slot under the X latch:
+// optimistic descents validate against it after taking their leaf
+// latch. (A physical abort of the system transaction restores the
+// bytes without un-bumping — the counter stays monotone, so a stale
+// bump can only force a spurious fallback.)
 func (t *BTree) write(tx access.TxnContext, r *nref, undo func() []byte) error {
 	err := access.LogLatchedMutation(t.getLog(), tx, r.f, undo, r.n.encode)
 	if err == nil {
 		r.dirty = true
+		if !r.n.leaf {
+			t.versSlot(r.id).Add(1)
+		}
 	}
 	return err
 }
@@ -615,7 +650,24 @@ func (t *BTree) InsertTxGap(tx access.TxnContext, key []byte, rid access.RID, ga
 			}
 		}
 	}
+	useOpt := !t.optOff.Load()
 	for {
+		if useOpt {
+			inserted, fellback, err := t.insertOptimistic(tx, key, rid, ck, gap)
+			if err != nil {
+				return err
+			}
+			if !fellback {
+				if inserted {
+					t.count.Add(1)
+				}
+				return nil
+			}
+			// One optimistic shot per insert: validation failed or the
+			// leaf needs a split, so finish under the X-crab protocol.
+			useOpt = false
+			continue
+		}
 		done, inserted, err := t.insertAttempt(tx, key, rid, ck, gap)
 		if err != nil {
 			return err
@@ -627,6 +679,76 @@ func (t *BTree) InsertTxGap(tx access.TxnContext, key []byte, rid access.RID, ga
 			return nil
 		}
 	}
+}
+
+// insertOptimistic runs one optimistic insert descent: shared latches
+// down the tree, recording the version counter of each interior node
+// (starting with the metadata page) under its latch before following
+// the child pointer, then an exclusive latch on the target leaf alone.
+// The parent's version is re-validated after the leaf latch lands: a
+// leaf split must insert a separator into (or split) that exact parent
+// while holding the leaf's X latch, so the bump is ordered before this
+// descent's leaf latch acquisition and an unchanged counter proves the
+// latched leaf still covers ck. Validation failure — or a leaf that
+// would need a split — falls back (fellback=true) without mutating
+// anything; fellback=false with nil err means the insert is complete
+// (inserted=false for an exact duplicate). Gap-hook errors propagate
+// verbatim, exactly as on the crab path.
+func (t *BTree) insertOptimistic(tx access.TxnContext, key []byte, rid access.RID, ck []byte, gap GapCheck) (inserted, fellback bool, err error) {
+	metaF, rootID, err := t.metaLatch(false)
+	if err != nil {
+		return false, false, err
+	}
+	_ = metaF
+	pSlot := t.versSlot(t.metaID)
+	pv := pSlot.Load()
+	cur, err := t.latch(rootID, false)
+	t.metaUnlatch(false, false)
+	if err != nil {
+		return false, false, err
+	}
+	for !cur.n.leaf {
+		slot := t.versSlot(cur.id)
+		v := slot.Load()
+		child, err := t.latch(cur.n.children[childIndex(cur.n, ck)], false)
+		t.unlatch(cur)
+		if err != nil {
+			return false, false, err
+		}
+		pSlot, pv = slot, v
+		cur = child
+	}
+	leafID := cur.id
+	t.unlatch(cur)
+	leaf, err := t.latch(leafID, true)
+	if err != nil {
+		return false, false, err
+	}
+	if pSlot.Load() != pv || !leaf.n.leaf || !safeForLeaf(leaf.n, ck) {
+		t.unlatch(leaf)
+		t.fallbacks.Add(1)
+		return false, true, nil
+	}
+	pos := sort.Search(len(leaf.n.keys), func(i int) bool { return bytes.Compare(leaf.n.keys[i], ck) >= 0 })
+	if pos < len(leaf.n.keys) && bytes.Equal(leaf.n.keys[pos], ck) {
+		t.unlatch(leaf)
+		return false, false, nil // exact duplicate (same key+rid): no-op
+	}
+	if gap != nil {
+		if err := t.gapCheckAt(leaf, pos, gap); err != nil {
+			t.unlatch(leaf)
+			return false, false, err
+		}
+	}
+	leaf.n.keys = append(leaf.n.keys, nil)
+	copy(leaf.n.keys[pos+1:], leaf.n.keys[pos:])
+	leaf.n.keys[pos] = ck
+	err = t.write(tx, leaf, func() []byte { return undoIndexInsert(t.metaID, key, rid) })
+	t.unlatch(leaf)
+	if err != nil {
+		return false, false, err
+	}
+	return true, false, nil
 }
 
 // insertAttempt runs one exclusive crab descent. done=false means a
@@ -839,6 +961,14 @@ func (t *BTree) splitRoot(ck []byte) error {
 			return nil
 		})
 		dirtyMeta = err == nil
+		if dirtyMeta {
+			// The meta page acts as the root's parent in the optimistic
+			// descent protocol: bump its version under the exclusive
+			// meta latch so a descent that read the old root pointer
+			// (height-1 trees in particular, where the split leaf IS
+			// the old root) fails validation and retries.
+			t.versSlot(t.metaID).Add(1)
+		}
 	}
 	err = t.smoFinish(stx, sys, err)
 	t.unlatch(newRoot)

@@ -406,6 +406,153 @@ func TestIsolationInsertKeepsScanLockOnSuccessor(t *testing.T) {
 	}
 }
 
+// TestIsolationAppendDowngradeNoPhantom pins the append gap-lock
+// downgrade's two obligations at once. Safety: while a serializable
+// scan holds the end-of-index sentinel, an appender past the right edge
+// stays blocked; and once its insert lands (still uncommitted), any new
+// scan of the range blocks on the new key's own commit-duration X lock
+// — no phantom opens either before or after the downgrade point.
+// Liveness: with the downgrade on, the awaited sentinel lock is
+// released the moment the entry is visible in the leaf, so a second
+// appender lands while the first is still uncommitted; with the
+// downgrade off (the pre-downgrade hold-to-commit protocol) the
+// sentinel stays held and the second appender queues behind the commit.
+func TestIsolationAppendDowngradeNoPhantom(t *testing.T) {
+	for _, downgrade := range []bool{true, false} {
+		name := "downgrade"
+		if !downgrade {
+			name = "hold-to-commit"
+		}
+		t.Run(name, func(t *testing.T) {
+			db := openIsoDB(t, Serializable)
+			defer db.Close(context.Background())
+			db.kv.noDowngrade = !downgrade
+			if err := db.Put("zz-a", []byte("v0")); err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+
+			// A serializable scan runs off the right edge: it S-locks
+			// "zz-a" and seals the end of the index with the sentinel.
+			scanOwner := db.kv.ids()
+			keys, err := db.kv.scanKeysLocked(ctx, scanOwner, "zz-", 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != 1 || keys[0] != "zz-a" {
+				t.Fatalf("preload scan = %v, want [zz-a]", keys)
+			}
+
+			// Appender past everything: must block behind the scan's
+			// sentinel lock regardless of the downgrade setting.
+			tx, err := db.kv.txns.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := db.kv.locks.Acquire(ctx, tx.ID(), kvRes("zz-b"), txn.Exclusive); err != nil {
+				t.Fatal(err)
+			}
+			inserted := make(chan error, 1)
+			go func() { inserted <- db.kv.putTx(ctx, tx, tx.ID(), tx, "zz-b", []byte("v1")) }()
+			select {
+			case err := <-inserted:
+				t.Fatalf("append crossed a scanned end-of-index gap: %v", err)
+			case <-time.After(50 * time.Millisecond):
+			}
+
+			// The scan ends; the append lands but does NOT commit.
+			db.kv.locks.ReleaseAll(scanOwner)
+			select {
+			case err := <-inserted:
+				if err != nil {
+					t.Fatalf("append after scan released: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("append never unblocked after the scan released its locks")
+			}
+			if _, held := db.kv.locks.Held(tx.ID(), kvEOFRes); held == downgrade {
+				if downgrade {
+					t.Fatal("awaited sentinel gap lock still held after the entry became visible")
+				}
+				t.Fatal("hold-to-commit protocol released the awaited sentinel gap lock early")
+			}
+
+			// No phantom after the downgrade: a new scan must block on the
+			// uncommitted key's own lock, not skip past it.
+			scanned := make(chan []string, 1)
+			go func() {
+				ks, err := db.ScanKeys("zz-", 100)
+				if err != nil {
+					t.Errorf("scan across uncommitted append: %v", err)
+				}
+				scanned <- ks
+			}()
+			select {
+			case ks := <-scanned:
+				t.Fatalf("scan read across an uncommitted append: %v", ks)
+			case <-time.After(50 * time.Millisecond):
+			}
+
+			// Liveness split: a second appender past the first one.
+			appended := make(chan error, 1)
+			go func() { appended <- db.Put("zz-c", []byte("v2")) }()
+			if downgrade {
+				select {
+				case err := <-appended:
+					if err != nil {
+						t.Fatalf("second append with downgrade on: %v", err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("second appender serialized behind an uncommitted appender's released gap lock")
+				}
+			} else {
+				select {
+				case err := <-appended:
+					t.Fatalf("second append crossed a commit-duration gap lock: %v", err)
+				case <-time.After(50 * time.Millisecond):
+				}
+			}
+
+			if err := db.kv.txns.Commit(tx); err != nil {
+				t.Fatal(err)
+			}
+			if !downgrade {
+				select {
+				case err := <-appended:
+					if err != nil {
+						t.Fatalf("second append after commit: %v", err)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatal("second appender never unblocked after commit")
+				}
+			}
+			var ks []string
+			select {
+			case ks = <-scanned:
+			case <-time.After(5 * time.Second):
+				t.Fatal("blocked scan never completed after commit")
+			}
+			saw := map[string]bool{}
+			for _, k := range ks {
+				if saw[k] {
+					t.Fatalf("scan returned duplicate key %q: %v", k, ks)
+				}
+				saw[k] = true
+			}
+			if !saw["zz-a"] || !saw["zz-b"] {
+				t.Fatalf("scan after commit = %v, want zz-a and zz-b present", ks)
+			}
+			final, err := db.ScanKeys("zz-", 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(final) != 3 || final[0] != "zz-a" || final[1] != "zz-b" || final[2] != "zz-c" {
+				t.Fatalf("final scan = %v, want [zz-a zz-b zz-c]", final)
+			}
+		})
+	}
+}
+
 // --- write skew across a scanned range ----------------------------------
 
 // TestIsolationWriteSkew models the textbook constraint "at most one

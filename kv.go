@@ -131,6 +131,12 @@ type kvCore struct {
 
 	serializable bool // next-key locking on scans and writers
 
+	// noDowngrade disables the append gap-lock downgrade: when set, a
+	// next-key gap lock an inserter had to await off-latch stays held to
+	// commit (the pre-downgrade protocol) instead of being released the
+	// moment the new entry is visible in the leaf.
+	noDowngrade bool
+
 	// dead counts committed tombstone heads: index entries whose key is
 	// logically deleted but whose ghost entry anchors the version chain
 	// until vacuum reclaims it. Len subtracts it from the entry count.
@@ -609,9 +615,34 @@ func (kv *kvCore) gapLockHook(owner uint64, pending, instant *string) index.GapC
 // the gap the new key lands in. When the conditional attempt fails the
 // leaf latch is dropped, the lock is awaited off-latch and the insert
 // retried.
+//
+// Gap locks awaited off-latch are kept across retries (livelock
+// avoidance — see below) but, like the conditionally-granted instant
+// lock, they are only needed until the new entry is visible in the
+// leaf: from that point a scan reaching the gap meets the key's own
+// transaction-duration lock instead. So once the insert lands, every
+// gap lock this call acquired FRESH is released — the append gap-lock
+// downgrade, which keeps concurrent appenders to the same gap (most
+// visibly the end-of-index sentinel) from serializing on each other's
+// commit latency. Upgrades of locks the owner already held (a
+// transactional scan's S on the successor) are never released here.
 func (kv *kvCore) insertIndex(ctx context.Context, c access.TxnContext, owner uint64, k string, rid access.RID) error {
 	if !kv.serializable {
 		return kv.idx.InsertTx(c, kv.key(k), rid)
+	}
+	// kept collects the fresh gap locks awaited off-latch. On exit they
+	// are released whatever the outcome: on success the entry is in the
+	// leaf (scans serialize on its key lock), on failure the insert
+	// never happened, so the key space the gap lock guarded is
+	// unchanged — exactly the instant-duration argument.
+	var kept []string
+	release := func() {
+		if kv.noDowngrade {
+			return // hold to commit; ReleaseAll drops them with the rest
+		}
+		for _, res := range kept {
+			_ = kv.locks.Release(owner, res)
+		}
 	}
 	for {
 		var pending, instant string
@@ -622,17 +653,23 @@ func (kv *kvCore) insertIndex(ctx context.Context, c access.TxnContext, owner ui
 			_ = kv.locks.Release(owner, instant)
 		}
 		if !errors.Is(err, errGapBlocked) {
+			release()
 			return err
 		}
+		_, held := kv.locks.Held(owner, pending)
 		if lerr := kv.locks.Acquire(ctx, owner, pending, txn.Exclusive); lerr != nil {
-			return lerr
+			return lerr // aborting: ReleaseAll reclaims everything
+		}
+		if !held {
+			kept = append(kept, pending)
 		}
 		// KEEP the lock across the retry (the Held fast path accepts
-		// it; it releases with the owner's locks at commit). Releasing
-		// before retrying would hand it straight back to the scan
-		// stream and livelock the writer: under sustained scans there
-		// is always a next S request queued, so the conditional attempt
-		// would fail forever.
+		// it; it releases above once the insert lands, or with the
+		// owner's locks at commit). Releasing before retrying would
+		// hand it straight back to the scan stream and livelock the
+		// writer: under sustained scans there is always a next S
+		// request queued, so the conditional attempt would fail
+		// forever.
 	}
 }
 

@@ -63,6 +63,24 @@ type Options struct {
 	// quiescing writers (0 = no background checkpoints; DB.Checkpoint
 	// remains available).
 	CheckpointInterval time.Duration
+	// InlineCheckpointFlush makes every checkpoint flush its dirty-page
+	// snapshot on the caller before returning (the pre-flusher
+	// behaviour). By default checkpoints hand the snapshot to a
+	// dedicated background flusher goroutine — the ARIES "near-free"
+	// variant — which also opportunistically writes back cold dirty
+	// frames between checkpoints; DB.Checkpoint then returns as soon as
+	// the checkpoint record is durable, and DB.CheckpointSync waits for
+	// the flush and the truncation it licenses.
+	InlineCheckpointFlush bool
+	// DisableOptimisticDescent makes every B+tree insert take the
+	// exclusive top-down crab descent (the pre-optimistic behaviour)
+	// instead of the shared-latch descent with version validation.
+	DisableOptimisticDescent bool
+	// DisableAppendDowngrade keeps an inserter's awaited next-key gap
+	// locks until commit (the pre-downgrade behaviour) instead of
+	// releasing them the moment the new entry is visible in its leaf.
+	// Only meaningful at Serializable scan isolation.
+	DisableAppendDowngrade bool
 	// VacuumInterval runs the background MVCC vacuum on this period:
 	// version chains are pruned to the oldest version any live or
 	// future snapshot can still resolve to, and fully-dead keys
@@ -291,6 +309,8 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.kv.noDowngrade = opts.DisableAppendDowngrade
+	db.kv.idx.SetOptimisticDescent(!opts.DisableOptimisticDescent)
 	db.undo.Register(db.kv.idx)
 	// Tombstone-head accounting waits for loser rollback (above): only
 	// then is every head's tombstone flag settled.
@@ -314,6 +334,9 @@ func Open(opts Options) (*DB, error) {
 	}
 	if err := db.kernel.Start(ctx); err != nil {
 		return nil, err
+	}
+	if db.log != nil && !opts.InlineCheckpointFlush {
+		db.txns.StartCheckpointFlusher()
 	}
 	if db.log != nil && opts.CheckpointInterval > 0 {
 		db.ckptStop = make(chan struct{})
@@ -368,8 +391,25 @@ func (db *DB) CheckpointStatus() (failures uint64, lastErr error) {
 // Checkpoint takes a fuzzy checkpoint now: in-flight transactions and
 // concurrent writers are unaffected, recovery scans are bounded to the
 // log suffix, and WAL segments below the new recovery-begin LSN are
-// deleted. Returns the checkpoint record's LSN.
+// deleted. Returns the checkpoint record's LSN. With the background
+// flusher enabled (the default; see Options.InlineCheckpointFlush) the
+// call returns as soon as the checkpoint record is durable — the
+// dirty-page flush, the manifest advance and the segment truncation
+// complete asynchronously, and a background completion failure
+// surfaces as the error of the next checkpoint call. Use
+// CheckpointSync to wait for (and observe errors from) the completion.
 func (db *DB) Checkpoint() (wal.LSN, error) {
+	if db.txns == nil || db.log == nil {
+		return wal.ZeroLSN, txn.ErrNoWAL
+	}
+	return db.txns.CheckpointAsync()
+}
+
+// CheckpointSync takes a fuzzy checkpoint and waits for its completion:
+// when it returns, the dirty-page snapshot is on disk, recovery-begin
+// has advanced, and dead WAL segments are deleted. Flush or manifest
+// errors are returned here rather than deferred to a later call.
+func (db *DB) CheckpointSync() (wal.LSN, error) {
 	if db.txns == nil || db.log == nil {
 		return wal.ZeroLSN, txn.ErrNoWAL
 	}
@@ -614,6 +654,14 @@ func (db *DB) Close(ctx context.Context) error {
 		close(db.ckptStop)
 		<-db.ckptDone
 		db.ckptStop = nil
+	}
+	// Drain the background checkpoint flusher before the final flush:
+	// every enqueued completion runs, and a sticky background failure
+	// surfaces here instead of being lost with the process.
+	if db.txns != nil {
+		if err := db.txns.StopCheckpointFlusher(); err != nil {
+			return err
+		}
 	}
 	// Persist the KV index entry count (not WAL-logged per operation)
 	// before the final flush so a clean reopen needs no recount.
