@@ -30,17 +30,25 @@ bench-snapshot:
 	$(GO) run ./cmd/sbench -exp g6 -json .
 	$(GO) run ./cmd/sbench -exp g7 -json . -keys 8000
 	$(GO) run ./cmd/sbench -exp g9 -json . -keys 4000 -ops 8000 -soak-writers 8
+	$(GO) run ./cmd/sbench -exp g10 -json . -keys 1000000 -g10-put-keys 20000
 
 # Seconds-scale G9 write-path soak for CI: every gate variant (append
 # gap-lock downgrade, optimistic descent, background checkpoint flush)
 # runs its append-heavy and uniform-mixed phases over a file-backed
 # engine with checkpoints and vacuum throughout; torn-scan and
-# isolation-anomaly counters must be zero. No JSON is written.
+# isolation-anomaly counters must be zero. No JSON is written. A
+# seconds-scale G10 bulk-ingest row (Import vs PutBatch vs Put over a
+# file-backed engine, loads verified by count and sampled reads) rides
+# along.
 soak-short:
 	$(GO) run ./cmd/sbench -exp g9 -json '' -keys 500 -ops 1500 -soak-writers 4
+	$(GO) run ./cmd/sbench -exp g10 -json '' -keys 20000 -g10-put-keys 1500
 
 # Crash-recovery suite: kill -9, dropped write-backs, torn page writes,
-# batched transactions — run under the race detector.
+# batched transactions, and the mid-import sweeps (data-device, torn,
+# and log-device crashes inside a bulk load: recovery must land on all
+# imported keys or none — TestKVCrashRecoveryMidImport* matches the
+# pattern below) — run under the race detector.
 crash:
 	$(GO) test -race -run 'TestKVCrashRecovery|TestAbortThenCrashRecovery|TestEngineCrashRecovery|TestCrashMidVacuum' \
 		-count=1 . ./internal/txn/... ./internal/sql/...

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -45,21 +46,33 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated peer addresses for registry gossip")
 	gossipEvery := flag.Duration("gossip", 2*time.Second, "gossip interval")
 	node := flag.String("node", "", "node tag for proximity selection")
+	importFile := flag.String("import", "", "bulk-load key<TAB>value lines from this file (- = stdin), print stats and exit instead of serving")
+	importChunk := flag.Int("import-chunk-pages", 0, "pages per import cancellation/flush chunk (0 = 64)")
+	importSlow := flag.Bool("import-no-fast-path", false, "force the per-key import path (disable the bulk build)")
 	flag.Parse()
 
 	opts := sbdms.Options{
-		Granularity:        sbdms.Granularity(*granularity),
-		BufferFrames:       *frames,
-		BufferPolicy:       *policy,
-		BufferShards:       *shards,
-		WALGroupWindow:     *groupWindow,
-		WALGroupBytes:      *groupBytes,
-		WALCommitSiblings:  *commitSiblings,
-		WALSyncEveryFlush:  *syncEvery,
-		WALSegmentBytes:    *segBytes,
-		CheckpointInterval: *ckptEvery,
-		VacuumInterval:     *vacEvery,
-		ScanIsolation:      sbdms.ScanIsolation(*scanIsolation),
+		Granularity:           sbdms.Granularity(*granularity),
+		BufferFrames:          *frames,
+		BufferPolicy:          *policy,
+		BufferShards:          *shards,
+		WALGroupWindow:        *groupWindow,
+		WALGroupBytes:         *groupBytes,
+		WALCommitSiblings:     *commitSiblings,
+		WALSyncEveryFlush:     *syncEvery,
+		WALSegmentBytes:       *segBytes,
+		CheckpointInterval:    *ckptEvery,
+		VacuumInterval:        *vacEvery,
+		ScanIsolation:         sbdms.ScanIsolation(*scanIsolation),
+		ImportChunkPages:      *importChunk,
+		DisableImportFastPath: *importSlow,
+	}
+	if *importFile != "" {
+		if err := runImport(*importFile, *dataPath, *walPath, *walDir, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "sbdms:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*addr, *dataPath, *walPath, *walDir, opts, *peers, *gossipEvery, *node); err != nil {
 		fmt.Fprintln(os.Stderr, "sbdms:", err)
@@ -67,8 +80,9 @@ func main() {
 	}
 }
 
-func run(addr, dataPath, walPath, walDir string, opts sbdms.Options, peers string, gossipEvery time.Duration, node string) error {
-	ctx := context.Background()
+// openDevices attaches the file-backed data and WAL devices named on
+// the command line to opts (absent flags leave the in-memory defaults).
+func openDevices(dataPath, walPath, walDir string, opts *sbdms.Options) error {
 	if dataPath != "" {
 		dev, err := storage.OpenFileDevice(dataPath)
 		if err != nil {
@@ -89,6 +103,78 @@ func run(addr, dataPath, walPath, walDir string, opts sbdms.Options, peers strin
 			return err
 		}
 		opts.LogDevice = dev
+	}
+	return nil
+}
+
+// runImport bulk-loads key<TAB>value lines into the store and exits:
+// the offline counterpart of the serving mode, using the same Import
+// path (sorted bottom-up build on an empty store, atomic all-or-nothing
+// load otherwise).
+func runImport(file, dataPath, walPath, walDir string, opts sbdms.Options) error {
+	in := os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var keys []string
+	var vals [][]byte
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(text, "\t")
+		if !ok {
+			return fmt.Errorf("import: line %d: no TAB separator", line)
+		}
+		keys = append(keys, k)
+		vals = append(vals, []byte(v))
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if err := openDevices(dataPath, walPath, walDir, &opts); err != nil {
+		return err
+	}
+	db, err := sbdms.Open(opts)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := db.Import(keys, vals); err != nil {
+		_ = db.Close(context.Background())
+		return fmt.Errorf("import: %w", err)
+	}
+	elapsed := time.Since(start)
+	path := "bulk-build"
+	if db.ImportFallbacks() > 0 {
+		path = "per-key fallback"
+	}
+	if err := db.Close(context.Background()); err != nil {
+		return err
+	}
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(len(keys)) / elapsed.Seconds()
+	}
+	fmt.Printf("sbdms: imported %d keys in %v (%.0f keys/s, %s path)\n",
+		len(keys), elapsed.Round(time.Millisecond), rate, path)
+	return nil
+}
+
+func run(addr, dataPath, walPath, walDir string, opts sbdms.Options, peers string, gossipEvery time.Duration, node string) error {
+	ctx := context.Background()
+	if err := openDevices(dataPath, walPath, walDir, &opts); err != nil {
+		return err
 	}
 	db, err := sbdms.Open(opts)
 	if err != nil {

@@ -1,7 +1,7 @@
 // Command sbench regenerates every experiment of EXPERIMENTS.md and
 // prints the result tables. Run all experiments with no arguments, or
 // select one with -exp (f1, f2, f5, f6, f7, g1, g2, g3, g4, g5, g6,
-// g7, g9).
+// g7, g9, g10).
 package main
 
 import (
@@ -44,6 +44,13 @@ var (
 	flagAppendDown  = flag.Bool("append-downgrade", true, "g9 baseline: release awaited append gap locks once the entry is visible (false = hold to commit)")
 	flagInlineCkpt  = flag.Bool("inline-checkpoint-flush", false, "g9 baseline: flush the checkpoint dirty-page snapshot on the caller instead of the background flusher")
 	flagSoakWriters = flag.Int("soak-writers", 8, "g9 concurrent writer goroutines")
+
+	// G10 bulk-ingest knobs. -keys sets the import/putBatch load size
+	// for g10 (use 1000000+ for the committed snapshot); the put-loop
+	// row is capped separately because one commit force per key makes
+	// the full size pointless to wait out.
+	flagG10PutKeys = flag.Int("g10-put-keys", 20000, "g10: per-key Put loop row cap")
+	flagG10Batch   = flag.Int("g10-batch", 10000, "g10: PutBatch chunk size")
 )
 
 // benchRows accumulates the structured rows of the experiment
@@ -100,7 +107,7 @@ func writeReport(dir, exp string, ops, keys int) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|g7|g9|all")
+	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|g7|g9|g10|all")
 	ops := flag.Int("ops", 20000, "operations per measurement")
 	keys := flag.Int("keys", 2000, "key space size")
 	flag.Parse()
@@ -108,9 +115,9 @@ func main() {
 	runners := map[string]func(int, int) error{
 		"f1": runF1, "f2": runF2, "f5": runF5, "f6": runF6, "f7": runF7,
 		"g1": runG1, "g2": runG2, "g3": runG3, "g4": runG4, "g5": runG5, "g6": runG6,
-		"g7": runG7, "g9": runG9,
+		"g7": runG7, "g9": runG9, "g10": runG10,
 	}
-	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6", "g7", "g9"}
+	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6", "g7", "g9", "g10"}
 	sel := strings.ToLower(*exp)
 	if sel == "all" {
 		for _, id := range order {
@@ -701,6 +708,45 @@ func runG9(ops, keys int) error {
 			fmt.Println(m)
 			record(m)
 		}
+	}
+	return nil
+}
+
+// G10: bulk ingest — time-to-load a large key set through the Import
+// fast path (sorted bottom-up tree build, one full-page WAL record per
+// packed page, atomic root install) against a chunked PutBatch loop
+// and a per-key Put loop on identical fresh file-backed engines. The
+// headline ratios: import throughput over the PutBatch loop (target
+// >=5x) and WAL bytes per key (target >=10x fewer).
+func runG10(ops, keys int) error {
+	header("G10 — bulk ingest: Import fast path vs PutBatch loop vs Put loop")
+	cfg := sbdms.BulkLoadConfig{
+		Keys:        keys,
+		PutLoopKeys: *flagG10PutKeys,
+		BatchSize:   *flagG10Batch,
+		Seed:        1,
+	}
+	fmt.Printf("-- %d keys (put-loop capped at %d), %d-key batches, file-backed data+WAL, checkpoints throughout --\n",
+		keys, *flagG10PutKeys, *flagG10Batch)
+	rows := map[string]sbdms.BulkLoadMeasurement{}
+	for _, method := range []string{"import", "putBatch-loop", "put-loop"} {
+		m, err := sbdms.BulkLoad(cfg, method)
+		if err != nil {
+			return err
+		}
+		fmt.Println(m)
+		rows[method] = m
+		record(m)
+	}
+	imp, batch := rows["import"], rows["putBatch-loop"]
+	if imp.KeysPerSec > 0 && batch.KeysPerSec > 0 {
+		speedup := imp.KeysPerSec / batch.KeysPerSec
+		walCut := batch.WALBytesPerKey / imp.WALBytesPerKey
+		fmt.Printf("-- import vs putBatch-loop: %.1fx throughput, %.1fx fewer WAL bytes/key --\n", speedup, walCut)
+		record(struct {
+			ImportSpeedupVsBatch float64 `json:"importSpeedupVsBatch"`
+			WALBytesPerKeyCut    float64 `json:"walBytesPerKeyCut"`
+		}{speedup, walCut})
 	}
 	return nil
 }

@@ -113,6 +113,9 @@ func (s *memStore) PutBatch(_ context.Context, keys []string, vals [][]byte) err
 	}
 	return nil
 }
+func (s *memStore) Import(ctx context.Context, keys []string, vals [][]byte) error {
+	return s.PutBatch(ctx, keys, vals)
+}
 func (s *memStore) Get(_ context.Context, k string) ([]byte, error) {
 	if v, ok := s.m[k]; ok {
 		return v, nil

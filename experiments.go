@@ -926,3 +926,169 @@ func GranularitySweepStorage(mix workload.Mix, keys, nops int, seed int64, st Sw
 	}
 	return out, nil
 }
+
+// BulkLoadConfig configures the G10 bulk-ingest study: time-to-load a
+// large sorted-on-arrival-or-not key set through the Import fast path,
+// compared against a chunked PutBatch loop and a per-key Put loop on
+// identical fresh file-backed engines.
+type BulkLoadConfig struct {
+	// Keys is the total load size for the import and putBatch rows.
+	Keys int
+	// PutLoopKeys caps the per-key Put row (default min(Keys, 20000)):
+	// one transaction and one commit force per key makes the full size
+	// pointless to wait out — the per-key rate is what the row reports.
+	PutLoopKeys int
+	// BatchSize is the PutBatch chunk (default 10000 keys per call).
+	BatchSize int
+	// ValSize is the value payload size (default 64).
+	ValSize int
+	// CheckpointInterval paces background fuzzy checkpoints so the
+	// on-disk WAL stays bounded during the load (default 200ms; WAL
+	// byte counts come from LSN deltas and are unaffected by
+	// truncation).
+	CheckpointInterval time.Duration
+	Seed               int64
+}
+
+func (c *BulkLoadConfig) defaults() {
+	if c.Keys <= 0 {
+		c.Keys = 200000
+	}
+	if c.PutLoopKeys <= 0 {
+		c.PutLoopKeys = 20000
+	}
+	if c.PutLoopKeys > c.Keys {
+		c.PutLoopKeys = c.Keys
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 10000
+	}
+	if c.ValSize <= 0 {
+		c.ValSize = 64
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 200 * time.Millisecond
+	}
+}
+
+// BulkLoadMeasurement is one loader row of the G10 study.
+type BulkLoadMeasurement struct {
+	Method         string // import | putBatch-loop | put-loop
+	Keys           int
+	Elapsed        time.Duration
+	KeysPerSec     float64
+	WALBytes       uint64  // log bytes appended during the load (LSN delta)
+	WALBytesPerKey float64 // the full-page-write economics headline
+	Fallbacks      uint64  // import rows: must be 0 (fast path taken)
+}
+
+// String renders the measurement as a result-table row.
+func (m BulkLoadMeasurement) String() string {
+	return fmt.Sprintf("%-14s keys=%-8d elapsed=%-12v thr=%10.0f keys/s  wal=%8.1f MiB (%6.1f B/key)  fallbacks=%d",
+		m.Method, m.Keys, m.Elapsed.Round(time.Millisecond), m.KeysPerSec,
+		float64(m.WALBytes)/(1<<20), m.WALBytesPerKey, m.Fallbacks)
+}
+
+// bulkLoadData builds n random-order keys (Import sorts internally, so
+// arrival order must not matter) with fixed-size values.
+func bulkLoadData(n, valSize int, seed int64) ([]string, [][]byte) {
+	keys := make([]string, n)
+	vals := make([][]byte, n)
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("g10-%09d", i)
+		vals[i] = val
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	return keys, vals
+}
+
+// BulkLoad runs one loader method on a fresh file-backed engine and
+// returns its row. Every run verifies the loaded store (count plus
+// sampled point reads) before the clock result counts.
+func BulkLoad(cfg BulkLoadConfig, method string) (BulkLoadMeasurement, error) {
+	cfg.defaults()
+	m := BulkLoadMeasurement{Method: method, Keys: cfg.Keys}
+	dir, err := os.MkdirTemp("", "sbdms-g10-")
+	if err != nil {
+		return m, err
+	}
+	defer os.RemoveAll(dir)
+	dev, err := storage.OpenFileDevice(filepath.Join(dir, "data.db"))
+	if err != nil {
+		return m, err
+	}
+	segs, err := wal.NewFileSegmentDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		return m, err
+	}
+	db, err := Open(Options{
+		Device:             dev,
+		LogDir:             segs,
+		Granularity:        Monolithic,
+		BufferFrames:       4096,
+		WALSegmentBytes:    4 << 20,
+		CheckpointInterval: cfg.CheckpointInterval,
+	})
+	if err != nil {
+		return m, err
+	}
+	defer db.Close(context.Background())
+
+	n := cfg.Keys
+	if method == "put-loop" {
+		n = cfg.PutLoopKeys
+		m.Keys = n
+	}
+	keys, vals := bulkLoadData(n, cfg.ValSize, cfg.Seed)
+
+	lsn0 := db.Log().NextLSN()
+	start := time.Now()
+	switch method {
+	case "import":
+		err = db.Import(keys, vals)
+	case "putBatch-loop":
+		for i := 0; i < n && err == nil; i += cfg.BatchSize {
+			end := i + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			err = db.PutBatch(keys[i:end], vals[i:end])
+		}
+	case "put-loop":
+		for i := 0; i < n && err == nil; i++ {
+			err = db.Put(keys[i], vals[i])
+		}
+	default:
+		err = fmt.Errorf("sbdms: unknown bulk-load method %q", method)
+	}
+	if err != nil {
+		return m, err
+	}
+	m.Elapsed = time.Since(start)
+	m.WALBytes = uint64(db.Log().NextLSN() - lsn0)
+	m.Fallbacks = db.ImportFallbacks()
+	if m.Elapsed > 0 {
+		m.KeysPerSec = float64(n) / m.Elapsed.Seconds()
+	}
+	m.WALBytesPerKey = float64(m.WALBytes) / float64(n)
+
+	// The clock only counts if the store actually holds the load.
+	if got := db.KVLen(); got != uint64(n) {
+		return m, fmt.Errorf("sbdms: %s loaded %d keys, want %d", method, got, n)
+	}
+	for i := 0; i < n; i += 1 + n/97 {
+		v, err := db.Get(keys[i])
+		if err != nil {
+			return m, fmt.Errorf("sbdms: %s lost key %q: %w", method, keys[i], err)
+		}
+		if len(v) != cfg.ValSize {
+			return m, fmt.Errorf("sbdms: %s key %q has %d-byte value, want %d", method, keys[i], len(v), cfg.ValSize)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,543 @@
+package sbdms
+
+// Bulk-ingest coverage: the option/error matrix for DB.Import, the
+// fallback accounting, cancellation, vacuum over an imported range, and
+// — as TestKVCrashRecoveryMidImport* — the all-or-nothing crash
+// guarantee: a crash anywhere inside an import recovers to every key or
+// to none, never a partial prefix.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// importTestBatch builds n keys in shuffled (unsorted) order with
+// values that identify their key, so post-import reads can verify the
+// pairing survived the internal sort.
+func importTestBatch(n int, seed int64) ([]string, [][]byte) {
+	keys := make([]string, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("imp-%06d", i)
+		vals[i] = []byte(fmt.Sprintf("val-of-%06d", i))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) {
+		keys[i], keys[j] = keys[j], keys[i]
+		vals[i], vals[j] = vals[j], vals[i]
+	})
+	return keys, vals
+}
+
+// verifyImported asserts every batch key reads back with its value and
+// the count matches.
+func verifyImported(t *testing.T, db *DB, keys []string, vals [][]byte) {
+	t.Helper()
+	if got, want := db.KVLen(), uint64(len(keys)); got != want {
+		t.Fatalf("KVLen = %d, want %d", got, want)
+	}
+	for i, k := range keys {
+		got, err := db.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if string(got) != string(vals[i]) {
+			t.Fatalf("Get(%q) = %q, want %q", k, got, vals[i])
+		}
+	}
+}
+
+// TestImportFastPath loads an empty store through the fast path —
+// enough keys for a multi-level tree — and verifies point reads, scan
+// order, snapshot reads and that no fallback was taken.
+func TestImportFastPath(t *testing.T) {
+	db, err := Open(Options{Granularity: Monolithic, BufferFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close(context.Background())
+	keys, vals := importTestBatch(5000, 1)
+	if err := db.Import(keys, vals); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if got := db.ImportFallbacks(); got != 0 {
+		t.Fatalf("ImportFallbacks = %d, want 0 (fast path)", got)
+	}
+	verifyImported(t, db, keys, vals)
+	// The leaf chain must serve scans in sorted order across page
+	// boundaries.
+	ks, err := db.ScanKeys("", len(keys)+10)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(ks) != len(keys) {
+		t.Fatalf("scan returned %d keys, want %d", len(ks), len(keys))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i-1] >= ks[i] {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, ks[i-1], ks[i])
+		}
+	}
+	// Snapshot reads resolve the imported versions (single commit TS,
+	// completed at import end).
+	if v, err := db.GetSnapshot("imp-000000"); err != nil || string(v) != "val-of-000000" {
+		t.Fatalf("GetSnapshot = %q, %v", v, err)
+	}
+	// The store stays fully writable after the root swap.
+	if err := db.Put("imp-extra", []byte("x")); err != nil {
+		t.Fatalf("put after import: %v", err)
+	}
+	if err := db.DeleteKey("imp-000001"); err != nil {
+		t.Fatalf("delete after import: %v", err)
+	}
+	if got, want := db.KVLen(), uint64(len(keys)); got != want {
+		t.Fatalf("KVLen after put+delete = %d, want %d", got, want)
+	}
+}
+
+// TestImportSurvivesReopen: a clean close and reopen serves the whole
+// imported range from disk.
+func TestImportSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	openDev := func(name string) storage.Device {
+		d, err := storage.OpenFileDevice(dir + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	db, err := Open(Options{Device: openDev("data"), LogDevice: openDev("log"), Granularity: Monolithic, BufferFrames: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := importTestBatch(3000, 2)
+	if err := db.Import(keys, vals); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if err := db.Close(context.Background()); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	db, err = Open(Options{Device: openDev("data"), LogDevice: openDev("log"), Granularity: Monolithic, BufferFrames: 32})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db.Close(context.Background())
+	verifyImported(t, db, keys, vals)
+}
+
+// TestImportErrorMatrix is the option/error matrix: mismatched lengths,
+// duplicates, oversized keys and values are typed rejections that leave
+// the store untouched; unsorted input and the empty batch are fine.
+func TestImportErrorMatrix(t *testing.T) {
+	db, err := Open(Options{Granularity: Monolithic, BufferFrames: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close(context.Background())
+
+	if err := db.Import([]string{"a", "b"}, [][]byte{[]byte("1")}); !errors.Is(err, ErrBatchMismatch) && err == nil {
+		t.Fatalf("mismatched batch: %v", err)
+	}
+	if err := db.Import(nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if err := db.Import([]string{"b", "a", "b"}, [][]byte{{1}, {2}, {3}}); !errors.Is(err, ErrImportDuplicate) {
+		t.Fatalf("duplicate key: %v, want ErrImportDuplicate", err)
+	}
+	bigKey := string(make([]byte, 4*storage.PageSize))
+	if err := db.Import([]string{bigKey}, [][]byte{{1}}); !errors.Is(err, ErrImportKeyTooLarge) {
+		t.Fatalf("oversized key: %v, want ErrImportKeyTooLarge", err)
+	}
+	if err := db.Import([]string{"k"}, [][]byte{make([]byte, 2*storage.PageSize)}); !errors.Is(err, ErrImportValueTooLarge) {
+		t.Fatalf("oversized value: %v, want ErrImportValueTooLarge", err)
+	}
+	// Every rejection happened before any page write: store still empty,
+	// and a subsequent import still takes the fast path.
+	if got := db.KVLen(); got != 0 {
+		t.Fatalf("KVLen after rejected imports = %d, want 0", got)
+	}
+	if err := db.Import([]string{"z", "y", "x"}, [][]byte{{1}, {2}, {3}}); err != nil {
+		t.Fatalf("unsorted import: %v", err)
+	}
+	if got := db.ImportFallbacks(); got != 0 {
+		t.Fatalf("ImportFallbacks = %d, want 0", got)
+	}
+	if ks, err := db.ScanKeys("", 10); err != nil || len(ks) != 3 || ks[0] != "x" || ks[2] != "z" {
+		t.Fatalf("scan after unsorted import = %v, %v", ks, err)
+	}
+}
+
+// TestImportFallbacks: a non-empty store, a disabled fast path, and a
+// disabled WAL must all route through the per-key path — counted, and
+// still correct (including overwrites of existing keys).
+func TestImportFallbacks(t *testing.T) {
+	t.Run("nonEmptyTree", func(t *testing.T) {
+		db, err := Open(Options{Granularity: Monolithic, BufferFrames: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close(context.Background())
+		if err := db.Put("imp-000001", []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+		keys, vals := importTestBatch(50, 3)
+		if err := db.Import(keys, vals); err != nil {
+			t.Fatalf("import: %v", err)
+		}
+		if got := db.ImportFallbacks(); got != 1 {
+			t.Fatalf("ImportFallbacks = %d, want 1", got)
+		}
+		// The import overwrote the pre-existing key.
+		verifyImported(t, db, keys, vals)
+	})
+	t.Run("disabledFastPath", func(t *testing.T) {
+		db, err := Open(Options{Granularity: Monolithic, BufferFrames: 32, DisableImportFastPath: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close(context.Background())
+		keys, vals := importTestBatch(50, 4)
+		if err := db.Import(keys, vals); err != nil {
+			t.Fatalf("import: %v", err)
+		}
+		if got := db.ImportFallbacks(); got != 1 {
+			t.Fatalf("ImportFallbacks = %d, want 1", got)
+		}
+		verifyImported(t, db, keys, vals)
+	})
+	t.Run("unlogged", func(t *testing.T) {
+		db, err := Open(Options{Granularity: Monolithic, BufferFrames: 32, DisableWAL: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close(context.Background())
+		keys, vals := importTestBatch(50, 5)
+		if err := db.Import(keys, vals); err != nil {
+			t.Fatalf("import: %v", err)
+		}
+		if got := db.ImportFallbacks(); got != 1 {
+			t.Fatalf("ImportFallbacks = %d, want 1", got)
+		}
+		verifyImported(t, db, keys, vals)
+	})
+}
+
+// TestImportCancelLeavesNoState: a cancellation observed mid-load rolls
+// the whole import back — no keys, no count, and the freed pages leave
+// the engine fully reusable (the next import fast-paths again).
+func TestImportCancelLeavesNoState(t *testing.T) {
+	db, err := Open(Options{Granularity: Monolithic, BufferFrames: 64, ImportChunkPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close(context.Background())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // chunk pacing observes this after the first page
+	keys, vals := importTestBatch(2000, 6)
+	if err := db.ImportContext(ctx, keys, vals); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled import: %v, want context.Canceled", err)
+	}
+	if got := db.KVLen(); got != 0 {
+		t.Fatalf("KVLen after cancelled import = %d, want 0", got)
+	}
+	if _, err := db.Get(keys[0]); err == nil || !isNotFound(err) {
+		t.Fatalf("Get after cancelled import: %v, want not-found", err)
+	}
+	// Engine unharmed: the retry loads through the fast path.
+	if err := db.Import(keys, vals); err != nil {
+		t.Fatalf("import after cancel: %v", err)
+	}
+	if got := db.ImportFallbacks(); got != 0 {
+		t.Fatalf("ImportFallbacks = %d, want 0", got)
+	}
+	verifyImported(t, db, keys, vals)
+}
+
+// TestImportGranularities drives the import op through every service
+// decomposition profile, including the serializable isolation variant.
+func TestImportGranularities(t *testing.T) {
+	for _, g := range Granularities {
+		t.Run(string(g), func(t *testing.T) {
+			db, err := Open(Options{Granularity: g, BufferFrames: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close(context.Background())
+			keys, vals := importTestBatch(500, 7)
+			if err := db.Import(keys, vals); err != nil {
+				t.Fatalf("import via %s: %v", g, err)
+			}
+			verifyImported(t, db, keys, vals)
+		})
+	}
+	t.Run("serializable", func(t *testing.T) {
+		db, err := Open(Options{Granularity: Monolithic, BufferFrames: 64, ScanIsolation: Serializable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close(context.Background())
+		keys, vals := importTestBatch(500, 8)
+		if err := db.Import(keys, vals); err != nil {
+			t.Fatalf("import: %v", err)
+		}
+		verifyImported(t, db, keys, vals)
+		if ks, err := db.ScanKeys("", 600); err != nil || len(ks) != 500 {
+			t.Fatalf("serializable scan after import: %d keys, %v", len(ks), err)
+		}
+	})
+}
+
+// TestImportThenVacuum: vacuum over an imported range reclaims deleted
+// keys' versions and leaves the survivors intact — the imported
+// (pre-stamped) version cells behave exactly like per-key committed
+// versions.
+func TestImportThenVacuum(t *testing.T) {
+	db, err := Open(Options{Granularity: Monolithic, BufferFrames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close(context.Background())
+	keys, vals := importTestBatch(1000, 9)
+	if err := db.Import(keys, vals); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	for i := 0; i < 1000; i += 2 {
+		if err := db.DeleteKey(fmt.Sprintf("imp-%06d", i)); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+	}
+	st, err := db.Vacuum()
+	if err != nil {
+		t.Fatalf("vacuum: %v", err)
+	}
+	if st.KeysRemoved == 0 {
+		t.Fatalf("vacuum reclaimed nothing over imported range: %+v", st)
+	}
+	if got := db.KVLen(); got != 500 {
+		t.Fatalf("KVLen after vacuum = %d, want 500", got)
+	}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("imp-%06d", i)
+		_, err := db.Get(k)
+		if i%2 == 0 {
+			if err == nil || !isNotFound(err) {
+				t.Fatalf("deleted %q after vacuum: %v", k, err)
+			}
+		} else if err != nil {
+			t.Fatalf("survivor %q lost after vacuum: %v", k, err)
+		}
+	}
+}
+
+// TestImportConcurrentWriters races an import on an EMPTY store against
+// per-key writers and snapshot scanners. Whoever wins the install race,
+// every committed key must survive, and no snapshot may ever observe a
+// partial import — the imported range appears as one atomic cut.
+func TestImportConcurrentWriters(t *testing.T) {
+	db, err := Open(Options{Granularity: Monolithic, BufferFrames: 128, ImportChunkPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close(context.Background())
+	const nImp, nPut = 2000, 200
+	keys, vals := importTestBatch(nImp, 11)
+	done := make(chan error, 2)
+	go func() { done <- db.Import(keys, vals) }()
+	go func() {
+		for i := 0; i < nPut; i++ {
+			if err := db.Put(fmt.Sprintf("put-%04d", i), []byte("w")); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	partial := make(chan int, 1)
+	stopScan := make(chan struct{})
+	go func() {
+		defer close(partial)
+		for {
+			select {
+			case <-stopScan:
+				return
+			default:
+			}
+			ks, err := db.ScanKeysSnapshot("imp-", nImp+1)
+			if err != nil {
+				continue
+			}
+			n := 0
+			for _, k := range ks {
+				if len(k) > 4 && k[:4] == "imp-" {
+					n++
+				}
+			}
+			if n != 0 && n != nImp {
+				partial <- n
+				return
+			}
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent run: %v", err)
+		}
+	}
+	close(stopScan)
+	if n, ok := <-partial; ok {
+		t.Fatalf("snapshot scan observed PARTIAL import: %d of %d keys", n, nImp)
+	}
+	if got, want := db.KVLen(), uint64(nImp+nPut); got != want {
+		t.Fatalf("KVLen = %d, want %d", got, want)
+	}
+	for i, k := range keys {
+		if got, err := db.Get(k); err != nil || string(got) != string(vals[i]) {
+			t.Fatalf("Get(%q) = %q, %v", k, got, err)
+		}
+	}
+	for i := 0; i < nPut; i++ {
+		if _, err := db.Get(fmt.Sprintf("put-%04d", i)); err != nil {
+			t.Fatalf("concurrent put key lost: %v", err)
+		}
+	}
+}
+
+// importCrashN is sized so the import spans many pages (and therefore
+// many fault-device writes) while staying fast under -race.
+const importCrashN = 2000
+
+// verifyImportAllOrNothing reopens from the surviving devices and
+// asserts the import's crash contract: every key present, or none.
+func verifyImportAllOrNothing(t *testing.T, dataDev, logDev storage.Device, keys []string, vals [][]byte) {
+	t.Helper()
+	db, err := Open(Options{Device: dataDev, LogDevice: logDev, Granularity: Monolithic, BufferFrames: 64})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db.Close(context.Background())
+	switch got := db.KVLen(); got {
+	case 0:
+		for _, i := range []int{0, len(keys) / 2, len(keys) - 1} {
+			if _, err := db.Get(keys[i]); err == nil || !isNotFound(err) {
+				t.Fatalf("rolled-back import: Get(%q) = %v, want not-found", keys[i], err)
+			}
+		}
+		// The rolled-back store must accept a fresh import.
+		if err := db.Import(keys[:10], vals[:10]); err != nil {
+			t.Fatalf("import after rolled-back import: %v", err)
+		}
+		if got := db.KVLen(); got != 10 {
+			t.Fatalf("KVLen after re-import = %d, want 10", got)
+		}
+	case uint64(len(keys)):
+		for _, i := range []int{0, 1, len(keys) / 3, len(keys) / 2, len(keys) - 2, len(keys) - 1} {
+			got, err := db.Get(keys[i])
+			if err != nil {
+				t.Fatalf("committed import: Get(%q): %v", keys[i], err)
+			}
+			if string(got) != string(vals[i]) {
+				t.Fatalf("committed import: Get(%q) = %q, want %q", keys[i], got, vals[i])
+			}
+		}
+	default:
+		t.Fatalf("PARTIAL import after crash: KVLen = %d, want 0 or %d", got, len(keys))
+	}
+}
+
+// TestKVCrashRecoveryMidImportKill9 crashes the DATA device after a
+// sweep of write counts while an import is in flight (a tiny pool
+// forces write-back traffic throughout), then abandons the process
+// without a flush. Recovery must land on all keys or none.
+func TestKVCrashRecoveryMidImportKill9(t *testing.T) {
+	for _, crashAfter := range []int{0, 2, 9, 33, 80} {
+		t.Run(fmt.Sprintf("crashAfter=%d", crashAfter), func(t *testing.T) {
+			inner, logDev := storage.NewMemDevice(), storage.NewMemDevice()
+			fault := storage.NewFaultDevice(inner)
+			db := openCrashDB(t, fault, logDev)
+			keys, vals := importTestBatch(importCrashN, int64(crashAfter)+20)
+			fault.CrashAfterWrites(crashAfter, 0)
+			// The import may fail (device died under it) — that is the
+			// point; only the recovered state matters.
+			_ = db.Import(keys, vals)
+			abandon(db)
+			verifyImportAllOrNothing(t, inner, logDev, keys, vals)
+		})
+	}
+}
+
+// TestKVCrashRecoveryMidImportTornWrite is the kill-9 sweep with the
+// crashing data-device write torn mid-page, so recovery must also
+// detect the checksum failure and rebuild the page from logged images.
+func TestKVCrashRecoveryMidImportTornWrite(t *testing.T) {
+	for _, crashAfter := range []int{1, 7, 25} {
+		t.Run(fmt.Sprintf("crashAfter=%d", crashAfter), func(t *testing.T) {
+			inner, logDev := storage.NewMemDevice(), storage.NewMemDevice()
+			fault := storage.NewFaultDevice(inner)
+			db := openCrashDB(t, fault, logDev)
+			keys, vals := importTestBatch(importCrashN, int64(crashAfter)+40)
+			fault.CrashAfterWrites(crashAfter, storage.PageSize/2)
+			_ = db.Import(keys, vals)
+			abandon(db)
+			verifyImportAllOrNothing(t, inner, logDev, keys, vals)
+		})
+	}
+}
+
+// TestKVCrashRecoveryMidImportLogDevice crashes the LOG device instead:
+// the WAL holds an arbitrary prefix of the import's records. Without a
+// commit record recovery classifies the import as a loser and rolls it
+// back wholesale; with one it replays everything. Never a prefix.
+func TestKVCrashRecoveryMidImportLogDevice(t *testing.T) {
+	for _, crashAfter := range []int{1, 4, 12, 48} {
+		t.Run(fmt.Sprintf("crashAfter=%d", crashAfter), func(t *testing.T) {
+			dataDev, inner := storage.NewMemDevice(), storage.NewMemDevice()
+			fault := storage.NewFaultDevice(inner)
+			db, err := Open(Options{
+				Device:       dataDev,
+				LogDevice:    fault,
+				Granularity:  Monolithic,
+				BufferFrames: 64,
+				// One-page chunks force frequent WAL flushes, spreading
+				// the import across many log-device writes so the sweep
+				// hits genuinely different prefixes.
+				ImportChunkPages: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys, vals := importTestBatch(importCrashN, int64(crashAfter)+60)
+			fault.CrashAfterWrites(crashAfter, 0)
+			_ = db.Import(keys, vals)
+			abandon(db)
+			verifyImportAllOrNothing(t, dataDev, inner, keys, vals)
+		})
+	}
+}
+
+// TestKVCrashRecoveryAfterImport: kill -9 immediately after a
+// successful import, before any page flush — the imported tree exists
+// ONLY as WAL full-page images, and redo must rebuild every heap and
+// index page from them.
+func TestKVCrashRecoveryAfterImport(t *testing.T) {
+	dataDev, logDev := storage.NewMemDevice(), storage.NewMemDevice()
+	db, err := Open(Options{Device: dataDev, LogDevice: logDev, Granularity: Monolithic, BufferFrames: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, vals := importTestBatch(importCrashN, 10)
+	if err := db.Import(keys, vals); err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	abandon(db)
+	db2, err := Open(Options{Device: dataDev, LogDevice: logDev, Granularity: Monolithic, BufferFrames: 64})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close(context.Background())
+	verifyImported(t, db2, keys, vals)
+}

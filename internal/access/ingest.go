@@ -1,0 +1,87 @@
+package access
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/storage"
+)
+
+// MaxRecordLen is the largest record a slotted page (and therefore
+// AppendPacked) accepts. Exported so bulk-ingest callers can validate a
+// batch before paying any page writes.
+const MaxRecordLen = maxRecordLen
+
+// AppendPacked writes recs into freshly allocated heap pages, packing
+// each page as full as it goes and logging ONE WAL record per filled
+// page instead of one per record. The pages are file-less: they are
+// allocated straight from the pool and never linked into a heap file's
+// page chain, so concurrent Inserts probing the chain tail or the
+// free-space hints can never interleave records onto them — which is
+// what makes the single full-page image (and its physical before-image
+// undo) sound. RID-based access (Get, StampBytes, vacuum's purge) works
+// on them exactly as on chained pages.
+//
+// Every page is logged under tx with nil undo: the before image of a
+// fresh page is zeros and its LSN 0 predates every full-page-write
+// fence, so the record is a full page image — redo reconstructs the
+// page from nothing and a crashed (loser) import rolls back physically.
+// Callers MUST therefore log nothing with logical undo under tx and
+// must hold off publishing the RIDs (index install) until the batch is
+// complete.
+//
+// pageDone, when non-nil, runs after each page is sealed with the page
+// id and the number of records it took — the bulk loader's cancellation
+// and flush-pacing hook. On any error the pages allocated so far are
+// returned so the caller can free them after rolling back.
+func (h *HeapFile) AppendPacked(tx TxnContext, recs [][]byte, pageDone func(pid storage.PageID, n int) error) ([]RID, []storage.PageID, error) {
+	for _, rec := range recs {
+		if len(rec) > maxRecordLen {
+			return nil, nil, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(rec))
+		}
+	}
+	rids := make([]RID, 0, len(recs))
+	var pages []storage.PageID
+	log := h.getLog()
+	i := 0
+	for i < len(recs) {
+		f, err := h.pool.NewPageLatched(storage.PageTypeHeap)
+		if err != nil {
+			return nil, pages, err
+		}
+		pid := f.ID
+		pages = append(pages, pid)
+		start := i
+		err = LogLatchedMutation(log, tx, f, nil, func(p *storage.Page) error {
+			sp := InitSlotted(p)
+			for i < len(recs) {
+				slot, err := sp.Insert(recs[i])
+				if errors.Is(err, ErrPageFull) {
+					break
+				}
+				if err != nil {
+					return err
+				}
+				rids = append(rids, RID{Page: pid, Slot: uint16(slot)})
+				i++
+			}
+			return nil
+		})
+		if uerr := h.pool.UnpinLatched(pid, true, err == nil); uerr != nil && err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return nil, pages, err
+		}
+		if i == start {
+			// Cannot happen after the size pre-check; guard the loop anyway.
+			return nil, pages, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, len(recs[i]))
+		}
+		if pageDone != nil {
+			if err := pageDone(pid, i-start); err != nil {
+				return nil, pages, err
+			}
+		}
+	}
+	return rids, pages, nil
+}

@@ -31,6 +31,12 @@ var durabilityMethods = []struct {
 	{txnPath, "LockManager", []string{"Acquire", "TryAcquire"}},
 	{txnPath, "Txn", []string{"Lock"}},
 	{bufferPath, "Manager", []string{"FlushAll", "FlushPages"}},
+	// Bulk-ingest entry points: a discarded AppendPacked/BulkBuild error
+	// leaks unpublished pages, a discarded InstallRoot error publishes
+	// nothing while the caller thinks it committed, and a discarded
+	// FreePages error silently leaks the detached old root.
+	{accessPath, "HeapFile", []string{"AppendPacked"}},
+	{indexPath, "BTree", []string{"BulkBuild", "InstallRoot", "FreePages"}},
 }
 
 // durabilityCall resolves call to one of the guarded methods, returning

@@ -10,6 +10,7 @@ import (
 
 // Import paths of the engine packages whose APIs the analyzers key on.
 const (
+	accessPath = "repro/internal/access"
 	bufferPath = "repro/internal/buffer"
 	indexPath  = "repro/internal/index"
 	txnPath    = "repro/internal/txn"

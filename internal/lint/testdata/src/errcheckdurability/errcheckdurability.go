@@ -6,7 +6,9 @@ package errcheckdurability
 import (
 	"context"
 
+	"repro/internal/access"
 	"repro/internal/buffer"
+	"repro/internal/index"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -33,6 +35,15 @@ func blankAssigns(log *wal.Log, mgr *txn.Manager, tx *txn.Txn, rec *wal.Record) 
 	_, _ = log.Append(rec)         // want `result of \(Log\)\.Append discarded`
 	lsn, _ := mgr.CommitAppend(tx) // want `result of \(Manager\)\.CommitAppend discarded`
 	return lsn
+}
+
+// bulkIngest: the bulk-load entry points carry page-leak and
+// publication outcomes — discarding any of them is flagged.
+func bulkIngest(tx *txn.Txn, h *access.HeapFile, t *index.BTree, recs [][]byte, items []index.BulkItem) {
+	h.AppendPacked(tx, recs, nil)     // want `result of \(HeapFile\)\.AppendPacked discarded`
+	t.BulkBuild(tx, items, nil)       // want `result of \(BTree\)\.BulkBuild discarded`
+	_, _, _ = t.InstallRoot(tx, 0, 1) // want `result of \(BTree\)\.InstallRoot discarded`
+	t.FreePages(nil)                  // want `result of \(BTree\)\.FreePages discarded`
 }
 
 // checkedResults: keeping the error or bool in a named variable is the

@@ -126,6 +126,22 @@ func (t *Txn) CommitTS() uint64 {
 	return t.commitTS
 }
 
+// SetCommitTS pre-stamps the transaction with an externally allocated
+// commit timestamp. Bulk ingest writes its version cells with the
+// commit timestamp already in the begin field (no per-version stamping
+// callbacks), but the commit record must still embed the timestamp —
+// recovery reseeds the oracle's clock from commit records, and a clock
+// below the imported versions would let a post-crash commit outrank
+// them. The caller owns the timestamp's lifecycle: it allocated it from
+// the oracle and must Complete it after the commit is durable (or after
+// a clean rollback); the manager completes only timestamps it allocated
+// itself.
+func (t *Txn) SetCommitTS(ts uint64) {
+	t.mu.Lock()
+	t.commitTS = ts
+	t.mu.Unlock()
+}
+
 func (t *Txn) takeCommitted() []func() {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -235,6 +235,16 @@ func Recover(l *Log, store storage.PageStore) (RecoveryStats, error) {
 	}
 	sort.Slice(losers, func(i, j int) bool { return losers[i].LSN > losers[j].LSN })
 	for _, rec := range losers {
+		if rec.RedoOnly() {
+			// Never undone — not even physically. A redo-only record is
+			// either a compensation (its effect IS an undo) or a
+			// content-preserving reorganisation (a slotted-page
+			// compaction logged by a failed insert attempt) on a page
+			// other transactions kept writing: restoring its before
+			// image would wipe their later committed bytes. The live
+			// rollback path skips these for the same reason.
+			continue
+		}
 		if err := apply(rec, rec.Before); err != nil {
 			return st, fmt.Errorf("wal: undo: %w", err)
 		}

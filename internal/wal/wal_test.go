@@ -351,6 +351,49 @@ func TestRecoverMixedTransactions(t *testing.T) {
 	}
 }
 
+// TestRecoverLoserRedoOnlyNotUndone pins the rule that physical undo
+// skips redo-only records. A failed slotted-page insert logs the
+// compaction it performed as a redo-only record; if that transaction
+// then dies without any logical-undo record it is rolled back
+// physically — and restoring the compaction's before image would wipe
+// every byte later committed transactions wrote into the reorganised
+// layout (the TestKVCrashRecoveryConcurrentMidWriteBack resurrection:
+// a commit-timestamp stamp applied at the post-compaction cell offset
+// vanished under the loser's before image).
+func TestRecoverLoserRedoOnlyNotUndone(t *testing.T) {
+	l, _ := newLog(t)
+	disk, _ := storage.OpenDisk(storage.NewMemDevice())
+	pid, _ := disk.Allocate()
+	off := storage.HeaderSize
+
+	writeAt(t, disk, pid, off, []byte("AAAA"), 0)
+	// Txn 8 inserts, txn 9 reorganises the page (redo-only: content-
+	// preserving, never undone), txn 8 stamps over the reorganised
+	// layout and commits. Txn 9 is still in flight at the crash, with
+	// no logical-undo records — a physical loser.
+	_, _ = l.Append(&Record{Txn: 8, Type: RecBegin})
+	_, _ = l.Append(&Record{Txn: 8, Type: RecUpdate, PageID: pid, Offset: uint16(off),
+		Before: []byte("AAAA"), After: []byte("BBBB")})
+	_, _ = l.Append(&Record{Txn: 9, Type: RecBegin})
+	_, _ = l.Append(&Record{Txn: 9, Type: RecUpdate, PageID: pid, Offset: uint16(off),
+		Before: []byte("BBBB"), After: []byte("CCCC"), Undo: UndoNone})
+	_, _ = l.Append(&Record{Txn: 8, Type: RecUpdate, PageID: pid, Offset: uint16(off),
+		Before: []byte("CCCC"), After: []byte("DDDD")})
+	_, _ = l.Append(&Record{Txn: 8, Type: RecCommit})
+	_ = l.Flush(l.NextLSN())
+
+	st, err := Recover(l, disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Undone != 0 {
+		t.Fatalf("stats = %+v, redo-only loser record must not be undone", st)
+	}
+	if got := readAt(t, disk, pid, off, 4); string(got) != "DDDD" {
+		t.Fatalf("page = %q, want committed DDDD to survive the loser's rollback", got)
+	}
+}
+
 func TestBeforeEvictHookFlushes(t *testing.T) {
 	l, _ := newLog(t)
 	hook := l.BeforeEvict()

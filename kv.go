@@ -148,6 +148,15 @@ type kvCore struct {
 	poisoned atomic.Bool // fast-path flag for failed != nil
 	failedMu sync.Mutex
 	failed   error // fatal engine fault; all further operations refused
+
+	// Bulk-ingest fast path (import.go). log is the WAL handle for
+	// chunk pacing flushes (nil in unlogged mode); freePages is the
+	// file manager's logged free path for abandoned bulk pages.
+	log              *wal.Log
+	freePages        func([]storage.PageID) error
+	importChunkPages int  // pages between cancellation checks/flushes (0 = default)
+	importFastOff    bool // Options.DisableImportFastPath
+	importFallbacks  atomic.Uint64
 }
 
 func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager, log *wal.Log, name string, recount bool, iso ScanIsolation) (*kvCore, error) {
@@ -160,6 +169,7 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager,
 		return nil, err
 	}
 	kv := &kvCore{heap: heap, idx: idx, serializable: iso == Serializable, metaPid: metaPid, pool: pool}
+	kv.freePages = fm.FreePagesLogged
 	idx.SetFreer(fm.FreePagesLogged)
 	if txns != nil {
 		kv.locks = txns.Locks()
@@ -174,6 +184,7 @@ func newKVCore(fm *storage.FileManager, pool *buffer.Manager, txns *txn.Manager,
 	}
 	kv.deadStale = true
 	if log != nil && txns != nil {
+		kv.log = log
 		heap.SetLog(log)
 		idx.SetLog(log)
 		heap.SetSystemTxns(txns.SystemHooks())
@@ -240,17 +251,17 @@ func (kv *kvCore) recountDead() error {
 		return nil
 	}
 	var dead int64
-	err := kv.idx.Range(kv.key(""), nil, func(_ []byte, rid access.RID) error {
+	err := kv.idx.Range(kv.key(""), nil, func(key []byte, rid access.RID) error {
 		cell, err := kv.heap.Get(rid)
 		if err != nil {
 			if errors.Is(err, access.ErrNoSlot) {
 				return nil
 			}
-			return err
+			return fmt.Errorf("entry %q rid {%d %d}: %w", key, rid.Page, rid.Slot, err)
 		}
 		meta, _, err := access.DecodeVersion(cell)
 		if err != nil {
-			return err
+			return fmt.Errorf("entry %q rid {%d %d}: %w", key, rid.Page, rid.Slot, err)
 		}
 		if meta.Committed() && meta.Tombstone() {
 			dead++

@@ -81,6 +81,15 @@ type Options struct {
 	// releasing them the moment the new entry is visible in its leaf.
 	// Only meaningful at Serializable scan isolation.
 	DisableAppendDowngrade bool
+	// ImportChunkPages is how many bulk pages DB.Import writes between
+	// cancellation checks and pacing WAL flushes (0 = 64, about 256 KiB
+	// per chunk). Larger chunks shave a little flush overhead at the
+	// cost of cancellation latency and WAL-buffer memory.
+	ImportChunkPages int
+	// DisableImportFastPath makes DB.Import always take the per-key
+	// insert path (the pre-bulk-build behaviour), even on an empty
+	// store. The batch still loads atomically.
+	DisableImportFastPath bool
 	// VacuumInterval runs the background MVCC vacuum on this period:
 	// version chains are pruned to the oldest version any live or
 	// future snapshot can still resolve to, and fully-dead keys
@@ -310,6 +319,8 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	db.kv.noDowngrade = opts.DisableAppendDowngrade
+	db.kv.importChunkPages = opts.ImportChunkPages
+	db.kv.importFastOff = opts.DisableImportFastPath
 	db.kv.idx.SetOptimisticDescent(!opts.DisableOptimisticDescent)
 	db.undo.Register(db.kv.idx)
 	// Tombstone-head accounting waits for loser rollback (above): only
@@ -537,6 +548,34 @@ func (db *DB) PutBatch(keys []string, vals [][]byte) error {
 func (db *DB) PutBatchContext(ctx context.Context, keys []string, vals [][]byte) error {
 	return db.kvPath.PutBatch(ctx, keys, vals)
 }
+
+// Import bulk-loads key-value pairs through the configured service
+// path. The batch may arrive in any order (it is sorted internally);
+// duplicate keys are rejected with ErrImportDuplicate and oversized
+// entries with ErrImportKeyTooLarge / ErrImportValueTooLarge, before
+// any page is written. On an empty store the load takes the fast path:
+// version cells packed page-at-a-time with one WAL record per page, the
+// B+tree built bottom-up and published atomically by swapping the meta
+// root pointer. On a non-empty store (or with the fast path disabled)
+// it falls back to one atomic per-key transaction — see
+// ImportFallbacks. Either way the whole batch becomes visible at one
+// commit timestamp: a crash mid-import recovers to all of the keys or
+// none of them.
+func (db *DB) Import(keys []string, vals [][]byte) error {
+	return db.kvPath.Import(context.Background(), keys, vals)
+}
+
+// ImportContext is Import with a cancellation context: a cancel
+// observed mid-load rolls the whole import back and leaves no partial
+// state.
+func (db *DB) ImportContext(ctx context.Context, keys []string, vals [][]byte) error {
+	return db.kvPath.Import(ctx, keys, vals)
+}
+
+// ImportFallbacks reports how many Import calls bypassed the bulk fast
+// path (non-empty store, DisableImportFastPath, WAL disabled, or a lost
+// race against a concurrent insert) and loaded per-key instead.
+func (db *DB) ImportFallbacks() uint64 { return db.kv.ImportFallbacks() }
 
 // Get fetches a value through the configured service path.
 func (db *DB) Get(key string) ([]byte, error) {

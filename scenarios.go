@@ -65,6 +65,12 @@ func (b *kvEchoBackend) PutBatch(_ context.Context, keys []string, vals [][]byte
 	return nil
 }
 
+// Import on the stand-in provider is a plain PutBatch: the map has no
+// tree to bulk-build, and duplicate keys simply overwrite.
+func (b *kvEchoBackend) Import(ctx context.Context, keys []string, vals [][]byte) error {
+	return b.PutBatch(ctx, keys, vals)
+}
+
 func (b *kvEchoBackend) Get(_ context.Context, k string) ([]byte, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -280,6 +286,9 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 			{Name: "fetch", In: "string", Out: "[]byte", Semantic: "kv.get"},
 			{Name: "store", In: "sbdms.legacyPut", Out: "bool", Semantic: "kv.put"},
 			{Name: "storeMany", In: "sbdms.legacyBatch", Out: "bool", Semantic: "kv.putBatch"},
+			// Bulk loads degrade to a plain batch store: the legacy map
+			// has no tree to build, but the semantic is satisfied.
+			{Name: "loadAll", In: "sbdms.legacyBatch", Out: "bool", Semantic: "kv.import"},
 			{Name: "remove", In: "string", Out: "bool", Semantic: "kv.delete"},
 			{Name: "list", In: "sbdms.legacyScan", Out: "[]string", Semantic: "kv.scan"},
 			// The legacy store is single-version: its current state IS
@@ -313,6 +322,10 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 		p := req.(legacyBatch)
 		return true, legacy.PutBatch(ctx, p.Ks, p.Vs)
 	})
+	lsvc.Handle("loadAll", func(ctx context.Context, req any) (any, error) {
+		p := req.(legacyBatch)
+		return true, legacy.Import(ctx, p.Ks, p.Vs)
+	})
 	lsvc.Handle("remove", func(ctx context.Context, req any) (any, error) { return true, legacy.Delete(ctx, req.(string)) })
 	lsvc.Handle("list", func(ctx context.Context, req any) (any, error) {
 		p := req.(legacyScan)
@@ -341,6 +354,10 @@ func ScenarioAdaptation(ctx context.Context, db *DB, opsPerPhase int) (ScenarioR
 	})
 	repo.PutTransform("sbdms.KVBatchRequest", "sbdms.legacyBatch", func(v any) (any, error) {
 		r := v.(KVBatchRequest)
+		return legacyBatch{Ks: r.Keys, Vs: r.Vals}, nil
+	})
+	repo.PutTransform("sbdms.KVImportRequest", "sbdms.legacyBatch", func(v any) (any, error) {
+		r := v.(KVImportRequest)
 		return legacyBatch{Ks: r.Keys, Vs: r.Vals}, nil
 	})
 

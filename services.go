@@ -40,6 +40,12 @@ type (
 		Keys []string
 		Vals [][]byte
 	}
+	// KVImportRequest bulk-loads key/value pairs through the sorted
+	// bottom-up build fast path (per-key fallback on a non-empty store).
+	KVImportRequest struct {
+		Keys []string
+		Vals [][]byte
+	}
 	// KVScanRequest asks for up to N keys from Key onward.
 	KVScanRequest struct {
 		Key string
@@ -54,6 +60,7 @@ func init() {
 	gob.Register(PageWriteRequest{})
 	gob.Register(KVPutRequest{})
 	gob.Register(KVBatchRequest{})
+	gob.Register(KVImportRequest{})
 	gob.Register(KVScanRequest{})
 	gob.Register(RecordPutRequest{})
 	gob.Register(storage.PageID(0))
@@ -200,6 +207,10 @@ func KVContract() *core.Contract {
 			{Name: "get", In: "string", Out: "[]byte", Semantic: "kv.get"},
 			{Name: "put", In: "sbdms.KVPutRequest", Out: "bool", Semantic: "kv.put"},
 			{Name: "putBatch", In: "sbdms.KVBatchRequest", Out: "bool", Semantic: "kv.putBatch"},
+			// Import is the bulk-ingest path: the batch is sorted and
+			// loaded as one transaction at one commit timestamp, through
+			// the bottom-up tree build when the store is empty.
+			{Name: "import", In: "sbdms.KVImportRequest", Out: "bool", Semantic: "kv.import"},
 			{Name: "delete", In: "string", Out: "bool", Semantic: "kv.delete"},
 			// Scan honours the engine's configured ScanIsolation: at
 			// serializable the result is an atomic (phantom-free)
@@ -225,6 +236,7 @@ func KVContract() *core.Contract {
 type kvBackend interface {
 	Put(ctx context.Context, k string, v []byte) error
 	PutBatch(ctx context.Context, keys []string, vals [][]byte) error
+	Import(ctx context.Context, keys []string, vals [][]byte) error
 	Get(ctx context.Context, k string) ([]byte, error)
 	Delete(ctx context.Context, k string) error
 	Scan(ctx context.Context, from string, n int) ([]string, error)
@@ -256,6 +268,13 @@ func NewKVService(name string, backend kvBackend) *core.BaseService {
 			return nil, &core.RequestError{Op: "putBatch", Want: "sbdms.KVBatchRequest", Got: core.TypeName(req)}
 		}
 		return true, backend.PutBatch(ctx, r.Keys, r.Vals)
+	})
+	s.Handle("import", func(ctx context.Context, req any) (any, error) {
+		r, ok := req.(KVImportRequest)
+		if !ok {
+			return nil, &core.RequestError{Op: "import", Want: "sbdms.KVImportRequest", Got: core.TypeName(req)}
+		}
+		return true, backend.Import(ctx, r.Keys, r.Vals)
 	})
 	s.Handle("delete", func(ctx context.Context, req any) (any, error) {
 		k, ok := req.(string)
@@ -308,6 +327,12 @@ func (c *KVClient) Put(ctx context.Context, k string, v []byte) error {
 // PutBatch implements kvBackend.
 func (c *KVClient) PutBatch(ctx context.Context, keys []string, vals [][]byte) error {
 	_, err := c.inv.Invoke(ctx, "putBatch", KVBatchRequest{Keys: keys, Vals: vals})
+	return err
+}
+
+// Import implements kvBackend.
+func (c *KVClient) Import(ctx context.Context, keys []string, vals [][]byte) error {
+	_, err := c.inv.Invoke(ctx, "import", KVImportRequest{Keys: keys, Vals: vals})
 	return err
 }
 
@@ -396,7 +421,7 @@ func NewRecordService(name string, backend kvBackend) *core.BaseService {
 	s := core.NewService(name, RecordContract())
 	inner := NewKVService(name+"-inner", backend)
 	// Delegate every op to the same handlers as a KV service.
-	for _, op := range []string{"get", "put", "putBatch", "delete", "scan", "getSnapshot", "scanSnapshot", "len"} {
+	for _, op := range []string{"get", "put", "putBatch", "import", "delete", "scan", "getSnapshot", "scanSnapshot", "len"} {
 		op := op
 		s.Handle(op, func(ctx context.Context, req any) (any, error) {
 			return inner.Invoke(ctx, op, req)
