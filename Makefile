@@ -5,7 +5,16 @@ RACE_PKGS = ./internal/access/... ./internal/buffer/... ./internal/core/... \
             ./internal/index/... ./internal/storage/... ./internal/txn/... \
             ./internal/wal/...
 
-.PHONY: build test race bench bench-snapshot soak-short crash checkpoint-crash stress isolation mvcc vet lint all
+.PHONY: build test race bench bench-snapshot soak-short crash checkpoint-crash stress isolation mvcc cluster cluster-short vet lint all
+
+# Run a race-detector test selection at a GOMAXPROCS matrix:
+# single-proc forces the cooperative interleavings the scheduler
+# otherwise hides, multi-proc exercises real parallelism. Usage:
+# $(call gomaxprocsMatrix,$(RUN_REGEX),$(PKGS)).
+define gomaxprocsMatrix
+	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(1) $(2)
+	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(1) $(2)
+endef
 
 all: vet lint build test
 
@@ -31,6 +40,7 @@ bench-snapshot:
 	$(GO) run ./cmd/sbench -exp g7 -json . -keys 8000
 	$(GO) run ./cmd/sbench -exp g9 -json . -keys 4000 -ops 8000 -soak-writers 8
 	$(GO) run ./cmd/sbench -exp g10 -json . -keys 1000000 -g10-put-keys 20000
+	$(GO) run ./cmd/sbench -exp g11 -json . -keys 2000 -ops 20000
 
 # Seconds-scale G9 write-path soak for CI: every gate variant (append
 # gap-lock downgrade, optimistic descent, background checkpoint flush)
@@ -70,8 +80,7 @@ STRESS_RUN = 'TestKVConcurrent|TestKVCrashRecoveryConcurrent|TestKVBatchConflict
 STRESS_PKGS = . ./internal/access/... ./internal/index/... ./internal/txn/...
 
 stress:
-	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(STRESS_RUN) $(STRESS_PKGS)
-	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(STRESS_RUN) $(STRESS_PKGS)
+	$(call gomaxprocsMatrix,$(STRESS_RUN),$(STRESS_PKGS))
 
 # Isolation & fairness suite under the race detector, at a GOMAXPROCS
 # matrix: anomaly tests (torn atomic batches, phantoms, write skew,
@@ -83,8 +92,7 @@ ISOLATION_RUN = 'TestIsolation|TestSerializableScan|TestLockFairness|TestLockFIF
 ISOLATION_PKGS = . ./internal/txn/...
 
 isolation:
-	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(ISOLATION_RUN) $(ISOLATION_PKGS)
-	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(ISOLATION_RUN) $(ISOLATION_PKGS)
+	$(call gomaxprocsMatrix,$(ISOLATION_RUN),$(ISOLATION_PKGS))
 
 # MVCC snapshot-read suite under the race detector, at a GOMAXPROCS
 # matrix: consistent-cut snapshot scans against concurrent atomic
@@ -93,8 +101,24 @@ isolation:
 MVCC_RUN = 'TestMVCC'
 
 mvcc:
-	GOMAXPROCS=1 $(GO) test -race -count=1 -run $(MVCC_RUN) .
-	GOMAXPROCS=4 $(GO) test -race -count=1 -run $(MVCC_RUN) .
+	$(call gomaxprocsMatrix,$(MVCC_RUN),.)
+
+# Distributed-cluster suite under the race detector, at a GOMAXPROCS
+# matrix: the deterministic fault-injection harness (leader kill -9
+# mid-async-commit, follower catch-up across checkpoint truncation,
+# partition heal without split-brain, duplicated/dropped/delayed
+# shipments), router epoch-replan property tests, WAL shipping and
+# bootstrap fidelity, and the adverse-network netbind tests.
+CLUSTER_RUN = 'TestCluster|TestRouter|TestShardFor|TestServer|TestFollowerWAL|TestShip|TestAppendObserver|TestSnapshotSegments'
+CLUSTER_PKGS = . ./internal/cluster/... ./internal/netbind/... ./internal/replicate/... ./internal/wal/...
+
+cluster:
+	$(call gomaxprocsMatrix,$(CLUSTER_RUN),$(CLUSTER_PKGS))
+
+# Single-pass variant for quick local iteration: one race run at the
+# default GOMAXPROCS, harness package only.
+cluster-short:
+	$(GO) test -race -count=1 -run 'TestCluster' .
 
 vet:
 	$(GO) vet ./...

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	sbdms "repro"
+	"repro/internal/cluster"
 	"repro/internal/netbind"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -49,6 +50,9 @@ func main() {
 	importFile := flag.String("import", "", "bulk-load key<TAB>value lines from this file (- = stdin), print stats and exit instead of serving")
 	importChunk := flag.Int("import-chunk-pages", 0, "pages per import cancellation/flush chunk (0 = 64)")
 	importSlow := flag.Bool("import-no-fast-path", false, "force the per-key import path (disable the bulk build)")
+	clusterShards := flag.Int("cluster-shards", 0, "serve an in-process demo cluster with this many hash-partitioned shards instead of a single node (0 = off)")
+	clusterFollowers := flag.Int("cluster-followers", 1, "WAL-shipped followers per shard for -cluster-shards")
+	clusterAsync := flag.Bool("cluster-async", false, "async-commit WAL mode: ack once a follower holds the record, before the leader's local fsync")
 	flag.Parse()
 
 	opts := sbdms.Options{
@@ -69,6 +73,13 @@ func main() {
 	}
 	if *importFile != "" {
 		if err := runImport(*importFile, *dataPath, *walPath, *walDir, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "sbdms:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterShards > 0 {
+		if err := runCluster(*clusterShards, *clusterFollowers, *clusterAsync, *frames, *segBytes, *ckptEvery); err != nil {
 			fmt.Fprintln(os.Stderr, "sbdms:", err)
 			os.Exit(1)
 		}
@@ -168,6 +179,50 @@ func runImport(file, dataPath, walPath, walDir string, opts sbdms.Options) error
 	}
 	fmt.Printf("sbdms: imported %d keys in %v (%.0f keys/s, %s path)\n",
 		len(keys), elapsed.Round(time.Millisecond), rate, path)
+	return nil
+}
+
+// runCluster serves an in-process demo cluster: shards leaders (each a
+// full engine) with WAL-shipped followers, every node's registry served
+// over its own netbind TCP listener, writes routed by key hash through
+// an epoch-aware router. A smoke write/read proves the data path before
+// the process parks on the signal handler.
+func runCluster(shards, followers int, async bool, frames, segBytes int, ckptEvery time.Duration) error {
+	ctx := context.Background()
+	c, err := cluster.New(cluster.Config{
+		Shards:             shards,
+		Followers:          followers,
+		AsyncCommit:        async,
+		UseNetbind:         true,
+		Frames:             frames,
+		WALSegmentBytes:    segBytes,
+		CheckpointInterval: ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close(ctx)
+
+	m := c.Map()
+	fmt.Printf("sbdms: cluster epoch %d — %d shards x (1 leader + %d followers), async-commit=%t\n",
+		m.Epoch, shards, followers, async)
+	for _, sh := range m.Shards {
+		fmt.Printf("  shard %d: leader %s, followers %v\n", sh.ID, sh.Leader, sh.Followers)
+	}
+
+	r := c.Router()
+	if err := r.Put(ctx, "cluster-demo", []byte("ok")); err != nil {
+		return fmt.Errorf("cluster smoke put: %w", err)
+	}
+	if v, err := r.Get(ctx, "cluster-demo"); err != nil || string(v) != "ok" {
+		return fmt.Errorf("cluster smoke get = %q, %v", v, err)
+	}
+	fmt.Println("sbdms: router smoke test ok; Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sbdms: shutting down cluster")
 	return nil
 }
 

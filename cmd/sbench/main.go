@@ -1,7 +1,7 @@
 // Command sbench regenerates every experiment of EXPERIMENTS.md and
 // prints the result tables. Run all experiments with no arguments, or
 // select one with -exp (f1, f2, f5, f6, f7, g1, g2, g3, g4, g5, g6,
-// g7, g9, g10).
+// g7, g9, g10, g11).
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 
 	sbdms "repro"
 	"repro/internal/buffer"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/storage"
 	"repro/internal/txn"
@@ -107,7 +108,7 @@ func writeReport(dir, exp string, ops, keys int) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|g7|g9|g10|all")
+	exp := flag.String("exp", "all", "experiment id: f1|f2|f5|f6|f7|g1|g2|g3|g4|g5|g6|g7|g9|g10|g11|all")
 	ops := flag.Int("ops", 20000, "operations per measurement")
 	keys := flag.Int("keys", 2000, "key space size")
 	flag.Parse()
@@ -115,9 +116,9 @@ func main() {
 	runners := map[string]func(int, int) error{
 		"f1": runF1, "f2": runF2, "f5": runF5, "f6": runF6, "f7": runF7,
 		"g1": runG1, "g2": runG2, "g3": runG3, "g4": runG4, "g5": runG5, "g6": runG6,
-		"g7": runG7, "g9": runG9, "g10": runG10,
+		"g7": runG7, "g9": runG9, "g10": runG10, "g11": runG11,
 	}
-	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6", "g7", "g9", "g10"}
+	order := []string{"f1", "f2", "f5", "f6", "f7", "g1", "g2", "g3", "g4", "g5", "g6", "g7", "g9", "g10", "g11"}
 	sel := strings.ToLower(*exp)
 	if sel == "all" {
 		for _, id := range order {
@@ -747,6 +748,190 @@ func runG10(ops, keys int) error {
 			ImportSpeedupVsBatch float64 `json:"importSpeedupVsBatch"`
 			WALBytesPerKeyCut    float64 `json:"walBytesPerKeyCut"`
 		}{speedup, walCut})
+	}
+	return nil
+}
+
+// G11: cluster scale-out — aggregate mixed put/get throughput through
+// the epoch-aware router as the keyspace is hash-partitioned over 1, 2
+// and 4 replicated shards (each leader shipping its WAL to one
+// follower over the in-process transport), with a synchronous and an
+// async-commit ack row per width (over mem-backed devices the local
+// fsync async commit skips and the in-process follower round-trip it
+// waits on instead cost about the same, so the two rows bracket the
+// coordination overhead rather than showing a disk-fsync win). All
+// shards share the host's cores, so per-shard parallel speedup only
+// appears on multi-core hosts — the JSON host block records the core
+// count a snapshot was taken on. Then a failover drill: kill -9 an
+// async-commit leader under load, promote its follower (replica flush
+// + crash recovery over the shipped log + map epoch bump), and report
+// promotion time, time-to-first-served-request, and the acked-write
+// survival count — which must be total.
+func runG11(ops, keys int) error {
+	header("G11 — cluster scale-out: sharded throughput + failover recovery")
+	ctx := context.Background()
+	const clients = 8
+	key := func(i int) string { return fmt.Sprintf("key-%07d", i) }
+
+	preload := func(r *cluster.Router) error {
+		const chunk = 1000
+		for lo := 0; lo < keys; lo += chunk {
+			hi := lo + chunk
+			if hi > keys {
+				hi = keys
+			}
+			ks := make([]string, 0, hi-lo)
+			vs := make([][]byte, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				ks = append(ks, key(i))
+				vs = append(vs, []byte("seed"))
+			}
+			if err := r.PutBatch(ctx, ks, vs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	fmt.Printf("-- %d clients, 50/50 put/get over %d keys, 1 follower per shard --\n", clients, keys)
+	for _, shards := range []int{1, 2, 4} {
+		for _, async := range []bool{false, true} {
+			c, err := cluster.New(cluster.Config{
+				Shards: shards, Followers: 1, AsyncCommit: async, Frames: 512,
+			})
+			if err != nil {
+				return err
+			}
+			r := c.Router()
+			if err := preload(r); err != nil {
+				_ = c.Close(ctx)
+				return err
+			}
+			per := ops / clients
+			start := time.Now()
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < per; i++ {
+						k := key(rng.Intn(keys))
+						var err error
+						if rng.Intn(2) == 0 {
+							err = r.Put(ctx, k, []byte(fmt.Sprintf("v%d", i)))
+						} else {
+							_, err = r.Get(ctx, k)
+						}
+						if err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(int64(shards*1000 + w + 1))
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				_ = c.Close(ctx)
+				return err
+			}
+			el := time.Since(start)
+			mode := "sync-commit"
+			if async {
+				mode = "async-commit"
+			}
+			total := per * clients
+			// Degraded-mode observability: ack fallbacks are async
+			// commits that local-fsynced because no follower answered in
+			// time; bootstraps are full-snapshot reseeds.
+			var fallbacks, boots uint64
+			for s := 0; s < shards; s++ {
+				fallbacks += c.Node(cluster.LeaderID(s)).AckFallbacks()
+				boots += c.Node(cluster.FollowerID(s, 0)).Bootstraps()
+			}
+			fmt.Printf("shards=%d %-12s %8d ops  %10.0f op/s  ackFallbacks=%d bootstraps=%d\n",
+				shards, mode, total, float64(total)/el.Seconds(), fallbacks, boots)
+			record(struct {
+				Section      string  `json:"section"`
+				Shards       int     `json:"shards"`
+				Followers    int     `json:"followers"`
+				Mode         string  `json:"mode"`
+				Clients      int     `json:"clients"`
+				Ops          int     `json:"ops"`
+				OpsPerSec    float64 `json:"opsPerSec"`
+				AckFallbacks uint64  `json:"ackFallbacks"`
+				Bootstraps   uint64  `json:"bootstraps"`
+			}{"scale-out", shards, 1, mode, clients, total, float64(total) / el.Seconds(), fallbacks, boots})
+			if err := c.Close(ctx); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Failover drill on a 2-shard async-commit cluster.
+	c, err := cluster.New(cluster.Config{Shards: 2, Followers: 1, AsyncCommit: true, Frames: 512})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = c.Close(ctx) }()
+	r := c.Router()
+	n := ops / 10
+	if n < 200 {
+		n = 200
+	}
+	acked := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("fo-%06d", i)
+		if err := r.Put(ctx, k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			return err
+		}
+		acked = append(acked, k)
+	}
+	const victim = 0
+	var probe string
+	for _, k := range acked {
+		if c.Map().ShardFor(k) == victim {
+			probe = k
+			break
+		}
+	}
+	if probe == "" {
+		return fmt.Errorf("g11: no acked key landed on shard %d", victim)
+	}
+	c.Kill(cluster.LeaderID(victim))
+	promote, err := c.Failover(victim)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	for {
+		if _, err := r.Get(ctx, probe); err == nil {
+			break
+		}
+		if time.Since(t0) > 10*time.Second {
+			return fmt.Errorf("g11: shard %d never served after failover", victim)
+		}
+	}
+	firstServed := time.Since(t0)
+	lost := 0
+	for _, k := range acked {
+		if v, err := r.Get(ctx, k); err != nil || len(v) == 0 {
+			lost++
+		}
+	}
+	fmt.Printf("failover: promote=%v first-served=%v acked=%d lost=%d\n",
+		promote.Round(time.Microsecond), firstServed.Round(time.Microsecond), len(acked), lost)
+	record(struct {
+		Section       string        `json:"section"`
+		PromoteNs     time.Duration `json:"promoteNs"`
+		FirstServedNs time.Duration `json:"firstServedNs"`
+		AckedWrites   int           `json:"ackedWrites"`
+		LostWrites    int           `json:"lostWrites"`
+	}{"failover", promote, firstServed, len(acked), lost})
+	if lost > 0 {
+		return fmt.Errorf("g11: %d acked writes lost across failover", lost)
 	}
 	return nil
 }

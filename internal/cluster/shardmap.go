@@ -1,0 +1,160 @@
+// Package cluster runs ONE sbdms database across MANY nodes: the
+// keyspace is hash-partitioned over N shard leaders, each leader ships
+// its WAL to followers that serve snapshot reads at the replicated
+// frontier, and a router fans client operations out through a shard
+// map published in the core service registry. It is the distributed
+// composition the paper's service architecture was built for — every
+// hop is a service invocation, locally or over netbind.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// NodeID names one cluster node.
+type NodeID string
+
+// Shard is one keyspace partition: a leader that owns writes and any
+// number of log-shipped followers serving snapshot reads.
+type Shard struct {
+	ID        int
+	Leader    NodeID
+	Followers []NodeID
+}
+
+// Map is the shard map: the epoch-stamped assignment of the hashed
+// keyspace to shards. Epochs totally order map changes; every routed
+// request carries the epoch it was planned under, and nodes reject
+// requests planned under another epoch so a batch can never silently
+// straddle two maps.
+type Map struct {
+	Epoch  uint64
+	Shards []Shard
+}
+
+// ShardFor returns the shard index owning key (FNV-1a over the key,
+// mod the shard count). Every key maps to exactly one shard for any
+// non-empty shard list.
+func (m *Map) ShardFor(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(m.Shards)))
+}
+
+// Clone deep-copies the map.
+func (m *Map) Clone() *Map {
+	cp := &Map{Epoch: m.Epoch, Shards: make([]Shard, len(m.Shards))}
+	for i, s := range m.Shards {
+		cp.Shards[i] = Shard{ID: s.ID, Leader: s.Leader,
+			Followers: append([]NodeID(nil), s.Followers...)}
+	}
+	return cp
+}
+
+// epochErrMsg is the substring that identifies an epoch rejection even
+// after the error has been flattened to a string by a network binding.
+const epochErrMsg = "cluster: shard-map epoch changed"
+
+// ErrEpochChanged is the typed retryable rejection a node returns for a
+// request planned under a different map epoch. The router reacts by
+// refreshing the map and retrying the WHOLE operation (for batches:
+// every sub-batch, under the new epoch) — partial application across
+// epochs is structurally impossible because every sub-request carries
+// one epoch and any mismatch fails the whole call.
+var ErrEpochChanged = errors.New(epochErrMsg + " (refresh and retry)")
+
+// IsEpochChanged reports whether err is an epoch rejection, surviving
+// netbind's error-string flattening.
+func IsEpochChanged(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrEpochChanged) || strings.Contains(err.Error(), epochErrMsg)
+}
+
+// notLeaderMsg identifies wrong-role rejections across netbind.
+const notLeaderMsg = "cluster: node is not the shard leader"
+
+// ErrNotLeader is returned by write operations sent to a follower (a
+// stale map can route there mid-failover).
+var ErrNotLeader = errors.New(notLeaderMsg)
+
+// IsNotLeader reports whether err is a wrong-role rejection.
+func IsNotLeader(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrNotLeader) || strings.Contains(err.Error(), notLeaderMsg)
+}
+
+// Shard-map service published through the core registry.
+const (
+	// IfaceShardMap is the logical interface of the map service.
+	IfaceShardMap = "sbdms.cluster.ShardMap"
+	// MapServiceName is the registration name routers look up.
+	MapServiceName = "shardmap"
+)
+
+// MapPublisher owns the authoritative shard map and publishes it as a
+// core service: routers invoke "get" to (re-)fetch the map, the
+// cluster controller invokes Bump to install a successor map under the
+// next epoch.
+type MapPublisher struct {
+	mu  sync.Mutex
+	m   *Map
+	svc *core.BaseService
+}
+
+// NewMapPublisher creates a publisher holding initial (assigned epoch 1
+// if unset).
+func NewMapPublisher(initial *Map) *MapPublisher {
+	p := &MapPublisher{m: initial.Clone()}
+	if p.m.Epoch == 0 {
+		p.m.Epoch = 1
+	}
+	svc := core.NewService(MapServiceName, &core.Contract{
+		Interface: IfaceShardMap,
+		Operations: []core.OpSpec{
+			{Name: "get", In: "nil", Out: "*cluster.Map", Semantic: "cluster.map.get"},
+		},
+		Description: core.Description{Summary: "epoch-stamped shard map of the hashed keyspace"},
+	})
+	svc.Handle("get", func(ctx context.Context, req any) (any, error) {
+		return p.Get(), nil
+	})
+	//lint:ignore ctxflow service start runs no hooks; there is no request context at construction time
+	if err := svc.Start(context.Background()); err != nil {
+		// Start without hooks cannot fail; guard anyway.
+		panic(fmt.Sprintf("cluster: starting map service: %v", err))
+	}
+	p.svc = svc
+	return p
+}
+
+// Service returns the publishable core service.
+func (p *MapPublisher) Service() *core.BaseService { return p.svc }
+
+// Get returns a copy of the current map.
+func (p *MapPublisher) Get() *Map {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.m.Clone()
+}
+
+// Bump installs next as the successor map under epoch current+1 and
+// returns the new epoch.
+func (p *MapPublisher) Bump(next *Map) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	next = next.Clone()
+	next.Epoch = p.m.Epoch + 1
+	p.m = next
+	return next.Epoch
+}

@@ -15,7 +15,7 @@ import (
 var ErrcheckDurabilityAnalyzer = &Analyzer{
 	Name: "errcheckdurability",
 	Doc: "results of WAL append/flush, Commit/CommitLazy/Abort, Acquire/TryAcquire, " +
-		"and buffer flushes must not be discarded",
+		"buffer flushes, and replication append/apply/ship must not be discarded",
 	Run: runErrcheckDurability,
 }
 
@@ -37,6 +37,18 @@ var durabilityMethods = []struct {
 	// FreePages error silently leaks the detached old root.
 	{accessPath, "HeapFile", []string{"AppendPacked"}},
 	{indexPath, "BTree", []string{"BulkBuild", "InstallRoot", "FreePages"}},
+	// Replication ack/apply entry points: these results ARE the
+	// durability story behind an async-commit ack. A discarded
+	// FollowerWAL.Append/Sync error acks a record the follower never
+	// persisted; a discarded Apply/ApplyBatch error advances a frontier
+	// over effects that were not applied; a discarded Ship error hides
+	// the ErrSnapshotNeeded signal that triggers a re-bootstrap; a
+	// discarded ReplicaReader.Flush error promotes over an incomplete
+	// device image.
+	{replicatePath, "FollowerWAL", []string{"Append", "Sync"}},
+	{replicatePath, "Replica", []string{"Apply"}},
+	{replicatePath, "Shipper", []string{"Ship"}},
+	{rootPath, "ReplicaReader", []string{"ApplyBatch", "Flush"}},
 }
 
 // durabilityCall resolves call to one of the guarded methods, returning

@@ -10,11 +10,13 @@ import (
 
 // Import paths of the engine packages whose APIs the analyzers key on.
 const (
-	accessPath = "repro/internal/access"
-	bufferPath = "repro/internal/buffer"
-	indexPath  = "repro/internal/index"
-	txnPath    = "repro/internal/txn"
-	walPath    = "repro/internal/wal"
+	accessPath    = "repro/internal/access"
+	bufferPath    = "repro/internal/buffer"
+	indexPath     = "repro/internal/index"
+	replicatePath = "repro/internal/replicate"
+	rootPath      = "repro"
+	txnPath       = "repro/internal/txn"
+	walPath       = "repro/internal/wal"
 )
 
 // calleeFunc resolves the function or method a call expression invokes,

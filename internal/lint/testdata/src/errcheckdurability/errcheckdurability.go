@@ -6,9 +6,11 @@ package errcheckdurability
 import (
 	"context"
 
+	sbdms "repro"
 	"repro/internal/access"
 	"repro/internal/buffer"
 	"repro/internal/index"
+	"repro/internal/replicate"
 	"repro/internal/txn"
 	"repro/internal/wal"
 )
@@ -44,6 +46,36 @@ func bulkIngest(tx *txn.Txn, h *access.HeapFile, t *index.BTree, recs [][]byte, 
 	t.BulkBuild(tx, items, nil)       // want `result of \(BTree\)\.BulkBuild discarded`
 	_, _, _ = t.InstallRoot(tx, 0, 1) // want `result of \(BTree\)\.InstallRoot discarded`
 	t.FreePages(nil)                  // want `result of \(BTree\)\.FreePages discarded`
+}
+
+// replicationDiscards: the replication entry points carry the
+// durability story behind an async-commit ack — a discarded result
+// here acks a record no follower persisted or advances a frontier over
+// unapplied effects.
+func replicationDiscards(fw *replicate.FollowerWAL, rep *replicate.Replica, sh *replicate.Shipper, rr *sbdms.ReplicaReader, rec *wal.Record, recs []*wal.Record) {
+	fw.Append(rec)         // want `result of \(FollowerWAL\)\.Append discarded`
+	fw.Sync()              // want `result of \(FollowerWAL\)\.Sync discarded`
+	rep.Apply(rec)         // want `result of \(Replica\)\.Apply discarded`
+	_, _ = sh.Ship()       // want `result of \(Shipper\)\.Ship discarded`
+	rr.ApplyBatch(recs, 0) // want `result of \(ReplicaReader\)\.ApplyBatch discarded`
+	defer rr.Flush()       // want `result of \(ReplicaReader\)\.Flush discarded`
+}
+
+// replicationChecked: the same calls with their outcomes handled.
+func replicationChecked(fw *replicate.FollowerWAL, sh *replicate.Shipper, rr *sbdms.ReplicaReader, rec *wal.Record, recs []*wal.Record) error {
+	if appended, err := fw.Append(rec); err != nil || !appended {
+		return err
+	}
+	if err := fw.Sync(); err != nil {
+		return err
+	}
+	if _, err := sh.Ship(); err != nil {
+		return err
+	}
+	if err := rr.ApplyBatch(recs, 0); err != nil {
+		return err
+	}
+	return rr.Flush()
 }
 
 // checkedResults: keeping the error or bool in a named variable is the

@@ -1,0 +1,157 @@
+package netbind
+
+// Adverse-network behavior: the server must survive clients that write
+// partial frames, vanish mid-message, or send oversized payloads — and
+// Close must cancel in-flight handler contexts instead of waiting them
+// out. These are the conditions the cluster's fault transport injects
+// in-process; here they are driven over real TCP.
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// assertServing proves the server still accepts and answers a fresh,
+// well-formed client after whatever abuse the test inflicted.
+func assertServing(t *testing.T, srv *Server) {
+	t.Helper()
+	c := NewClient(srv.Addr())
+	defer c.Close()
+	out, err := c.Call(context.Background(), "svc", "echo", "alive")
+	if err != nil || out != "svc:alive" {
+		t.Fatalf("server unhealthy after fault: %v, %v", out, err)
+	}
+}
+
+func TestServerSurvivesPartialWrite(t *testing.T) {
+	_, srv := serve(t, newEchoService(t, "svc", "test.Echo"))
+
+	// A few garbage bytes that do not form a gob frame, then silence,
+	// then close.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte{0x07, 0xFF, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	_ = conn.Close()
+
+	assertServing(t, srv)
+}
+
+func TestServerSurvivesMidFrameDrop(t *testing.T) {
+	_, srv := serve(t, newEchoService(t, "svc", "test.Echo"))
+
+	// Encode a VALID request, then deliver only half of it and drop the
+	// connection: the server is left holding an incomplete frame.
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(&request{Service: "svc", Op: "echo", Payload: payload{V: "half"}}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	_ = conn.Close()
+
+	assertServing(t, srv)
+}
+
+func TestServerRejectsOversizedMessage(t *testing.T) {
+	reg, srv0 := serve(t, newEchoService(t, "svc", "test.Echo"))
+	_ = srv0 // the default-limit server; the capped one is separate
+	srv, err := Serve(reg, "", WithMaxMessageBytes(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(srv.Addr())
+	defer c.Close()
+	// Under the cap: served normally.
+	if out, err := c.Call(context.Background(), "svc", "echo", "small"); err != nil || out != "svc:small" {
+		t.Fatalf("small call = %v, %v", out, err)
+	}
+	// Over the cap: the server drops the connection mid-frame; the
+	// client surfaces a receive error, not a hang.
+	big := strings.Repeat("x", 1<<20)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Call(ctx, "svc", "echo", big); err == nil {
+		t.Fatal("oversized call succeeded; want connection failure")
+	}
+	// The server itself stays healthy for well-behaved clients.
+	c2 := NewClient(srv.Addr())
+	defer c2.Close()
+	if out, err := c2.Call(context.Background(), "svc", "echo", "after"); err != nil || out != "svc:after" {
+		t.Fatalf("post-rejection call = %v, %v", out, err)
+	}
+}
+
+func TestServerCloseCancelsInFlight(t *testing.T) {
+	reg, _ := serve(t, newEchoService(t, "svc", "test.Echo"))
+	srv, err := Serve(reg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entered := make(chan struct{})
+	canceled := make(chan struct{})
+	blocker := newEchoService(t, "blocker", "test.Blocker")
+	blocker.Handle("echo", func(ctx context.Context, req any) (any, error) {
+		close(entered)
+		select {
+		case <-ctx.Done():
+			close(canceled)
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return nil, nil
+		}
+	})
+	if err := reg.RegisterService(blocker, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewClient(srv.Addr())
+	defer c.Close()
+	callDone := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), "blocker", "echo", "x")
+		callDone <- err
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never entered")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case <-canceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server close did not cancel the in-flight handler context")
+	}
+	select {
+	case err := <-callDone:
+		if err == nil {
+			t.Fatal("in-flight call returned success after server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call never returned after server close")
+	}
+}

@@ -28,7 +28,16 @@ var (
 	ErrRemote = errors.New("netbind: remote error")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("netbind: closed")
+	// ErrMessageTooLarge aborts a connection whose single message
+	// exceeds the server's size limit (see WithMaxMessageBytes). The
+	// gob stream is unrecoverable mid-message, so the connection drops.
+	ErrMessageTooLarge = errors.New("netbind: message exceeds size limit")
 )
+
+// DefaultMaxMessageBytes bounds one decoded request when no explicit
+// limit is configured: large enough for bulk imports and bootstrap
+// snapshots, small enough that one rogue frame cannot exhaust memory.
+const DefaultMaxMessageBytes = 64 << 20
 
 // Protocol name of this binding.
 const Protocol = "tcp+gob"
@@ -83,6 +92,7 @@ type Server struct {
 	registry *core.Registry
 	ln       net.Listener
 	addr     string
+	maxMsg   int64
 	ctx      context.Context // root context for dispatched invocations
 	cancel   context.CancelFunc
 
@@ -92,8 +102,22 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
+// ServerOption configures a Server at Serve time.
+type ServerOption func(*Server)
+
+// WithMaxMessageBytes caps the bytes one request message may occupy on
+// the wire; a connection sending a larger message is dropped with
+// ErrMessageTooLarge before the payload is materialized.
+func WithMaxMessageBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxMsg = n
+		}
+	}
+}
+
 // Serve starts a server on addr ("" or ":0" picks a free port).
-func Serve(registry *core.Registry, addr string) (*Server, error) {
+func Serve(registry *core.Registry, addr string, opts ...ServerOption) (*Server, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
@@ -105,7 +129,11 @@ func Serve(registry *core.Registry, addr string) (*Server, error) {
 		registry: registry,
 		ln:       ln,
 		addr:     ln.Addr().String(),
+		maxMsg:   DefaultMaxMessageBytes,
 		conns:    make(map[net.Conn]bool),
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	//lint:ignore ctxflow the server's root context: every dispatched invocation derives from it, and Close cancels it
 	s.ctx, s.cancel = context.WithCancel(context.Background())
@@ -145,11 +173,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
+	lim := &limitedMessageReader{conn: conn}
+	dec := gob.NewDecoder(lim)
 	enc := gob.NewEncoder(conn)
 	for {
+		lim.reset(s.maxMsg)
 		var req request
 		if err := dec.Decode(&req); err != nil {
+			// An oversized message corrupts the gob stream mid-frame;
+			// the only safe recovery is dropping the connection.
 			return
 		}
 		resp := s.dispatch(&req)
@@ -157,6 +189,29 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// limitedMessageReader meters bytes flowing into the gob decoder. The
+// budget is reset before each message: a single message that overruns
+// it fails the read, which fails the decode, which drops the
+// connection — the server never buffers an unbounded frame.
+type limitedMessageReader struct {
+	conn      net.Conn
+	remaining int64
+}
+
+func (l *limitedMessageReader) reset(budget int64) { l.remaining = budget }
+
+func (l *limitedMessageReader) Read(p []byte) (int, error) {
+	if l.remaining <= 0 {
+		return 0, ErrMessageTooLarge
+	}
+	if int64(len(p)) > l.remaining {
+		p = p[:l.remaining]
+	}
+	n, err := l.conn.Read(p)
+	l.remaining -= int64(n)
+	return n, err
 }
 
 // registrySyncService is the reserved service name for gossip.

@@ -198,6 +198,14 @@ func (s *Shipper) Ship() (int, error) {
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, wal.ErrSegmentGone) {
+			// A checkpoint truncated the segment holding our resume
+			// point (or records past it) while we were reading: the gap
+			// is permanent, so tailing cannot continue. Both sentinels
+			// stay matchable — ErrSegmentGone names the race,
+			// ErrSnapshotNeeded names the cure.
+			return n, fmt.Errorf("%w: %w", ErrSnapshotNeeded, err)
+		}
 		return n, err
 	}
 	if n > 0 {

@@ -89,13 +89,34 @@ func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
 		return 0, ErrOutOfRange
 	}
 	end := off + int64(len(p))
-	if end > int64(len(d.data)) {
-		grown := make([]byte, end)
-		copy(grown, d.data)
-		d.data = grown
-	}
+	d.grow(end)
 	copy(d.data[off:end], p)
 	return len(p), nil
+}
+
+// grow extends the device to at least end bytes with amortized
+// doubling. An exact-size reallocation per extension makes
+// append-at-end workloads — the replication follower's WAL tail above
+// all — quadratic in device size. The gap between the old length and
+// end is zeroed explicitly: a shrinking Truncate reslices, leaving
+// stale bytes in the spare capacity.
+func (d *MemDevice) grow(end int64) {
+	if end <= int64(len(d.data)) {
+		return
+	}
+	old := len(d.data)
+	if end <= int64(cap(d.data)) {
+		d.data = d.data[:end]
+		clear(d.data[old:end])
+		return
+	}
+	newCap := 2 * int64(cap(d.data))
+	if newCap < end {
+		newCap = end
+	}
+	grown := make([]byte, end, newCap)
+	copy(grown, d.data[:old])
+	d.data = grown
 }
 
 // Size implements Device.
@@ -122,9 +143,7 @@ func (d *MemDevice) Truncate(size int64) error {
 		d.data = d.data[:size]
 		return nil
 	}
-	grown := make([]byte, size)
-	copy(grown, d.data)
-	d.data = grown
+	d.grow(size)
 	return nil
 }
 

@@ -212,6 +212,10 @@ type Manager struct {
 	flusherStop chan struct{}
 	flusherDone chan struct{}
 	flushErr    error
+
+	// commitDurability, when set, replaces the local log force in
+	// FinishCommit (async commit). See SetCommitDurability.
+	commitDurability atomic.Pointer[func(upTo wal.LSN) error]
 }
 
 // ckptJob is one checkpoint completion handed to the background
@@ -416,7 +420,11 @@ func (m *Manager) CommitAppend(t *Txn) (wal.LSN, error) {
 // failed (the KV core poisons itself) rather than proceed.
 func (m *Manager) FinishCommit(t *Txn, lsn wal.LSN) error {
 	if m.log != nil {
-		if err := m.log.Flush(lsn + 1); err != nil {
+		if fn := m.commitDurability.Load(); fn != nil {
+			if err := (*fn)(lsn + 1); err != nil {
+				return err
+			}
+		} else if err := m.log.Flush(lsn + 1); err != nil {
 			return err
 		}
 	}
@@ -425,6 +433,23 @@ func (m *Manager) FinishCommit(t *Txn, lsn wal.LSN) error {
 		f()
 	}
 	return nil
+}
+
+// SetCommitDurability installs fn as the commit-durability wait: instead
+// of forcing the local log through the commit record, FinishCommit calls
+// fn(lsn+1) and acknowledges the commit when it returns nil. This is the
+// async-commit replication mode — the installer must guarantee that a
+// nil return means every record below upTo is recoverable somewhere (on
+// at least one follower), and should fall back to a local Flush when no
+// follower is reachable. Checkpoints, page eviction, and the WAL rule
+// still force the local log directly and are unaffected. Pass nil to
+// restore local-fsync commits.
+func (m *Manager) SetCommitDurability(fn func(upTo wal.LSN) error) {
+	if fn == nil {
+		m.commitDurability.Store(nil)
+		return
+	}
+	m.commitDurability.Store(&fn)
 }
 
 // clrContext is the TxnContext compensation records are logged under:

@@ -1,0 +1,78 @@
+package wal
+
+import "fmt"
+
+// This file is the log-shipping surface of the WAL: an append observer
+// that lets a replication shipper see records the moment they are
+// assigned an LSN (before they are durable locally — the async-commit
+// mode acks a commit once a follower holds the record, which can be
+// earlier than the local fsync), an exported record encoder so a
+// follower can maintain a byte-identical copy of the leader's log, and
+// a segment snapshot used to bootstrap a follower that is too far
+// behind to tail the live log (ErrSegmentGone).
+
+// SegmentHeaderSize is the byte length of a segment file's header:
+// records at LSN x live at device offset SegmentHeaderSize + (x - base)
+// inside their segment. Exported for follower log replicas that append
+// shipped records at leader-assigned offsets.
+const SegmentHeaderSize = segHeaderSize
+
+// EncodeRecord appends the deterministic wire encoding of rec to dst
+// and returns the extended slice. Encoding depends only on the record's
+// fields, so a follower that re-encodes a shipped record at the
+// leader-assigned LSN offset reproduces the leader's log bytes exactly;
+// rec.End - rec.LSN equals the encoded length.
+func EncodeRecord(dst []byte, rec *Record) []byte { return encode(dst, rec) }
+
+// SetAppendObserver installs fn, called under the log mutex for every
+// record as it is appended, immediately after LSN assignment (rec.LSN
+// and rec.End are set; the record is NOT yet durable). The observer
+// must be fast, must not call back into the log, and must not retain
+// rec or its byte slices past the call — copy what it needs. Pass nil
+// to remove the observer.
+func (l *Log) SetAppendObserver(fn func(rec *Record)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendObs = fn
+}
+
+// BootstrapSegment is one live segment's raw device bytes (header
+// included), copied up to the durable boundary at snapshot time.
+type BootstrapSegment struct {
+	Seq  uint64
+	Base LSN
+	Data []byte
+}
+
+// SnapshotSegments copies the manifest and every live segment's durable
+// bytes under the log mutex, returning the durable boundary the copy
+// covers. Seeding a fresh SegmentDir with these bytes yields a log that
+// opens to the same state as the source had at the boundary; records
+// from the boundary onward must then arrive through shipping. Callers
+// bootstrapping a follower should copy the data device BEFORE calling
+// this: the WAL rule guarantees any page image on the device is covered
+// by records at or below the boundary taken afterwards.
+func (l *Log) SnapshotSegments() (manifest []byte, segs []BootstrapSegment, durable LSN, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	manifest = make([]byte, manifestSize)
+	if _, err = l.manifestDev.ReadAt(manifest, 0); err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: snapshot manifest: %w", err)
+	}
+	for _, s := range l.segs {
+		end := s.end
+		if end > l.flushed {
+			end = l.flushed
+		}
+		if end < s.base {
+			end = s.base
+		}
+		data := make([]byte, s.devOff(end))
+		if _, err = s.dev.ReadAt(data, 0); err != nil {
+			return nil, nil, 0, fmt.Errorf("wal: snapshot segment %d: %w", s.seq, err)
+		}
+		segs = append(segs, BootstrapSegment{Seq: s.seq, Base: s.base, Data: data})
+	}
+	return manifest, segs, l.flushed, nil
+}

@@ -1,0 +1,148 @@
+package wal
+
+// The log-shipping surface: the append observer must expose every
+// record, in LSN order, with End set, before durability — and the
+// exported encoder must reproduce the leader's segment bytes exactly,
+// because follower log copies are byte-identical by construction
+// (promotion runs real crash recovery over them).
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func TestAppendObserverStreamFidelity(t *testing.T) {
+	l, err := OpenDir(NewMemSegmentDir(), minSegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type seen struct {
+		lsn, end LSN
+		encoded  []byte
+	}
+	var stream []seen
+	l.SetAppendObserver(func(rec *Record) {
+		if rec.End == 0 {
+			t.Errorf("observer saw record at LSN %d with End unset", rec.LSN)
+		}
+		stream = append(stream, seen{lsn: rec.LSN, end: rec.End, encoded: EncodeRecord(nil, rec)})
+	})
+
+	payloads := [][]byte{
+		[]byte("alpha"),
+		bytes.Repeat([]byte{0x5A}, 700), // spills into a second segment
+		[]byte("omega"),
+	}
+	for i, p := range payloads {
+		if _, err := l.Append(&Record{Txn: uint64(i + 1), Type: RecUpdate, PageID: storage.PageID(i + 2), After: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(l.NextLSN()); err != nil {
+		t.Fatal(err)
+	}
+	l.SetAppendObserver(nil)
+	if _, err := l.Append(&Record{Txn: 9, Type: RecUpdate, PageID: 9, After: []byte("unseen")}); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(stream) != len(payloads) {
+		t.Fatalf("observer saw %d records, want %d (and none after removal)", len(stream), len(payloads))
+	}
+	// Contiguity: each record's End is the next record's LSN, and
+	// End-LSN equals the encoded length the follower will write.
+	for i, s := range stream {
+		if got := LSN(len(s.encoded)); s.end-s.lsn != got {
+			t.Fatalf("record %d: End-LSN = %d, encoded length %d", i, s.end-s.lsn, got)
+		}
+		if i > 0 && s.lsn != stream[i-1].end {
+			t.Fatalf("stream gap: record %d at LSN %d, previous End %d", i, s.lsn, stream[i-1].end)
+		}
+	}
+
+	// Byte fidelity: re-reading the log yields records whose encoding
+	// matches what the observer captured at append time.
+	i := 0
+	err = l.Iterate(stream[0].lsn, func(rec *Record) error {
+		if i < len(stream) && rec.LSN == stream[i].lsn {
+			if !bytes.Equal(EncodeRecord(nil, rec), stream[i].encoded) {
+				t.Fatalf("record %d: durable encoding differs from observed encoding", i)
+			}
+			i++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(stream) {
+		t.Fatalf("found %d observed records in the log, want %d", i, len(stream))
+	}
+}
+
+func TestSnapshotSegmentsSeedsIdenticalLog(t *testing.T) {
+	l, err := OpenDir(NewMemSegmentDir(), minSegmentBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSegments(t, l, 3)
+
+	manifest, segs, durable, err := l.SnapshotSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if durable != l.DurableBoundary() {
+		t.Fatalf("snapshot durable %d, log durable %d", durable, l.DurableBoundary())
+	}
+	if len(segs) != l.SegmentCount() {
+		t.Fatalf("snapshot carries %d segments, log has %d", len(segs), l.SegmentCount())
+	}
+
+	// Seed a fresh dir with the copied bytes and reopen it as a log.
+	dir := NewMemSegmentDir()
+	mdev, err := dir.OpenManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mdev.WriteAt(manifest, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		sdev, err := dir.OpenSegment(s.Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sdev.WriteAt(s.Data, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seeded, err := OpenDir(dir, minSegmentBytes)
+	if err != nil {
+		t.Fatalf("opening seeded dir: %v", err)
+	}
+
+	var want, got []*Record
+	collect := func(log *Log, out *[]*Record) {
+		err := log.Iterate(log.OldestLSN(), func(r *Record) error {
+			cp := *r
+			cp.After = append([]byte(nil), r.After...)
+			*out = append(*out, &cp)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect(l, &want)
+	collect(seeded, &got)
+	if len(got) != len(want) {
+		t.Fatalf("seeded log has %d records, source %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].LSN != want[i].LSN || !bytes.Equal(got[i].After, want[i].After) {
+			t.Fatalf("record %d differs after seeding", i)
+		}
+	}
+}

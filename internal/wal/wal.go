@@ -181,6 +181,11 @@ type Log struct {
 	// ErrSegmentGone and restarting from a full copy.
 	retainFn      func() LSN
 	retainedHolds uint64 // segments kept alive only by the retention hook
+
+	// appendObs, when set, sees every record at append time (before it
+	// is durable); the hook behind log shipping and async commit. See
+	// SetAppendObserver.
+	appendObs func(*Record)
 }
 
 // Open opens (or initialises) a log over a single device: the
@@ -699,6 +704,10 @@ func (l *Log) appendLocked(rec *Record) LSN {
 	rec.LSN = lsn
 	l.buf = encode(l.buf, rec)
 	l.nextLSN = LSN(l.bufStart + uint64(len(l.buf)))
+	if l.appendObs != nil {
+		rec.End = l.nextLSN
+		l.appendObs(rec)
+	}
 	return lsn
 }
 

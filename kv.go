@@ -1172,6 +1172,15 @@ func (kv *kvCore) GetSnapshot(ctx context.Context, k string) ([]byte, error) {
 	// could return is pinned in place.
 	snap := kv.oracle.Snapshot()
 	defer snap.Close()
+	return kv.getSnapshotAt(ctx, k, snap.ReadTS)
+}
+
+// getSnapshotAt is GetSnapshot at an explicit read timestamp. The
+// caller owns the consistency of readTS: either a registered oracle
+// snapshot (GetSnapshot) or a replication frontier on a follower, where
+// every version at or below readTS has been applied and vacuum never
+// runs.
+func (kv *kvCore) getSnapshotAt(ctx context.Context, k string, readTS uint64) ([]byte, error) {
 	for i := 0; i < maxSnapshotRetries; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -1183,7 +1192,7 @@ func (kv *kvCore) GetSnapshot(ctx context.Context, k string) ([]byte, error) {
 		if len(rids) == 0 {
 			return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, k)
 		}
-		v, ok, retry, err := kv.readVisible(k, rids[0], snap.ReadTS)
+		v, ok, retry, err := kv.readVisible(k, rids[0], readTS)
 		if err != nil {
 			return nil, err
 		}
@@ -1210,6 +1219,12 @@ func (kv *kvCore) ScanKeysSnapshot(ctx context.Context, from string, n int) ([]s
 	}
 	snap := kv.oracle.Snapshot()
 	defer snap.Close()
+	return kv.scanKeysSnapshotAt(ctx, from, n, snap.ReadTS)
+}
+
+// scanKeysSnapshotAt is ScanKeysSnapshot at an explicit read timestamp
+// (see getSnapshotAt for who may supply one).
+func (kv *kvCore) scanKeysSnapshotAt(ctx context.Context, from string, n int, readTS uint64) ([]string, error) {
 	var out []string
 	err := kv.idx.Range(kv.key(from), nil, func(key []byte, rid access.RID) error {
 		if err := ctx.Err(); err != nil {
@@ -1225,7 +1240,7 @@ func (kv *kvCore) ScanKeysSnapshot(ctx context.Context, from string, n int) ([]s
 		// A retry outcome here means the entry's whole chain was
 		// reclaimed (the key was dead at the horizon ≤ readTS) and the
 		// slot reused — absent at this snapshot, so skipping is exact.
-		_, ok, _, err := kv.readVisible(k, rid, snap.ReadTS)
+		_, ok, _, err := kv.readVisible(k, rid, readTS)
 		if err != nil {
 			return err
 		}
